@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_*`` file reproduces one table/figure/claim from the paper
+(see DESIGN.md's experiment index).  Conventions:
+
+- the pytest-benchmark fixture times the experiment's headline
+  computation (``benchmark.pedantic(..., rounds=1)`` for the heavy
+  deterministic sweeps);
+- the reproduced table/series is printed with capture disabled so it
+  lands in ``bench_output.txt``;
+- shape assertions (who wins, rough factors, orderings) guard the
+  experiment against regressions without pinning absolute numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def emit(capsys, text: str) -> None:
+    """Print *text* bypassing pytest's capture (so tee'd logs show it)."""
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+def run_once(benchmark, fn: Callable):
+    """Time *fn* exactly once and return its result.
+
+    The experiments are deterministic simulations; repeating them only
+    burns time, so one round is the honest measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

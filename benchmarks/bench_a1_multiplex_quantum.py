@@ -1,0 +1,68 @@
+"""A1 (ablation): multiplex time-slice quantum vs estimation error.
+
+Design question behind Section 2's multiplexing discussion: how long may
+a time slice be before phase behaviour leaks into the estimates?  A
+finer quantum samples every phase more evenly (lower error) but rotates
+the counters more often (more interface overhead) -- the design
+trade-off the PAPI implementation had to pick a default for.
+"""
+
+from _shared import emit, run_once
+from repro.analysis import Table, rel_error_pct
+from repro.core.library import Papi
+from repro.platforms import create
+from repro.workloads import phased
+
+QUANTA = [1500, 3000, 6000, 12000, 24000]
+EVENTS = ["PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS", "PAPI_L1_DCM"]
+REPEATS = 4
+
+
+def measure(quantum: int):
+    substrate = create("simX86")
+    papi = Papi(substrate)
+    papi.mpx_quantum_cycles = quantum
+    es = papi.create_eventset()
+    es.set_multiplex()
+    es.add_named(*EVENTS)
+    work = phased([("fp", 1500), ("mem", 1500), ("br", 1500)],
+                  repeats=REPEATS, use_fma=False)
+    substrate.machine.load(work.program)
+    before_overhead = substrate.machine.system_cycles
+    es.start()
+    substrate.machine.run_to_completion()
+    mpx = es._mpx  # grab before stop() detaches the controller
+    values = dict(zip(es.event_names, es.stop()))
+    rotations = mpx.rotations if mpx else 0
+    overhead = substrate.machine.system_cycles - before_overhead
+    err = rel_error_pct(values["PAPI_FP_OPS"], work.expect.flops)
+    return err, rotations, overhead
+
+
+def run_experiment():
+    return {q: measure(q) for q in QUANTA}
+
+
+def bench_a1_multiplex_quantum(benchmark, capsys):
+    results = run_once(benchmark, run_experiment)
+
+    table = Table(
+        ["quantum (cyc)", "FP_OPS error %", "rotations",
+         "interface overhead (cyc)"],
+        title=f"A1: multiplex quantum ablation (phased run x{REPEATS}, "
+              f"{len(EVENTS)} events on 2 counters)",
+    )
+    for q, (err, rot, ovh) in results.items():
+        table.add_row(q, round(err, 1), rot, ovh)
+    emit(capsys, table.render())
+
+    errs = {q: results[q][0] for q in QUANTA}
+    overheads = {q: results[q][2] for q in QUANTA}
+    rotations = {q: results[q][1] for q in QUANTA}
+    # finer quanta rotate more and cost more interface work
+    assert rotations[QUANTA[0]] > rotations[QUANTA[-1]]
+    assert overheads[QUANTA[0]] > overheads[QUANTA[-1]]
+    # the finest quantum estimates far better than the coarsest
+    assert errs[QUANTA[0]] < 10.0
+    assert errs[QUANTA[-1]] > 15.0
+    assert errs[QUANTA[0]] < errs[QUANTA[-1]]

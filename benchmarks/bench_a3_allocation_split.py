@@ -1,0 +1,120 @@
+"""A3 (ablation): the hardware-independent/dependent allocation split.
+
+Section 5's PAPI-3 plan: "separate the counter allocation into
+hardware-independent and hardware-dependent portions ... This separation
+will hopefully make implementing optimal counter allocation on a new
+platform easier."  The question a designer asks: does routing every
+platform through the generic split (translate -> graph matcher / group
+search) lose anything versus per-platform exhaustive search, and what
+does it cost?
+
+Reproduction: on the constraint platform (simX86) and the group platform
+(simPOWER), compare the split allocator against brute-force-optimal
+placement over random EventSets -- quality must be identical -- and let
+pytest-benchmark time the split allocator itself.
+"""
+
+import itertools
+import random
+
+from _shared import emit
+from repro.analysis import Table
+from repro.core.allocation import allocate
+from repro.platforms import create
+
+TRIALS = 200
+SEED = 7
+
+
+def brute_force_constraint(substrate, events):
+    """Exhaustive search for the max placeable subset (constraint model)."""
+    best = 0
+    names = [e.name for e in events]
+    allowed = {e.name: (e.allowed_counters
+                        if e.allowed_counters is not None
+                        else tuple(range(substrate.n_counters)))
+               for e in events}
+
+    def recurse(i, used, placed):
+        nonlocal best
+        if i == len(names):
+            best = max(best, placed)
+            return
+        recurse(i + 1, used, placed)
+        for c in allowed[names[i]]:
+            if c not in used:
+                recurse(i + 1, used | {c}, placed + 1)
+
+    recurse(0, frozenset(), 0)
+    return best
+
+
+def brute_force_groups(substrate, events):
+    """Exhaustive group search: best single-group coverage."""
+    names = [e.name for e in events]
+    return max(
+        sum(1 for n in names if n in g.assignments)
+        for g in substrate.groups
+    )
+
+
+def sample_sets(substrate, rng):
+    names = sorted(substrate.native_events)
+    for _ in range(TRIALS):
+        k = rng.randint(2, min(len(names), substrate.n_counters + 2))
+        yield [substrate.query_native(n) for n in rng.sample(names, k)]
+
+
+def compare_platform(platform, brute_force):
+    substrate = create(platform)
+    rng = random.Random(SEED)
+    agreements = 0
+    split_total = brute_total = 0
+    cases = []
+    for events in sample_sets(substrate, rng):
+        split = allocate(substrate, events).n_placed
+        brute = brute_force(substrate, events)
+        split_total += split
+        brute_total += brute
+        agreements += split == brute
+        cases.append((len(events), split, brute))
+    return agreements, split_total, brute_total, cases
+
+
+def allocation_workload():
+    """The operation pytest-benchmark times: a full random-set sweep."""
+    substrate = create("simX86")
+    rng = random.Random(SEED)
+    total = 0
+    for events in sample_sets(substrate, rng):
+        total += allocate(substrate, events).n_placed
+    return total
+
+
+def bench_a3_allocation_split(benchmark, capsys):
+    placed = benchmark(allocation_workload)
+    assert placed > 0
+
+    table = Table(
+        ["platform", "scheme", "split==brute-force", "split placed",
+         "brute placed"],
+        title=f"A3: generic split allocator vs per-platform exhaustive "
+              f"search ({TRIALS} random EventSets)",
+    )
+    rows = {}
+    for platform, bf, scheme in (
+        ("simX86", brute_force_constraint, "constraint pairs -> matching"),
+        ("simPOWER", brute_force_groups, "groups -> group search"),
+    ):
+        agreements, split_total, brute_total, _ = compare_platform(
+            platform, bf
+        )
+        rows[platform] = (agreements, split_total, brute_total)
+        table.add_row(platform, scheme, f"{agreements}/{TRIALS}",
+                      split_total, brute_total)
+    emit(capsys, table.render())
+
+    # the generic split loses nothing on either counter scheme
+    for platform, (agreements, split_total, brute_total) in rows.items():
+        assert agreements == TRIALS, platform
+        assert split_total == brute_total, platform

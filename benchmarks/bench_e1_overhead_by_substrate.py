@@ -1,0 +1,103 @@
+"""E1: instrumentation overhead by substrate (Section 4's headline numbers).
+
+Paper claim: sampling-based estimation on the DCPI substrate costs "only
+one to two percent overhead, as compared to up to 30 percent on other
+substrates that use direct counting".
+
+Reproduction: a phased application whose functions are instrumented at
+entry/exit with a PAPI probe (two counter reads per call) on every
+direct-counting substrate; on simALPHA the same per-function information
+comes from ProfileMe samples with no per-call reads at all.  Overhead is
+the dilation of real (wall-clock) cycles versus an uninstrumented run of
+the same program.
+"""
+
+import pytest
+
+from _shared import emit, run_once
+from repro.analysis import Table, overhead_pct
+from repro.core.library import Papi
+from repro.platforms import DIRECT_PLATFORMS, create
+from repro.tools.dynaprof import Dynaprof, PapiProbe
+from repro.workloads import phased
+
+PROBE_EVENTS = ["PAPI_TOT_CYC", "PAPI_TOT_INS"]
+
+
+def app():
+    return phased([("fp", 800), ("mem", 800)], repeats=20, use_fma=False)
+
+
+def baseline_cycles(platform: str) -> int:
+    sub = create(platform)
+    sub.machine.load(app().program)
+    sub.machine.run_to_completion()
+    return sub.machine.real_cycles
+
+
+def instrumented_cycles_direct(platform: str) -> int:
+    sub = create(platform)
+    papi = Papi(sub)
+    dyn = Dynaprof(sub, papi)
+    dyn.load(app())
+    probe = dyn.add_probe(PapiProbe(papi, PROBE_EVENTS))
+    dyn.instrument()
+    dyn.run()
+    assert probe.profiles, "probes must have produced data"
+    return sub.machine.real_cycles
+
+
+def instrumented_cycles_sampling() -> int:
+    sub = create("simALPHA")
+    papi = Papi(sub)
+    es = papi.create_eventset()
+    es.add_named(*PROBE_EVENTS)
+    sub.machine.load(app().program)
+    es.start()
+    sub.machine.run_to_completion()
+    values = es.stop()
+    assert values[1] > 0, "sampled estimates must exist"
+    return sub.machine.real_cycles
+
+
+def run_experiment():
+    rows = []
+    for platform in DIRECT_PLATFORMS:
+        base = baseline_cycles(platform)
+        inst = instrumented_cycles_direct(platform)
+        style = create(platform).STYLE
+        rows.append((platform, style + " (direct reads)", base, inst,
+                     overhead_pct(inst, base)))
+    base = baseline_cycles("simALPHA")
+    inst = instrumented_cycles_sampling()
+    rows.append(("simALPHA", "sampling (DCPI/DADD)", base, inst,
+                 overhead_pct(inst, base)))
+    return rows
+
+
+def bench_e1_overhead_by_substrate(benchmark, capsys):
+    rows = run_once(benchmark, run_experiment)
+
+    table = Table(
+        ["platform", "interface", "baseline cyc", "instrumented cyc",
+         "overhead %"],
+        title="E1: per-function instrumentation overhead by substrate "
+              "(paper: sampling 1-2% vs direct counting up to ~30%)",
+    )
+    overhead = {}
+    for platform, style, base, inst, pct in rows:
+        table.add_row(platform, style, base, inst, round(pct, 2))
+        overhead[platform] = pct
+    emit(capsys, table.render())
+
+    # --- shape assertions (the paper's qualitative claims) ----------------
+    # sampling substrate lands in the 1-2% band (we allow 0.3-3)
+    assert 0.3 <= overhead["simALPHA"] <= 3.0, overhead["simALPHA"]
+    # the kernel-patch syscall substrate reaches the tens of percent
+    assert overhead["simX86"] >= 20.0
+    # sampling beats every syscall/library substrate (the paper compared
+    # against those; T3E's raw register reads are legitimately near-free)
+    for platform in ("simX86", "simPOWER", "simIA64"):
+        assert overhead[platform] > overhead["simALPHA"]
+    # interface cost ordering: register < library < syscall
+    assert overhead["simT3E"] < overhead["simPOWER"] < overhead["simX86"]

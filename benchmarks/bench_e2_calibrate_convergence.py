@@ -1,0 +1,52 @@
+"""E2: calibrate-utility convergence of sampled counts (Section 4).
+
+Paper claim: "Test runs of the PAPI calibrate utility on this substrate
+have shown that event counts converge to the expected value, given a
+long enough run time to obtain sufficient samples."
+
+Reproduction: the calibrate utility sweeps run lengths on simALPHA
+(counts estimated from ProfileMe samples) and on simT3E (direct
+counting, error identically zero -- the control).
+"""
+
+from _shared import emit, run_once
+from repro.analysis import Table
+from repro.core.calibrate import calibrate_convergence
+from repro.platforms import create
+
+SIZES = [1_000, 4_000, 16_000, 64_000, 256_000]
+PERIOD = 512
+
+
+def run_experiment():
+    sampled = calibrate_convergence(
+        create("simALPHA"), SIZES, kernel="dot", sampling_period=PERIOD
+    )
+    direct = calibrate_convergence(create("simT3E"), SIZES, kernel="dot")
+    return sampled, direct
+
+
+def bench_e2_calibrate_convergence(benchmark, capsys):
+    sampled, direct = run_once(benchmark, run_experiment)
+
+    table = Table(
+        ["kernel size n", "run instructions", "sampled est.",
+         "expected", "error %", "direct error %"],
+        title=f"E2: calibrate convergence, dot kernel, sampling period "
+              f"{PERIOD} (error ~ 1/sqrt(samples))",
+    )
+    for sp, dp in zip(sampled.points, direct.points):
+        table.add_row(
+            sp.expected // 2, sp.run_instructions, int(sp.estimate),
+            int(sp.expected), round(sp.rel_error * 100, 2),
+            round(dp.rel_error * 100, 2),
+        )
+    emit(capsys, table.render())
+
+    errors = sampled.errors()
+    # convergence: the longest run is far more accurate than the shortest
+    assert sampled.is_converging(), errors
+    assert errors[-1] < 0.05, f"long-run error too large: {errors[-1]:.3f}"
+    assert errors[0] > errors[-1]
+    # direct counting is exact at every size (the control)
+    assert all(e == 0.0 for e in direct.errors())

@@ -1,0 +1,65 @@
+"""E3: multiplexing estimation error vs runtime (Section 2).
+
+Paper claim: "Erroneous results can occur when the runtime is
+insufficient to permit the estimated counter values to converge to their
+expected values" -- the reason multiplexing must be explicitly enabled
+in the low-level interface.
+
+Reproduction: five events multiplexed onto simX86's two counters over a
+three-phase program; the run length sweeps from one phase cycle (badly
+wrong estimates) to many (converged).
+"""
+
+from _shared import emit, run_once
+from repro.analysis import Table, rel_error_pct
+from repro.core.library import Papi
+from repro.platforms import create
+from repro.workloads import phased
+
+EVENTS = ["PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS", "PAPI_L1_DCM",
+          "PAPI_BR_MSP"]
+REPEATS = [1, 2, 4, 8, 16, 32]
+QUANTUM = 6000
+
+
+def measure(repeats: int):
+    substrate = create("simX86")
+    papi = Papi(substrate)
+    papi.mpx_quantum_cycles = QUANTUM
+    es = papi.create_eventset()
+    es.set_multiplex()
+    es.add_named(*EVENTS)
+    work = phased([("fp", 1500), ("mem", 1500), ("br", 1500)],
+                  repeats=repeats, use_fma=False)
+    substrate.machine.load(work.program)
+    es.start()
+    substrate.machine.run_to_completion()
+    values = dict(zip(es.event_names, es.stop()))
+    true_flops = work.expect.flops
+    return values["PAPI_FP_OPS"], true_flops, es
+
+
+def run_experiment():
+    return [(r, *measure(r)[:2]) for r in REPEATS]
+
+
+def bench_e3_multiplex_accuracy(benchmark, capsys):
+    rows = run_once(benchmark, run_experiment)
+
+    table = Table(
+        ["phase repeats", "true FLOPs", "multiplexed estimate", "error %"],
+        title=f"E3: multiplexed PAPI_FP_OPS error vs runtime "
+              f"(5 events on 2 counters, quantum {QUANTUM} cycles)",
+    )
+    errors = {}
+    for repeats, est, true in rows:
+        err = rel_error_pct(est, true)
+        errors[repeats] = err
+        table.add_row(repeats, true, est, round(err, 1))
+    emit(capsys, table.render())
+
+    # short runs are unreliable; long runs converge
+    assert errors[REPEATS[0]] > 10.0, errors
+    assert errors[REPEATS[-1]] < 3.0, errors
+    # the error at the longest run beats the error at the shortest by 5x
+    assert errors[REPEATS[-1]] * 5 < errors[REPEATS[0]]

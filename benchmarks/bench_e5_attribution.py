@@ -1,0 +1,139 @@
+"""E5: profiling attribution accuracy -- interrupt pc vs hardware sampling.
+
+Paper claim (Section 4): "On out-of-order processors, the program
+counter may yield an address that is several instructions or even basic
+blocks removed from the true address of the instruction that caused the
+overflow event", while DCPI/ProfileMe "identifies the exact address of
+an instruction, thus resulting in accurate text addresses for profiling
+data", and Itanium EARs "accurately identify the instruction and data
+addresses for some events".
+
+Reproduction: a dot-product loop whose floating point work happens at
+exactly one instruction.  Four profiling mechanisms attribute fp-event
+samples to addresses; we score the fraction attributed to the true
+instruction.
+"""
+
+from _shared import emit, run_once
+from repro.analysis import Table
+from repro.core.library import Papi
+from repro.core.profile import (
+    Profil,
+    ProfileBuffer,
+    profile_from_ears,
+    profile_from_samples,
+)
+from repro.hw.isa import INS_BYTES, Op
+from repro.platforms import create
+from repro.platforms.simalpha import sample_matches
+from repro.workloads import dot, strided_scan
+
+N = 6000
+
+
+def fp_pcs(program):
+    return [pc for pc, ins in enumerate(program.instructions)
+            if ins.op in (Op.FMA, Op.FMUL, Op.FADD)]
+
+
+def interrupt_profiling(platform: str):
+    """Overflow-driven PC sampling on a fp-event counter.
+
+    The interrupt *raise point* (OverflowInfo.true_address, exposed by
+    the simulator for evaluation) is the best any interrupt-pc profiler
+    could do; what the tool actually sees is the reported address after
+    skid.  We score the fraction of samples reported within one
+    instruction of the raise point, and the mean skid distance.
+    """
+    substrate = create(platform)
+    papi = Papi(substrate)
+    work = dot(N, use_fma=substrate.HAS_FMA)
+    substrate.machine.load(work.program)
+    es = papi.create_eventset()
+    es.add_named("PAPI_FP_INS")
+    infos = []
+    es.overflow(papi.event_name_to_code("PAPI_FP_INS"), 50, infos.append)
+    es.start()
+    substrate.machine.run_to_completion()
+    es.stop()
+    assert infos
+    distances = [abs(i.address - i.true_address) // INS_BYTES for i in infos]
+    close = sum(1 for d in distances if d <= 1) / len(distances)
+    mean_skid = sum(distances) / len(distances)
+    return close, mean_skid, len(infos), substrate.machine.pmu.config.skid_max
+
+
+def profileme_profiling():
+    """DCPI/ProfileMe: precise pcs from hardware samples."""
+    substrate = create("simALPHA")
+    work = dot(N, use_fma=False)
+    event = substrate.query_native("RET_FLOPS")
+    session = substrate.sampling_session([event], period=64)
+    substrate.machine.load(work.program)
+    session.start()
+    substrate.machine.run_to_completion()
+    session.stop()
+    buf = ProfileBuffer.covering(0, (len(work.program) + 64) * INS_BYTES)
+    profile_from_samples(
+        buf, session.samples(), predicate=lambda s: sample_matches(event, s)
+    )
+    truth = {buf.bucket_index(pc * INS_BYTES) for pc in fp_pcs(work.program)}
+    correct = sum(buf.buckets[b] for b in truth if b is not None)
+    return correct / buf.hits, 0.0, buf.hits
+
+
+def ear_profiling():
+    """Itanium EARs: exact addresses of sampled cache-miss events."""
+    substrate = create("simIA64")
+    line_words = substrate.machine.hierarchy.config.l1d.line_bytes // 8
+    work = strided_scan(8192, line_words)
+    ear = substrate.add_ear(4, "l1d_miss")
+    substrate.machine.load(work.program)
+    substrate.machine.run_to_completion()
+    buf = ProfileBuffer.covering(0, (len(work.program) + 64) * INS_BYTES)
+    profile_from_ears(buf, ear.records)
+    load_pcs = [pc for pc, ins in enumerate(work.program.instructions)
+                if ins.op == Op.LOAD]
+    truth = {buf.bucket_index(pc * INS_BYTES) for pc in load_pcs}
+    correct = sum(buf.buckets[b] for b in truth if b is not None)
+    return correct / buf.hits, 0.0, buf.hits
+
+
+def run_experiment():
+    rows = []
+    for platform in ("simX86", "simPOWER", "simIA64"):
+        close, skid, hits, skid_max = interrupt_profiling(platform)
+        rows.append((platform, "interrupt pc", f"skid<={skid_max}", close,
+                     skid, hits))
+    acc, skid, hits = profileme_profiling()
+    rows.append(("simALPHA", "ProfileMe sample", "precise", acc, skid, hits))
+    acc, skid, hits = ear_profiling()
+    rows.append(("simIA64", "EAR capture", "precise", acc, skid, hits))
+    return rows
+
+
+def bench_e5_attribution(benchmark, capsys):
+    rows = run_once(benchmark, run_experiment)
+
+    table = Table(
+        ["platform", "mechanism", "hardware", "within 1 instr",
+         "mean skid (ins)", "samples"],
+        title="E5: profile attribution accuracy -- samples landing within "
+              "one instruction of the causing event, and mean skid",
+    )
+    acc = {}
+    for platform, mech, hw, accuracy, skid, hits in rows:
+        acc[(platform, mech)] = accuracy
+        table.add_row(platform, mech, hw, round(accuracy, 3),
+                      round(skid, 2), hits)
+    emit(capsys, table.render())
+
+    # hardware-assisted mechanisms are exact
+    assert acc[("simALPHA", "ProfileMe sample")] == 1.0
+    assert acc[("simIA64", "EAR capture")] == 1.0
+    # interrupt-pc accuracy degrades with skid depth
+    assert (acc[("simX86", "interrupt pc")]
+            < acc[("simPOWER", "interrupt pc")]
+            < acc[("simIA64", "interrupt pc")])
+    # the deep-OoO platform misattributes most samples
+    assert acc[("simX86", "interrupt pc")] < 0.5

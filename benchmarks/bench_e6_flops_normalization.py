@@ -1,0 +1,82 @@
+"""E6: PAPI_flops normalization and the POWER3 rounding discrepancy.
+
+Paper claims (Section 4): "the PAPI_flops call attempts to return the
+expected number of floating point operations, which sometimes entails
+multiplying the measured counts by a factor of two to count
+floating-point multiply-add instructions as two floating point
+operations and/or subtracting counts for miscellaneous types of floating
+point instructions"; and the anecdote: "on the IBM POWER3 platform, a
+discrepancy in the number of floating point instructions was resolved
+when it was discovered that extra rounding instructions were being
+introduced to convert between double and single precision and were being
+included as floating point instructions."
+
+Reproduction: two kernels (an FMA-heavy dot product and a convert-heavy
+mixed-precision sum) measured on every direct platform, reading the raw
+``PAPI_FP_INS`` next to the normalized ``PAPI_FP_OPS``.
+"""
+
+from _shared import emit, run_once
+from repro.analysis import Table
+from repro.core.library import Papi
+from repro.platforms import DIRECT_PLATFORMS, create
+from repro.workloads import dot, mixed_precision_sum
+
+N = 1200
+
+
+def measure(platform, workload):
+    substrate = create(platform)
+    papi = Papi(substrate)
+    es = papi.create_eventset()
+    es.add_named("PAPI_FP_INS", "PAPI_FP_OPS")
+    substrate.machine.load(workload.program)
+    es.start()
+    substrate.machine.run_to_completion()
+    fp_ins, fp_ops = es.stop()
+    return fp_ins, fp_ops
+
+
+def run_experiment():
+    rows = []
+    for platform in DIRECT_PLATFORMS:
+        sub = create(platform)
+        fma_wl = dot(N, use_fma=sub.HAS_FMA)
+        cvt_wl = mixed_precision_sum(N)
+        fma_ins, fma_ops = measure(platform, fma_wl)
+        cvt_ins, cvt_ops = measure(platform, cvt_wl)
+        rows.append((platform, sub.HAS_FMA, fma_ins, fma_ops,
+                     fma_wl.expect.flops, cvt_ins, cvt_ops,
+                     cvt_wl.expect.flops))
+    return rows
+
+
+def bench_e6_flops_normalization(benchmark, capsys):
+    rows = run_once(benchmark, run_experiment)
+
+    table = Table(
+        ["platform", "fma hw", "dot FP_INS", "dot FP_OPS", "dot true",
+         "cvt FP_INS", "cvt FP_OPS", "cvt true"],
+        title=f"E6: raw FP_INS vs normalized FP_OPS (dot n={N} and a "
+              f"convert-heavy sum n={N})",
+    )
+    data = {}
+    for row in rows:
+        data[row[0]] = row[1:]
+        table.add_row(*row)
+    emit(capsys, table.render())
+
+    for platform, (has_fma, fma_ins, fma_ops, fma_true,
+                   cvt_ins, cvt_ops, cvt_true) in data.items():
+        # the normalized call is exact everywhere, on both kernels
+        assert fma_ops == fma_true, platform
+        assert cvt_ops == cvt_true, platform
+        if has_fma:
+            # FMA hardware: half the instructions do all the flops
+            assert fma_ins == fma_true // 2, platform
+
+    # the POWER3 anecdote: FP_INS includes converts there and only there
+    _, _, _, _, cvt_ins_power, _, cvt_true_power = data["simPOWER"]
+    assert cvt_ins_power == 2 * cvt_true_power
+    for platform in ("simT3E", "simX86", "simIA64"):
+        assert data[platform][4] == cvt_true_power, platform

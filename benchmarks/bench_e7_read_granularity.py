@@ -1,0 +1,79 @@
+"""E7: counter-read overhead vs instrumentation granularity (Section 4).
+
+Paper claim: "the overhead of library calls to read the hardware
+counters can be excessive if the routines are called frequently -- for
+example, on entry and exit of a small subroutine or basic block within a
+tight loop.  Unacceptable overhead has caused some tool developers to
+reduce the number of calls through statistical sampling techniques."
+
+Reproduction: a fixed amount of total work is split across functions of
+varying size (from tiny 8-iteration bodies to large 512-iteration
+bodies), each instrumented at entry/exit with a PAPI probe; overhead is
+real-cycle dilation versus the uninstrumented run, per substrate.
+"""
+
+from _shared import emit, run_once
+from repro.analysis import Table, overhead_pct
+from repro.core.library import Papi
+from repro.platforms import DIRECT_PLATFORMS, create
+from repro.tools.dynaprof import Dynaprof, PapiProbe
+from repro.workloads import phased
+
+TOTAL_ITERS = 8192
+BODY_SIZES = [8, 32, 128, 512]  # fp iterations per function call
+PROBE_EVENTS = ["PAPI_TOT_CYC", "PAPI_TOT_INS"]
+
+
+def app(body_iters: int):
+    calls = TOTAL_ITERS // body_iters
+    return phased([("fp", body_iters)], repeats=calls, use_fma=False)
+
+
+def overhead_for(platform: str, body_iters: int) -> float:
+    baseline = create(platform)
+    baseline.machine.load(app(body_iters).program)
+    baseline.machine.run_to_completion()
+    base = baseline.machine.real_cycles
+
+    sub = create(platform)
+    papi = Papi(sub)
+    dyn = Dynaprof(sub, papi)
+    dyn.load(app(body_iters))
+    dyn.add_probe(PapiProbe(papi, PROBE_EVENTS))
+    dyn.instrument(functions=["phase_0"])
+    dyn.run()
+    return overhead_pct(sub.machine.real_cycles, base)
+
+
+def run_experiment():
+    return {
+        platform: [overhead_for(platform, b) for b in BODY_SIZES]
+        for platform in DIRECT_PLATFORMS
+    }
+
+
+def bench_e7_read_granularity(benchmark, capsys):
+    results = run_once(benchmark, run_experiment)
+
+    table = Table(
+        ["platform"] + [f"{b}-iter body %" for b in BODY_SIZES],
+        title=f"E7: entry/exit read overhead vs function size "
+              f"({TOTAL_ITERS} total iterations, 2 reads per call)",
+    )
+    for platform, overheads in results.items():
+        table.add_row(platform, *[round(o, 2) for o in overheads])
+    emit(capsys, table.render())
+
+    for platform, overheads in results.items():
+        # coarser granularity always costs less
+        assert overheads == sorted(overheads, reverse=True), platform
+    # the syscall substrate at the finest granularity is "excessive"
+    assert results["simX86"][0] > 100.0
+    # and still expensive at moderate granularity
+    assert results["simX86"][1] > 30.0
+    # the register substrate is an order of magnitude cheaper than the
+    # kernel-patch syscalls at every granularity...
+    for x86, t3e in zip(results["simX86"], results["simT3E"]):
+        assert t3e * 5 < x86
+    # ...and becomes negligible once functions are reasonably sized
+    assert results["simT3E"][-1] < 2.0

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package and no network access, so PEP
+660 editable installs cannot build; keeping a ``setup.py`` (and no
+``[build-system]`` table in pyproject.toml) lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro: a reproduction of PAPI (IPPS 2003) over a simulated substrate.
+
+Reproduces "Experiences and Lessons Learned with a Portable Interface to
+Hardware Performance Counters" (Dongarra et al., University of
+Tennessee ICL): the PAPI specification and reference implementation --
+high-level and low-level counter APIs, EventSets, preset/native events,
+software multiplexing, overflow interrupts, SVR4 statistical profiling,
+hardware-assisted sampling, bipartite-matching counter allocation,
+portable timers, the PAPI-3 memory extensions -- together with the tools
+built on it (dynaprof, perfometer, papirun, TAU/Vampir-style profiler
+and tracer) and the simulated hardware/OS substrate everything runs on.
+
+Quickstart::
+
+    from repro import create, Papi, HighLevel
+    from repro.workloads import matmul
+
+    substrate = create("simPOWER")          # pick a simulated platform
+    papi = Papi(substrate)                  # PAPI_library_init
+    hl = HighLevel(papi)
+
+    work = matmul(16, use_fma=substrate.HAS_FMA)
+    substrate.machine.load(work.program)
+    hl.start_counters(["PAPI_FP_OPS", "PAPI_TOT_CYC", "PAPI_L1_DCM"])
+    substrate.machine.run_to_completion()
+    fp_ops, cycles, l1_misses = hl.stop_counters()
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-claim reproductions.
+"""
+
+from repro.core import (
+    EventSet,
+    HighLevel,
+    LowLevelAPI,
+    Papi,
+    PapiError,
+    ProfileBuffer,
+    calibrate,
+)
+from repro.platforms import PLATFORM_NAMES, Substrate, all_platforms, create
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EventSet",
+    "HighLevel",
+    "LowLevelAPI",
+    "PLATFORM_NAMES",
+    "Papi",
+    "PapiError",
+    "ProfileBuffer",
+    "Substrate",
+    "all_platforms",
+    "calibrate",
+    "create",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Analysis helpers: statistics, reporting, and performance models."""
+
+from repro.analysis.model import (
+    DEFAULT_FEATURES,
+    PerformanceModel,
+    collect_counters,
+    fit_model,
+    fit_platform_model,
+)
+from repro.analysis.report import Table, ascii_plot, sparkline
+from repro.analysis.stats import (
+    geometric_mean,
+    mean,
+    overhead_pct,
+    pearson,
+    rank_by,
+    rel_error_pct,
+    stddev,
+    top_share,
+)
+
+__all__ = [
+    "DEFAULT_FEATURES",
+    "PerformanceModel",
+    "Table",
+    "collect_counters",
+    "fit_model",
+    "fit_platform_model",
+    "ascii_plot",
+    "geometric_mean",
+    "mean",
+    "overhead_pct",
+    "pearson",
+    "rank_by",
+    "rel_error_pct",
+    "sparkline",
+    "stddev",
+    "top_share",
+]

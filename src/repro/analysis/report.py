@@ -1,0 +1,117 @@
+"""ASCII table / sparkline rendering shared by benchmarks and tools."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def format_cell(value: Cell, float_fmt: str = "{:.3g}") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+class Table:
+    """Minimal fixed-width ASCII table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "",
+                 float_fmt: str = "{:.3g}") -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+        self.float_fmt = float_fmt
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([format_cell(c, self.float_fmt) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.headers))
+        lines.append(fmt_row(["-" * w for w in widths]))
+        for row in self.rows:
+            lines.append(fmt_row(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render *values* as a one-line ASCII intensity strip."""
+    if not values:
+        return ""
+    if width is not None and width > 0 and len(values) > width:
+        # average-pool down to the requested width
+        pooled = []
+        step = len(values) / width
+        for i in range(width):
+            lo = int(i * step)
+            hi = max(lo + 1, int((i + 1) * step))
+            chunk = values[lo:hi]
+            pooled.append(sum(chunk) / len(chunk))
+        values = pooled
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        frac = 0.0 if span == 0 else (v - lo) / span
+        idx = min(len(_SPARK_CHARS) - 1, int(frac * (len(_SPARK_CHARS) - 1) + 0.5))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def ascii_plot(
+    series: Sequence[float],
+    height: int = 8,
+    width: int = 64,
+    label: str = "",
+) -> str:
+    """Multi-line ASCII plot of one series (used by perfometer, E9)."""
+    if not series:
+        return "(empty series)"
+    # pool to width
+    if len(series) > width:
+        pooled = []
+        step = len(series) / width
+        for i in range(width):
+            lo = int(i * step)
+            hi = max(lo + 1, int((i + 1) * step))
+            chunk = series[lo:hi]
+            pooled.append(sum(chunk) / len(chunk))
+        series = pooled
+    lo, hi = min(series), max(series)
+    span = hi - lo or 1.0
+    grid = [[" "] * len(series) for _ in range(height)]
+    for x, v in enumerate(series):
+        level = int((v - lo) / span * (height - 1) + 0.5)
+        for y in range(level + 1):
+            grid[height - 1 - y][x] = "#" if y == level else "|"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"max {hi:.4g}")
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"min {lo:.4g}")
+    return "\n".join(lines)

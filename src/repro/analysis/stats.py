@@ -1,0 +1,69 @@
+"""Statistics helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def mean(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("mean of empty sequence")
+    return sum(xs) / len(xs)
+
+
+def geometric_mean(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("geometric mean of empty sequence")
+    if any(x <= 0 for x in xs):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def stddev(xs: Sequence[float]) -> float:
+    if len(xs) < 2:
+        return 0.0
+    m = mean(xs)
+    return math.sqrt(sum((x - m) ** 2 for x in xs) / (len(xs) - 1))
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation; the tool-integration experiment's measure of
+    "important correlations, such as ... the correlation of time with
+    operation counts and cache or TLB misses" (Section 3)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two sequences of equal length >= 2")
+    mx, my = mean(xs), mean(ys)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    if sxx == 0 or syy == 0:
+        return 0.0
+    return sxy / math.sqrt(sxx * syy)
+
+
+def overhead_pct(instrumented: float, baseline: float) -> float:
+    """Relative overhead in percent (E1/E7's headline metric)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (instrumented - baseline) / baseline * 100.0
+
+
+def rel_error_pct(measured: float, expected: float) -> float:
+    if expected == 0:
+        return math.inf if measured else 0.0
+    return abs(measured - expected) / abs(expected) * 100.0
+
+
+def rank_by(values: Dict[str, float]) -> List[Tuple[str, float]]:
+    """Keys sorted by descending value (profile hot-spot ranking)."""
+    return sorted(values.items(), key=lambda kv: kv[1], reverse=True)
+
+
+def top_share(values: Dict[str, float]) -> Tuple[str, float]:
+    """(hottest key, its fraction of the total)."""
+    total = sum(values.values())
+    if total <= 0:
+        raise ValueError("no mass to rank")
+    name, v = rank_by(values)[0]
+    return name, v / total

@@ -1,0 +1,111 @@
+"""The PAPI library: the paper's primary contribution.
+
+Public surface:
+
+- :class:`~repro.core.library.Papi` -- one initialized library per
+  platform substrate; create EventSets, query events, read timers;
+- :class:`~repro.core.eventset.EventSet` -- the low-level counting unit
+  (add events, start/stop/read/accum/reset, multiplex, attach, overflow);
+- :class:`~repro.core.highlevel.HighLevel` -- start/read/stop counters
+  and the flops/flips/ipc rate calls;
+- :class:`~repro.core.lowlevel.LowLevelAPI` -- the C-flavoured facade
+  over integer EventSet handles;
+- :mod:`~repro.core.allocation` -- counter allocation via bipartite
+  matching (Section 5);
+- :class:`~repro.core.profile.ProfileBuffer` / PAPI_profil -- SVR4
+  statistical profiling;
+- :mod:`~repro.core.calibrate` -- the calibrate utility;
+- :mod:`~repro.core.memory` -- the PAPI-3 memory utilization extension.
+"""
+
+from repro.core import constants
+from repro.core.calibrate import (
+    CalibrationResult,
+    calibrate,
+    calibrate_all,
+    calibrate_convergence,
+)
+from repro.core.errors import (
+    ConflictError,
+    InvalidArgumentError,
+    IsRunningError,
+    NoSuchEventError,
+    NoSuchEventSetError,
+    NotEnoughCountersError,
+    NotPresetError,
+    NotRunningError,
+    PapiError,
+    SubstrateFeatureError,
+    strerror,
+)
+from repro.core.eventset import EventSet
+from repro.core.highlevel import HighLevel, RateReport
+from repro.core.library import EventInfo, Papi
+from repro.core.lowlevel import LowLevelAPI
+from repro.core.multiplex import MultiplexController, partition_natives
+from repro.core.overflow import OverflowInfo
+from repro.core.presets import (
+    NUM_PRESETS,
+    PRESETS,
+    Preset,
+    PresetMapping,
+    event_code_to_name,
+    event_name_to_code,
+    preset_from_code,
+    preset_from_symbol,
+    reference_count,
+)
+from repro.core.profile import Profil, ProfileBuffer
+from repro.core.sampling import (
+    ConvergenceStudy,
+    Estimate,
+    estimate_count,
+    relative_error,
+)
+from repro.core.timers import TimeRegion, TimerReading, read_timers
+
+__all__ = [
+    "CalibrationResult",
+    "ConflictError",
+    "ConvergenceStudy",
+    "Estimate",
+    "EventInfo",
+    "EventSet",
+    "HighLevel",
+    "InvalidArgumentError",
+    "IsRunningError",
+    "LowLevelAPI",
+    "MultiplexController",
+    "NUM_PRESETS",
+    "NoSuchEventError",
+    "NoSuchEventSetError",
+    "NotEnoughCountersError",
+    "NotPresetError",
+    "NotRunningError",
+    "OverflowInfo",
+    "PRESETS",
+    "Papi",
+    "PapiError",
+    "Preset",
+    "PresetMapping",
+    "Profil",
+    "ProfileBuffer",
+    "RateReport",
+    "SubstrateFeatureError",
+    "TimeRegion",
+    "TimerReading",
+    "calibrate",
+    "calibrate_all",
+    "calibrate_convergence",
+    "constants",
+    "estimate_count",
+    "event_code_to_name",
+    "event_name_to_code",
+    "partition_natives",
+    "preset_from_code",
+    "preset_from_symbol",
+    "read_timers",
+    "reference_count",
+    "relative_error",
+    "strerror",
+]

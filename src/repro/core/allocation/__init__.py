@@ -1,0 +1,42 @@
+"""Counter allocation: mapping events onto scarce physical counters.
+
+Section 5 of the paper casts the problem as bipartite graph matching --
+event vertices on one side, physical counters on the other, an edge
+where a constraint table permits the pairing -- and describes both the
+optimal matching algorithm shipped in PAPI 2.3 and the PAPI-3 plan to
+split allocation into a hardware-independent solver plus per-platform
+translation.  This package implements all of it:
+
+- :mod:`repro.core.allocation.graph`: the hardware-independent problem
+  model (:class:`MappingProblem`);
+- :mod:`repro.core.allocation.matching`: optimal solvers (maximum
+  cardinality via augmenting paths, maximum weight via the Hungarian
+  method);
+- :mod:`repro.core.allocation.greedy`: the first-fit baseline that real
+  early substrates used, for the E4 comparison;
+- :mod:`repro.core.allocation.translate`: the hardware-dependent half --
+  translating constraint pairs and POWER counter groups into
+  :class:`MappingProblem` instances and back into concrete assignments.
+"""
+
+from repro.core.allocation.graph import MappingProblem
+from repro.core.allocation.greedy import first_fit
+from repro.core.allocation.matching import (
+    max_cardinality_matching,
+    max_weight_matching,
+)
+from repro.core.allocation.translate import (
+    AllocationResult,
+    allocate,
+    allocate_greedy,
+)
+
+__all__ = [
+    "AllocationResult",
+    "MappingProblem",
+    "allocate",
+    "allocate_greedy",
+    "first_fit",
+    "max_cardinality_matching",
+    "max_weight_matching",
+]

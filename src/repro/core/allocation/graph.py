@@ -1,0 +1,94 @@
+"""The hardware-independent counter-mapping problem.
+
+"The counter allocation problem may be cast in terms of the bipartite
+graph matching problem, where the graph consists of two sets of vertices
+-- one set representing the events to be mapped, and the other ...
+the physical counters available on the machine -- with an edge between
+an event vertex and a counter vertex if that event can be counted on
+that counter."  (Section 5)
+
+:class:`MappingProblem` is exactly that graph, with optional per-event
+weights for the maximum-weight variant ("if some events have higher
+priority than others").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MappingProblem:
+    """Bipartite mapping instance.
+
+    ``events`` are opaque string names; ``allowed[event]`` is the set of
+    counter indices able to host it; ``weights`` (default 1 each) order
+    events by priority for the max-weight variant.
+    """
+
+    events: Tuple[str, ...]
+    n_counters: int
+    allowed: Mapping[str, FrozenSet[int]]
+    weights: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_counters < 0:
+            raise ValueError("cannot have a negative number of counters")
+        if len(set(self.events)) != len(self.events):
+            raise ValueError("duplicate event names in mapping problem")
+        for ev in self.events:
+            if ev not in self.allowed:
+                raise ValueError(f"event {ev!r} has no allowed-counter set")
+            for c in self.allowed[ev]:
+                if not 0 <= c < self.n_counters:
+                    raise ValueError(
+                        f"event {ev!r} allows counter {c} out of range"
+                    )
+
+    @classmethod
+    def build(
+        cls,
+        events: Sequence[str],
+        n_counters: int,
+        allowed: Mapping[str, Optional[Sequence[int]]],
+        weights: Optional[Mapping[str, float]] = None,
+    ) -> "MappingProblem":
+        """Convenience constructor; ``None`` in *allowed* means 'any'."""
+        norm: Dict[str, FrozenSet[int]] = {}
+        for ev in events:
+            spec = allowed.get(ev)
+            if spec is None:
+                norm[ev] = frozenset(range(n_counters))
+            else:
+                norm[ev] = frozenset(spec)
+        return cls(tuple(events), n_counters, norm, dict(weights or {}))
+
+    def weight(self, event: str) -> float:
+        return self.weights.get(event, 1.0)
+
+    def degree(self, event: str) -> int:
+        return len(self.allowed[event])
+
+    def is_complete_assignment(self, assignment: Mapping[str, int]) -> bool:
+        return all(ev in assignment for ev in self.events)
+
+    def validate_assignment(self, assignment: Mapping[str, int]) -> None:
+        """Raise ValueError unless *assignment* is a legal partial matching."""
+        used: Dict[int, str] = {}
+        for ev, ctr in assignment.items():
+            if ev not in self.allowed:
+                raise ValueError(f"assignment covers unknown event {ev!r}")
+            if ctr not in self.allowed[ev]:
+                raise ValueError(
+                    f"event {ev!r} assigned to disallowed counter {ctr}"
+                )
+            if ctr in used:
+                raise ValueError(
+                    f"counter {ctr} assigned to both {used[ctr]!r} and {ev!r}"
+                )
+            used[ctr] = ev
+
+    def feasible_upper_bound(self) -> int:
+        """Cheap upper bound on matchable events (min of sides)."""
+        return min(len(self.events), self.n_counters)

@@ -1,0 +1,34 @@
+"""The first-fit baseline allocator.
+
+Before the optimal matching algorithm landed in PAPI 2.3, substrates
+placed events greedily: take events in the order the user added them,
+put each on the first free counter its constraints allow, fail if none
+is free.  First-fit never *un*-places an earlier event, so on
+constrained platforms it strands events the optimal matcher would have
+placed -- the gap experiment E4 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.allocation.graph import MappingProblem
+
+
+def first_fit(problem: MappingProblem) -> Dict[str, int]:
+    """First-fit partial assignment, in the problem's event order.
+
+    Deterministic: counters are tried in ascending index order.  Events
+    that do not fit are left out of the result (callers treat a partial
+    result as a conflict, like the pre-2.3 substrates did).
+    """
+    free: List[bool] = [True] * problem.n_counters
+    assignment: Dict[str, int] = {}
+    for event in problem.events:
+        for ctr in sorted(problem.allowed[event]):
+            if free[ctr]:
+                free[ctr] = False
+                assignment[event] = ctr
+                break
+    problem.validate_assignment(assignment)
+    return assignment

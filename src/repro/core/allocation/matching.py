@@ -1,0 +1,118 @@
+"""Optimal solvers for the counter-mapping problem.
+
+Two variants, matching Section 5's description:
+
+- :func:`max_cardinality_matching`: "a maximum cardinality mapping if
+  not all the events can be mapped" -- Kuhn's augmenting-path algorithm
+  (problem sizes are tiny: tens of events, <= 8 counters, so the simple
+  O(V*E) algorithm is the right tool);
+- :func:`max_weight_matching`: "a maximum weight matching if some events
+  have higher priority than others" -- reduced to rectangular assignment
+  (the Hungarian method) via :func:`scipy.optimize.linear_sum_assignment`
+  when scipy is available, with a pure-Python branch-and-bound fallback.
+
+Both return partial assignments: events that cannot be placed are simply
+absent (callers decide whether partial is acceptable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.allocation.graph import MappingProblem
+
+try:  # scipy is an optional dependency; the fallback covers its absence.
+    import numpy as _np
+    from scipy.optimize import linear_sum_assignment as _lsa
+except Exception:  # pragma: no cover - exercised only without scipy
+    _np = None
+    _lsa = None
+
+
+def max_cardinality_matching(problem: MappingProblem) -> Dict[str, int]:
+    """Maximum-cardinality event->counter assignment (Kuhn's algorithm).
+
+    Events are seeded in order of ascending degree (fewest allowed
+    counters first), a standard heuristic that reduces augmentation work;
+    the result is optimal regardless of order.
+    """
+    counter_owner: List[Optional[str]] = [None] * problem.n_counters
+    assignment: Dict[str, int] = {}
+
+    def try_place(event: str, visited: set) -> bool:
+        for ctr in sorted(problem.allowed[event]):
+            if ctr in visited:
+                continue
+            visited.add(ctr)
+            owner = counter_owner[ctr]
+            if owner is None or try_place(owner, visited):
+                counter_owner[ctr] = event
+                assignment[event] = ctr
+                return True
+        return False
+
+    for event in sorted(problem.events, key=problem.degree):
+        try_place(event, set())
+
+    problem.validate_assignment(assignment)
+    return assignment
+
+
+def _weight_matrix(problem: MappingProblem):
+    """Cost matrix for the assignment reduction (events x counters)."""
+    n_ev, n_ctr = len(problem.events), problem.n_counters
+    big = 1.0 + sum(abs(problem.weight(e)) for e in problem.events)
+    mat = _np.full((n_ev, n_ctr), big, dtype=float)
+    for i, ev in enumerate(problem.events):
+        w = problem.weight(ev)
+        for c in problem.allowed[ev]:
+            # minimize cost == maximize weight; unmatched stays at `big`.
+            mat[i, c] = -w
+    return mat, big
+
+
+def max_weight_matching(problem: MappingProblem) -> Dict[str, int]:
+    """Maximum-total-weight assignment (ties broken toward more events).
+
+    With uniform weights this coincides with maximum cardinality.
+    """
+    if not problem.events or problem.n_counters == 0:
+        return {}
+    if _lsa is None:  # pragma: no cover - scipy always present in CI
+        return _branch_and_bound_weight(problem)
+    mat, big = _weight_matrix(problem)
+    rows, cols = _lsa(mat)
+    assignment: Dict[str, int] = {}
+    for i, c in zip(rows, cols):
+        if mat[i, c] < big:  # a real edge, not the forbidden filler
+            assignment[problem.events[i]] = int(c)
+    problem.validate_assignment(assignment)
+    return assignment
+
+
+def _branch_and_bound_weight(problem: MappingProblem) -> Dict[str, int]:
+    """Exhaustive fallback used when scipy is unavailable (small inputs)."""
+    best: Dict[str, int] = {}
+    best_weight = -1.0
+    events = sorted(problem.events, key=problem.degree)
+
+    def recurse(i: int, used: Dict[int, str], acc: Dict[str, int], w: float):
+        nonlocal best, best_weight
+        if i == len(events):
+            if (w, len(acc)) > (best_weight, len(best)):
+                best, best_weight = dict(acc), w
+            return
+        ev = events[i]
+        # skip this event
+        recurse(i + 1, used, acc, w)
+        for c in problem.allowed[ev]:
+            if c not in used:
+                used[c] = ev
+                acc[ev] = c
+                recurse(i + 1, used, acc, w + problem.weight(ev))
+                del used[c]
+                del acc[ev]
+
+    recurse(0, {}, {}, 0.0)
+    problem.validate_assignment(best)
+    return best

@@ -1,0 +1,151 @@
+"""The hardware-dependent half of counter allocation.
+
+PAPI 3's plan (Section 5): "separate the counter allocation into
+hardware-independent and hardware-dependent portions -- the
+hardware-independent portion solving the graph matching problem and the
+hardware-dependent [portion] translating the counter scheme on a
+particular platform into the graph matching problem."
+
+Two counter schemes exist among the simulated platforms:
+
+- **constraint platforms** (simT3E, simX86, simIA64): each native event
+  carries an allowed-counter set; translation is direct to a
+  :class:`MappingProblem`;
+- **group platforms** (simPOWER): events live in counter groups with
+  fixed layouts and an EventSet must fit inside one group; translation
+  enumerates groups and solves the (trivial) within-group problem,
+  picking the group with maximum coverage.
+
+Both translations expose the same entry points: :func:`allocate`
+(optimal) and :func:`allocate_greedy` (the pre-2.3 first-fit behaviour,
+kept as the E4 baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.allocation.graph import MappingProblem
+from repro.core.allocation.greedy import first_fit
+from repro.core.allocation.matching import (
+    max_cardinality_matching,
+    max_weight_matching,
+)
+from repro.platforms.base import NativeEvent, Substrate
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of an allocation attempt.
+
+    ``assignment`` maps native event names to counter indices;
+    ``group`` is the chosen counter group on group platforms;
+    ``unplaced`` lists events that could not be mapped (empty iff
+    ``complete``).
+    """
+
+    assignment: Dict[str, int]
+    group: Optional[int]
+    unplaced: Tuple[str, ...]
+
+    @property
+    def complete(self) -> bool:
+        return not self.unplaced
+
+    @property
+    def n_placed(self) -> int:
+        return len(self.assignment)
+
+
+def build_problem(
+    substrate: Substrate,
+    events: Sequence[NativeEvent],
+    weights: Optional[Dict[str, float]] = None,
+) -> MappingProblem:
+    """Translate a constraint platform's scheme into the bipartite model."""
+    return MappingProblem.build(
+        [ev.name for ev in events],
+        substrate.n_counters,
+        {ev.name: ev.allowed_counters for ev in events},
+        weights,
+    )
+
+
+def _allocate_groups_optimal(
+    substrate: Substrate, names: List[str]
+) -> AllocationResult:
+    """Pick the group covering the most requested events (ties: lowest id)."""
+    assert substrate.groups is not None
+    best = None
+    for group in substrate.groups:
+        covered = [n for n in names if n in group.assignments]
+        key = (len(covered), -group.gid)
+        if best is None or key > best[0]:
+            best = (key, group, covered)
+    assert best is not None
+    _, group, covered = best
+    assignment = {n: group.assignments[n] for n in covered}
+    unplaced = tuple(n for n in names if n not in assignment)
+    return AllocationResult(assignment, group.gid, unplaced)
+
+
+def _allocate_groups_greedy(
+    substrate: Substrate, names: List[str]
+) -> AllocationResult:
+    """First-fit over groups: lock onto the first group that has the
+    first event, then keep only events that happen to be in it.
+
+    This reproduces the behaviour of early group-based substrates that
+    chose a group when the first event was added and never reconsidered.
+    """
+    assert substrate.groups is not None
+    if not names:
+        return AllocationResult({}, None, ())
+    chosen = None
+    for group in substrate.groups:
+        if names[0] in group.assignments:
+            chosen = group
+            break
+    if chosen is None:
+        return AllocationResult({}, None, tuple(names))
+    assignment = {
+        n: chosen.assignments[n] for n in names if n in chosen.assignments
+    }
+    unplaced = tuple(n for n in names if n not in assignment)
+    return AllocationResult(assignment, chosen.gid, unplaced)
+
+
+def allocate(
+    substrate: Substrate,
+    events: Sequence[NativeEvent],
+    weights: Optional[Dict[str, float]] = None,
+) -> AllocationResult:
+    """Optimal allocation (the PAPI 2.3 algorithm behind add_event)."""
+    names = [ev.name for ev in events]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate native events passed to the allocator")
+    if substrate.uses_groups:
+        return _allocate_groups_optimal(substrate, names)
+    problem = build_problem(substrate, events, weights)
+    if weights:
+        assignment = max_weight_matching(problem)
+    else:
+        assignment = max_cardinality_matching(problem)
+    unplaced = tuple(n for n in names if n not in assignment)
+    return AllocationResult(assignment, None, unplaced)
+
+
+def allocate_greedy(
+    substrate: Substrate, events: Sequence[NativeEvent]
+) -> AllocationResult:
+    """First-fit allocation (the pre-2.3 baseline measured in E4)."""
+    names = [ev.name for ev in events]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate native events passed to the allocator")
+    if substrate.uses_groups:
+        return _allocate_groups_greedy(substrate, names)
+    problem = build_problem(substrate, events)
+    assignment = first_fit(problem)
+    unplaced = tuple(n for n in names if n not in assignment)
+    return AllocationResult(assignment, None, unplaced)

@@ -1,0 +1,136 @@
+"""PAPI constants: return codes, states, domains, event-code encoding.
+
+Mirrors the constants of the C PAPI specification the paper describes,
+so code written against this reproduction reads like code written
+against real PAPI.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# return codes (negative = error, matching the C library's convention)
+# ---------------------------------------------------------------------------
+
+PAPI_OK = 0             #: no error
+PAPI_EINVAL = -1        #: invalid argument
+PAPI_ENOMEM = -2        #: insufficient memory
+PAPI_ESYS = -3          #: a system/C library call failed
+PAPI_ESBSTR = -4        #: substrate returned an error / unsupported feature
+PAPI_ECLOST = -5        #: access to the counters was lost or interrupted
+PAPI_EBUG = -6          #: internal error
+PAPI_ENOEVNT = -7       #: event does not exist / cannot be counted
+PAPI_ECNFLCT = -8       #: event exists but cannot be counted due to conflicts
+PAPI_ENOTRUN = -9       #: eventset is currently not running
+PAPI_EISRUN = -10       #: eventset is currently running
+PAPI_ENOEVST = -11      #: no such eventset
+PAPI_ENOTPRESET = -12   #: event is not a valid preset
+PAPI_ENOCNTR = -13      #: hardware does not support enough counters
+PAPI_EMISC = -14        #: unknown error
+
+#: error code -> short name (mirrors PAPI_strerror)
+ERROR_NAMES = {
+    PAPI_OK: "PAPI_OK",
+    PAPI_EINVAL: "PAPI_EINVAL",
+    PAPI_ENOMEM: "PAPI_ENOMEM",
+    PAPI_ESYS: "PAPI_ESYS",
+    PAPI_ESBSTR: "PAPI_ESBSTR",
+    PAPI_ECLOST: "PAPI_ECLOST",
+    PAPI_EBUG: "PAPI_EBUG",
+    PAPI_ENOEVNT: "PAPI_ENOEVNT",
+    PAPI_ECNFLCT: "PAPI_ECNFLCT",
+    PAPI_ENOTRUN: "PAPI_ENOTRUN",
+    PAPI_EISRUN: "PAPI_EISRUN",
+    PAPI_ENOEVST: "PAPI_ENOEVST",
+    PAPI_ENOTPRESET: "PAPI_ENOTPRESET",
+    PAPI_ENOCNTR: "PAPI_ENOCNTR",
+    PAPI_EMISC: "PAPI_EMISC",
+}
+
+ERROR_MESSAGES = {
+    PAPI_OK: "no error",
+    PAPI_EINVAL: "invalid argument",
+    PAPI_ENOMEM: "insufficient memory",
+    PAPI_ESYS: "a system call failed",
+    PAPI_ESBSTR: "substrate does not support this feature",
+    PAPI_ECLOST: "access to the counters was lost",
+    PAPI_EBUG: "internal error in the PAPI library",
+    PAPI_ENOEVNT: "hardware event does not exist on this platform",
+    PAPI_ECNFLCT: "event conflicts with others already in the eventset",
+    PAPI_ENOTRUN: "eventset is not running",
+    PAPI_EISRUN: "eventset is already running",
+    PAPI_ENOEVST: "no such eventset",
+    PAPI_ENOTPRESET: "not a valid preset event",
+    PAPI_ENOCNTR: "not enough hardware counters",
+    PAPI_EMISC: "unspecified error",
+}
+
+# ---------------------------------------------------------------------------
+# eventset states (bit flags, as in PAPI_state)
+# ---------------------------------------------------------------------------
+
+PAPI_STOPPED = 0x01
+PAPI_RUNNING = 0x02
+PAPI_PAUSED = 0x04
+PAPI_NOT_INIT = 0x08
+PAPI_OVERFLOWING = 0x10
+PAPI_PROFILING = 0x20
+PAPI_MULTIPLEXING = 0x40
+PAPI_ATTACHED = 0x80
+
+# ---------------------------------------------------------------------------
+# counting domains and granularities
+# ---------------------------------------------------------------------------
+
+PAPI_DOM_USER = 0x1     #: count while the application runs
+PAPI_DOM_KERNEL = 0x2   #: count interface/kernel work too
+PAPI_DOM_ALL = PAPI_DOM_USER | PAPI_DOM_KERNEL
+
+PAPI_GRN_THR = 0x1      #: per-thread granularity
+PAPI_GRN_SYS = 0x4      #: system-wide granularity
+
+# ---------------------------------------------------------------------------
+# event code encoding (as in the C library: high bits tag the namespace)
+# ---------------------------------------------------------------------------
+
+PAPI_PRESET_MASK = 0x80000000   #: preset events have this bit set
+PAPI_NATIVE_MASK = 0x40000000   #: native events have this bit set
+PAPI_CODE_MASK = 0x3FFFFFFF     #: low bits: index within the namespace
+
+
+def is_preset(code: int) -> bool:
+    return bool(code & PAPI_PRESET_MASK)
+
+
+def is_native(code: int) -> bool:
+    return bool(code & PAPI_NATIVE_MASK) and not is_preset(code)
+
+
+def preset_index(code: int) -> int:
+    return code & PAPI_CODE_MASK
+
+
+def native_index(code: int) -> int:
+    return code & PAPI_CODE_MASK
+
+# ---------------------------------------------------------------------------
+# profiling flags (PAPI_profil)
+# ---------------------------------------------------------------------------
+
+PAPI_PROFIL_POSIX = 0x0     #: default SVR4-compatible histogram
+PAPI_PROFIL_RANDOM = 0x1    #: randomize lower bits of the address
+PAPI_PROFIL_WEIGHTED = 0x2  #: weight by latency (hardware-sampling only)
+
+#: scale constant: 65536 means one bucket per 2 address bytes (1:1 in
+#: SVR4 terms); 32768 halves the resolution, and so on.
+PAPI_PROFIL_SCALE_ONE = 65536
+
+# ---------------------------------------------------------------------------
+# misc limits
+# ---------------------------------------------------------------------------
+
+PAPI_MAX_MPX_EVENTS = 32    #: max events in a multiplexed eventset
+PAPI_MPX_DEF_US = 10000     #: default multiplex quantum, microseconds
+PAPI_MIN_OVERFLOW = 10      #: smallest accepted overflow threshold
+
+#: the TAU integration supports up to 25 metrics per run (Section 3).
+PAPI_MAX_TOOL_METRICS = 25

@@ -1,0 +1,119 @@
+"""Exception hierarchy mirroring PAPI's error codes.
+
+The C library reports errors as negative return codes; this Python
+reproduction raises typed exceptions carrying the corresponding code, so
+callers can either catch by type or inspect ``exc.code`` as they would
+check a C return value.
+"""
+
+from __future__ import annotations
+
+from repro.core import constants as C
+
+
+class PapiError(Exception):
+    """Base PAPI error; ``code`` is the C-style negative return code."""
+
+    code = C.PAPI_EMISC
+
+    def __init__(self, message: str = "") -> None:
+        detail = C.ERROR_MESSAGES.get(self.code, "unknown error")
+        name = C.ERROR_NAMES.get(self.code, "PAPI_EMISC")
+        full = f"{name}: {detail}"
+        if message:
+            full = f"{full} ({message})"
+        super().__init__(full)
+        self.detail = message
+
+
+class InvalidArgumentError(PapiError):
+    code = C.PAPI_EINVAL
+
+
+class SystemError_(PapiError):
+    code = C.PAPI_ESYS
+
+
+class SubstrateFeatureError(PapiError):
+    """The substrate does not support the requested feature."""
+
+    code = C.PAPI_ESBSTR
+
+
+class CountersLostError(PapiError):
+    code = C.PAPI_ECLOST
+
+
+class InternalBugError(PapiError):
+    code = C.PAPI_EBUG
+
+
+class NoSuchEventError(PapiError):
+    """The event does not exist or cannot be counted on this platform."""
+
+    code = C.PAPI_ENOEVNT
+
+
+class ConflictError(PapiError):
+    """The event exists but conflicts with events already added.
+
+    This is the counter-allocation failure mode of Section 5: no
+    assignment of the requested events to physical counters satisfies
+    the platform's constraints.
+    """
+
+    code = C.PAPI_ECNFLCT
+
+
+class NotRunningError(PapiError):
+    code = C.PAPI_ENOTRUN
+
+
+class IsRunningError(PapiError):
+    code = C.PAPI_EISRUN
+
+
+class NoSuchEventSetError(PapiError):
+    code = C.PAPI_ENOEVST
+
+
+class NotPresetError(PapiError):
+    code = C.PAPI_ENOTPRESET
+
+
+class NotEnoughCountersError(PapiError):
+    code = C.PAPI_ENOCNTR
+
+
+#: code -> exception class, for raise_for_code.
+_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        InvalidArgumentError,
+        SystemError_,
+        SubstrateFeatureError,
+        CountersLostError,
+        InternalBugError,
+        NoSuchEventError,
+        ConflictError,
+        NotRunningError,
+        IsRunningError,
+        NoSuchEventSetError,
+        NotPresetError,
+        NotEnoughCountersError,
+    )
+}
+
+
+def error_for_code(code: int, message: str = "") -> PapiError:
+    """Build the exception matching a C-style return *code*."""
+    cls = _BY_CODE.get(code, PapiError)
+    return cls(message)
+
+
+def strerror(code: int) -> str:
+    """PAPI_strerror: human readable description of *code*."""
+    name = C.ERROR_NAMES.get(code)
+    if name is None:
+        return f"unknown PAPI error code {code}"
+    return f"{name}: {C.ERROR_MESSAGES[code]}"

@@ -1,0 +1,512 @@
+"""EventSets: the unit of counter management in the low-level API.
+
+"PAPI manages events in user-defined sets called EventSets" (Section 5).
+An EventSet collects event codes (presets and/or natives), resolves them
+to the platform's native events, asks the allocator (Section 5's graph
+matching) for a counter assignment, and drives the substrate's counter
+operations on start/stop/read/accum/reset.
+
+Three counting regimes, chosen automatically:
+
+- **direct** (default): events fit the physical counters or adding them
+  raises :class:`~repro.core.errors.ConflictError`;
+- **multiplexed**: only after an explicit :meth:`set_multiplex` call --
+  the paper describes at length why multiplexing must be opt-in and
+  low-level-only (naive use silently produces wrong numbers on short
+  runs, experiment E3);
+- **sampling** (simALPHA): counts are estimated from ProfileMe samples
+  through a :class:`~repro.platforms.simalpha.SamplingSession`; any
+  number of events can be "counted" at once and no allocation happens.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.core import constants as C
+from repro.core.allocation import allocate
+from repro.core.errors import (
+    ConflictError,
+    InvalidArgumentError,
+    IsRunningError,
+    NoSuchEventError,
+    NotRunningError,
+    SubstrateFeatureError,
+)
+from repro.core.overflow import OverflowInfo, OverflowRegistration
+from repro.platforms.base import NativeEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.library import Papi
+    from repro.core.multiplex import MultiplexController
+    from repro.simos.thread import Thread
+
+
+class EventSet:
+    """One PAPI EventSet.  Create via :meth:`Papi.create_eventset`."""
+
+    def __init__(self, papi: "Papi", handle: int) -> None:
+        self.papi = papi
+        self.handle = handle
+        self.substrate = papi.substrate
+        self._codes: List[int] = []
+        self._terms: Dict[int, Tuple[Tuple[NativeEvent, int], ...]] = {}
+        self._natives: Dict[str, NativeEvent] = {}
+        self._assignment: Dict[str, int] = {}
+        self._multiplexed = False
+        self._attached: Optional["Thread"] = None
+        self._running = False
+        self._session = None            # SamplingSession on simALPHA
+        self._mpx: Optional["MultiplexController"] = None
+        self._overflows: Dict[int, OverflowRegistration] = {}
+        self._start_real_cyc = 0
+        self._domain = C.PAPI_DOM_USER
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> List[int]:
+        """Event codes in add order (PAPI_list_events)."""
+        return list(self._codes)
+
+    @property
+    def event_names(self) -> List[str]:
+        return [self.papi.event_code_to_name(c) for c in self._codes]
+
+    @property
+    def num_events(self) -> int:
+        return len(self._codes)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def multiplexed(self) -> bool:
+        return self._multiplexed
+
+    @property
+    def attached(self) -> Optional["Thread"]:
+        return self._attached
+
+    @property
+    def assignment(self) -> Dict[str, int]:
+        """Native event -> physical counter (empty when sampling/multiplexed)."""
+        return dict(self._assignment)
+
+    def state(self) -> int:
+        """PAPI_state bit flags."""
+        flags = C.PAPI_RUNNING if self._running else C.PAPI_STOPPED
+        if self._multiplexed:
+            flags |= C.PAPI_MULTIPLEXING
+        if self._overflows:
+            flags |= C.PAPI_OVERFLOWING
+        if self._attached is not None:
+            flags |= C.PAPI_ATTACHED
+        return flags
+
+    # ------------------------------------------------------------------
+    # event membership
+    # ------------------------------------------------------------------
+
+    def _sampling(self) -> bool:
+        return self.substrate.supports_sampling_counts()
+
+    def _unique_natives(
+        self, extra: Tuple[Tuple[NativeEvent, int], ...] = ()
+    ) -> Dict[str, NativeEvent]:
+        natives = dict(self._natives)
+        for native, _coeff in extra:
+            natives.setdefault(native.name, native)
+        return natives
+
+    def add_event(self, code: int) -> None:
+        """PAPI_add_event.
+
+        On direct platforms this re-runs optimal allocation over the
+        union of natives; an incomplete mapping (unless multiplexing is
+        enabled) raises :class:`ConflictError` and leaves the EventSet
+        unchanged -- the C library's ECNFLCT behaviour.
+        """
+        if self._running:
+            raise IsRunningError("cannot add events while running")
+        if code in self._codes:
+            raise InvalidArgumentError(
+                f"event {self.papi.event_code_to_name(code)} already present"
+            )
+        terms = self.papi.resolve_terms(code)  # raises NoSuchEventError
+        candidates = self._unique_natives(terms)
+
+        if self._sampling():
+            pass  # the sampler observes everything; no allocation at all
+        elif self._multiplexed:
+            if len(candidates) > C.PAPI_MAX_MPX_EVENTS:
+                raise ConflictError(
+                    f"multiplexed EventSets hold at most "
+                    f"{C.PAPI_MAX_MPX_EVENTS} native events"
+                )
+            self._check_multiplex_feasible(candidates)
+        else:
+            result = allocate(self.substrate, list(candidates.values()))
+            if not result.complete:
+                raise ConflictError(
+                    f"cannot map {sorted(result.unplaced)} onto "
+                    f"{self.substrate.n_counters} counters of "
+                    f"{self.substrate.NAME}; enable multiplexing or remove "
+                    f"events"
+                )
+            self._assignment = result.assignment
+
+        self._codes.append(code)
+        self._terms[code] = terms
+        self._natives = candidates
+
+    def _check_multiplex_feasible(self, natives: Dict[str, NativeEvent]) -> None:
+        """Every native must be placeable *alone* for multiplexing to work."""
+        for native in natives.values():
+            result = allocate(self.substrate, [native])
+            if not result.complete:
+                raise ConflictError(
+                    f"native event {native.name} cannot be counted on any "
+                    f"counter of {self.substrate.NAME}"
+                )
+
+    def add_events(self, codes: List[int]) -> None:
+        for code in codes:
+            self.add_event(code)
+
+    def add_named(self, *names: str) -> None:
+        """Convenience: add events by preset symbol or native name."""
+        for name in names:
+            self.add_event(self.papi.event_name_to_code(name))
+
+    def remove_event(self, code: int) -> None:
+        if self._running:
+            raise IsRunningError("cannot remove events while running")
+        if code not in self._codes:
+            raise NoSuchEventError(
+                f"event 0x{code:08x} is not in this EventSet"
+            )
+        self._codes.remove(code)
+        del self._terms[code]
+        # rebuild the native set from the remaining events
+        self._natives = {}
+        for c in self._codes:
+            for native, _coeff in self._terms[c]:
+                self._natives.setdefault(native.name, native)
+        if not self._sampling() and not self._multiplexed and self._natives:
+            result = allocate(self.substrate, list(self._natives.values()))
+            assert result.complete, "removal cannot create conflicts"
+            self._assignment = result.assignment
+        elif not self._natives:
+            self._assignment = {}
+
+    def cleanup(self) -> None:
+        """PAPI_cleanup_eventset: drop all events (must be stopped)."""
+        if self._running:
+            raise IsRunningError("cannot clean up a running EventSet")
+        self._codes.clear()
+        self._terms.clear()
+        self._natives.clear()
+        self._assignment.clear()
+        self._overflows.clear()
+
+    # ------------------------------------------------------------------
+    # options
+    # ------------------------------------------------------------------
+
+    def set_multiplex(self) -> None:
+        """Enable software multiplexing (explicitly, as the spec requires).
+
+        The paper: "This issue was resolved by requiring multiplexing to
+        be explicitly enabled in the low-level interface, rather than
+        implementing it transparently in the high-level interface."
+        """
+        if self._running:
+            raise IsRunningError("cannot enable multiplexing while running")
+        if self._sampling():
+            raise SubstrateFeatureError(
+                "the sampling substrate estimates all events at once; "
+                "multiplexing is meaningless there"
+            )
+        if self._overflows:
+            raise InvalidArgumentError(
+                "overflow and multiplexing cannot be combined"
+            )
+        if self._multiplexed:
+            return
+        self._check_multiplex_feasible(self._natives)
+        self._multiplexed = True
+        self._assignment = {}
+
+    def set_domain(self, domain: int) -> None:
+        """PAPI_set_domain: choose what execution contexts are counted.
+
+        ``PAPI_DOM_USER`` (default) counts only application work;
+        ``PAPI_DOM_ALL`` additionally folds kernel/interface cycles into
+        cycle events (so measured TOT_CYC includes the counter
+        interface's own cost -- the perturbation made visible).
+        """
+        if self._running:
+            raise IsRunningError("cannot change domain while running")
+        if domain not in (C.PAPI_DOM_USER, C.PAPI_DOM_ALL):
+            raise InvalidArgumentError(
+                f"unsupported domain 0x{domain:x} (use PAPI_DOM_USER or "
+                f"PAPI_DOM_ALL)"
+            )
+        if domain != C.PAPI_DOM_USER and self._sampling():
+            raise SubstrateFeatureError(
+                "the DCPI sampler observes user mode only"
+            )
+        if domain != C.PAPI_DOM_USER and self._multiplexed:
+            raise InvalidArgumentError(
+                "PAPI_DOM_ALL cannot be combined with multiplexing"
+            )
+        self._domain = domain
+
+    def get_domain(self) -> int:
+        return self._domain
+
+    def attach(self, thread: "Thread") -> None:
+        """Attach counting to *thread* (counts only while it runs)."""
+        if self._running:
+            raise IsRunningError("cannot attach while running")
+        if self._sampling():
+            raise SubstrateFeatureError(
+                "per-thread attach is not supported on the sampling substrate"
+            )
+        self._attached = thread
+
+    def detach(self) -> None:
+        if self._running:
+            raise IsRunningError("cannot detach while running")
+        self._attached = None
+
+    # ------------------------------------------------------------------
+    # overflow
+    # ------------------------------------------------------------------
+
+    def overflow(
+        self,
+        code: int,
+        threshold: int,
+        handler: Callable[[OverflowInfo], None],
+    ) -> None:
+        """PAPI_overflow: call *handler* every *threshold* increments.
+
+        Restricted, as in the C library, to events that map to a single
+        native event (derived events cannot overflow) on direct-counting
+        substrates, and incompatible with multiplexing.
+        """
+        if self._sampling():
+            raise SubstrateFeatureError(
+                "overflow interrupts are unavailable over the DCPI "
+                "aggregate interface; use hardware sampling / PAPI_profil"
+            )
+        if self._multiplexed:
+            raise InvalidArgumentError(
+                "overflow and multiplexing cannot be combined"
+            )
+        if code not in self._codes:
+            raise NoSuchEventError("event must be added before PAPI_overflow")
+        if threshold < C.PAPI_MIN_OVERFLOW:
+            raise InvalidArgumentError(
+                f"threshold must be >= {C.PAPI_MIN_OVERFLOW}"
+            )
+        terms = self._terms[code]
+        if len(terms) != 1 or terms[0][1] != 1:
+            raise InvalidArgumentError(
+                "derived events cannot be used with PAPI_overflow"
+            )
+        self._overflows[code] = OverflowRegistration(
+            eventset=self,
+            code=code,
+            native=terms[0][0],
+            threshold=threshold,
+            handler=handler,
+        )
+        if self._running:
+            self._install_overflow(self._overflows[code])
+
+    def clear_overflow(self, code: int) -> None:
+        reg = self._overflows.pop(code, None)
+        if reg is not None and self._running:
+            idx = self._assignment.get(reg.native.name)
+            if idx is not None:
+                self.substrate.machine.pmu.clear_overflow(idx)
+
+    def _install_overflow(self, reg: OverflowRegistration) -> None:
+        idx = self._assignment[reg.native.name]
+        reg.install(self.substrate.machine.pmu, idx)
+
+    # ------------------------------------------------------------------
+    # run control
+    # ------------------------------------------------------------------
+
+    def _require_events(self) -> None:
+        if not self._codes:
+            raise InvalidArgumentError("EventSet has no events")
+
+    def _counter_order(self) -> List[Tuple[str, int]]:
+        """(native name, counter index) in deterministic native order."""
+        return [(name, self._assignment[name]) for name in self._natives]
+
+    def start(self) -> None:
+        """PAPI_start."""
+        self._require_events()
+        if self._running:
+            raise IsRunningError("EventSet is already running")
+        self.papi._acquire_counters(self)
+        try:
+            if self._sampling():
+                # period override: papi.sampling_period (None = platform
+                # default); the A2 ablation sweeps this.
+                self._session = self.substrate.sampling_session(
+                    list(self._natives.values()),
+                    period=getattr(self.papi, "sampling_period", None),
+                )
+                self._session.start()
+            elif self._multiplexed:
+                from repro.core.multiplex import MultiplexController
+
+                self._mpx = MultiplexController(self)
+                self._mpx.start()
+            else:
+                self._start_direct()
+        except Exception:
+            self.papi._release_counters(self)
+            raise
+        self._running = True
+        self._start_real_cyc = self.substrate.real_cyc()
+
+    def _programmed_event(self, native: NativeEvent) -> NativeEvent:
+        """Apply the counting domain to a native event's signal set."""
+        from dataclasses import replace
+
+        from repro.hw.events import Signal
+
+        if (
+            self._domain & C.PAPI_DOM_KERNEL
+            and Signal.TOT_CYC in native.signals
+        ):
+            return replace(native, signals=native.signals + (Signal.SYS_CYC,))
+        return native
+
+    def _start_direct(self) -> None:
+        pmu = self.substrate.machine.pmu
+        order = self._counter_order()
+        for name, idx in order:
+            if pmu.running(idx):
+                pmu.stop(idx)
+            self.substrate.program_counter(
+                idx, self._programmed_event(self._natives[name])
+            )
+        indices = [idx for _name, idx in order]
+        if self._attached is not None:
+            os_ = self.substrate.os
+            for idx in indices:
+                if idx not in self._attached.bound_counters:
+                    os_.bind_counter(self._attached, idx)
+                os_.counter_start(self._attached, idx)
+            self.substrate._charge(self.substrate.COSTS.start)
+        else:
+            self.substrate.start_counters(indices)
+        for reg in self._overflows.values():
+            self._install_overflow(reg)
+
+    def _compute_values(self, native_values: Dict[str, int]) -> List[int]:
+        out = []
+        for code in self._codes:
+            total = 0
+            for native, coeff in self._terms[code]:
+                total += coeff * native_values[native.name]
+            out.append(total)
+        return out
+
+    def _read_native_values(self, stop: bool = False) -> Dict[str, int]:
+        if self._sampling():
+            assert self._session is not None
+            if stop:
+                self._session.stop()
+            return {
+                name: self._session.estimate(native)
+                for name, native in self._natives.items()
+            }
+        if self._multiplexed:
+            assert self._mpx is not None
+            if stop:
+                return self._mpx.stop()
+            return self._mpx.read()
+        order = self._counter_order()
+        indices = [idx for _name, idx in order]
+        if stop:
+            if self._attached is not None:
+                os_ = self.substrate.os
+                values = [
+                    os_.counter_stop(self._attached, idx) for idx in indices
+                ]
+                self.substrate._charge(self.substrate.COSTS.stop)
+            else:
+                values = self.substrate.stop_counters(indices)
+        else:
+            values = self.substrate.read_counters(indices)
+        return {name: val for (name, _idx), val in zip(order, values)}
+
+    def read(self) -> List[int]:
+        """PAPI_read: values since start/reset, in event-add order."""
+        if not self._running:
+            raise NotRunningError("PAPI_read requires a running EventSet")
+        return self._compute_values(self._read_native_values())
+
+    def stop(self) -> List[int]:
+        """PAPI_stop: stop counting and return the final values."""
+        if not self._running:
+            raise NotRunningError("EventSet is not running")
+        values = self._compute_values(self._read_native_values(stop=True))
+        pmu = self.substrate.machine.pmu
+        for code in self._overflows:
+            terms = self._terms[code]
+            idx = self._assignment.get(terms[0][0].name)
+            if idx is not None:
+                pmu.clear_overflow(idx)
+        if self._attached is not None:
+            os_ = self.substrate.os
+            for idx in list(self._attached.bound_counters):
+                os_.unbind_counter(self._attached, idx)
+        self._session = None
+        self._mpx = None
+        self._running = False
+        self.papi._release_counters(self)
+        return values
+
+    def reset(self) -> None:
+        """PAPI_reset: zero the counters without stopping."""
+        if not self._running:
+            raise NotRunningError("EventSet is not running")
+        if self._sampling():
+            assert self._session is not None
+            self._session.reset()
+        elif self._multiplexed:
+            assert self._mpx is not None
+            self._mpx.reset()
+        else:
+            indices = [idx for _name, idx in self._counter_order()]
+            self.substrate.reset_counters(indices)
+
+    def accum(self, values: List[int]) -> List[int]:
+        """PAPI_accum: add current counts into *values*, then reset."""
+        if len(values) != len(self._codes):
+            raise InvalidArgumentError(
+                f"expected {len(self._codes)} accumulators, got {len(values)}"
+            )
+        current = self.read()
+        self.reset()
+        return [v + c for v, c in zip(values, current)]
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ",".join(self.event_names)
+        return f"<EventSet #{self.handle} [{names}] {'RUN' if self._running else 'STOP'}>"

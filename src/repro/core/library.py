@@ -1,0 +1,249 @@
+"""The PAPI library object: initialization, event queries, eventsets.
+
+One :class:`Papi` instance corresponds to one initialized PAPI library
+on one platform substrate (``PAPI_library_init`` in C terms).  It owns:
+
+- the resolved preset table for its platform (which presets exist, and
+  whether each is direct or derived -- the data behind the portability
+  matrix of experiment E8);
+- the native event code space (``0x4000_0000 | index``);
+- the registry of live EventSets (one may run at a time, anticipating
+  PAPI 3's removal of overlapping EventSets, as Section 5 describes);
+- the portable timer and memory-utilization services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import constants as C
+from repro.core.errors import (
+    InvalidArgumentError,
+    NoSuchEventError,
+    NoSuchEventSetError,
+)
+from repro.core.presets import (
+    NUM_PRESETS,
+    PRESETS,
+    Preset,
+    PresetMapping,
+    platform_preset_map,
+    preset_from_code,
+)
+from repro.platforms.base import NativeEvent, Substrate
+from repro.simos.thread import Thread
+from repro.simos.vmem import MemoryInfo
+
+
+@dataclass(frozen=True)
+class EventInfo:
+    """PAPI_get_event_info: everything known about one event code."""
+
+    code: int
+    symbol: str
+    description: str
+    is_preset: bool
+    available: bool
+    kind: str                       # "direct" | "derived" | "native" | "-"
+    native_terms: Tuple[Tuple[str, int], ...]
+
+
+class Papi:
+    """An initialized PAPI library bound to one platform substrate."""
+
+    #: specification version, mirroring PAPI_VER_CURRENT at paper time.
+    VERSION = (2, 3, 4)
+
+    def __init__(self, substrate: Substrate) -> None:
+        self.substrate = substrate
+        self.preset_map: Dict[str, PresetMapping] = platform_preset_map(
+            substrate.NAME
+        )
+        self._native_names: List[str] = sorted(substrate.native_events)
+        self._native_code_by_name: Dict[str, int] = {
+            name: C.PAPI_NATIVE_MASK | i
+            for i, name in enumerate(self._native_names)
+        }
+        self._eventsets: Dict[int, "EventSet"] = {}
+        self._next_handle = 1
+        self._running_handle: Optional[int] = None
+        self.initialized = True
+
+    # ------------------------------------------------------------------
+    # event namespace
+    # ------------------------------------------------------------------
+
+    def event_name_to_code(self, name: str) -> int:
+        """Resolve a preset symbol or native event name to its code."""
+        if name.startswith("PAPI_"):
+            from repro.core.presets import preset_from_symbol
+
+            return preset_from_symbol(name).code
+        code = self._native_code_by_name.get(name)
+        if code is None:
+            raise NoSuchEventError(f"{name!r} on {self.substrate.NAME}")
+        return code
+
+    def event_code_to_name(self, code: int) -> str:
+        if C.is_preset(code):
+            return preset_from_code(code).symbol
+        if C.is_native(code):
+            idx = C.native_index(code)
+            if 0 <= idx < len(self._native_names):
+                return self._native_names[idx]
+        raise NoSuchEventError(f"bad event code 0x{code:08x}")
+
+    def query_event(self, code: int) -> bool:
+        """PAPI_query_event: can this event be counted on this platform?"""
+        if C.is_preset(code):
+            preset = preset_from_code(code)
+            return preset.symbol in self.preset_map
+        if C.is_native(code):
+            return 0 <= C.native_index(code) < len(self._native_names)
+        return False
+
+    def resolve_terms(self, code: int) -> Tuple[Tuple[NativeEvent, int], ...]:
+        """Event code -> ((native event, coefficient), ...) for this platform."""
+        if C.is_preset(code):
+            preset = preset_from_code(code)
+            mapping = self.preset_map.get(preset.symbol)
+            if mapping is None:
+                raise NoSuchEventError(
+                    f"{preset.symbol} is not available on {self.substrate.NAME}"
+                )
+            return tuple(
+                (self.substrate.query_native(name), coeff)
+                for name, coeff in mapping.terms
+            )
+        if C.is_native(code):
+            name = self.event_code_to_name(code)
+            return ((self.substrate.query_native(name), 1),)
+        raise NoSuchEventError(f"bad event code 0x{code:08x}")
+
+    def event_info(self, code: int) -> EventInfo:
+        if C.is_preset(code):
+            preset = preset_from_code(code)
+            mapping = self.preset_map.get(preset.symbol)
+            if mapping is None:
+                return EventInfo(
+                    code, preset.symbol, preset.description,
+                    True, False, "-", (),
+                )
+            return EventInfo(
+                code, preset.symbol, preset.description,
+                True, True, mapping.kind, mapping.terms,
+            )
+        name = self.event_code_to_name(code)
+        native = self.substrate.query_native(name)
+        return EventInfo(
+            code, name, native.description, False, True, "native",
+            ((name, 1),),
+        )
+
+    def list_presets(self, available_only: bool = False) -> List[EventInfo]:
+        """Catalogue walk (PAPI_enum_event over presets)."""
+        out = []
+        for preset in PRESETS:
+            info = self.event_info(preset.code)
+            if info.available or not available_only:
+                out.append(info)
+        return out
+
+    def list_native_codes(self) -> List[int]:
+        return [self._native_code_by_name[n] for n in self._native_names]
+
+    def availability_summary(self) -> Dict[str, str]:
+        """Preset symbol -> 'direct' | 'derived' | '-' (for E8)."""
+        out = {}
+        for preset in PRESETS:
+            mapping = self.preset_map.get(preset.symbol)
+            out[preset.symbol] = mapping.kind if mapping else "-"
+        return out
+
+    # ------------------------------------------------------------------
+    # eventsets
+    # ------------------------------------------------------------------
+
+    def create_eventset(self) -> "EventSet":
+        from repro.core.eventset import EventSet  # cycle-free late import
+
+        handle = self._next_handle
+        self._next_handle += 1
+        es = EventSet(self, handle)
+        self._eventsets[handle] = es
+        return es
+
+    def eventset(self, handle: int) -> "EventSet":
+        try:
+            return self._eventsets[handle]
+        except KeyError:
+            raise NoSuchEventSetError(f"handle {handle}") from None
+
+    def destroy_eventset(self, es: "EventSet") -> None:
+        from repro.core.errors import IsRunningError
+
+        if es.running:
+            raise IsRunningError("stop the eventset before destroying it")
+        self._eventsets.pop(es.handle, None)
+
+    def _acquire_counters(self, es: "EventSet") -> None:
+        from repro.core.errors import IsRunningError
+
+        if self._running_handle is not None and self._running_handle != es.handle:
+            raise IsRunningError(
+                "another EventSet is already running (overlapping EventSets "
+                "are not supported, anticipating their removal in PAPI 3)"
+            )
+        self._running_handle = es.handle
+
+    def _release_counters(self, es: "EventSet") -> None:
+        if self._running_handle == es.handle:
+            self._running_handle = None
+
+    @property
+    def num_counters(self) -> int:
+        """PAPI_num_counters: physical counters on this platform."""
+        return self.substrate.n_counters
+
+    # ------------------------------------------------------------------
+    # timers (the paper's "most popular feature")
+    # ------------------------------------------------------------------
+
+    def get_real_cyc(self) -> int:
+        return self.substrate.real_cyc()
+
+    def get_real_usec(self) -> float:
+        return self.substrate.real_usec()
+
+    def get_virt_cyc(self, thread: Optional[Thread] = None) -> int:
+        return self.substrate.virt_cyc(thread)
+
+    def get_virt_usec(self, thread: Optional[Thread] = None) -> float:
+        return self.substrate.virt_usec(thread)
+
+    # ------------------------------------------------------------------
+    # memory utilization (the PAPI 3 extension, Section 5)
+    # ------------------------------------------------------------------
+
+    def get_dmem_info(self, thread: Optional[Thread] = None) -> MemoryInfo:
+        from repro.core.memory import dmem_info
+
+        return dmem_info(self, thread)
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """PAPI_shutdown: stop anything running and drop all eventsets."""
+        for es in list(self._eventsets.values()):
+            if es.running:
+                es.stop()
+        self._eventsets.clear()
+        self._running_handle = None
+        self.initialized = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Papi v{'.'.join(map(str, self.VERSION))} on "
+            f"{self.substrate.NAME}, {len(self._eventsets)} eventsets>"
+        )

@@ -1,0 +1,233 @@
+"""The PAPI low-level interface: a C-flavoured functional facade.
+
+"The fully programmable low-level interface provides additional features
+and options and is intended for third-party tool developers or
+application developers with more sophisticated needs."  (Section 1)
+
+:class:`LowLevelAPI` exposes the familiar C entry points (minus the
+``PAPI_`` prefix) over integer EventSet handles, so code ported from C
+PAPI reads almost unchanged::
+
+    api = LowLevelAPI(create("simPOWER"))
+    api.library_init()
+    es = api.create_eventset()
+    api.add_event(es, api.event_name_to_code("PAPI_FP_OPS"))
+    api.start(es)
+    ... run the application ...
+    values = api.stop(es)
+
+High-level and low-level calls can be mixed, as the paper notes; both
+drive the same :class:`~repro.core.library.Papi` object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core import constants as C
+from repro.core.errors import InvalidArgumentError, strerror as _strerror
+from repro.core.library import EventInfo, Papi
+from repro.core.overflow import OverflowInfo
+from repro.core.profile import Profil, ProfileBuffer
+from repro.platforms.base import Substrate
+from repro.simos.thread import Thread
+from repro.simos.vmem import MemoryInfo
+
+
+class LowLevelAPI:
+    """C-style PAPI surface over integer EventSet handles."""
+
+    #: value returned by library_init, mirroring PAPI_VER_CURRENT checks.
+    PAPI_VER_CURRENT = 0x02030400
+
+    def __init__(self, substrate: Substrate) -> None:
+        self.substrate = substrate
+        self.papi: Optional[Papi] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def library_init(self, version: Optional[int] = None) -> int:
+        """PAPI_library_init: must be called before anything else."""
+        if version is not None and version != self.PAPI_VER_CURRENT:
+            raise InvalidArgumentError(
+                f"version mismatch: linked 0x{self.PAPI_VER_CURRENT:08x}, "
+                f"requested 0x{version:08x}"
+            )
+        self.papi = Papi(self.substrate)
+        return self.PAPI_VER_CURRENT
+
+    def is_initialized(self) -> bool:
+        return self.papi is not None and self.papi.initialized
+
+    def shutdown(self) -> None:
+        """PAPI_shutdown."""
+        if self.papi is not None:
+            self.papi.shutdown()
+            self.papi = None
+
+    def _lib(self) -> Papi:
+        if self.papi is None:
+            raise InvalidArgumentError(
+                "PAPI is not initialized; call library_init() first"
+            )
+        return self.papi
+
+    # ------------------------------------------------------------------
+    # event namespace
+    # ------------------------------------------------------------------
+
+    def query_event(self, code: int) -> bool:
+        return self._lib().query_event(code)
+
+    def event_name_to_code(self, name: str) -> int:
+        return self._lib().event_name_to_code(name)
+
+    def event_code_to_name(self, code: int) -> str:
+        return self._lib().event_code_to_name(code)
+
+    def get_event_info(self, code: int) -> EventInfo:
+        return self._lib().event_info(code)
+
+    def enum_presets(self, available_only: bool = False) -> List[EventInfo]:
+        return self._lib().list_presets(available_only=available_only)
+
+    def enum_native(self) -> List[int]:
+        return self._lib().list_native_codes()
+
+    def num_counters(self) -> int:
+        """PAPI_num_counters / PAPI_num_hwctrs."""
+        return self._lib().num_counters
+
+    num_hwctrs = num_counters
+
+    # ------------------------------------------------------------------
+    # eventset management
+    # ------------------------------------------------------------------
+
+    def create_eventset(self) -> int:
+        return self._lib().create_eventset().handle
+
+    def cleanup_eventset(self, handle: int) -> None:
+        self._lib().eventset(handle).cleanup()
+
+    def destroy_eventset(self, handle: int) -> None:
+        lib = self._lib()
+        lib.destroy_eventset(lib.eventset(handle))
+
+    def add_event(self, handle: int, code: int) -> None:
+        self._lib().eventset(handle).add_event(code)
+
+    def add_events(self, handle: int, codes: Sequence[int]) -> None:
+        self._lib().eventset(handle).add_events(list(codes))
+
+    def add_named(self, handle: int, *names: str) -> None:
+        self._lib().eventset(handle).add_named(*names)
+
+    def remove_event(self, handle: int, code: int) -> None:
+        self._lib().eventset(handle).remove_event(code)
+
+    def list_events(self, handle: int) -> List[int]:
+        return self._lib().eventset(handle).events
+
+    def num_events(self, handle: int) -> int:
+        return self._lib().eventset(handle).num_events
+
+    def state(self, handle: int) -> int:
+        return self._lib().eventset(handle).state()
+
+    def set_multiplex(self, handle: int) -> None:
+        """PAPI_set_multiplex: the explicit low-level opt-in (Section 2)."""
+        self._lib().eventset(handle).set_multiplex()
+
+    def get_multiplex(self, handle: int) -> bool:
+        return self._lib().eventset(handle).multiplexed
+
+    def set_domain(self, handle: int, domain: int) -> None:
+        """PAPI_set_domain (per-EventSet variant)."""
+        self._lib().eventset(handle).set_domain(domain)
+
+    def get_domain(self, handle: int) -> int:
+        return self._lib().eventset(handle).get_domain()
+
+    def attach(self, handle: int, thread: Thread) -> None:
+        self._lib().eventset(handle).attach(thread)
+
+    def detach(self, handle: int) -> None:
+        self._lib().eventset(handle).detach()
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+
+    def start(self, handle: int) -> None:
+        self._lib().eventset(handle).start()
+
+    def stop(self, handle: int) -> List[int]:
+        return self._lib().eventset(handle).stop()
+
+    def read(self, handle: int) -> List[int]:
+        return self._lib().eventset(handle).read()
+
+    def accum(self, handle: int, values: List[int]) -> List[int]:
+        return self._lib().eventset(handle).accum(values)
+
+    def reset(self, handle: int) -> None:
+        self._lib().eventset(handle).reset()
+
+    # ------------------------------------------------------------------
+    # overflow / profiling
+    # ------------------------------------------------------------------
+
+    def overflow(
+        self,
+        handle: int,
+        code: int,
+        threshold: int,
+        handler: Callable[[OverflowInfo], None],
+    ) -> None:
+        self._lib().eventset(handle).overflow(code, threshold, handler)
+
+    def clear_overflow(self, handle: int, code: int) -> None:
+        self._lib().eventset(handle).clear_overflow(code)
+
+    def profil(
+        self,
+        buffer: ProfileBuffer,
+        handle: int,
+        code: int,
+        threshold: int,
+        flags: int = C.PAPI_PROFIL_POSIX,
+    ) -> Profil:
+        """PAPI_profil: returns the registration (call .collect() at the end)."""
+        prof = Profil(
+            self._lib().eventset(handle), buffer, code, threshold, flags
+        )
+        prof.install()
+        return prof
+
+    # ------------------------------------------------------------------
+    # timers & memory
+    # ------------------------------------------------------------------
+
+    def get_real_cyc(self) -> int:
+        return self._lib().get_real_cyc()
+
+    def get_real_usec(self) -> float:
+        return self._lib().get_real_usec()
+
+    def get_virt_cyc(self, thread: Optional[Thread] = None) -> int:
+        return self._lib().get_virt_cyc(thread)
+
+    def get_virt_usec(self, thread: Optional[Thread] = None) -> float:
+        return self._lib().get_virt_usec(thread)
+
+    def get_dmem_info(self, thread: Optional[Thread] = None) -> MemoryInfo:
+        return self._lib().get_dmem_info(thread)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def strerror(code: int) -> str:
+        return _strerror(code)

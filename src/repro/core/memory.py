@@ -1,0 +1,95 @@
+"""Memory utilization routines: the PAPI 3 extension (Section 5).
+
+The paper lists the planned extensions verbatim:
+
+- memory available on a node
+- total memory available/used (high-water-mark)
+- memory used by process/thread
+- disk swapping by process
+- process/memory locality
+- location of memory used by an object
+
+All of them are served from the simulated OS's accounting
+(:mod:`repro.simos.vmem`): the CPU records each thread's touched pages;
+the scheduler refreshes high-water marks and the swap model every slice.
+For programs run directly on the machine (no OS threads), the CPU's own
+touched-page set stands in for the single implicit process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.simos.vmem import MemoryInfo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.library import Papi
+    from repro.simos.thread import Thread
+
+
+def dmem_info(papi: "Papi", thread: Optional["Thread"] = None) -> MemoryInfo:
+    """PAPI_get_dmem_info: memory utilization snapshot."""
+    os_ = papi.substrate.os
+    if thread is not None:
+        return os_.memory_info(thread)
+    # implicit single process: the machine's current CPU context
+    pages = papi.substrate.machine.cpu.touched_pages
+    vm = os_.vmem
+    rss = len(pages)
+    swapped = max(0, rss - vm.total_pages)
+    return MemoryInfo(
+        page_bytes=vm.page_bytes,
+        total_pages=vm.total_pages,
+        used_pages=min(rss, vm.total_pages),
+        free_pages=max(0, vm.total_pages - rss),
+        thread_rss_pages=rss,
+        thread_hwm_pages=rss,  # the set only grows within one run
+        swapped_pages=swapped,
+        swap_events=vm.swap_events,
+    )
+
+
+def dmem_locality(
+    papi: "Papi", thread: Optional["Thread"] = None, buckets: int = 8
+) -> Dict[int, int]:
+    """Pages-touched histogram over address regions (locality extension)."""
+    os_ = papi.substrate.os
+    if thread is not None:
+        return os_.vmem.locality_histogram(thread, buckets=buckets)
+    pages = papi.substrate.machine.cpu.touched_pages
+    if not pages:
+        return {}
+    lo, hi = min(pages), max(pages)
+    span = max(1, (hi - lo + 1 + buckets - 1) // buckets)
+    hist: Dict[int, int] = {}
+    for p in pages:
+        b = (p - lo) // span
+        hist[b] = hist.get(b, 0) + 1
+    return hist
+
+
+def object_location(
+    papi: "Papi", base_word: int, length_words: int
+) -> Dict[str, int]:
+    """Location of memory used by an object (array/structure extension).
+
+    Reports how many of the object's pages have been touched and the
+    page range it spans, from the current CPU context's footprint.
+    """
+    from repro.hw.isa import WORD_BYTES
+
+    machine = papi.substrate.machine
+    page_bytes = machine.hierarchy.config.tlb.page_bytes
+    base_byte = machine.cpu.data_base + base_word * WORD_BYTES
+    first_page = base_byte // page_bytes
+    last_page = (
+        base_byte + max(0, length_words - 1) * WORD_BYTES
+    ) // page_bytes
+    touched = machine.cpu.touched_pages
+    resident = sum(1 for p in range(first_page, last_page + 1) if p in touched)
+    return {
+        "first_page": first_page,
+        "last_page": last_page,
+        "pages_spanned": last_page - first_page + 1,
+        "pages_touched": resident,
+    }

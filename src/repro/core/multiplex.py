@@ -1,0 +1,184 @@
+"""Software multiplexing: time-slicing counter sets and scaling counts.
+
+"Multiplexing allows more counters to be used simultaneously than are
+physically supported by the hardware.  With multiplexing, the physical
+counters are time-sliced, and the counts are estimated from the
+measurements."  (Section 2)
+
+The controller partitions an EventSet's native events into hardware-
+feasible subsets (each subset is one optimal-allocation result), rotates
+the active subset on a cycle-timer interrupt, and estimates each event's
+full-run count as::
+
+    estimate = counted * (total_running_cycles / subset_active_cycles)
+
+The estimation error this introduces on short, phased runs -- the reason
+the spec forces multiplexing to be an explicit low-level opt-in -- is
+exactly what experiment E3 measures.  Every subset rotation goes through
+the substrate's real program/start/stop operations, so multiplexing also
+pays its true interface overhead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.core.allocation import allocate
+from repro.core.errors import ConflictError, SubstrateFeatureError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eventset import EventSet
+    from repro.platforms.base import NativeEvent
+
+#: default rotation quantum in cycles (overridable per Papi instance via
+#: ``papi.mpx_quantum_cycles``); roughly 10 microseconds at 500 MHz.
+DEFAULT_QUANTUM_CYCLES = 5000
+
+
+def partition_natives(substrate, natives: Dict[str, "NativeEvent"]):
+    """Split *natives* into hardware-feasible subsets.
+
+    Greedy set-cover by repeated optimal allocation: each round maps as
+    many remaining events as the hardware allows and peels them off.
+    Raises ConflictError if some event cannot be placed even alone.
+    """
+    remaining = dict(natives)
+    subsets: List[Dict[str, int]] = []
+    while remaining:
+        result = allocate(substrate, list(remaining.values()))
+        if not result.assignment:
+            raise ConflictError(
+                f"events {sorted(remaining)} cannot be counted on "
+                f"{substrate.NAME} at all"
+            )
+        subsets.append(dict(result.assignment))
+        for name in result.assignment:
+            del remaining[name]
+    return subsets
+
+
+class MultiplexController:
+    """Drives one multiplexed EventSet run."""
+
+    def __init__(self, eventset: "EventSet") -> None:
+        self.eventset = eventset
+        self.substrate = eventset.substrate
+        self.machine = eventset.substrate.machine
+        self.quantum = getattr(
+            eventset.papi, "mpx_quantum_cycles", DEFAULT_QUANTUM_CYCLES
+        )
+        self.natives = dict(eventset._natives)
+        self.subsets = partition_natives(self.substrate, self.natives)
+        self._subset_of: Dict[str, int] = {}
+        for si, subset in enumerate(self.subsets):
+            for name in subset:
+                self._subset_of[name] = si
+        self._accum: Dict[str, int] = {name: 0 for name in self.natives}
+        self._active: List[int] = [0] * len(self.subsets)
+        self._current = 0
+        self._slice_start = 0
+        self._total_start = 0
+        self._running = False
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+
+    def _program_and_start(self, subset_index: int) -> None:
+        subset = self.subsets[subset_index]
+        pmu = self.machine.pmu
+        for name, idx in subset.items():
+            if pmu.running(idx):
+                pmu.stop(idx)
+            self.substrate.program_counter(idx, self.natives[name])
+        self.substrate.start_counters(sorted(subset.values()))
+
+    def _stop_and_collect(self, subset_index: int, now: int) -> None:
+        subset = self.subsets[subset_index]
+        values = self.substrate.stop_counters(
+            [subset[name] for name in subset]
+        )
+        for name, value in zip(subset, values):
+            self._accum[name] += value
+        self._active[subset_index] += now - self._slice_start
+
+    def start(self) -> None:
+        if self._running:
+            raise ConflictError("multiplex controller already running")
+        pmu = self.machine.pmu
+        if pmu.timer_active:
+            raise SubstrateFeatureError(
+                "the platform timer is busy (another multiplexed EventSet "
+                "is running)"
+            )
+        now = self.machine.user_cycles
+        self._total_start = now
+        self._slice_start = now
+        self._current = 0
+        self._program_and_start(0)
+        pmu.set_cycle_timer(self.quantum, self._on_tick)
+        self._running = True
+
+    def _on_tick(self, cycle: int) -> None:
+        """Timer interrupt: rotate to the next subset."""
+        if len(self.subsets) == 1:
+            return  # nothing to rotate; counts stay exact
+        self._stop_and_collect(self._current, cycle)
+        self._current = (self._current + 1) % len(self.subsets)
+        self._slice_start = cycle
+        self._program_and_start(self._current)
+        self.rotations += 1
+
+    # ------------------------------------------------------------------
+
+    def _live_values(self) -> Dict[str, int]:
+        """Current subset's live counter values (no stop)."""
+        subset = self.subsets[self._current]
+        values = self.substrate.read_counters(
+            [subset[name] for name in subset]
+        )
+        return dict(zip(subset, values))
+
+    def _estimate(
+        self, counted: Dict[str, int], active: List[int], total: int
+    ) -> Dict[str, int]:
+        est: Dict[str, int] = {}
+        for name in self.natives:
+            si = self._subset_of[name]
+            a = active[si]
+            if a <= 0:
+                est[name] = 0
+            elif total <= a:
+                est[name] = counted[name]
+            else:
+                est[name] = round(counted[name] * (total / a))
+        return est
+
+    def read(self) -> Dict[str, int]:
+        now = self.machine.user_cycles
+        counted = dict(self._accum)
+        live = self._live_values()
+        for name, v in live.items():
+            counted[name] += v
+        active = list(self._active)
+        active[self._current] += now - self._slice_start
+        total = now - self._total_start
+        return self._estimate(counted, active, total)
+
+    def stop(self) -> Dict[str, int]:
+        now = self.machine.user_cycles
+        self._stop_and_collect(self._current, now)
+        self.machine.pmu.clear_cycle_timer()
+        self._running = False
+        total = now - self._total_start
+        return self._estimate(dict(self._accum), list(self._active), total)
+
+    def reset(self) -> None:
+        """Zero all accumulated counts and restart the clocks."""
+        now = self.machine.user_cycles
+        subset = self.subsets[self._current]
+        self.substrate.reset_counters([subset[name] for name in subset])
+        for name in self._accum:
+            self._accum[name] = 0
+        self._active = [0] * len(self.subsets)
+        self._slice_start = now
+        self._total_start = now

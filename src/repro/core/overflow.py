@@ -1,0 +1,77 @@
+"""Overflow dispatch: counter threshold crossings -> user callbacks.
+
+"The low-level interface ... provides the functionality of user
+callbacks on counter overflow" (Section 2).  The PMU raises an
+:class:`~repro.hw.pmu.OverflowRecord` with the *interrupt* program
+counter -- which, on out-of-order platforms, has skidded several
+instructions past the instruction that caused the event (Section 4's
+attribution problem).  This module packages the record into the
+PAPI-level :class:`OverflowInfo` handed to user handlers.
+
+``true_address`` carries the skid-free causing address.  Real hardware
+does not reveal it through this interface; it is exposed here (clearly
+marked) because the reproduction's E5 experiment needs ground truth to
+*measure* the attribution error the paper describes.  Portable tools
+must only use ``address``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.hw.isa import INS_BYTES
+from repro.hw.pmu import PMU, OverflowRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eventset import EventSet
+    from repro.platforms.base import NativeEvent
+
+
+@dataclass(frozen=True)
+class OverflowInfo:
+    """What a PAPI overflow handler receives."""
+
+    eventset_handle: int
+    code: int                 #: the overflowing event's code
+    symbol: str               #: its name
+    address: int              #: interrupt pc as a byte address (with skid)
+    overflow_count: int       #: how many times this watch has fired
+    threshold: int
+    cycle: int                #: machine cycle of delivery
+    #: ground-truth causing address (simulation-only diagnostic; see
+    #: module docstring).  Portable code must ignore this.
+    true_address: int
+
+
+@dataclass
+class OverflowRegistration:
+    """One PAPI_overflow registration, installable onto a PMU counter."""
+
+    eventset: "EventSet"
+    code: int
+    native: "NativeEvent"
+    threshold: int
+    handler: Callable[[OverflowInfo], None]
+
+    def install(self, pmu: PMU, counter_index: int) -> None:
+        symbol = self.eventset.papi.event_code_to_name(self.code)
+        handle = self.eventset.handle
+        threshold = self.threshold
+        user_handler = self.handler
+
+        def _dispatch(record: OverflowRecord) -> None:
+            user_handler(
+                OverflowInfo(
+                    eventset_handle=handle,
+                    code=self.code,
+                    symbol=symbol,
+                    address=record.reported_pc * INS_BYTES,
+                    overflow_count=record.overflow_count,
+                    threshold=threshold,
+                    cycle=record.cycle,
+                    true_address=record.trigger_pc * INS_BYTES,
+                )
+            )
+
+        pmu.set_overflow(counter_index, threshold, _dispatch)

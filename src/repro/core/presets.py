@@ -1,0 +1,328 @@
+"""The PAPI preset event catalogue.
+
+Presets are the portable half of the PAPI event story: "a standard set
+of events deemed most relevant for application performance tuning".
+Each platform substrate maps as many presets as it can onto its native
+events -- directly (one native event), derived (a signed combination of
+native events), or not at all (the holes in the portability matrix).
+
+This module defines the *catalogue*: stable codes, symbols,
+descriptions, and each preset's **reference semantics** as a coefficient
+vector over hardware signals.  The reference semantics are what the
+preset ideally counts; platform mappings may deviate (the paper's
+Section 4: "even when the same event is available, it may have
+different semantics on different platforms"), and the test suite uses
+the reference vector to quantify exactly where each platform deviates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import constants as C
+from repro.core.errors import InvalidArgumentError, NotPresetError
+from repro.hw.events import Signal
+
+
+@dataclass(frozen=True)
+class Preset:
+    """One catalogue entry."""
+
+    index: int
+    symbol: str
+    description: str
+    #: reference semantics: (signal, coefficient) terms.  Empty tuple
+    #: means the preset is defined only operationally (none here).
+    reference: Tuple[Tuple[int, int], ...]
+
+    @property
+    def code(self) -> int:
+        return C.PAPI_PRESET_MASK | self.index
+
+
+def _p(index, symbol, description, reference) -> Preset:
+    return Preset(index, symbol, description, tuple(reference))
+
+
+#: The catalogue, in stable index order.
+PRESETS: List[Preset] = [
+    _p(0, "PAPI_TOT_CYC", "Total cycles", [(Signal.TOT_CYC, 1)]),
+    _p(1, "PAPI_TOT_INS", "Instructions completed", [(Signal.TOT_INS, 1)]),
+    _p(2, "PAPI_INT_INS", "Integer instructions", [(Signal.INT_INS, 1)]),
+    _p(3, "PAPI_FP_INS", "Floating point instructions",
+       [(Signal.FP_ADD, 1), (Signal.FP_MUL, 1), (Signal.FP_DIV, 1),
+        (Signal.FP_SQRT, 1), (Signal.FP_FMA, 1)]),
+    _p(4, "PAPI_FP_OPS", "Floating point operations (FMA counts as two)",
+       [(Signal.FP_ADD, 1), (Signal.FP_MUL, 1), (Signal.FP_DIV, 1),
+        (Signal.FP_SQRT, 1), (Signal.FP_FMA, 2)]),
+    _p(5, "PAPI_FMA_INS", "Fused multiply-add instructions",
+       [(Signal.FP_FMA, 1)]),
+    _p(6, "PAPI_FDV_INS", "Floating point divide instructions",
+       [(Signal.FP_DIV, 1)]),
+    _p(7, "PAPI_FSQ_INS", "Floating point square root instructions",
+       [(Signal.FP_SQRT, 1)]),
+    _p(8, "PAPI_LD_INS", "Load instructions", [(Signal.LD_INS, 1)]),
+    _p(9, "PAPI_SR_INS", "Store instructions", [(Signal.SR_INS, 1)]),
+    _p(10, "PAPI_LST_INS", "Load/store instructions",
+       [(Signal.LD_INS, 1), (Signal.SR_INS, 1)]),
+    _p(11, "PAPI_L1_DCM", "Level 1 data cache misses",
+       [(Signal.L1D_MISS, 1)]),
+    _p(12, "PAPI_L1_ICM", "Level 1 instruction cache misses",
+       [(Signal.L1I_MISS, 1)]),
+    _p(13, "PAPI_L1_TCM", "Level 1 total cache misses",
+       [(Signal.L1D_MISS, 1), (Signal.L1I_MISS, 1)]),
+    _p(14, "PAPI_L2_TCM", "Level 2 total cache misses",
+       [(Signal.L2_MISS, 1)]),
+    _p(15, "PAPI_L2_TCA", "Level 2 total cache accesses",
+       [(Signal.L2_ACC, 1)]),
+    _p(16, "PAPI_TLB_DM", "Data TLB misses", [(Signal.TLB_DM, 1)]),
+    _p(17, "PAPI_BR_INS", "Branch instructions", [(Signal.BR_INS, 1)]),
+    _p(18, "PAPI_BR_CN", "Conditional branch instructions",
+       [(Signal.BR_CN, 1)]),
+    _p(19, "PAPI_BR_TKN", "Conditional branches taken",
+       [(Signal.BR_TKN, 1)]),
+    _p(20, "PAPI_BR_NTK", "Conditional branches not taken",
+       [(Signal.BR_NTK, 1)]),
+    _p(21, "PAPI_BR_MSP", "Conditional branches mispredicted",
+       [(Signal.BR_MSP, 1)]),
+    _p(22, "PAPI_BR_PRC", "Conditional branches correctly predicted",
+       [(Signal.BR_CN, 1), (Signal.BR_MSP, -1)]),
+    _p(23, "PAPI_STL_CCY", "Cycles with no instructions completed (stalls)",
+       [(Signal.STL_CYC, 1)]),
+    _p(24, "PAPI_MEM_SCY", "Cycles stalled waiting for memory",
+       [(Signal.MEM_RCY, 1)]),
+    _p(25, "PAPI_HW_INT", "Hardware interrupts", [(Signal.HW_INT, 1)]),
+]
+
+#: symbol -> Preset
+PRESET_BY_SYMBOL: Dict[str, Preset] = {p.symbol: p for p in PRESETS}
+#: index -> Preset
+PRESET_BY_INDEX: Dict[int, Preset] = {p.index: p for p in PRESETS}
+
+NUM_PRESETS = len(PRESETS)
+
+
+def preset_from_code(code: int) -> Preset:
+    """Decode a preset event code; raises NotPresetError otherwise."""
+    if not C.is_preset(code):
+        raise NotPresetError(f"0x{code:08x} is not a preset event code")
+    idx = C.preset_index(code)
+    try:
+        return PRESET_BY_INDEX[idx]
+    except KeyError:
+        raise NotPresetError(f"no preset with index {idx}") from None
+
+
+def preset_from_symbol(symbol: str) -> Preset:
+    try:
+        return PRESET_BY_SYMBOL[symbol]
+    except KeyError:
+        raise NotPresetError(f"no preset named {symbol!r}") from None
+
+
+def event_name_to_code(name: str) -> int:
+    """PAPI_event_name_to_code for presets (native codes are per-library)."""
+    return preset_from_symbol(name).code
+
+
+def event_code_to_name(code: int) -> str:
+    return preset_from_code(code).symbol
+
+
+def reference_vector(preset: Preset) -> Dict[int, int]:
+    """The preset's reference semantics as a {signal: coeff} dict."""
+    vec: Dict[int, int] = {}
+    for sig, coeff in preset.reference:
+        vec[sig] = vec.get(sig, 0) + coeff
+    return vec
+
+
+def reference_count(preset: Preset, counts: List[int]) -> int:
+    """Evaluate the reference semantics against a raw signal-counts array.
+
+    Used by tests and the calibrate utility to compute ground truth the
+    way an omniscient observer would.
+    """
+    return sum(coeff * counts[sig] for sig, coeff in preset.reference)
+
+
+# ---------------------------------------------------------------------------
+# per-platform mapping declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PresetMapping:
+    """How one platform realizes one preset.
+
+    ``terms`` is a signed combination of native event names; a single
+    ``(+1)`` term is a *direct* mapping, anything else is *derived*.
+    """
+
+    preset: Preset
+    terms: Tuple[Tuple[str, int], ...]
+
+    @property
+    def kind(self) -> str:
+        if len(self.terms) == 1 and self.terms[0][1] == 1:
+            return "direct"
+        return "derived"
+
+    @property
+    def native_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.terms)
+
+    def evaluate(self, native_values: Dict[str, int]) -> int:
+        return sum(coeff * native_values[name] for name, coeff in self.terms)
+
+
+#: Hand-authored preset tables, platform name -> preset symbol -> terms.
+#: This mirrors how real PAPI ships a preset table per substrate.  A
+#: missing symbol means the preset is unavailable on that platform.
+PLATFORM_PRESET_TABLES: Dict[str, Dict[str, List[Tuple[str, int]]]] = {
+    "simT3E": {
+        "PAPI_TOT_CYC": [("CYC_CNT", 1)],
+        "PAPI_TOT_INS": [("INS_CNT", 1)],
+        "PAPI_INT_INS": [("INT_OPS", 1)],
+        # no FMA hardware: FP_INS == FP_OPS here, and the FMA/DIV/SQRT
+        # presets are simply unavailable.
+        "PAPI_FP_INS": [("FP_ARITH", 1)],
+        "PAPI_FP_OPS": [("FP_ARITH", 1)],
+        "PAPI_LD_INS": [("LD_QW", 1)],
+        "PAPI_SR_INS": [("ST_QW", 1)],
+        "PAPI_LST_INS": [("LD_QW", 1), ("ST_QW", 1)],
+        "PAPI_L1_DCM": [("DC_MISS", 1)],
+        "PAPI_L1_ICM": [("IC_MISS", 1)],
+        "PAPI_L1_TCM": [("DC_MISS", 1), ("IC_MISS", 1)],
+        "PAPI_BR_INS": [("BR_CNT", 1)],
+    },
+    "simX86": {
+        "PAPI_TOT_CYC": [("CPU_CLK_UNHALTED", 1)],
+        "PAPI_TOT_INS": [("INST_RETIRED", 1)],
+        "PAPI_FP_INS": [("FLOPS", 1)],
+        "PAPI_FP_OPS": [("FLOPS", 1)],  # x87: no FMA to normalize
+        "PAPI_LD_INS": [("LD_RETIRED", 1)],
+        "PAPI_SR_INS": [("ST_RETIRED", 1)],
+        "PAPI_LST_INS": [("DATA_MEM_REFS", 1)],
+        "PAPI_L1_DCM": [("DCU_LINES_IN", 1)],
+        "PAPI_L1_ICM": [("IFU_IFETCH_MISS", 1)],
+        "PAPI_L1_TCM": [("DCU_LINES_IN", 1), ("IFU_IFETCH_MISS", 1)],
+        "PAPI_L2_TCM": [("L2_LINES_IN", 1)],
+        # L2 accesses = L1 misses of both flavours (derived).
+        "PAPI_L2_TCA": [("DCU_LINES_IN", 1), ("IFU_IFETCH_MISS", 1)],
+        "PAPI_TLB_DM": [("DTLB_MISS", 1)],
+        "PAPI_BR_INS": [("BR_INST_RETIRED", 1)],
+        "PAPI_BR_TKN": [("BR_TAKEN_RETIRED", 1)],
+        # semantics quirk: BR_INST_RETIRED includes unconditional jumps,
+        # so this derived "not taken" over-subtracts relative to the
+        # reference vector -- exactly the per-platform interpretation
+        # hazard Section 4 warns about.
+        "PAPI_BR_NTK": [("BR_INST_RETIRED", 1), ("BR_TAKEN_RETIRED", -1)],
+        "PAPI_BR_MSP": [("BR_MISS_PRED_RETIRED", 1)],
+        "PAPI_BR_PRC": [("BR_INST_RETIRED", 1), ("BR_MISS_PRED_RETIRED", -1)],
+        "PAPI_STL_CCY": [("RESOURCE_STALLS", 1)],
+    },
+    "simPOWER": {
+        "PAPI_TOT_CYC": [("PM_CYC", 1)],
+        "PAPI_TOT_INS": [("PM_INST_CMPL", 1)],
+        # The POWER3 anecdote: PM_FPU_INS includes precision converts,
+        # so PAPI_FP_INS over-counts relative to the reference.
+        "PAPI_FP_INS": [("PM_FPU_INS", 1)],
+        # ... and the corrected derived formula used by PAPI_FP_OPS:
+        # add FMA once more (to count it as two) and subtract converts.
+        "PAPI_FP_OPS": [("PM_FPU_INS", 1), ("PM_FPU_FMA", 1), ("PM_FPU_CVT", -1)],
+        "PAPI_FMA_INS": [("PM_FPU_FMA", 1)],
+        "PAPI_FDV_INS": [("PM_FPU_DIV", 1)],
+        "PAPI_FSQ_INS": [("PM_FPU_SQRT", 1)],
+        "PAPI_LD_INS": [("PM_LD_CMPL", 1)],
+        "PAPI_SR_INS": [("PM_ST_CMPL", 1)],
+        "PAPI_LST_INS": [("PM_LD_CMPL", 1), ("PM_ST_CMPL", 1)],
+        "PAPI_L1_DCM": [("PM_LD_MISS_L1", 1)],
+        "PAPI_L1_ICM": [("PM_INST_MISS_L1", 1)],
+        "PAPI_L1_TCM": [("PM_LD_MISS_L1", 1), ("PM_INST_MISS_L1", 1)],
+        "PAPI_L2_TCM": [("PM_LD_MISS_L2", 1)],
+        "PAPI_L2_TCA": [("PM_LD_MISS_L1", 1), ("PM_INST_MISS_L1", 1)],
+        "PAPI_TLB_DM": [("PM_DTLB_MISS", 1)],
+        "PAPI_BR_INS": [("PM_BR_CMPL", 1)],
+        "PAPI_BR_CN": [("PM_CBR_CMPL", 1)],
+        "PAPI_BR_MSP": [("PM_BR_MPRED", 1)],
+        "PAPI_BR_PRC": [("PM_CBR_CMPL", 1), ("PM_BR_MPRED", -1)],
+        "PAPI_STL_CCY": [("PM_STALL_CYC", 1)],
+        "PAPI_MEM_SCY": [("PM_MEM_WAIT_CYC", 1)],
+    },
+    "simALPHA": {
+        "PAPI_TOT_CYC": [("CYCLES", 1)],
+        "PAPI_TOT_INS": [("RET_INS", 1)],
+        # EV6-family Alphas have no fused multiply-add, so FP_INS and
+        # FP_OPS coincide and the FMA preset is unavailable.
+        "PAPI_FP_INS": [("RET_FLOPS", 1)],
+        "PAPI_FP_OPS": [("RET_FLOPS", 1)],
+        "PAPI_LD_INS": [("RET_LOADS", 1)],
+        "PAPI_SR_INS": [("RET_STORES", 1)],
+        "PAPI_LST_INS": [("RET_LOADS", 1), ("RET_STORES", 1)],
+        "PAPI_L1_DCM": [("DC_MISSES", 1)],
+        "PAPI_L2_TCM": [("BCACHE_MISSES", 1)],
+        "PAPI_TLB_DM": [("DTB_MISSES", 1)],
+        "PAPI_BR_INS": [("RET_BRANCHES", 1)],
+        "PAPI_BR_MSP": [("RET_COND_BR_MSP", 1)],
+    },
+    "simSPARC": {
+        "PAPI_TOT_CYC": [("Cycle_cnt", 1)],
+        "PAPI_TOT_INS": [("Instr_cnt", 1)],
+        # no FMA hardware on UltraSPARC-II
+        "PAPI_FP_INS": [("FP_instr_cnt", 1)],
+        "PAPI_FP_OPS": [("FP_instr_cnt", 1)],
+        "PAPI_LD_INS": [("DC_rd", 1)],
+        "PAPI_SR_INS": [("DC_wr", 1)],
+        "PAPI_LST_INS": [("DC_rd", 1), ("DC_wr", 1)],
+        # NOTE: no PAPI_L1_TCM here -- DC_rd_miss and IC_miss are pinned
+        # to the *same* PIC, so the pair can never be counted together
+        # (a real libcpc-era limitation).
+        "PAPI_L1_DCM": [("DC_rd_miss", 1)],
+        "PAPI_L1_ICM": [("IC_miss", 1)],
+        "PAPI_L2_TCM": [("EC_misses", 1)],
+        "PAPI_L2_TCA": [("EC_ref", 1)],
+        "PAPI_BR_INS": [("Dispatch0_br", 1)],
+        "PAPI_BR_MSP": [("Dispatch0_mispred", 1)],
+        "PAPI_BR_PRC": [("Dispatch0_br", 1), ("Dispatch0_mispred", -1)],
+        "PAPI_MEM_SCY": [("Load_use_stall", 1)],
+    },
+    "simIA64": {
+        "PAPI_TOT_CYC": [("CPU_CYCLES", 1)],
+        "PAPI_TOT_INS": [("IA64_INST_RETIRED", 1)],
+        "PAPI_FP_INS": [("FP_OPS_RETIRED", 1)],
+        # FMA retires once in FP_OPS_RETIRED; add it again for FMA=2.
+        "PAPI_FP_OPS": [("FP_OPS_RETIRED", 1), ("FP_FMA_RETIRED", 1)],
+        "PAPI_FMA_INS": [("FP_FMA_RETIRED", 1)],
+        "PAPI_LD_INS": [("LOADS_RETIRED", 1)],
+        "PAPI_SR_INS": [("STORES_RETIRED", 1)],
+        "PAPI_LST_INS": [("LOADS_RETIRED", 1), ("STORES_RETIRED", 1)],
+        "PAPI_L1_DCM": [("L1D_READ_MISSES", 1)],
+        "PAPI_L1_ICM": [("L1I_MISSES", 1)],
+        "PAPI_L1_TCM": [("L1D_READ_MISSES", 1), ("L1I_MISSES", 1)],
+        "PAPI_L2_TCM": [("L2_MISSES", 1)],
+        "PAPI_L2_TCA": [("L1D_READ_MISSES", 1), ("L1I_MISSES", 1)],
+        "PAPI_TLB_DM": [("DTLB_MISSES", 1)],
+        "PAPI_BR_INS": [("BR_RETIRED", 1)],
+        "PAPI_BR_MSP": [("BR_MISPRED", 1)],
+        "PAPI_BR_PRC": [("BR_RETIRED", 1), ("BR_MISPRED", -1)],
+        "PAPI_STL_CCY": [("BACK_END_STALLS", 1)],
+        "PAPI_MEM_SCY": [("MEM_STALLS", 1)],
+    },
+}
+
+
+def platform_preset_map(platform_name: str) -> Dict[str, PresetMapping]:
+    """Resolve the hand-authored table for *platform_name* into mappings."""
+    try:
+        table = PLATFORM_PRESET_TABLES[platform_name]
+    except KeyError:
+        raise InvalidArgumentError(
+            f"no preset table for platform {platform_name!r}"
+        ) from None
+    out: Dict[str, PresetMapping] = {}
+    for symbol, terms in table.items():
+        preset = preset_from_symbol(symbol)
+        out[symbol] = PresetMapping(preset, tuple((n, c) for n, c in terms))
+    return out

@@ -1,0 +1,182 @@
+"""PAPI_profil: SVR4-compatible statistical profiling.
+
+"The PAPI_profil call implements SVR4-compatible code profiling based on
+any hardware counter metric.  The code to be profiled need only be
+bracketed by calls to the PAPI_profil routine." (Section 2)
+
+A :class:`ProfileBuffer` is the classic ``profil(2)`` histogram: text
+addresses are mapped to buckets by ``((addr - offset) * scale) >> 17``
+(scale is 16.16 fixed point; 65536 means one bucket per two address
+bytes).  Hits come from one of three mechanisms, mirroring Section 4:
+
+- **interrupt-PC profiling** (direct substrates): an overflow watch on
+  the chosen event samples the *interrupt* pc -- which skids on
+  out-of-order platforms, smearing the histogram;
+- **ProfileMe sampling** (simALPHA): precise pcs from hardware samples;
+- **EAR capture** (simIA64): precise pcs of sampled miss events.
+
+Experiment E5 compares the attribution accuracy of all three.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from repro.core import constants as C
+from repro.core.errors import (
+    InvalidArgumentError,
+    NotRunningError,
+    SubstrateFeatureError,
+)
+from repro.core.overflow import OverflowInfo
+from repro.hw.isa import INS_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eventset import EventSet
+    from repro.hw.pmu import EARRecord, SampleRecord
+
+
+class ProfileBuffer:
+    """An SVR4 ``profil`` histogram over a text-address range."""
+
+    def __init__(self, nbuckets: int, offset: int, scale: int) -> None:
+        if nbuckets < 1:
+            raise InvalidArgumentError("need at least one bucket")
+        if scale <= 0 or scale > C.PAPI_PROFIL_SCALE_ONE:
+            raise InvalidArgumentError(
+                f"scale must be in (0, {C.PAPI_PROFIL_SCALE_ONE}]"
+            )
+        self.nbuckets = nbuckets
+        self.offset = offset
+        self.scale = scale
+        self.buckets: List[int] = [0] * nbuckets
+        self.hits = 0
+        self.out_of_range = 0
+
+    @staticmethod
+    def scale_for(bytes_per_bucket: int) -> int:
+        """The scale value giving *bytes_per_bucket* per histogram bucket."""
+        if bytes_per_bucket < 2:
+            raise InvalidArgumentError("buckets cover at least 2 bytes")
+        return (2 * C.PAPI_PROFIL_SCALE_ONE) // bytes_per_bucket
+
+    @classmethod
+    def covering(cls, offset: int, length_bytes: int,
+                 bytes_per_bucket: int = INS_BYTES) -> "ProfileBuffer":
+        """Buffer covering ``[offset, offset+length_bytes)``."""
+        nbuckets = (length_bytes + bytes_per_bucket - 1) // bytes_per_bucket
+        return cls(nbuckets, offset, cls.scale_for(bytes_per_bucket))
+
+    def bucket_index(self, address: int) -> Optional[int]:
+        if address < self.offset:
+            return None
+        idx = ((address - self.offset) * self.scale) >> 17
+        if idx >= self.nbuckets:
+            return None
+        return idx
+
+    def hit(self, address: int, weight: int = 1) -> None:
+        idx = self.bucket_index(address)
+        if idx is None:
+            self.out_of_range += 1
+            return
+        self.buckets[idx] += weight
+        self.hits += weight
+
+    def hottest(self) -> int:
+        """Index of the hottest bucket."""
+        return max(range(self.nbuckets), key=lambda i: self.buckets[i])
+
+    def bucket_address(self, index: int) -> int:
+        """Start address covered by bucket *index*."""
+        # inverse of bucket_index for the bucket's first byte
+        return self.offset + ((index << 17) // self.scale)
+
+    def concentration(self, index: int) -> float:
+        """Fraction of all hits landing in bucket *index*."""
+        return self.buckets[index] / self.hits if self.hits else 0.0
+
+    def nonzero(self) -> List[int]:
+        return [i for i, b in enumerate(self.buckets) if b]
+
+
+class Profil:
+    """One PAPI_profil registration on an EventSet."""
+
+    def __init__(
+        self,
+        eventset: "EventSet",
+        buffer: ProfileBuffer,
+        code: int,
+        threshold: int,
+        flags: int = C.PAPI_PROFIL_POSIX,
+    ) -> None:
+        self.eventset = eventset
+        self.buffer = buffer
+        self.code = code
+        self.threshold = threshold
+        self.flags = flags
+        self._installed = False
+        self._session = None
+
+    def install(self) -> None:
+        """Arm profiling (overflow-based or sampling-based)."""
+        if self._installed:
+            raise InvalidArgumentError("profil already installed")
+        es = self.eventset
+        if es.substrate.supports_sampling_counts():
+            if not es.running:
+                raise NotRunningError(
+                    "on the sampling substrate, install profil after "
+                    "PAPI_start (it post-processes the hardware samples)"
+                )
+            self._session = es._session
+        else:
+            es.overflow(self.code, self.threshold, self._on_overflow)
+        self._installed = True
+
+    def _on_overflow(self, info: OverflowInfo) -> None:
+        self.buffer.hit(info.address)
+
+    def collect(self) -> ProfileBuffer:
+        """Finalize the histogram (no-op for overflow-based profiling)."""
+        if self._session is not None:
+            from repro.platforms.simalpha import sample_matches
+
+            terms = self.eventset._terms[self.code]
+            weighted = bool(self.flags & C.PAPI_PROFIL_WEIGHTED)
+            for sample in self._session.samples():
+                if any(sample_matches(native, sample) for native, _c in terms):
+                    weight = sample.latency if weighted else 1
+                    self.buffer.hit(sample.pc * INS_BYTES, weight)
+        return self.buffer
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        if self._session is None:
+            self.eventset.clear_overflow(self.code)
+        self._session = None
+        self._installed = False
+
+
+def profile_from_samples(
+    buffer: ProfileBuffer,
+    samples: Iterable["SampleRecord"],
+    predicate=None,
+    weighted: bool = False,
+) -> ProfileBuffer:
+    """Fill *buffer* from ProfileMe samples (precise attribution)."""
+    for s in samples:
+        if predicate is None or predicate(s):
+            buffer.hit(s.pc * INS_BYTES, s.latency if weighted else 1)
+    return buffer
+
+
+def profile_from_ears(
+    buffer: ProfileBuffer, records: Iterable["EARRecord"]
+) -> ProfileBuffer:
+    """Fill *buffer* from event-address-register captures (precise)."""
+    for r in records:
+        buffer.hit(r.pc * INS_BYTES)
+    return buffer

@@ -1,0 +1,113 @@
+"""Estimating aggregate counts from hardware samples (PAPI 3 preview).
+
+Section 4: "aggregate event counts can be estimated from sampling data
+with lower overhead than direct counting ... Future versions of PAPI
+will ... provide an option for estimating aggregate counts from sampling
+data."  The simALPHA substrate uses this machinery internally; the
+helpers here are also the analysis layer for the calibrate-convergence
+experiment (E2) and the sampling-period ablation (A2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.hw.pmu import SampleRecord
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """One sample-based count estimate with its statistical error bar."""
+
+    value: float              #: estimated aggregate count
+    n_samples: int            #: samples observed in total
+    n_matches: int            #: samples matching the event
+    period: float             #: average instructions per sample
+
+    @property
+    def relative_stderr(self) -> float:
+        """Approximate relative standard error of the estimate.
+
+        The match count is binomial(n_samples, p); the relative error of
+        ``matches * period`` is sqrt((1-p)/(n*p)) -- the 1/sqrt(samples)
+        convergence the paper's calibrate runs exhibit.
+        """
+        if self.n_matches == 0 or self.n_samples == 0:
+            return math.inf
+        p = self.n_matches / self.n_samples
+        return math.sqrt((1.0 - p) / (self.n_samples * p))
+
+
+def estimate_count(
+    samples: Sequence[SampleRecord],
+    period: float,
+    predicate: Callable[[SampleRecord], bool],
+) -> Estimate:
+    """Estimate an aggregate event count from ProfileMe *samples*."""
+    if period <= 0:
+        raise ValueError("sampling period must be positive")
+    matches = sum(1 for s in samples if predicate(s))
+    return Estimate(
+        value=matches * period,
+        n_samples=len(samples),
+        n_matches=matches,
+        period=period,
+    )
+
+
+def relative_error(estimate: float, expected: float) -> float:
+    """|estimate - expected| / expected (inf when expected == 0)."""
+    if expected == 0:
+        return math.inf if estimate else 0.0
+    return abs(estimate - expected) / abs(expected)
+
+
+@dataclass
+class ConvergencePoint:
+    """One (run length, error) observation in a convergence study."""
+
+    run_instructions: int
+    n_samples: int
+    estimate: float
+    expected: float
+
+    @property
+    def rel_error(self) -> float:
+        return relative_error(self.estimate, self.expected)
+
+
+class ConvergenceStudy:
+    """Accumulates (run length, estimate, expected) points (E2 harness)."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.points: List[ConvergencePoint] = []
+
+    def add(self, run_instructions: int, n_samples: int,
+            estimate: float, expected: float) -> ConvergencePoint:
+        point = ConvergencePoint(run_instructions, n_samples, estimate, expected)
+        self.points.append(point)
+        return point
+
+    def errors(self) -> List[float]:
+        return [p.rel_error for p in self.points]
+
+    def is_converging(self, factor: float = 2.0) -> bool:
+        """True when the last error beats the first by at least *factor*.
+
+        Deliberately loose: sampling error is stochastic, so we check the
+        trend, not monotonicity.
+        """
+        errs = self.errors()
+        if len(errs) < 2:
+            return False
+        if errs[0] == 0:
+            return errs[-1] == 0
+        return errs[-1] <= errs[0] / factor or errs[-1] < 0.01
+
+    def final_error(self) -> float:
+        if not self.points:
+            return math.inf
+        return self.points[-1].rel_error

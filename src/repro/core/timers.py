@@ -1,0 +1,83 @@
+"""Portable timers: PAPI_get_real_usec and friends.
+
+"One of the most popular features of PAPI has proven to be the portable
+timing routines.  Using the lowest overhead and most accurate timers
+available on a given platform ... enables users and tool developers to
+obtain accurate timings across different platforms using the same
+interface."  (Section 2)
+
+In the simulation the "lowest overhead, most accurate timer" is the
+machine's cycle clock; real time includes interface/system work, virtual
+time is the thread's own CPU time (the scheduler's accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.library import Papi
+    from repro.simos.thread import Thread
+
+
+@dataclass(frozen=True)
+class TimerReading:
+    """A paired real/virtual reading, in cycles and microseconds."""
+
+    real_cyc: int
+    real_usec: float
+    virt_cyc: int
+    virt_usec: float
+
+
+def read_timers(papi: "Papi", thread: Optional["Thread"] = None) -> TimerReading:
+    return TimerReading(
+        real_cyc=papi.get_real_cyc(),
+        real_usec=papi.get_real_usec(),
+        virt_cyc=papi.get_virt_cyc(thread),
+        virt_usec=papi.get_virt_usec(thread),
+    )
+
+
+class TimeRegion:
+    """Measure a code region in simulated time::
+
+        with TimeRegion(papi) as tr:
+            machine.run_to_completion()
+        print(tr.real_usec, tr.virt_usec)
+    """
+
+    def __init__(self, papi: "Papi", thread: Optional["Thread"] = None) -> None:
+        self.papi = papi
+        self.thread = thread
+        self.start: Optional[TimerReading] = None
+        self.end: Optional[TimerReading] = None
+
+    def __enter__(self) -> "TimeRegion":
+        self.start = read_timers(self.papi, self.thread)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = read_timers(self.papi, self.thread)
+
+    def _delta(self, attr: str):
+        if self.start is None or self.end is None:
+            raise RuntimeError("TimeRegion not completed")
+        return getattr(self.end, attr) - getattr(self.start, attr)
+
+    @property
+    def real_cyc(self) -> int:
+        return self._delta("real_cyc")
+
+    @property
+    def real_usec(self) -> float:
+        return self._delta("real_usec")
+
+    @property
+    def virt_cyc(self) -> int:
+        return self._delta("virt_cyc")
+
+    @property
+    def virt_usec(self) -> float:
+        return self._delta("virt_usec")

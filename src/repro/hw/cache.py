@@ -1,0 +1,301 @@
+"""Set-associative caches and a data TLB for the simulated machine.
+
+These produce the cache/TLB miss event signals (``L1D_MISS``, ``L1I_MISS``,
+``L2_MISS``, ``TLB_DM``) that several PAPI presets map to, and they supply
+the miss *penalties* that make instrumented code measurably perturb the
+application (the paper's "cache pollution" observation: counter-interface
+code evicts application lines, changing the memory behaviour of the code
+being measured).
+
+Replacement policy is strict LRU.  Lookups operate on *line indices*
+(byte address >> line-size bits); the caller does the shifting so the hot
+path stays arithmetic-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    ``size_bytes`` must equal ``n_sets * assoc * line_bytes`` with power of
+    two sets and line size.
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    assoc: int
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.line_bytes):
+            raise ValueError(f"{self.name}: line size must be a power of two")
+        if self.assoc < 1:
+            raise ValueError(f"{self.name}: associativity must be >= 1")
+        if self.size_bytes % (self.line_bytes * self.assoc) != 0:
+            raise ValueError(
+                f"{self.name}: size must be a multiple of line_bytes * assoc"
+            )
+        if not _is_pow2(self.n_sets):
+            raise ValueError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+    @property
+    def line_bits(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement.
+
+    The cache is indexed by *line index* (address pre-shifted by the line
+    size); each set is a most-recently-used-last list of line indices.
+    """
+
+    __slots__ = ("config", "_sets", "_set_mask", "hits", "misses")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: List[List[int]] = [[] for _ in range(config.n_sets)]
+        self._set_mask = config.n_sets - 1
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def access(self, line: int) -> bool:
+        """Access *line*; returns True on hit.  Misses allocate the line."""
+        ways = self._sets[line & self._set_mask]
+        if line in ways:
+            # LRU update: move to most-recently-used position.
+            if ways[-1] != line:
+                ways.remove(line)
+                ways.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.config.assoc:
+            del ways[0]
+        ways.append(line)
+        return False
+
+    def probe(self, line: int) -> bool:
+        """Check residency without updating LRU state or statistics."""
+        return line in self._sets[line & self._set_mask]
+
+    def evict(self, line: int) -> bool:
+        """Remove *line* if present (used to model interface cache pollution)."""
+        ways = self._sets[line & self._set_mask]
+        if line in ways:
+            ways.remove(line)
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Invalidate all lines (statistics are retained)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def contents(self) -> List[Tuple[int, List[int]]]:
+        """Snapshot of non-empty sets, LRU..MRU order (for tests)."""
+        return [(i, list(w)) for i, w in enumerate(self._sets) if w]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.config
+        return (
+            f"<Cache {c.name} {c.size_bytes}B/{c.assoc}way/{c.line_bytes}B "
+            f"hits={self.hits} misses={self.misses}>"
+        )
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry of the data TLB (fully associative, LRU)."""
+
+    entries: int
+    page_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ValueError("TLB must have at least one entry")
+        if not _is_pow2(self.page_bytes):
+            raise ValueError("page size must be a power of two")
+
+    @property
+    def page_bits(self) -> int:
+        return self.page_bytes.bit_length() - 1
+
+
+class TLB:
+    """Fully associative translation lookaside buffer with LRU replacement."""
+
+    __slots__ = ("config", "_entries", "hits", "misses")
+
+    def __init__(self, config: TLBConfig) -> None:
+        self.config = config
+        self._entries: List[int] = []
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def access(self, page: int) -> bool:
+        """Translate *page*; returns True on TLB hit."""
+        entries = self._entries
+        if page in entries:
+            if entries[-1] != page:
+                entries.remove(page)
+                entries.append(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(entries) >= self.config.entries:
+            del entries[0]
+        entries.append(page)
+        return False
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def resident(self) -> List[int]:
+        """Pages currently mapped, LRU..MRU order (for tests)."""
+        return list(self._entries)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """The full memory hierarchy of one simulated platform."""
+
+    l1d: CacheConfig
+    l1i: CacheConfig
+    l2: CacheConfig
+    tlb: TLBConfig
+    l2_latency: int = 8          #: extra cycles on an L1 miss / L2 hit
+    mem_latency: int = 60        #: extra cycles on an L2 miss
+    tlb_walk_latency: int = 24   #: extra cycles on a data TLB miss
+
+    def __post_init__(self) -> None:
+        if min(self.l2_latency, self.mem_latency, self.tlb_walk_latency) < 0:
+            raise ValueError("latencies must be non-negative")
+
+
+def default_hierarchy() -> HierarchyConfig:
+    """A small, miss-prone hierarchy suitable for fast simulation.
+
+    Sized so that the standard workloads (arrays of a few thousand words)
+    overflow L1 but mostly fit in L2, giving realistic mixed hit/miss
+    behaviour at simulation-friendly scales.
+    """
+    return HierarchyConfig(
+        l1d=CacheConfig("L1D", size_bytes=4096, line_bytes=32, assoc=2),
+        l1i=CacheConfig("L1I", size_bytes=4096, line_bytes=32, assoc=2),
+        l2=CacheConfig("L2", size_bytes=65536, line_bytes=64, assoc=4),
+        tlb=TLBConfig(entries=16, page_bytes=4096),
+    )
+
+
+class MemoryHierarchy:
+    """L1D + L1I + unified L2 + data TLB wired together.
+
+    Returns the incurred latency for each access so the CPU can charge
+    stall cycles; raises the corresponding signal counts via the counts
+    array handed in by the CPU (kept decoupled so the hierarchy is
+    testable standalone).
+    """
+
+    __slots__ = ("config", "l1d", "l1i", "l2", "tlb", "_l1d_shift", "_l1i_shift",
+                 "_l2_shift", "_page_shift")
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        self.config = config or default_hierarchy()
+        self.l1d = Cache(self.config.l1d)
+        self.l1i = Cache(self.config.l1i)
+        self.l2 = Cache(self.config.l2)
+        self.tlb = TLB(self.config.tlb)
+        self._l1d_shift = self.config.l1d.line_bits
+        self._l1i_shift = self.config.l1i.line_bits
+        self._l2_shift = self.config.l2.line_bits
+        self._page_shift = self.config.tlb.page_bits
+
+    def data_access(self, byte_addr: int) -> Tuple[int, bool, bool, bool]:
+        """One data access at *byte_addr*.
+
+        Returns ``(latency, l1_miss, l2_miss, tlb_miss)`` where latency is
+        the stall penalty in cycles beyond the base instruction latency.
+        """
+        latency = 0
+        tlb_miss = not self.tlb.access(byte_addr >> self._page_shift)
+        if tlb_miss:
+            latency += self.config.tlb_walk_latency
+        l1_miss = not self.l1d.access(byte_addr >> self._l1d_shift)
+        l2_miss = False
+        if l1_miss:
+            latency += self.config.l2_latency
+            l2_miss = not self.l2.access(byte_addr >> self._l2_shift)
+            if l2_miss:
+                latency += self.config.mem_latency
+        return latency, l1_miss, l2_miss, tlb_miss
+
+    def inst_fetch(self, byte_addr: int) -> Tuple[int, bool, bool]:
+        """One instruction fetch.  Returns ``(latency, l1i_miss, l2_miss)``."""
+        latency = 0
+        l1_miss = not self.l1i.access(byte_addr >> self._l1i_shift)
+        l2_miss = False
+        if l1_miss:
+            latency += self.config.l2_latency
+            l2_miss = not self.l2.access(byte_addr >> self._l2_shift)
+            if l2_miss:
+                latency += self.config.mem_latency
+        return latency, l1_miss, l2_miss
+
+    def pollute(self, byte_addrs) -> None:
+        """Touch *byte_addrs* as data accesses without recording statistics.
+
+        Models the cache pollution caused by counter-interface code: the
+        lines it touches evict application lines, but the interface's own
+        hits/misses are not application events (the simulated PMU does not
+        count in "kernel" domain by default).
+        """
+        hits, misses = self.l1d.hits, self.l1d.misses
+        l2h, l2m = self.l2.hits, self.l2.misses
+        th, tm = self.tlb.hits, self.tlb.misses
+        for addr in byte_addrs:
+            self.data_access(addr)
+        self.l1d.hits, self.l1d.misses = hits, misses
+        self.l2.hits, self.l2.misses = l2h, l2m
+        self.tlb.hits, self.tlb.misses = th, tm
+
+    def flush(self) -> None:
+        self.l1d.flush()
+        self.l1i.flush()
+        self.l2.flush()
+        self.tlb.flush()
+
+    def reset_stats(self) -> None:
+        self.l1d.reset_stats()
+        self.l1i.reset_stats()
+        self.l2.reset_stats()
+        self.tlb.reset_stats()

@@ -1,0 +1,111 @@
+"""Catalogue of microarchitectural event signals.
+
+A *signal* is a single wire out of the simulated pipeline: every time the
+named microarchitectural occurrence happens, the signal's count increments
+by one.  Signals are the raw material that platform *native events* are
+built from (a native event is a sum over one or more signals, see
+:mod:`repro.platforms.base`), and native events in turn are what PAPI
+preset events map onto.
+
+The split mirrors real hardware: a CPU has a fixed set of internal event
+lines; each vendor exposes some subset (sometimes combinations) of them as
+the documented native events of its PMU, and PAPI's preset table maps
+portable names onto those native events per platform.
+
+Signals are plain ``int`` indices into a flat counts array for speed; the
+:class:`Signal` namespace gives them readable names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class Signal:
+    """Integer indices of every event signal the simulated CPU can raise.
+
+    The values index into ``CPU.counts`` (a flat list of ints), so they
+    must be dense and start at zero.
+    """
+
+    # --- retirement / cycles ------------------------------------------
+    TOT_INS = 0          #: instructions retired
+    TOT_CYC = 1          #: cycles elapsed
+    STL_CYC = 2          #: cycles lost to stalls (miss + mispredict penalties)
+
+    # --- instruction mix ----------------------------------------------
+    INT_INS = 3          #: integer ALU instructions retired
+    LD_INS = 4           #: load instructions retired
+    SR_INS = 5           #: store instructions retired
+    BR_INS = 6           #: branch instructions retired (conditional + jumps)
+    BR_CN = 7            #: conditional branch instructions retired
+    BR_TKN = 8           #: conditional branches taken
+    BR_NTK = 9           #: conditional branches not taken
+    BR_MSP = 10          #: conditional branches mispredicted
+    CALL_INS = 11        #: call instructions retired
+    RET_INS = 12         #: return instructions retired
+
+    # --- floating point -------------------------------------------------
+    FP_ADD = 13          #: floating point add/subtract instructions
+    FP_MUL = 14          #: floating point multiply instructions
+    FP_DIV = 15          #: floating point divide instructions
+    FP_SQRT = 16         #: floating point square root instructions
+    FP_FMA = 17          #: fused multiply-add instructions
+    FP_CVT = 18          #: precision-convert (rounding) instructions
+    FP_MOV = 19          #: floating point register moves / loads-immediate
+
+    # --- memory hierarchy ------------------------------------------------
+    L1D_ACC = 20         #: L1 data cache accesses
+    L1D_MISS = 21        #: L1 data cache misses
+    L1I_ACC = 22         #: L1 instruction cache accesses
+    L1I_MISS = 23        #: L1 instruction cache misses
+    L2_ACC = 24          #: L2 (unified) cache accesses
+    L2_MISS = 25         #: L2 (unified) cache misses
+    TLB_DM = 26          #: data TLB misses
+    MEM_RCY = 27         #: cycles spent waiting on main memory
+
+    # --- system ----------------------------------------------------------
+    SYS_INS = 28         #: system call instructions retired
+    PRB_INS = 29         #: probe (instrumentation) pseudo-instructions retired
+    HW_INT = 30          #: hardware interrupts delivered (overflow, timer)
+    SYS_CYC = 31         #: cycles of kernel/interface work (PAPI_DOM_KERNEL)
+
+    N_SIGNALS = 32       #: total number of signals (size of the counts array)
+
+
+#: Human readable name for every signal index.
+SIGNAL_NAMES: List[str] = [""] * Signal.N_SIGNALS
+for _name, _value in vars(Signal).items():
+    if _name.startswith("_") or _name == "N_SIGNALS":
+        continue
+    SIGNAL_NAMES[_value] = _name
+
+#: Reverse lookup: signal name -> index.
+SIGNAL_BY_NAME: Dict[str, int] = {
+    name: idx for idx, name in enumerate(SIGNAL_NAMES) if name
+}
+
+
+def signal_name(signal: int) -> str:
+    """Return the symbolic name of *signal*.
+
+    Raises :class:`ValueError` for indices outside the catalogue so that
+    corrupt event programming is caught early rather than silently
+    producing an empty string.
+    """
+    if not 0 <= signal < Signal.N_SIGNALS:
+        raise ValueError(f"unknown signal index: {signal!r}")
+    return SIGNAL_NAMES[signal]
+
+
+def signal_by_name(name: str) -> int:
+    """Return the signal index for symbolic *name* (case sensitive)."""
+    try:
+        return SIGNAL_BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown signal name: {name!r}") from None
+
+
+def fresh_counts() -> List[int]:
+    """Return a zeroed signal-counts array of the right length."""
+    return [0] * Signal.N_SIGNALS

@@ -1,0 +1,181 @@
+"""The simulated machine: CPU + memory hierarchy + PMU + clocks.
+
+A :class:`Machine` is what a platform substrate (see
+:mod:`repro.platforms`) wraps.  It owns two clocks:
+
+- **user cycles** -- ``counts[TOT_CYC]`` -- advanced by program execution
+  (including interrupt delivery costs, which delay the program);
+- **system cycles** -- advanced by :meth:`Machine.charge`, which is how
+  counter-interface code (reads, starts, syscalls into the kernel
+  substrate) bills its cost to the machine.
+
+``real_cycles`` (their sum) is the wall clock; the overhead experiments
+(E1/E7) compare real_cycles between instrumented and uninstrumented runs,
+exactly as the paper measured wall-clock dilation.  :meth:`Machine.charge`
+can also *pollute* the data cache with the interface's working set,
+modelling the perturbation discussed in Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.hw.cache import HierarchyConfig, MemoryHierarchy, default_hierarchy
+from repro.hw.cpu import CPU, CPUConfig, MachineFault, RunResult
+from repro.hw.events import Signal, fresh_counts
+from repro.hw.isa import Program
+from repro.hw.pmu import PMU, PMUConfig
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full configuration of one simulated machine."""
+
+    name: str = "sim"
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    hierarchy: HierarchyConfig = field(default_factory=default_hierarchy)
+    pmu: PMUConfig = field(default_factory=PMUConfig)
+    #: simulated core clock, cycles per microsecond (500 => 500 MHz).
+    mhz: int = 500
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.mhz < 1:
+            raise ValueError("clock rate must be at least 1 MHz")
+
+
+class Machine:
+    """One simulated computer.
+
+    The signal-counts array is shared by reference between the CPU (which
+    increments it) and the PMU (which reads it), so counter reads are just
+    integer subtraction -- the same cheap register-delta model as real
+    hardware.
+    """
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+        self.counts: List[int] = fresh_counts()
+        self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        self.pmu = PMU(self.config.pmu, self.counts, seed=self.config.seed)
+        self.cpu = CPU(
+            self.config.cpu,
+            hierarchy=self.hierarchy,
+            pmu=self.pmu,
+            counts=self.counts,
+        )
+        self.system_cycles = 0
+        self._probes: Dict[int, Callable[[int, CPU], None]] = {}
+        self.cpu.probe_dispatch = self._dispatch_probe
+        #: scratch addresses the counter interface touches when polluting;
+        #: chosen high so they collide with application lines by indexing.
+        self._pollution_base = 1 << 30
+
+    # ------------------------------------------------------------------
+    # clocks
+    # ------------------------------------------------------------------
+
+    @property
+    def user_cycles(self) -> int:
+        return self.counts[Signal.TOT_CYC]
+
+    @property
+    def real_cycles(self) -> int:
+        return self.counts[Signal.TOT_CYC] + self.system_cycles
+
+    @property
+    def real_usec(self) -> float:
+        return self.real_cycles / self.config.mhz
+
+    def charge(self, cycles: int, pollute_lines: int = 0) -> None:
+        """Bill *cycles* of counter-interface work to the machine.
+
+        When *pollute_lines* > 0, that many distinct cache lines are
+        touched as data accesses (without counting as application events),
+        evicting application state -- the paper's cache-pollution effect.
+        """
+        if cycles < 0 or pollute_lines < 0:
+            raise ValueError("cannot charge negative work")
+        self.system_cycles += cycles
+        # kernel-domain cycles are also a signal, so DOM_ALL counters on
+        # the cycle event can include interface work (PAPI_set_domain).
+        self.counts[Signal.SYS_CYC] += cycles
+        if pollute_lines:
+            line = self.hierarchy.config.l1d.line_bytes
+            base = self._pollution_base
+            self.hierarchy.pollute(
+                base + i * line for i in range(pollute_lines)
+            )
+
+    # ------------------------------------------------------------------
+    # program control
+    # ------------------------------------------------------------------
+
+    def load(self, program: Program, heap_words: Optional[int] = None) -> None:
+        self.cpu.load(program, heap_words=heap_words)
+
+    @property
+    def program(self) -> Optional[Program]:
+        return self.cpu.program
+
+    def run(
+        self,
+        max_instructions: Optional[int] = None,
+        max_cycles: Optional[int] = None,
+    ) -> RunResult:
+        return self.cpu.run(max_instructions=max_instructions, max_cycles=max_cycles)
+
+    def run_to_completion(self, budget_instructions: int = 50_000_000) -> RunResult:
+        """Run until HALT; raises if the budget is exhausted (runaway guard)."""
+        result = self.cpu.run(max_instructions=budget_instructions)
+        if not result.halted:
+            raise MachineFault(
+                f"program did not halt within {budget_instructions} instructions"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # probes (instrumentation hook used by dynaprof / the PAPI library)
+    # ------------------------------------------------------------------
+
+    def register_probe(self, probe_id: int, handler: Callable[[int, CPU], None]) -> None:
+        if probe_id in self._probes:
+            raise ValueError(f"probe id {probe_id} already registered")
+        self._probes[probe_id] = handler
+
+    def unregister_probe(self, probe_id: int) -> None:
+        self._probes.pop(probe_id, None)
+
+    def clear_probes(self) -> None:
+        self._probes.clear()
+
+    def _dispatch_probe(self, probe_id: int, cpu: CPU) -> None:
+        handler = self._probes.get(probe_id)
+        if handler is not None:
+            handler(probe_id, cpu)
+
+    # ------------------------------------------------------------------
+    # signal access / reset
+    # ------------------------------------------------------------------
+
+    def signal_total(self, signal: int) -> int:
+        """Raw machine-lifetime total of one event signal."""
+        return self.counts[signal]
+
+    def reset(self) -> None:
+        """Power-cycle: zero all signals, flush caches, reset the PMU.
+
+        The loaded program (if any) must be re-loaded afterwards.
+        """
+        for i in range(len(self.counts)):
+            self.counts[i] = 0
+        self.system_cycles = 0
+        self.hierarchy.flush()
+        self.hierarchy.reset_stats()
+        self.pmu.reset()
+        self.cpu.predictor.reset()
+        self.cpu.halted = True
+        self.cpu.program = None
+        self.cpu.code = []
+        self._probes.clear()

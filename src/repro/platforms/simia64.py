@@ -1,0 +1,115 @@
+"""simIA64: an Itanium2-like platform with Event Address Registers.
+
+The paper: "A similar capability exists on the Itanium and Itanium2
+platforms, where Event Address Registers (EARs) accurately identify the
+instruction and data addresses for some events."  This platform counts
+directly (perfmon-style syscalls of moderate cost), has four counters
+with light constraints, an in-order core (tiny skid) and EAR hardware
+that experiment E5 uses for precise miss attribution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.hw.cache import CacheConfig, HierarchyConfig, TLBConfig
+from repro.hw.cpu import CPUConfig
+from repro.hw.events import Signal
+from repro.hw.machine import MachineConfig
+from repro.hw.pmu import PMUConfig
+from repro.platforms.base import AccessCosts, CounterGroup, NativeEvent, Substrate
+
+
+class SimIA64(Substrate):
+    NAME = "simIA64"
+    STYLE = "syscall"
+    COUNTING = "direct"
+    DESCRIPTION = "Itanium2-like: perfmon syscalls, 4 counters, EAR hardware"
+    COSTS = AccessCosts(
+        read=1100,
+        read_per_counter=90,
+        start=1400,
+        stop=1300,
+        program=1500,
+        reset=900,
+        pollute_lines=4,
+    )
+    HAS_FMA = True
+
+    def _machine_config(self, seed: int) -> MachineConfig:
+        return MachineConfig(
+            name=self.NAME,
+            cpu=CPUConfig(predictor="gshare", branch_penalty=6),
+            hierarchy=HierarchyConfig(
+                l1d=CacheConfig("L1D", size_bytes=8192, line_bytes=64, assoc=4),
+                l1i=CacheConfig("L1I", size_bytes=8192, line_bytes=64, assoc=4),
+                l2=CacheConfig("L2", size_bytes=131072, line_bytes=128, assoc=8),
+                tlb=TLBConfig(entries=128, page_bytes=8192),
+                l2_latency=6,
+                mem_latency=50,
+                tlb_walk_latency=25,
+            ),
+            # In-order EPIC core: interrupts are nearly precise even
+            # without the EARs.
+            pmu=PMUConfig(
+                n_counters=4, skid_max=2, has_ear=True, interrupt_cost=100
+            ),
+            mhz=900,
+            seed=seed,
+        )
+
+    def _native_events(self) -> Sequence[NativeEvent]:
+        return [
+            NativeEvent("CPU_CYCLES", (Signal.TOT_CYC,), "CPU cycles"),
+            NativeEvent("IA64_INST_RETIRED", (Signal.TOT_INS,), "instructions"),
+            NativeEvent(
+                "FP_OPS_RETIRED",
+                (
+                    Signal.FP_ADD,
+                    Signal.FP_MUL,
+                    Signal.FP_DIV,
+                    Signal.FP_SQRT,
+                    Signal.FP_FMA,
+                ),
+                "FP operations retired (FMA counts once)",
+            ),
+            NativeEvent("FP_FMA_RETIRED", (Signal.FP_FMA,), "FMA retired"),
+            NativeEvent("LOADS_RETIRED", (Signal.LD_INS,), "loads retired"),
+            NativeEvent("STORES_RETIRED", (Signal.SR_INS,), "stores retired"),
+            NativeEvent(
+                "L1D_READ_MISSES",
+                (Signal.L1D_MISS,),
+                "L1D misses",
+                allowed_counters=(2, 3),  # EAR-adjacent counters only
+            ),
+            NativeEvent("L1I_MISSES", (Signal.L1I_MISS,), "L1I misses"),
+            NativeEvent(
+                "L2_MISSES",
+                (Signal.L2_MISS,),
+                "L2 misses",
+                allowed_counters=(2, 3),
+            ),
+            NativeEvent(
+                "DTLB_MISSES",
+                (Signal.TLB_DM,),
+                "DTLB misses",
+                allowed_counters=(2, 3),
+            ),
+            NativeEvent("BR_RETIRED", (Signal.BR_INS,), "branches retired"),
+            NativeEvent("BR_MISPRED", (Signal.BR_MSP,), "branch mispredicts"),
+            NativeEvent("BACK_END_STALLS", (Signal.STL_CYC,), "stall cycles"),
+            NativeEvent("MEM_STALLS", (Signal.MEM_RCY,), "memory stall cycles"),
+        ]
+
+    def _groups(self) -> Optional[List[CounterGroup]]:
+        return None
+
+    # -- EAR access (used by precise profiling, E5) -------------------------
+
+    def add_ear(self, period: int, event: str = "l1d_miss"):
+        """Arm an event address register; returns the EAR object."""
+        self._charge(self.COSTS.program)
+        return self.machine.pmu.add_ear(period, event)
+
+    def remove_ear(self, ear) -> None:
+        self.machine.pmu.remove_ear(ear)

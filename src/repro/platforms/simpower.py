@@ -1,0 +1,135 @@
+"""simPOWER: an IBM POWER3-like platform with pmtoolkit-style library access.
+
+Three paper anecdotes live here:
+
+- the native interface is a **vendor library** (pmtoolkit), mid-priced
+  between register access and kernel syscalls;
+- native events are managed in **counter groups**: an EventSet must be
+  satisfiable by a single group's fixed event->counter assignment
+  (Section 5's "some platforms manage native events in groups and
+  require counters to be allocated in a group");
+- ``PM_FPU_INS`` *includes precision-convert (rounding) instructions* --
+  the POWER3 discrepancy the paper describes, where "extra rounding
+  instructions ... introduced to convert between double and single
+  precision ... were being included as floating point instructions".
+  ``PM_FPU_CVT`` and ``PM_FPU_FMA`` exist so the high-level
+  ``PAPI_flops`` normalization can correct for both quirks (E6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.hw.cache import CacheConfig, HierarchyConfig, TLBConfig
+from repro.hw.cpu import CPUConfig
+from repro.hw.events import Signal
+from repro.hw.machine import MachineConfig
+from repro.hw.pmu import PMUConfig
+from repro.platforms.base import AccessCosts, CounterGroup, NativeEvent, Substrate
+
+
+class SimPOWER(Substrate):
+    NAME = "simPOWER"
+    STYLE = "library"
+    COUNTING = "direct"
+    DESCRIPTION = "IBM POWER3-like: vendor library interface, 8 grouped counters"
+    COSTS = AccessCosts(
+        read=550,
+        read_per_counter=40,
+        start=800,
+        stop=750,
+        program=900,
+        reset=500,
+        pollute_lines=3,
+    )
+    HAS_FMA = True
+
+    def _machine_config(self, seed: int) -> MachineConfig:
+        return MachineConfig(
+            name=self.NAME,
+            cpu=CPUConfig(predictor="two-bit", branch_penalty=8),
+            hierarchy=HierarchyConfig(
+                l1d=CacheConfig("L1D", size_bytes=8192, line_bytes=128, assoc=2),
+                l1i=CacheConfig("L1I", size_bytes=8192, line_bytes=128, assoc=2),
+                l2=CacheConfig("L2", size_bytes=262144, line_bytes=128, assoc=4),
+                tlb=TLBConfig(entries=64, page_bytes=4096),
+                l2_latency=9,
+                mem_latency=55,
+                tlb_walk_latency=28,
+            ),
+            pmu=PMUConfig(n_counters=8, skid_max=8, interrupt_cost=110),
+            mhz=375,
+            seed=seed,
+        )
+
+    def _native_events(self) -> Sequence[NativeEvent]:
+        return [
+            NativeEvent("PM_CYC", (Signal.TOT_CYC,), "processor cycles"),
+            NativeEvent("PM_INST_CMPL", (Signal.TOT_INS,), "instructions completed"),
+            # The POWER3 quirk: FPU instruction count INCLUDES precision
+            # converts (rounding instructions) and counts an FMA as one.
+            NativeEvent(
+                "PM_FPU_INS",
+                (
+                    Signal.FP_ADD,
+                    Signal.FP_MUL,
+                    Signal.FP_DIV,
+                    Signal.FP_SQRT,
+                    Signal.FP_FMA,
+                    Signal.FP_CVT,
+                ),
+                "FPU instructions completed (includes converts, FMA=1)",
+            ),
+            NativeEvent("PM_FPU_FMA", (Signal.FP_FMA,), "fused multiply-adds"),
+            NativeEvent("PM_FPU_CVT", (Signal.FP_CVT,), "precision converts"),
+            NativeEvent("PM_FPU_DIV", (Signal.FP_DIV,), "FP divides"),
+            NativeEvent("PM_FPU_SQRT", (Signal.FP_SQRT,), "FP square roots"),
+            NativeEvent("PM_LD_CMPL", (Signal.LD_INS,), "loads completed"),
+            NativeEvent("PM_ST_CMPL", (Signal.SR_INS,), "stores completed"),
+            NativeEvent("PM_LD_MISS_L1", (Signal.L1D_MISS,), "L1 D misses"),
+            NativeEvent("PM_INST_MISS_L1", (Signal.L1I_MISS,), "L1 I misses"),
+            NativeEvent("PM_LD_MISS_L2", (Signal.L2_MISS,), "L2 misses"),
+            NativeEvent("PM_DTLB_MISS", (Signal.TLB_DM,), "data TLB misses"),
+            NativeEvent("PM_BR_CMPL", (Signal.BR_INS,), "branches completed"),
+            NativeEvent("PM_BR_MPRED", (Signal.BR_MSP,), "mispredicted branches"),
+            NativeEvent("PM_CBR_CMPL", (Signal.BR_CN,), "conditional branches"),
+            NativeEvent("PM_STALL_CYC", (Signal.STL_CYC,), "stall cycles"),
+            NativeEvent("PM_MEM_WAIT_CYC", (Signal.MEM_RCY,), "memory wait cycles"),
+        ]
+
+    def _groups(self) -> Optional[List[CounterGroup]]:
+        """POWER-style groups: fixed event->counter layouts.
+
+        Group coverage is deliberately uneven -- no single group has
+        everything, some event combinations exist in no group at all --
+        so group selection is a real search problem (E4/A3).
+        """
+        return [
+            CounterGroup(0, {  # general characterization
+                "PM_CYC": 0, "PM_INST_CMPL": 1, "PM_LD_CMPL": 2,
+                "PM_ST_CMPL": 3, "PM_BR_CMPL": 4, "PM_FPU_INS": 5,
+                "PM_STALL_CYC": 6, "PM_CBR_CMPL": 7,
+            }),
+            CounterGroup(1, {  # floating point study
+                "PM_CYC": 0, "PM_INST_CMPL": 1, "PM_FPU_INS": 2,
+                "PM_FPU_FMA": 3, "PM_FPU_CVT": 4, "PM_FPU_DIV": 5,
+                "PM_FPU_SQRT": 6,
+            }),
+            CounterGroup(2, {  # memory hierarchy study
+                "PM_CYC": 0, "PM_INST_CMPL": 1, "PM_LD_CMPL": 2,
+                "PM_ST_CMPL": 3, "PM_LD_MISS_L1": 4, "PM_LD_MISS_L2": 5,
+                "PM_DTLB_MISS": 6, "PM_MEM_WAIT_CYC": 7,
+            }),
+            CounterGroup(3, {  # branch study
+                "PM_CYC": 0, "PM_INST_CMPL": 1, "PM_BR_CMPL": 2,
+                "PM_BR_MPRED": 3, "PM_CBR_CMPL": 4, "PM_STALL_CYC": 5,
+            }),
+            CounterGroup(4, {  # instruction cache study
+                "PM_CYC": 0, "PM_INST_CMPL": 1, "PM_INST_MISS_L1": 2,
+                "PM_LD_MISS_L1": 3, "PM_STALL_CYC": 4,
+            }),
+            CounterGroup(5, {  # flops + memory (mixed) -- no TLB here
+                "PM_CYC": 0, "PM_FPU_INS": 1, "PM_FPU_FMA": 2,
+                "PM_LD_MISS_L1": 3, "PM_LD_MISS_L2": 4, "PM_LD_CMPL": 5,
+            }),
+        ]

@@ -1,0 +1,115 @@
+"""simSPARC: a Sun Solaris / UltraSPARC-II-like platform over libcpc.
+
+The paper's supported-platform list includes Sun Solaris; its native
+interface is the ``libcpc`` vendor library over the UltraSPARC PIC
+counters.  The modelled machine has exactly **two** counters (``PIC0``,
+``PIC1``) with the UltraSPARC-II's signature constraint style: most
+events are readable on only one specific PIC (the %pcr encodes one event
+selector per PIC), which makes it the second pairing-constrained
+platform in the E4 allocation study -- with even tighter constraints
+than simX86.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.hw.cache import CacheConfig, HierarchyConfig, TLBConfig
+from repro.hw.cpu import CPUConfig
+from repro.hw.events import Signal
+from repro.hw.machine import MachineConfig
+from repro.hw.pmu import PMUConfig
+from repro.platforms.base import AccessCosts, CounterGroup, NativeEvent, Substrate
+
+
+class SimSPARC(Substrate):
+    NAME = "simSPARC"
+    STYLE = "library"
+    COUNTING = "direct"
+    DESCRIPTION = "Sun UltraSPARC-II-like: libcpc library, 2 PIC counters"
+    COSTS = AccessCosts(
+        read=700,
+        read_per_counter=60,
+        start=950,
+        stop=900,
+        program=1000,
+        reset=600,
+        pollute_lines=3,
+    )
+    HAS_FMA = False  # UltraSPARC-II has no fused multiply-add
+
+    def _machine_config(self, seed: int) -> MachineConfig:
+        return MachineConfig(
+            name=self.NAME,
+            cpu=CPUConfig(predictor="two-bit", branch_penalty=7),
+            hierarchy=HierarchyConfig(
+                l1d=CacheConfig("L1D", size_bytes=16384, line_bytes=32, assoc=1),
+                l1i=CacheConfig("L1I", size_bytes=16384, line_bytes=32, assoc=2),
+                l2=CacheConfig("L2", size_bytes=262144, line_bytes=64, assoc=1),
+                tlb=TLBConfig(entries=64, page_bytes=8192),
+                l2_latency=8,
+                mem_latency=75,
+                tlb_walk_latency=26,
+            ),
+            pmu=PMUConfig(n_counters=2, skid_max=6, interrupt_cost=130),
+            mhz=400,
+            seed=seed,
+        )
+
+    def _native_events(self) -> Sequence[NativeEvent]:
+        # PIC0-only vs PIC1-only split, as in the UltraSPARC-II PCR:
+        # the cycle and instruction counters exist on both PICs, but
+        # cache and stall events are pinned to one side each.
+        return [
+            NativeEvent("Cycle_cnt", (Signal.TOT_CYC,), "cycles"),
+            NativeEvent("Instr_cnt", (Signal.TOT_INS,), "instructions"),
+            NativeEvent(
+                "FP_instr_cnt",
+                (Signal.FP_ADD, Signal.FP_MUL, Signal.FP_DIV, Signal.FP_SQRT),
+                "fp instructions completed",
+                allowed_counters=(1,),
+            ),
+            NativeEvent(
+                "DC_rd", (Signal.LD_INS,), "D-cache read references",
+                allowed_counters=(0,),
+            ),
+            NativeEvent(
+                "DC_wr", (Signal.SR_INS,), "D-cache write references",
+                allowed_counters=(1,),
+            ),
+            NativeEvent(
+                "DC_rd_miss", (Signal.L1D_MISS,), "D-cache misses",
+                allowed_counters=(1,),
+            ),
+            NativeEvent(
+                "IC_ref", (Signal.L1I_ACC,), "I-cache references",
+                allowed_counters=(0,),
+            ),
+            NativeEvent(
+                "IC_miss", (Signal.L1I_MISS,), "I-cache misses",
+                allowed_counters=(1,),
+            ),
+            NativeEvent(
+                "EC_misses", (Signal.L2_MISS,), "E-cache (L2) misses",
+                allowed_counters=(1,),
+            ),
+            NativeEvent(
+                "EC_ref", (Signal.L2_ACC,), "E-cache references",
+                allowed_counters=(0,),
+            ),
+            NativeEvent(
+                "Dispatch0_br", (Signal.BR_INS,), "branches dispatched",
+                allowed_counters=(0,),
+            ),
+            NativeEvent(
+                "Dispatch0_mispred", (Signal.BR_MSP,), "branches mispredicted",
+                allowed_counters=(1,),
+            ),
+            NativeEvent(
+                "Load_use_stall", (Signal.MEM_RCY,), "load-use stall cycles",
+                allowed_counters=(1,),
+            ),
+        ]
+
+    def _groups(self) -> Optional[List[CounterGroup]]:
+        return None

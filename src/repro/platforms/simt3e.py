@@ -1,0 +1,80 @@
+"""simT3E: a Cray T3E-like platform (Alpha 21164 style).
+
+The paper singles out the T3E substrate as the one using *register level
+operations* -- the cheapest possible native interface.  The modelled
+machine is in-order (zero overflow skid), has a simple static branch
+predictor, a modest event table with no TLB/L2/misprediction events
+(holes that show up in the E8 portability matrix), and dirt-cheap
+counter access costs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.hw.cache import CacheConfig, HierarchyConfig, TLBConfig
+from repro.hw.cpu import CPUConfig
+from repro.hw.events import Signal
+from repro.hw.machine import MachineConfig
+from repro.hw.pmu import PMUConfig
+from repro.platforms.base import AccessCosts, CounterGroup, NativeEvent, Substrate
+
+
+class SimT3E(Substrate):
+    NAME = "simT3E"
+    STYLE = "register"
+    COUNTING = "direct"
+    DESCRIPTION = "Cray T3E-like: register-level counter access, in-order core"
+    COSTS = AccessCosts(
+        read=18,
+        read_per_counter=6,
+        start=24,
+        stop=24,
+        program=20,
+        reset=16,
+        pollute_lines=0,
+    )
+    #: the simulated compiler does not emit fused multiply-add here.
+    HAS_FMA = False
+
+    def _machine_config(self, seed: int) -> MachineConfig:
+        return MachineConfig(
+            name=self.NAME,
+            cpu=CPUConfig(predictor="static-taken", branch_penalty=5),
+            hierarchy=HierarchyConfig(
+                l1d=CacheConfig("L1D", size_bytes=8192, line_bytes=32, assoc=1),
+                l1i=CacheConfig("L1I", size_bytes=8192, line_bytes=32, assoc=1),
+                l2=CacheConfig("L2", size_bytes=65536, line_bytes=64, assoc=2),
+                tlb=TLBConfig(entries=64, page_bytes=8192),
+                l2_latency=6,
+                mem_latency=80,
+                tlb_walk_latency=20,
+            ),
+            pmu=PMUConfig(n_counters=4, skid_max=0, interrupt_cost=90),
+            mhz=600,
+            seed=seed,
+        )
+
+    def _native_events(self) -> Sequence[NativeEvent]:
+        return [
+            NativeEvent("CYC_CNT", (Signal.TOT_CYC,), "machine cycles"),
+            NativeEvent("INS_CNT", (Signal.TOT_INS,), "instructions issued"),
+            NativeEvent(
+                "FP_ARITH",
+                (Signal.FP_ADD, Signal.FP_MUL, Signal.FP_DIV, Signal.FP_SQRT),
+                "floating point arithmetic operations",
+            ),
+            NativeEvent("LD_QW", (Signal.LD_INS,), "quadword loads"),
+            NativeEvent("ST_QW", (Signal.SR_INS,), "quadword stores"),
+            NativeEvent("DC_MISS", (Signal.L1D_MISS,), "data cache misses"),
+            NativeEvent("IC_MISS", (Signal.L1I_MISS,), "instruction cache misses"),
+            NativeEvent("BR_CNT", (Signal.BR_INS,), "branches issued"),
+            NativeEvent("INT_OPS", (Signal.INT_INS,), "integer operations"),
+            # NOTE: no TLB, no L2, no misprediction events -- the 21164-era
+            # counter set simply did not expose them, which is why several
+            # PAPI presets are unavailable on this platform (Figure 1 /
+            # portability matrix experiment E8).
+        ]
+
+    def _groups(self) -> Optional[List[CounterGroup]]:
+        return None

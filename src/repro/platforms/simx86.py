@@ -1,0 +1,127 @@
+"""simX86: a Linux/x86 P6-like platform with a kernel-patch interface.
+
+The paper notes the Linux/x86 substrate used "customized system calls
+implemented in a kernel patch" -- and that kernel modifications met
+resistance from system administrators.  The modelled interface is
+accordingly the most expensive per call (every operation is a syscall
+that also drags interface lines through the data cache), the PMU has
+only **two** counters with P6-style placement constraints (several
+events can live on only one specific counter), and the out-of-order
+core gives overflow interrupts a substantial skid.
+
+The pairing constraints are the canonical source of first-fit allocation
+failures: an EventSet {CPU_CLK_UNHALTED, FLOPS} allocated greedily can
+put the clock on counter 0 and then find FLOPS (counter-0-only)
+unplaceable, while the optimal matcher succeeds (experiment E4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.hw.cache import CacheConfig, HierarchyConfig, TLBConfig
+from repro.hw.cpu import CPUConfig
+from repro.hw.events import Signal
+from repro.hw.machine import MachineConfig
+from repro.hw.pmu import PMUConfig
+from repro.platforms.base import AccessCosts, CounterGroup, NativeEvent, Substrate
+
+
+class SimX86(Substrate):
+    NAME = "simX86"
+    STYLE = "syscall"
+    COUNTING = "direct"
+    DESCRIPTION = "Linux/x86 P6-like: kernel-patch syscall interface, 2 counters"
+    COSTS = AccessCosts(
+        read=2400,
+        read_per_counter=150,
+        start=3000,
+        stop=2800,
+        program=3200,
+        reset=2000,
+        pollute_lines=8,
+    )
+    HAS_FMA = False  # x87 has no fused multiply-add
+
+    def _machine_config(self, seed: int) -> MachineConfig:
+        return MachineConfig(
+            name=self.NAME,
+            cpu=CPUConfig(predictor="gshare", branch_penalty=10),
+            hierarchy=HierarchyConfig(
+                l1d=CacheConfig("L1D", size_bytes=4096, line_bytes=32, assoc=4),
+                l1i=CacheConfig("L1I", size_bytes=4096, line_bytes=32, assoc=4),
+                l2=CacheConfig("L2", size_bytes=131072, line_bytes=32, assoc=4),
+                tlb=TLBConfig(entries=32, page_bytes=4096),
+                l2_latency=10,
+                mem_latency=70,
+                tlb_walk_latency=30,
+            ),
+            pmu=PMUConfig(n_counters=2, skid_max=14, interrupt_cost=150),
+            mhz=800,
+            seed=seed,
+        )
+
+    def _native_events(self) -> Sequence[NativeEvent]:
+        return [
+            NativeEvent("CPU_CLK_UNHALTED", (Signal.TOT_CYC,), "core clocks"),
+            NativeEvent("INST_RETIRED", (Signal.TOT_INS,), "instructions retired"),
+            # P6 quirk: FLOPS counts only on PMC0.
+            NativeEvent(
+                "FLOPS",
+                (Signal.FP_ADD, Signal.FP_MUL, Signal.FP_DIV, Signal.FP_SQRT),
+                "x87 floating point operations retired",
+                allowed_counters=(0,),
+            ),
+            NativeEvent(
+                "DATA_MEM_REFS",
+                (Signal.LD_INS, Signal.SR_INS),
+                "all memory references",
+            ),
+            NativeEvent(
+                "DCU_LINES_IN",
+                (Signal.L1D_MISS,),
+                "L1 data lines allocated",
+                allowed_counters=(0,),
+            ),
+            NativeEvent(
+                "L2_LINES_IN",
+                (Signal.L2_MISS,),
+                "L2 lines allocated",
+                allowed_counters=(1,),
+            ),
+            NativeEvent("BR_INST_RETIRED", (Signal.BR_INS,), "branches retired"),
+            NativeEvent(
+                "BR_MISS_PRED_RETIRED",
+                (Signal.BR_MSP,),
+                "mispredicted branches retired",
+                allowed_counters=(1,),
+            ),
+            NativeEvent(
+                "BR_TAKEN_RETIRED",
+                (Signal.BR_TKN,),
+                "taken branches retired",
+            ),
+            NativeEvent(
+                "DTLB_MISS",
+                (Signal.TLB_DM,),
+                "data TLB misses",
+                allowed_counters=(0,),
+            ),
+            NativeEvent(
+                "IFU_IFETCH_MISS",
+                (Signal.L1I_MISS,),
+                "instruction fetch misses",
+                allowed_counters=(1,),
+            ),
+            NativeEvent("LD_RETIRED", (Signal.LD_INS,), "loads retired"),
+            NativeEvent("ST_RETIRED", (Signal.SR_INS,), "stores retired"),
+            NativeEvent(
+                "RESOURCE_STALLS",
+                (Signal.STL_CYC,),
+                "stall cycles",
+                allowed_counters=(0,),
+            ),
+        ]
+
+    def _groups(self) -> Optional[List[CounterGroup]]:
+        return None

@@ -1,0 +1,36 @@
+"""A tiny simulated operating system.
+
+PAPI's semantics lean on OS services the paper repeatedly references:
+per-thread *virtualized* counters (saved/restored across context
+switches), virtual vs real timers, signal delivery for counter-overflow
+interrupts, and -- for the PAPI-3 memory extensions -- per-process memory
+accounting.  This subpackage provides exactly those services on top of a
+:class:`repro.hw.machine.Machine`:
+
+- :class:`~repro.simos.thread.Thread`: an execution context plus the set
+  of PMU counters virtualized to it;
+- :class:`~repro.simos.scheduler.OS`: a round-robin scheduler that
+  multiplexes threads onto the machine's single CPU, pausing/resuming
+  each thread's counters around its time slices and charging context
+  switch costs;
+- :class:`~repro.simos.signals.SignalRouter`: per-thread routing of
+  overflow interrupt records to handlers;
+- :class:`~repro.simos.vmem.MemoryAccounting`: resident-set /
+  high-water-mark / swap accounting per thread.
+"""
+
+from repro.simos.scheduler import OS, OSError_, SchedulerStats
+from repro.simos.signals import SignalRouter
+from repro.simos.thread import Thread, ThreadState
+from repro.simos.vmem import MemoryAccounting, MemoryInfo
+
+__all__ = [
+    "MemoryAccounting",
+    "MemoryInfo",
+    "OS",
+    "OSError_",
+    "SchedulerStats",
+    "SignalRouter",
+    "Thread",
+    "ThreadState",
+]

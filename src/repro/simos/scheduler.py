@@ -1,0 +1,218 @@
+"""The round-robin scheduler: threads, time slices, counter virtualization.
+
+This is the piece that makes PAPI's "per-thread counts" story work (the
+paper's Tru64 discussion: the original aggregate interface could not do
+per-thread counting; DADD added it).  Counters bound to a thread run
+physically only while that thread occupies the CPU; the scheduler
+pauses/resumes them around every context switch, and charges a context
+switch cost to the machine's system clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hw.cpu import RunResult
+from repro.hw.isa import Program
+from repro.hw.machine import Machine
+from repro.simos.signals import SignalRouter
+from repro.simos.thread import Thread, ThreadState
+from repro.simos.vmem import MemoryAccounting, MemoryInfo
+
+
+class OSError_(Exception):
+    """Raised for scheduler misuse (OS-level errors)."""
+
+
+@dataclass
+class SchedulerStats:
+    context_switches: int = 0
+    slices: int = 0
+    idle_dispatches: int = 0
+
+
+class OS:
+    """Multiplexes threads onto one :class:`Machine`.
+
+    Typical use::
+
+        os_ = OS(machine, quantum_cycles=20_000)
+        t1 = os_.spawn(program_a)
+        t2 = os_.spawn(program_b)
+        os_.run()          # until every thread halts
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        quantum_cycles: int = 20_000,
+        ctx_switch_cost: int = 400,
+        phys_pages: int = 4096,
+    ) -> None:
+        if quantum_cycles < 1:
+            raise OSError_("quantum must be at least one cycle")
+        if ctx_switch_cost < 0:
+            raise OSError_("context switch cost cannot be negative")
+        self.machine = machine
+        self.quantum_cycles = quantum_cycles
+        self.ctx_switch_cost = ctx_switch_cost
+        self.threads: List[Thread] = []
+        self.signals = SignalRouter()
+        self.vmem = MemoryAccounting(
+            page_bytes=machine.hierarchy.config.tlb.page_bytes,
+            total_pages=phys_pages,
+        )
+        self.stats = SchedulerStats()
+        self._next_tid = 1
+        self._current: Optional[Thread] = None
+        self._rr_index = 0
+
+    # ------------------------------------------------------------------
+    # thread management
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self, program: Program, name: Optional[str] = None, heap_words: int = 0
+    ) -> Thread:
+        thread = Thread.create(self._next_tid, program, name=name, heap_words=heap_words)
+        self._next_tid += 1
+        self.threads.append(thread)
+        return thread
+
+    @property
+    def current(self) -> Optional[Thread]:
+        return self._current
+
+    def thread_by_tid(self, tid: int) -> Thread:
+        for t in self.threads:
+            if t.tid == tid:
+                return t
+        raise OSError_(f"no thread with tid {tid}")
+
+    def ready_threads(self) -> List[Thread]:
+        return [t for t in self.threads if t.state is ThreadState.READY]
+
+    def all_finished(self) -> bool:
+        return all(t.finished for t in self.threads)
+
+    # ------------------------------------------------------------------
+    # counter virtualization (used by the PAPI attach path)
+    # ------------------------------------------------------------------
+
+    def bind_counter(self, thread: Thread, index: int) -> None:
+        """Virtualize PMU counter *index* to *thread* (stopped initially)."""
+        for t in self.threads:
+            if index in t.bound_counters and t is not thread:
+                raise OSError_(
+                    f"counter {index} is already bound to thread {t.tid}"
+                )
+        thread.bind_counter(index)
+
+    def unbind_counter(self, thread: Thread, index: int) -> None:
+        if thread.bound_counters.get(index) and thread.state is ThreadState.RUNNING:
+            self.machine.pmu.stop(index)
+        thread.unbind_counter(index)
+
+    def counter_start(self, thread: Thread, index: int) -> None:
+        """Logically start a bound counter; physical start if on CPU."""
+        if index not in thread.bound_counters:
+            raise OSError_(f"counter {index} is not bound to thread {thread.tid}")
+        if thread.bound_counters[index]:
+            raise OSError_(f"counter {index} is already started")
+        thread.bound_counters[index] = True
+        if thread.state is ThreadState.RUNNING:
+            self.machine.pmu.start(index)
+
+    def counter_stop(self, thread: Thread, index: int) -> int:
+        if not thread.bound_counters.get(index, False):
+            raise OSError_(f"counter {index} is not running for thread {thread.tid}")
+        thread.bound_counters[index] = False
+        if thread.state is ThreadState.RUNNING:
+            return self.machine.pmu.stop(index)
+        return self.machine.pmu.read(index)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, thread: Thread) -> None:
+        self.machine.cpu.restore_context(thread.context)
+        self.signals.current_tid = thread.tid
+        thread.state = ThreadState.RUNNING
+        thread.dispatches += 1
+        pmu = self.machine.pmu
+        for index, running in thread.bound_counters.items():
+            if running and not pmu.running(index):
+                pmu.start(index)
+
+    def _deschedule(self, thread: Thread, result: RunResult) -> None:
+        pmu = self.machine.pmu
+        for index, running in thread.bound_counters.items():
+            if running and pmu.running(index):
+                pmu.stop(index)
+        thread.context = self.machine.cpu.save_context()
+        thread.user_cycles += result.cycles
+        thread.state = (
+            ThreadState.FINISHED if result.halted else ThreadState.READY
+        )
+        self.signals.current_tid = None
+        self._current = None
+
+    def run_slice(self, thread: Thread, max_cycles: Optional[int] = None) -> RunResult:
+        """Run one time slice of *thread* and context-switch away again."""
+        if thread.state is not ThreadState.READY:
+            raise OSError_(f"thread {thread.tid} is not ready ({thread.state.value})")
+        self._current = thread
+        self._dispatch(thread)
+        result = self.machine.run(
+            max_cycles=max_cycles if max_cycles is not None else self.quantum_cycles
+        )
+        self._deschedule(thread, result)
+        self.machine.charge(self.ctx_switch_cost)
+        self.stats.context_switches += 1
+        self.stats.slices += 1
+        self.vmem.update(self.threads)
+        return result
+
+    def run(
+        self,
+        max_total_cycles: Optional[int] = None,
+        max_slices: Optional[int] = None,
+    ) -> SchedulerStats:
+        """Round-robin all ready threads until everything halts (or budget)."""
+        start_cycles = self.machine.real_cycles
+        slices = 0
+        while True:
+            ready = self.ready_threads()
+            if not ready:
+                break
+            if max_slices is not None and slices >= max_slices:
+                break
+            if (
+                max_total_cycles is not None
+                and self.machine.real_cycles - start_cycles >= max_total_cycles
+            ):
+                break
+            thread = ready[self._rr_index % len(ready)]
+            self._rr_index += 1
+            self.run_slice(thread)
+            slices += 1
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # time & memory services
+    # ------------------------------------------------------------------
+
+    def real_cycles(self) -> int:
+        return self.machine.real_cycles
+
+    def virt_cycles(self, thread: Thread) -> int:
+        """Thread-virtual cycles, including the live slice if running."""
+        if thread.state is ThreadState.RUNNING:
+            # context was saved at dispatch time; add the live delta
+            return thread.user_cycles  # updated at deschedule; see note
+        return thread.user_cycles
+
+    def memory_info(self, thread: Thread) -> MemoryInfo:
+        return self.vmem.info(thread, self.threads)

@@ -1,0 +1,56 @@
+"""Per-thread routing of overflow interrupt records.
+
+The PMU delivers :class:`~repro.hw.pmu.OverflowRecord` objects
+synchronously from the CPU loop.  Real systems deliver those as signals
+to the thread whose counter overflowed; the router reproduces that: the
+PAPI layer registers handlers keyed by counter index, optionally scoped
+to a thread, and the router dispatches to whichever handler matches the
+currently running thread.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.hw.pmu import OverflowRecord
+
+Handler = Callable[[OverflowRecord], None]
+
+
+class SignalRouter:
+    """Dispatch overflow records to per-thread handlers.
+
+    ``current_tid`` is maintained by the scheduler; handlers registered
+    with ``tid=None`` fire regardless of the running thread (the
+    single-threaded fast path).
+    """
+
+    def __init__(self) -> None:
+        self.current_tid: Optional[int] = None
+        self._handlers: Dict[Tuple[int, Optional[int]], Handler] = {}
+        self.delivered = 0
+        self.dropped = 0
+
+    def register(self, counter: int, handler: Handler, tid: Optional[int] = None) -> None:
+        key = (counter, tid)
+        if key in self._handlers:
+            raise ValueError(f"handler already registered for counter {counter}, tid {tid}")
+        self._handlers[key] = handler
+
+    def unregister(self, counter: int, tid: Optional[int] = None) -> None:
+        self._handlers.pop((counter, tid), None)
+
+    def dispatch(self, record: OverflowRecord) -> None:
+        """Route *record*; unmatched records are counted as dropped."""
+        handler = self._handlers.get((record.counter, self.current_tid))
+        if handler is None:
+            handler = self._handlers.get((record.counter, None))
+        if handler is None:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        handler(record)
+
+    def handlers_for(self, counter: int) -> List[Optional[int]]:
+        """Thread ids (None = any) with a handler on *counter* (for tests)."""
+        return [tid for (ctr, tid) in self._handlers if ctr == counter]

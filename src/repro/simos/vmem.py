@@ -1,0 +1,106 @@
+"""Per-thread memory accounting for the PAPI-3 memory extensions.
+
+The paper's planned version-3 routines (Section 5) report: memory
+available on a node, total memory used (high-water mark), memory used by
+process/thread, and disk swapping by process.  The CPU records the set of
+distinct pages each thread has touched (first touch always misses the
+TLB, which is where the hook lives); this module turns those sets into
+resident-set sizes, high-water marks and a simple swap model against a
+configurable physical-memory capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simos.thread import Thread
+
+
+@dataclass(frozen=True)
+class MemoryInfo:
+    """Snapshot returned to PAPI's memory routines."""
+
+    page_bytes: int
+    total_pages: int          #: physical pages on the simulated node
+    used_pages: int           #: pages resident across all threads
+    free_pages: int
+    thread_rss_pages: int     #: resident set of the queried thread
+    thread_hwm_pages: int     #: that thread's high-water mark
+    swapped_pages: int        #: pages currently swapped out (node-wide)
+    swap_events: int          #: cumulative swap-out events
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_pages * self.page_bytes
+
+    @property
+    def thread_rss_bytes(self) -> int:
+        return self.thread_rss_pages * self.page_bytes
+
+
+class MemoryAccounting:
+    """Tracks residency and swapping across a set of threads.
+
+    The swap model is deliberately simple: whenever total residency
+    exceeds physical capacity, the excess pages are considered swapped
+    out and a swap event is recorded per newly swapped page.  This gives
+    the memory-utilization routines meaningful, monotonic numbers without
+    simulating a paging policy the paper never describes.
+    """
+
+    def __init__(self, page_bytes: int, total_pages: int) -> None:
+        if page_bytes < 1 or total_pages < 1:
+            raise ValueError("page size and capacity must be positive")
+        self.page_bytes = page_bytes
+        self.total_pages = total_pages
+        self.swap_events = 0
+        self._swapped_now = 0
+
+    def update(self, threads: Iterable["Thread"]) -> None:
+        """Refresh high-water marks and the swap state.
+
+        Called by the scheduler at the end of every time slice.
+        """
+        total = 0
+        for thread in threads:
+            rss = len(thread.touched_pages())
+            if rss > thread.hwm_pages:
+                thread.hwm_pages = rss
+            total += rss
+        excess = max(0, total - self.total_pages)
+        if excess > self._swapped_now:
+            self.swap_events += excess - self._swapped_now
+        self._swapped_now = excess
+
+    def info(self, thread: "Thread", all_threads: Iterable["Thread"]) -> MemoryInfo:
+        total_used = sum(len(t.touched_pages()) for t in all_threads)
+        resident = min(total_used, self.total_pages)
+        return MemoryInfo(
+            page_bytes=self.page_bytes,
+            total_pages=self.total_pages,
+            used_pages=resident,
+            free_pages=max(0, self.total_pages - total_used),
+            thread_rss_pages=len(thread.touched_pages()),
+            thread_hwm_pages=thread.hwm_pages,
+            swapped_pages=self._swapped_now,
+            swap_events=self.swap_events,
+        )
+
+    def locality_histogram(self, thread: "Thread", buckets: int = 8) -> Dict[int, int]:
+        """Pages-touched histogram over equal address ranges.
+
+        Supports the "location of memory used by an object" extension:
+        callers bucket a thread's footprint by address region.
+        """
+        pages = thread.touched_pages()
+        if not pages:
+            return {}
+        lo, hi = min(pages), max(pages)
+        span = max(1, (hi - lo + 1 + buckets - 1) // buckets)
+        hist: Dict[int, int] = {}
+        for p in pages:
+            b = (p - lo) // span
+            hist[b] = hist.get(b, 0) + 1
+        return hist

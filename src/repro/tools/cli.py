@@ -1,0 +1,192 @@
+"""Command-line utilities: papi_avail, papi_native_avail, papirun, calibrate.
+
+The real PAPI distribution ships small command-line programs next to the
+library; the paper's Section 5 explicitly plans "a papirun utility that
+will allow users to execute a program and easily collect basic timing
+and hardware counter data".  This module provides them over the
+simulated platforms::
+
+    python -m repro.tools.cli avail simPOWER
+    python -m repro.tools.cli native-avail simX86
+    python -m repro.tools.cli papirun simIA64 dot --n 2000 --multiplex
+    python -m repro.tools.cli calibrate simALPHA --kernel dot --n 50000
+    python -m repro.tools.cli platforms
+
+Every subcommand returns 0 on success and prints a table to stdout, so
+the utilities compose with shell pipelines like their C ancestors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import Table
+from repro.core.calibrate import calibrate
+from repro.core.library import Papi
+from repro.core.presets import PRESETS
+from repro.platforms import PLATFORM_NAMES, create
+from repro.tools.papirun import DEFAULT_EVENTS, papirun
+from repro.workloads import CALIBRATION_KERNELS
+
+
+def cmd_platforms(_args) -> int:
+    """List the simulated platforms."""
+    table = Table(["platform", "description"])
+    for name in PLATFORM_NAMES:
+        sub = create(name)
+        table.add_row(name, sub.describe())
+    print(table.render())
+    return 0
+
+
+def cmd_avail(args) -> int:
+    """papi_avail: preset availability on one platform."""
+    papi = Papi(create(args.platform))
+    table = Table(
+        ["preset", "avail", "kind", "description"],
+        title=f"papi_avail: {args.platform} "
+              f"({papi.num_counters} hardware counters)",
+    )
+    available = 0
+    for preset in PRESETS:
+        info = papi.event_info(preset.code)
+        if args.available_only and not info.available:
+            continue
+        available += info.available
+        table.add_row(
+            info.symbol,
+            "yes" if info.available else "no",
+            info.kind,
+            info.description,
+        )
+    print(table.render())
+    print(f"{available} of {len(PRESETS)} presets available")
+    return 0
+
+
+def cmd_native_avail(args) -> int:
+    """papi_native_avail: the platform's native event table."""
+    substrate = create(args.platform)
+    table = Table(
+        ["native event", "counters", "description"],
+        title=f"papi_native_avail: {args.platform}",
+    )
+    for event in substrate.list_native():
+        allowed = (
+            "any"
+            if event.allowed_counters is None
+            else ",".join(map(str, event.allowed_counters))
+        )
+        table.add_row(event.name, allowed, event.description)
+    print(table.render())
+    if substrate.uses_groups:
+        print(f"\ncounter groups ({len(substrate.groups)}):")
+        for g in substrate.groups:
+            print(f"  group {g.gid}: {', '.join(sorted(g.assignments))}")
+    return 0
+
+
+def cmd_papirun(args) -> int:
+    """papirun: run a workload and print timing + counters."""
+    try:
+        factory = CALIBRATION_KERNELS[args.workload]
+    except KeyError:
+        print(
+            f"unknown workload {args.workload!r}; "
+            f"known: {', '.join(sorted(CALIBRATION_KERNELS))}",
+            file=sys.stderr,
+        )
+        return 2
+    substrate = create(args.platform)
+    workload = factory(args.n, use_fma=substrate.HAS_FMA)
+    result = papirun(
+        substrate,
+        workload,
+        events=args.events.split(",") if args.events else None,
+        multiplex=args.multiplex,
+    )
+    print(result.to_text())
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    """calibrate: measured vs expected FLOPs for a known kernel."""
+    result = calibrate(
+        create(args.platform),
+        kernel=args.kernel,
+        n=args.n,
+        sampling_period=args.sampling_period,
+    )
+    table = Table(
+        ["quantity", "value"],
+        title=f"calibrate: {result.kernel}(n={result.n}) on {result.platform}",
+    )
+    table.add_row("expected FLOPs", result.expected_flops)
+    table.add_row("measured PAPI_FP_OPS", result.measured_fp_ops)
+    table.add_row("FP_OPS error %", round(result.fp_ops_error * 100, 3))
+    table.add_row("expected fp instructions", result.expected_fp_ins)
+    table.add_row("measured PAPI_FP_INS", result.measured_fp_ins)
+    table.add_row("cycles", result.cycles)
+    table.add_row("real usec", round(result.real_usec, 2))
+    print(table.render())
+    # nonzero exit when calibration is badly off: scriptable health check
+    return 0 if result.fp_ops_error < 0.25 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.cli",
+        description="PAPI-reproduction command line utilities",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list simulated platforms")
+
+    p = sub.add_parser("avail", help="preset availability (papi_avail)")
+    p.add_argument("platform", choices=PLATFORM_NAMES)
+    p.add_argument("--available-only", action="store_true")
+
+    p = sub.add_parser(
+        "native-avail", help="native event table (papi_native_avail)"
+    )
+    p.add_argument("platform", choices=PLATFORM_NAMES)
+
+    p = sub.add_parser("papirun", help="run a workload with counters")
+    p.add_argument("platform", choices=PLATFORM_NAMES)
+    p.add_argument("workload", help="kernel name (dot, axpy, triad, ...)")
+    p.add_argument("--n", type=int, default=2000, help="problem size")
+    p.add_argument(
+        "--events",
+        help=f"comma-separated preset list "
+             f"(default: {','.join(DEFAULT_EVENTS)})",
+    )
+    p.add_argument("--multiplex", action="store_true")
+
+    p = sub.add_parser("calibrate", help="check counts against ground truth")
+    p.add_argument("platform", choices=PLATFORM_NAMES)
+    p.add_argument("--kernel", default="dot",
+                   choices=sorted(CALIBRATION_KERNELS))
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--sampling-period", type=int, default=None)
+
+    return parser
+
+
+_COMMANDS = {
+    "platforms": cmd_platforms,
+    "avail": cmd_avail,
+    "native-avail": cmd_native_avail,
+    "papirun": cmd_papirun,
+    "calibrate": cmd_calibrate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Synthetic workload programs with analytically known expectations.
+
+Every kernel returns a :class:`~repro.workloads.builder.Workload`:
+a VM :class:`~repro.hw.isa.Program` plus
+:class:`~repro.workloads.builder.Expectations` recording the exact
+operation counts the kernel performs.  The calibrate utility (E2/E6) and
+the test suite compare measured counter values against these.
+
+``CALIBRATION_KERNELS`` maps kernel names to factories taking
+``(n, use_fma)``, the set the calibrate utility cycles through.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.workloads.branches import predictable_branches, random_branches
+from repro.workloads.builder import Expectations, Flow, Workload
+from repro.workloads.linalg import (
+    axpy,
+    dot,
+    matmul,
+    mixed_precision_sum,
+    triad,
+)
+from repro.workloads.memory import (
+    pointer_chase,
+    strided_scan,
+    tlb_walker,
+    working_set_sweep,
+)
+from repro.workloads.mixed import demo_app, phased
+
+def _matmul_sized(n: int, use_fma: bool = True) -> Workload:
+    """matmul sized so that total FLOPs ~ 2n (n is *work*, not dimension)."""
+    dim = max(2, round(n ** (1.0 / 3.0)))
+    return matmul(dim, use_fma=use_fma)
+
+
+#: kernels with exact FLOP expectations, usable by the calibrate utility.
+#: Every factory takes ``(n, use_fma)`` where n scales total work (so a
+#: single size knob is meaningful across kernels of different complexity).
+CALIBRATION_KERNELS: Dict[str, Callable[..., Workload]] = {
+    "dot": dot,
+    "axpy": axpy,
+    "triad": triad,
+    "matmul": _matmul_sized,
+    "mixsum": lambda n, use_fma=True: mixed_precision_sum(n, use_fma=use_fma),
+}
+
+__all__ = [
+    "CALIBRATION_KERNELS",
+    "Expectations",
+    "Flow",
+    "Workload",
+    "axpy",
+    "demo_app",
+    "dot",
+    "matmul",
+    "mixed_precision_sum",
+    "phased",
+    "pointer_chase",
+    "predictable_branches",
+    "random_branches",
+    "strided_scan",
+    "tlb_walker",
+    "triad",
+    "working_set_sweep",
+]

@@ -1,0 +1,87 @@
+"""Branch-behaviour kernels: predictable vs data-dependent branches.
+
+Exercise the BR_* signals and the platform branch predictors; the
+misprediction-rate contrast between the two kernels is what makes
+PAPI_BR_MSP informative in the tool-integration experiment (E10).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hw.isa import Assembler
+from repro.workloads.builder import Expectations, Flow, Workload
+
+
+def predictable_branches(n: int) -> Workload:
+    """A counted loop with an always-taken inner branch.
+
+    Any history-based predictor learns this pattern almost immediately,
+    so the misprediction count stays O(1) regardless of n.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    asm = Assembler(name=f"pred{n}")
+    flow = Flow(asm)
+    asm.func("main")
+    asm.li("r5", 0)
+    asm.li("r6", 0)  # constant 0: the inner compare is always equal
+    with flow.loop(n, "r30", "r31"):
+        with flow.if_ge("r6", "r6"):  # always true -> never taken skip
+            asm.addi("r5", "r5", 1)
+    asm.halt()
+    asm.endfunc()
+    return Workload(
+        name=f"predictable_branches(n={n})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=0,
+            fp_ins=0,
+            loads=0,
+            stores=0,
+            hot_function="main",
+            extra={"cond_branches_min": 2 * n},
+        ),
+    )
+
+
+def random_branches(n: int, seed: int = 11, taken_prob: float = 0.5) -> Workload:
+    """Branch on precomputed pseudo-random data: unpredictable by design.
+
+    The branch direction comes from a data array (0/1 with probability
+    *taken_prob*), so even gshare converges to ~min(p, 1-p) misprediction
+    rate -- the worst case the paper's accuracy discussion alludes to
+    when correlating time with misprediction events.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 <= taken_prob <= 1.0:
+        raise ValueError("taken_prob must be a probability")
+    rng = random.Random(seed)
+    bits = [1 if rng.random() < taken_prob else 0 for _ in range(n)]
+    asm = Assembler(name=f"rand{n}")
+    flow = Flow(asm)
+    base = asm.init_array(bits)
+    asm.func("main")
+    asm.li("r1", base)
+    asm.li("r5", 0)
+    asm.li("r6", 1)
+    with flow.loop(n, "r30", "r31"):
+        asm.load("r2", "r1", 0)
+        with flow.if_ge("r2", "r6"):  # taken iff bit == 1
+            asm.addi("r5", "r5", 1)
+        asm.addi("r1", "r1", 1)
+    asm.halt()
+    asm.endfunc()
+    return Workload(
+        name=f"random_branches(n={n},p={taken_prob})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=0,
+            fp_ins=0,
+            loads=n,
+            stores=0,
+            hot_function="main",
+            extra={"data_ones": sum(bits)},
+        ),
+    )

@@ -1,0 +1,120 @@
+"""Structured program construction helpers.
+
+Hand-writing assembly for every workload gets error-prone fast; this
+module adds the two abstractions the kernels need on top of
+:class:`~repro.hw.isa.Assembler`:
+
+- :class:`Flow`: structured control flow (counted loops with unique
+  labels, so loops nest without label collisions);
+- :class:`Expectations`: the analytically known event counts of a
+  kernel, which calibration (E2/E6) and the test suite check measured
+  counts against.
+
+Register conventions used by all kernels in this package:
+
+- ``r24``-``r31``: loop counters and limits (outermost uses the highest)
+- ``r1``-``r15``: addresses and scratch integers
+- ``f0``-``f15``: floating point working set
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.hw.isa import Assembler, Program
+
+
+@dataclass
+class Expectations:
+    """Analytic ground truth for a kernel (fields are None when unknown).
+
+    ``flops`` follows the PAPI_FP_OPS convention: an FMA contributes two,
+    a precision convert contributes zero.  ``fp_ins`` counts fp
+    *instructions*: FMA is one, converts count one each.
+    """
+
+    flops: Optional[int] = None
+    fp_ins: Optional[int] = None
+    fma: Optional[int] = None
+    converts: Optional[int] = None
+    loads: Optional[int] = None
+    stores: Optional[int] = None
+    #: name of the function expected to dominate the profile
+    hot_function: Optional[str] = None
+    notes: str = ""
+    extra: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A program plus its analytic expectations."""
+
+    name: str
+    program: Program
+    expect: Expectations
+
+
+class Flow:
+    """Structured control flow over an :class:`Assembler`."""
+
+    def __init__(self, asm: Assembler) -> None:
+        self.asm = asm
+        self._counter = 0
+
+    def unique(self, prefix: str) -> str:
+        self._counter += 1
+        return f"__{prefix}_{self._counter}"
+
+    @contextmanager
+    def loop(self, n: int, counter: str, limit: str) -> Iterator[str]:
+        """``for counter in range(n)``; yields the loop-top label.
+
+        The loop body must preserve *counter* and *limit*.  Executes the
+        body exactly *n* times (not at all for n <= 0).
+        """
+        asm = self.asm
+        top = self.unique("loop")
+        done = self.unique("done")
+        asm.li(counter, 0)
+        asm.li(limit, int(n))
+        asm.label(top)
+        asm.bge(counter, limit, done)
+        yield top
+        asm.addi(counter, counter, 1)
+        asm.jmp(top)
+        asm.label(done)
+
+    @contextmanager
+    def loop_to_reg(self, limit_reg: str, counter: str) -> Iterator[str]:
+        """``for counter in range(reg)`` with the limit already in a register."""
+        asm = self.asm
+        top = self.unique("loop")
+        done = self.unique("done")
+        asm.li(counter, 0)
+        asm.label(top)
+        asm.bge(counter, limit_reg, done)
+        yield top
+        asm.addi(counter, counter, 1)
+        asm.jmp(top)
+        asm.label(done)
+
+    @contextmanager
+    def if_ge(self, ra: str, rb: str) -> Iterator[None]:
+        """Execute the body only when ``ra >= rb``."""
+        asm = self.asm
+        skip = self.unique("else")
+        asm.blt(ra, rb, skip)
+        yield
+        asm.label(skip)
+
+
+def trip_count_overhead(n: int) -> int:
+    """Loop-control instructions executed by one ``Flow.loop`` of *n* trips.
+
+    Useful when a test wants an exact TOT_INS expectation: 2 setup
+    instructions, then per trip one bge + body + addi + jmp, and a final
+    bge that exits.  (Exposed for the test suite.)
+    """
+    return 2 + 3 * n + 1

@@ -1,0 +1,274 @@
+"""Dense linear algebra kernels with analytically known FLOP counts.
+
+These are the calibration workloads: dot product, axpy, STREAM triad and
+matrix multiply (naive and blocked).  Each returns a
+:class:`~repro.workloads.builder.Workload` whose ``expect`` field carries
+the exact operation counts, following the conventions of
+:class:`~repro.workloads.builder.Expectations`.
+
+``use_fma`` selects between fused multiply-add and separate mul+add code
+generation -- the knob behind the FMA-normalization experiment (E6):
+with FMA, fp *instructions* halve while fp *operations* stay constant.
+"""
+
+from __future__ import annotations
+
+from repro.hw.isa import Assembler
+from repro.workloads.builder import Expectations, Flow, Workload
+
+
+def dot(n: int, use_fma: bool = True) -> Workload:
+    """acc = sum(a[i] * b[i]); 2n flops, 2n loads."""
+    if n < 1:
+        raise ValueError("dot needs n >= 1")
+    asm = Assembler(name=f"dot{n}")
+    flow = Flow(asm)
+    a = asm.init_array([1.0 + 0.5 * (i % 4) for i in range(n)])
+    b = asm.init_array([2.0 - 0.25 * (i % 8) for i in range(n)])
+    asm.func("main")
+    asm.li("r1", a)
+    asm.li("r2", b)
+    asm.fli("f0", 0.0)
+    with flow.loop(n, "r30", "r31"):
+        asm.fload("f1", "r1", 0)
+        asm.fload("f2", "r2", 0)
+        if use_fma:
+            asm.fma("f0", "f1", "f2", "f0")
+        else:
+            asm.fmul("f3", "f1", "f2")
+            asm.fadd("f0", "f0", "f3")
+        asm.addi("r1", "r1", 1)
+        asm.addi("r2", "r2", 1)
+    asm.halt()
+    asm.endfunc()
+    return Workload(
+        name=f"dot(n={n},fma={use_fma})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=2 * n,
+            fp_ins=n if use_fma else 2 * n,
+            fma=n if use_fma else 0,
+            converts=0,
+            loads=2 * n,
+            stores=0,
+            hot_function="main",
+        ),
+    )
+
+
+def axpy(n: int, use_fma: bool = True) -> Workload:
+    """y[i] += alpha * x[i]; 2n flops, 2n loads, n stores."""
+    if n < 1:
+        raise ValueError("axpy needs n >= 1")
+    asm = Assembler(name=f"axpy{n}")
+    flow = Flow(asm)
+    x = asm.init_array([0.5 + (i % 3) for i in range(n)])
+    y = asm.init_array([1.0] * n)
+    asm.func("main")
+    asm.li("r1", x)
+    asm.li("r2", y)
+    asm.fli("f0", 1.5)  # alpha
+    with flow.loop(n, "r30", "r31"):
+        asm.fload("f1", "r1", 0)
+        asm.fload("f2", "r2", 0)
+        if use_fma:
+            asm.fma("f2", "f0", "f1", "f2")
+        else:
+            asm.fmul("f3", "f0", "f1")
+            asm.fadd("f2", "f2", "f3")
+        asm.fstore("f2", "r2", 0)
+        asm.addi("r1", "r1", 1)
+        asm.addi("r2", "r2", 1)
+    asm.halt()
+    asm.endfunc()
+    return Workload(
+        name=f"axpy(n={n},fma={use_fma})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=2 * n,
+            fp_ins=n if use_fma else 2 * n,
+            fma=n if use_fma else 0,
+            converts=0,
+            loads=2 * n,
+            stores=n,
+            hot_function="main",
+        ),
+    )
+
+
+def triad(n: int, use_fma: bool = True) -> Workload:
+    """STREAM triad: a[i] = b[i] + s * c[i]; streams three arrays."""
+    if n < 1:
+        raise ValueError("triad needs n >= 1")
+    asm = Assembler(name=f"triad{n}")
+    flow = Flow(asm)
+    a = asm.reserve_data(n)
+    b = asm.init_array([float(i % 7) for i in range(n)])
+    c = asm.init_array([float((i * 3) % 5) for i in range(n)])
+    asm.func("main")
+    asm.li("r1", a)
+    asm.li("r2", b)
+    asm.li("r3", c)
+    asm.fli("f0", 3.0)  # s
+    with flow.loop(n, "r30", "r31"):
+        asm.fload("f1", "r2", 0)
+        asm.fload("f2", "r3", 0)
+        if use_fma:
+            asm.fma("f3", "f0", "f2", "f1")
+        else:
+            asm.fmul("f3", "f0", "f2")
+            asm.fadd("f3", "f3", "f1")
+        asm.fstore("f3", "r1", 0)
+        asm.addi("r1", "r1", 1)
+        asm.addi("r2", "r2", 1)
+        asm.addi("r3", "r3", 1)
+    asm.halt()
+    asm.endfunc()
+    return Workload(
+        name=f"triad(n={n},fma={use_fma})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=2 * n,
+            fp_ins=n if use_fma else 2 * n,
+            fma=n if use_fma else 0,
+            converts=0,
+            loads=2 * n,
+            stores=n,
+            hot_function="main",
+        ),
+    )
+
+
+def matmul(n: int, use_fma: bool = True, blocked: bool = False,
+           block: int = 4) -> Workload:
+    """C = A @ B over n x n matrices; 2n^3 flops.
+
+    The naive version walks B column-wise (cache-hostile); the blocked
+    version tiles all three loops by *block* (must divide n), the
+    classic locality optimization whose effect the cache-study example
+    demonstrates via PAPI_L1_DCM.
+    """
+    if n < 1:
+        raise ValueError("matmul needs n >= 1")
+    if blocked and n % block != 0:
+        raise ValueError("block must divide n")
+    asm = Assembler(name=f"matmul{n}")
+    flow = Flow(asm)
+    a = asm.init_array([1.0 + ((i * 7) % 5) * 0.25 for i in range(n * n)])
+    b = asm.init_array([0.5 + ((i * 3) % 7) * 0.125 for i in range(n * n)])
+    c = asm.reserve_data(n * n)
+
+    def emit_inner(i_reg: str, j_reg: str, k_reg: str) -> None:
+        """acc += A[i,k] * B[k,j]  (acc lives in f0)."""
+        # r1 = &A[i*n + k]
+        asm.muli("r1", i_reg, n)
+        asm.add("r1", "r1", k_reg)
+        asm.addi("r1", "r1", a)
+        # r2 = &B[k*n + j]
+        asm.muli("r2", k_reg, n)
+        asm.add("r2", "r2", j_reg)
+        asm.addi("r2", "r2", b)
+        asm.fload("f1", "r1", 0)
+        asm.fload("f2", "r2", 0)
+        if use_fma:
+            asm.fma("f0", "f1", "f2", "f0")
+        else:
+            asm.fmul("f3", "f1", "f2")
+            asm.fadd("f0", "f0", "f3")
+
+    asm.func("main")
+    if not blocked:
+        with flow.loop(n, "r31", "r30"):          # i in r31
+            with flow.loop(n, "r29", "r28"):      # j in r29
+                asm.fli("f0", 0.0)
+                with flow.loop(n, "r27", "r26"):  # k in r27
+                    emit_inner("r31", "r29", "r27")
+                # C[i*n + j] = acc
+                asm.muli("r3", "r31", n)
+                asm.add("r3", "r3", "r29")
+                asm.addi("r3", "r3", c)
+                asm.fstore("f0", "r3", 0)
+    else:
+        nb = n // block
+        with flow.loop(nb, "r31", "r30"):                 # ib
+            with flow.loop(nb, "r29", "r28"):             # jb
+                with flow.loop(nb, "r25", "r24"):         # kb
+                    with flow.loop(block, "r23", "r22"):      # i offset
+                        # r10 = ib*block + i
+                        asm.muli("r10", "r31", block)
+                        asm.add("r10", "r10", "r23")
+                        with flow.loop(block, "r21", "r20"):  # j offset
+                            # r11 = jb*block + j
+                            asm.muli("r11", "r29", block)
+                            asm.add("r11", "r11", "r21")
+                            # load C[i, j] into f0 (accumulate in memory
+                            # across kb tiles)
+                            asm.muli("r3", "r10", n)
+                            asm.add("r3", "r3", "r11")
+                            asm.addi("r3", "r3", c)
+                            asm.fload("f0", "r3", 0)
+                            with flow.loop(block, "r19", "r18"):  # k offset
+                                asm.muli("r12", "r25", block)
+                                asm.add("r12", "r12", "r19")
+                                emit_inner("r10", "r11", "r12")
+                            asm.fstore("f0", "r3", 0)
+    asm.halt()
+    asm.endfunc()
+
+    n3 = n * n * n
+    fp_per_inner = 1 if use_fma else 2
+    return Workload(
+        name=f"matmul(n={n},fma={use_fma},blocked={blocked})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=2 * n3,
+            fp_ins=fp_per_inner * n3,
+            fma=n3 if use_fma else 0,
+            converts=0,
+            loads=2 * n3 + (n3 // block * 0 if not blocked else 0),
+            stores=None,  # depends on blocking structure
+            hot_function="main",
+            notes="loads expectation exact only for the naive variant",
+        ),
+    )
+
+
+def mixed_precision_sum(n: int, use_fma: bool = False) -> Workload:
+    """Sum with a single->double style convert each iteration.
+
+    One FADD and one FCVT per element: the kernel behind the POWER3
+    rounding-instruction discrepancy (E6) -- fp *instruction* counters
+    that include converts report 2n, true flops are n.
+    """
+    if n < 1:
+        raise ValueError("mixed_precision_sum needs n >= 1")
+    asm = Assembler(name=f"mixsum{n}")
+    flow = Flow(asm)
+    data = asm.init_array([0.1 * (1 + i % 9) for i in range(n)])
+    asm.func("main")
+    asm.li("r1", data)
+    asm.fli("f0", 0.0)
+    with flow.loop(n, "r30", "r31"):
+        asm.fload("f1", "r1", 0)
+        asm.fcvt("f1", "f1")         # round to "single" before accumulating
+        asm.fadd("f0", "f0", "f1")
+        asm.addi("r1", "r1", 1)
+    asm.halt()
+    asm.endfunc()
+    _ = use_fma  # accepted for registry uniformity; kernel has no MA step
+    return Workload(
+        name=f"mixed_precision_sum(n={n})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=n,
+            fp_ins=n,  # reference semantics exclude converts; platforms
+                       # whose native fp event includes them (simPOWER)
+                       # will read 2n -- that IS the discrepancy
+
+            fma=0,
+            converts=n,
+            loads=n,
+            stores=0,
+            hot_function="main",
+        ),
+    )

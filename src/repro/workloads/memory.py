@@ -1,0 +1,165 @@
+"""Memory-behaviour kernels: pointer chasing, strided scans, sweeps.
+
+These exercise the cache and TLB event signals -- the raw material of
+the PAPI_L1_DCM / PAPI_TLB_DM presets -- with controllable locality, and
+they are the memory-bound phases of the mixed/phased applications.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.hw.isa import Assembler
+from repro.workloads.builder import Expectations, Flow, Workload
+
+
+def _chase_permutation(n_nodes: int, seed: int) -> List[int]:
+    """A single-cycle permutation (Sattolo's algorithm) for pointer chasing."""
+    rng = random.Random(seed)
+    order = list(range(n_nodes))
+    rng.shuffle(order)
+    nxt = [0] * n_nodes
+    for i in range(n_nodes):
+        nxt[order[i]] = order[(i + 1) % n_nodes]
+    return nxt
+
+
+def pointer_chase(n_nodes: int, steps: int, seed: int = 7) -> Workload:
+    """Walk a shuffled linked list: one dependent load per step.
+
+    With n_nodes spanning more than the L1 (or TLB reach), nearly every
+    step misses -- the classic latency-bound workload.
+    """
+    if n_nodes < 2 or steps < 1:
+        raise ValueError("need at least 2 nodes and 1 step")
+    asm = Assembler(name=f"chase{n_nodes}")
+    flow = Flow(asm)
+    base = asm.init_array(
+        [base_next + 0 for base_next in _chase_permutation(n_nodes, seed)]
+    )
+    asm.func("main")
+    asm.li("r1", 0)          # current node index
+    with flow.loop(steps, "r30", "r31"):
+        asm.addi("r2", "r1", base)
+        asm.load("r1", "r2", 0)   # r1 = next[r1]
+    asm.halt()
+    asm.endfunc()
+    return Workload(
+        name=f"pointer_chase(nodes={n_nodes},steps={steps})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=0,
+            fp_ins=0,
+            loads=steps,
+            stores=0,
+            hot_function="main",
+            notes="dependent loads; miss rate ~1 when nodes >> L1 lines",
+        ),
+    )
+
+
+def strided_scan(n: int, stride: int, passes: int = 1) -> Workload:
+    """Read an n-word array with the given stride, *passes* times.
+
+    Stride 1 enjoys spatial locality (1 miss per line); strides at or
+    beyond the line size miss every access once the array exceeds L1.
+    """
+    if n < 1 or stride < 1 or passes < 1:
+        raise ValueError("n, stride and passes must be positive")
+    asm = Assembler(name=f"scan{n}s{stride}")
+    flow = Flow(asm)
+    base = asm.init_array([1] * n)
+    per_pass = (n + stride - 1) // stride
+    asm.func("main")
+    asm.li("r5", 0)  # checksum
+    with flow.loop(passes, "r28", "r29"):
+        asm.li("r1", base)
+        with flow.loop(per_pass, "r30", "r31"):
+            asm.load("r2", "r1", 0)
+            asm.add("r5", "r5", "r2")
+            asm.addi("r1", "r1", stride)
+    asm.halt()
+    asm.endfunc()
+    return Workload(
+        name=f"strided_scan(n={n},stride={stride},passes={passes})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=0,
+            fp_ins=0,
+            loads=per_pass * passes,
+            stores=0,
+            hot_function="main",
+            extra={"per_pass": per_pass},
+        ),
+    )
+
+
+def working_set_sweep(words: int, passes: int) -> Workload:
+    """Repeatedly stream a working set of *words* words (read-modify-write).
+
+    Sweeping *words* across cache sizes traces out the classic miss-rate
+    staircase; used by the cache-study example.
+    """
+    if words < 1 or passes < 1:
+        raise ValueError("words and passes must be positive")
+    asm = Assembler(name=f"sweep{words}")
+    flow = Flow(asm)
+    base = asm.init_array([0] * words)
+    asm.func("main")
+    with flow.loop(passes, "r28", "r29"):
+        asm.li("r1", base)
+        with flow.loop(words, "r30", "r31"):
+            asm.load("r2", "r1", 0)
+            asm.addi("r2", "r2", 1)
+            asm.store("r2", "r1", 0)
+            asm.addi("r1", "r1", 1)
+    asm.halt()
+    asm.endfunc()
+    return Workload(
+        name=f"working_set_sweep(words={words},passes={passes})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=0,
+            fp_ins=0,
+            loads=words * passes,
+            stores=words * passes,
+            hot_function="main",
+        ),
+    )
+
+
+def tlb_walker(pages: int, touches_per_page: int = 1,
+               page_words: int = 512, passes: int = 1) -> Workload:
+    """Touch one word on each of *pages* distinct pages, round robin.
+
+    With *pages* beyond the TLB entry count, every touch is a TLB miss;
+    also the footprint generator for the memory-utilization extension
+    tests (each page touched enters the thread's resident set).
+    """
+    if pages < 1 or touches_per_page < 1 or passes < 1:
+        raise ValueError("pages, touches and passes must be positive")
+    asm = Assembler(name=f"tlb{pages}")
+    flow = Flow(asm)
+    base = asm.reserve_data(pages * page_words)
+    asm.func("main")
+    with flow.loop(passes, "r26", "r27"):
+        asm.li("r1", base)
+        with flow.loop(pages, "r28", "r29"):
+            with flow.loop(touches_per_page, "r30", "r31"):
+                asm.load("r2", "r1", 0)
+            asm.addi("r1", "r1", page_words)
+    asm.halt()
+    asm.endfunc()
+    return Workload(
+        name=f"tlb_walker(pages={pages})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=0,
+            fp_ins=0,
+            loads=pages * touches_per_page * passes,
+            stores=0,
+            hot_function="main",
+            extra={"pages": pages},
+        ),
+    )

@@ -1,0 +1,158 @@
+"""Multi-phase applications: programs whose behaviour changes over time.
+
+Phase behaviour is what breaks naive multiplexing (E3: a time-sliced
+counter extrapolates its slice across phases it never saw) and what the
+perfometer trace (E9 / Figure 2) visualizes.  These programs also have a
+real call structure -- main calling per-phase functions -- which is what
+dynaprof instruments and the TAU-style profiler attributes metrics to
+(E10).
+
+Register convention: main's sequencing loops use r14/r15; phase
+functions use r26-r31 and r1-r10 internally (clobbered across calls).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.hw.isa import Assembler
+from repro.workloads.builder import Expectations, Flow, Workload
+
+
+class _PhaseSpec:
+    """Internal: one phase's emitter + expected dominant preset."""
+
+    def __init__(self, kind: str, iters: int):
+        if kind not in ("fp", "mem", "br"):
+            raise ValueError(f"unknown phase kind {kind!r}")
+        if iters < 1:
+            raise ValueError("phase iterations must be positive")
+        self.kind = kind
+        self.iters = iters
+
+
+def phased(
+    phases: Sequence[Tuple[str, int]],
+    repeats: int = 1,
+    use_fma: bool = True,
+    seed: int = 23,
+    names: Sequence[str] = (),
+) -> Workload:
+    """Build a program running the given phases in order, *repeats* times.
+
+    *phases* is a list of ``(kind, iterations)`` with kind in
+    ``{"fp", "mem", "br"}``:
+
+    - ``fp``: floating point burst over a 64-word hot array;
+    - ``mem``: strided walk over a large array (cache-hostile);
+    - ``br``: data-dependent branches (predictor-hostile).
+
+    Each phase is a function (``phase_0``, ``phase_1``, ... by default;
+    override with *names*) so tools can instrument and attribute per
+    phase.
+    """
+    specs = [_PhaseSpec(kind, iters) for kind, iters in phases]
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    if names and len(names) != len(specs):
+        raise ValueError("names must match the number of phases")
+    fn_names = list(names) or [f"phase_{pi}" for pi in range(len(specs))]
+    rng = random.Random(seed)
+    asm = Assembler(name="phased")
+    flow = Flow(asm)
+
+    hot = asm.init_array([1.0] * 64)
+    big_n = 4096
+    big = asm.init_array([1] * big_n)
+    bits = asm.init_array([rng.randint(0, 1) for _ in range(1024)])
+
+    # ---- phase functions -------------------------------------------------
+    for pi, spec in enumerate(specs):
+        asm.func(fn_names[pi])
+        if spec.kind == "fp":
+            asm.li("r1", hot)
+            asm.li("r2", 0)          # index within the hot array
+            asm.li("r3", 64)
+            asm.fli("f0", 1.25)
+            with flow.loop(spec.iters, "r30", "r31"):
+                asm.add("r4", "r1", "r2")
+                asm.fload("f1", "r4", 0)
+                if use_fma:
+                    asm.fma("f1", "f0", "f1", "f1")
+                else:
+                    asm.fmul("f2", "f0", "f1")
+                    asm.fadd("f1", "f1", "f2")
+                asm.fstore("f1", "r4", 0)
+                asm.addi("r2", "r2", 1)
+                with flow.if_ge("r2", "r3"):
+                    asm.li("r2", 0)
+        elif spec.kind == "mem":
+            # stride-16 walk over the big array, wrapping
+            asm.li("r1", 0)
+            asm.li("r3", big_n)
+            with flow.loop(spec.iters, "r30", "r31"):
+                asm.addi("r4", "r1", big)
+                asm.load("r5", "r4", 0)
+                asm.addi("r1", "r1", 16)
+                with flow.if_ge("r1", "r3"):
+                    asm.li("r1", 0)
+        else:  # br
+            asm.li("r1", 0)
+            asm.li("r3", 1024)
+            asm.li("r6", 1)
+            asm.li("r7", 0)
+            with flow.loop(spec.iters, "r30", "r31"):
+                asm.addi("r4", "r1", bits)
+                asm.load("r5", "r4", 0)
+                with flow.if_ge("r5", "r6"):
+                    asm.addi("r7", "r7", 1)
+                asm.addi("r1", "r1", 1)
+                with flow.if_ge("r1", "r3"):
+                    asm.li("r1", 0)
+        asm.ret()
+        asm.endfunc()
+
+    # ---- main -----------------------------------------------------------
+    asm.func("main")
+    with flow.loop(repeats, "r14", "r15"):
+        for pi in range(len(specs)):
+            asm.call(fn_names[pi])
+    asm.halt()
+    asm.endfunc()
+
+    fp_iters = sum(s.iters for s in specs if s.kind == "fp") * repeats
+    mem_iters = sum(s.iters for s in specs if s.kind == "mem") * repeats
+    br_iters = sum(s.iters for s in specs if s.kind == "br") * repeats
+    return Workload(
+        name=f"phased({','.join(k for k, _ in phases)},x{repeats})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=2 * fp_iters,
+            fp_ins=fp_iters if use_fma else 2 * fp_iters,
+            fma=fp_iters if use_fma else 0,
+            converts=0,
+            hot_function=None,
+            extra={
+                "fp_iters": fp_iters,
+                "mem_iters": mem_iters,
+                "br_iters": br_iters,
+            },
+        ),
+    )
+
+
+def demo_app(scale: int = 200, use_fma: bool = True) -> Workload:
+    """The three-personality demo application used by tools and examples.
+
+    ``compute`` (fp-bound), ``memwalk`` (L1-miss-bound) and ``branchy``
+    (mispredict-bound) are each called from ``main``; a correct
+    multi-metric profile attributes cycles ~evenly-ish but attributes
+    L1_DCM overwhelmingly to ``memwalk`` and BR_MSP to ``branchy`` (E10).
+    """
+    return phased(
+        [("fp", 6 * scale), ("mem", 4 * scale), ("br", 4 * scale)],
+        repeats=1,
+        use_fma=use_fma,
+        names=("compute", "memwalk", "branchy"),
+    )

@@ -1,0 +1,114 @@
+"""Unit tests: analysis helpers (stats, tables, plots)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    ascii_plot,
+    geometric_mean,
+    mean,
+    overhead_pct,
+    pearson,
+    rank_by,
+    rel_error_pct,
+    sparkline,
+    stddev,
+    top_share,
+)
+
+
+class TestStats:
+    def test_mean_and_stddev(self):
+        assert mean([1, 2, 3]) == 2
+        assert stddev([2, 2, 2]) == 0
+        assert stddev([1, 3]) == pytest.approx(math.sqrt(2))
+        assert stddev([5]) == 0.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_pearson_perfect_correlation(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_pearson_degenerate(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+
+    def test_overhead_pct(self):
+        assert overhead_pct(130, 100) == pytest.approx(30.0)
+        with pytest.raises(ValueError):
+            overhead_pct(1, 0)
+
+    def test_rel_error_pct(self):
+        assert rel_error_pct(90, 100) == pytest.approx(10.0)
+        assert rel_error_pct(0, 0) == 0.0
+        assert rel_error_pct(1, 0) == math.inf
+
+    def test_rank_and_top_share(self):
+        values = {"a": 1.0, "b": 8.0, "c": 1.0}
+        assert rank_by(values)[0] == ("b", 8.0)
+        name, share = top_share(values)
+        assert name == "b" and share == pytest.approx(0.8)
+        with pytest.raises(ValueError):
+            top_share({"a": 0.0})
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row("x", 1)
+        t.add_row("longer", 2.5)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert len({len(l) for l in lines[1:]}) == 1  # aligned width
+
+    def test_cell_formatting(self):
+        t = Table(["a", "b", "c", "d"])
+        t.add_row(None, True, 0.123456, "s")
+        rendered = t.render()
+        assert "-" in rendered and "yes" in rendered and "0.123" in rendered
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+
+class TestPlots:
+    def test_sparkline_spans_range(self):
+        line = sparkline([0, 5, 10])
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_pools_to_width(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+    def test_sparkline_constant_series(self):
+        assert sparkline([3, 3, 3]) == "   "
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_ascii_plot_dimensions(self):
+        art = ascii_plot([1, 5, 2, 8, 3], height=4, width=5, label="L")
+        lines = art.splitlines()
+        assert lines[0] == "L"
+        assert lines[1].startswith("max")
+        assert lines[-1].startswith("min")
+        assert len(lines) == 4 + 3
+
+    def test_ascii_plot_empty(self):
+        assert "empty" in ascii_plot([])

@@ -1,0 +1,85 @@
+"""Unit tests: performance models parameterized from PAPI data."""
+
+import pytest
+
+from repro.analysis.model import (
+    DEFAULT_FEATURES,
+    PerformanceModel,
+    collect_counters,
+    fit_model,
+    fit_platform_model,
+)
+from repro.platforms import create
+from repro.workloads import dot, matmul
+
+
+class TestCollect:
+    def test_collect_counters(self):
+        counters, cycles = collect_counters(
+            "simIA64", lambda: dot(500, use_fma=True),
+            ["PAPI_FP_OPS", "PAPI_TOT_INS"],
+        )
+        assert counters["PAPI_FP_OPS"] == 1000
+        assert cycles > counters["PAPI_TOT_INS"] > 0
+
+    def test_collect_is_deterministic(self):
+        a = collect_counters("simPOWER", lambda: dot(300, use_fma=True),
+                             ["PAPI_TOT_INS"])
+        b = collect_counters("simPOWER", lambda: dot(300, use_fma=True),
+                             ["PAPI_TOT_INS"])
+        assert a == b
+
+
+class TestFit:
+    def test_model_fits_the_simulated_cost_function(self):
+        """The VM's cycle cost is ~linear in counters: R^2 must be high."""
+        model, _data = fit_platform_model("simIA64")
+        assert model.r_squared > 0.95
+        assert set(model.coefficients) == set(DEFAULT_FEATURES)
+
+    def test_model_predicts_unseen_workload(self):
+        """Train on the suite, predict a workload it never saw."""
+        model, _data = fit_platform_model("simIA64")
+        counters, cycles = collect_counters(
+            "simIA64", lambda: matmul(20, use_fma=True), DEFAULT_FEATURES
+        )
+        assert model.relative_error(counters, cycles) < 0.25
+
+    def test_miss_coefficient_reflects_memory_latency(self):
+        """The fitted L2-miss coefficient lands near the machine's
+        memory latency -- the model recovers hardware parameters."""
+        model, _data = fit_platform_model("simIA64")
+        mem_latency = create("simIA64").machine.hierarchy.config.mem_latency
+        coef = model.coefficients["PAPI_L2_TCM"]
+        assert 0.3 * mem_latency < coef < 3 * mem_latency
+
+    def test_describe_mentions_platform_and_r2(self):
+        model, _ = fit_platform_model("simT3E",
+                                      features=["PAPI_TOT_INS",
+                                                "PAPI_FP_OPS",
+                                                "PAPI_L1_DCM"])
+        text = model.describe()
+        assert "simT3E" in text and "R^2" in text
+
+    def test_underdetermined_fit_rejected(self):
+        with pytest.raises(ValueError):
+            fit_model("x", [({f: 1 for f in DEFAULT_FEATURES}, 100)])
+
+    def test_predict_missing_feature_rejected(self):
+        model = PerformanceModel(
+            platform="x", features=["PAPI_TOT_INS"],
+            coefficients={"PAPI_TOT_INS": 2.0}, r_squared=1.0,
+            n_observations=3,
+        )
+        with pytest.raises(ValueError):
+            model.predict({"PAPI_FP_OPS": 10})
+        assert model.predict({"PAPI_TOT_INS": 5}) == 10.0
+
+    def test_relative_error_validation(self):
+        model = PerformanceModel(
+            platform="x", features=["PAPI_TOT_INS"],
+            coefficients={"PAPI_TOT_INS": 1.0}, r_squared=1.0,
+            n_observations=3,
+        )
+        with pytest.raises(ValueError):
+            model.relative_error({"PAPI_TOT_INS": 5}, 0)

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import Assembler, Machine
+from repro.hw.machine import MachineConfig
+from repro.platforms import PLATFORM_NAMES, create
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A default machine (generic config, 4 counters, no sampling hw)."""
+    return Machine(MachineConfig())
+
+
+@pytest.fixture
+def fma_loop_program():
+    """1000-iteration FMA/store loop with exactly known counts."""
+    asm = Assembler(name="fma_loop")
+    asm.func("main")
+    asm.li("r1", 1000)
+    asm.li("r2", 0)
+    base = asm.reserve_data(2048)
+    asm.li("r3", base)
+    asm.fli("f1", 1.5)
+    asm.fli("f2", 2.0)
+    asm.label("loop")
+    asm.fma("f3", "f1", "f2", "f3")
+    asm.fstore("f3", "r3", 0)
+    asm.addi("r3", "r3", 1)
+    asm.addi("r2", "r2", 1)
+    asm.blt("r2", "r1", "loop")
+    asm.halt()
+    asm.endfunc()
+    return asm.build()
+
+
+def _platform_fixture(name):
+    @pytest.fixture(name=name.lower())
+    def fixture():
+        return create(name)
+
+    return fixture
+
+
+# one fixture per platform
+simt3e = _platform_fixture("simT3E")
+simx86 = _platform_fixture("simX86")
+simpower = _platform_fixture("simPOWER")
+simalpha = _platform_fixture("simALPHA")
+simia64 = _platform_fixture("simIA64")
+simsparc = _platform_fixture("simSPARC")
+
+
+@pytest.fixture(params=PLATFORM_NAMES)
+def any_platform(request):
+    """Parametrized over every platform (fresh substrate each)."""
+    return create(request.param)
+
+
+@pytest.fixture(
+    params=["simT3E", "simX86", "simPOWER", "simIA64", "simSPARC"]
+)
+def direct_platform(request):
+    """Parametrized over the direct-counting platforms."""
+    return create(request.param)

@@ -1,0 +1,218 @@
+"""Unit tests: counter allocation (graph model, matching, greedy, translate)."""
+
+import pytest
+
+from repro.core.allocation import (
+    AllocationResult,
+    MappingProblem,
+    allocate,
+    allocate_greedy,
+    first_fit,
+    max_cardinality_matching,
+    max_weight_matching,
+)
+from repro.platforms import create
+
+
+def problem(events, n, allowed, weights=None):
+    return MappingProblem.build(events, n, allowed, weights)
+
+
+class TestMappingProblem:
+    def test_none_means_any_counter(self):
+        p = problem(["a"], 3, {"a": None})
+        assert p.allowed["a"] == frozenset({0, 1, 2})
+
+    def test_duplicate_events_rejected(self):
+        with pytest.raises(ValueError):
+            MappingProblem(("a", "a"), 2, {"a": frozenset({0})})
+
+    def test_out_of_range_counter_rejected(self):
+        with pytest.raises(ValueError):
+            problem(["a"], 2, {"a": [5]})
+
+    def test_validate_assignment_catches_reuse(self):
+        p = problem(["a", "b"], 2, {"a": None, "b": None})
+        with pytest.raises(ValueError):
+            p.validate_assignment({"a": 0, "b": 0})
+
+    def test_validate_assignment_catches_disallowed(self):
+        p = problem(["a"], 2, {"a": [1]})
+        with pytest.raises(ValueError):
+            p.validate_assignment({"a": 0})
+
+
+class TestMaxCardinality:
+    def test_simple_full_matching(self):
+        p = problem(["a", "b"], 2, {"a": None, "b": None})
+        m = max_cardinality_matching(p)
+        assert len(m) == 2
+
+    def test_classic_augmenting_case(self):
+        """a fits both counters, b only counter 0: optimal places both."""
+        p = problem(["a", "b"], 2, {"a": [0, 1], "b": [0]})
+        m = max_cardinality_matching(p)
+        assert m == {"a": 1, "b": 0}
+
+    def test_first_fit_fails_where_optimal_succeeds(self):
+        p = problem(["a", "b"], 2, {"a": [0, 1], "b": [0]})
+        greedy = first_fit(p)
+        assert len(greedy) == 1  # a grabs counter 0, b is stranded
+        assert len(max_cardinality_matching(p)) == 2
+
+    def test_overcommitted_partial(self):
+        p = problem(["a", "b", "c"], 2, {"a": None, "b": None, "c": None})
+        m = max_cardinality_matching(p)
+        assert len(m) == 2
+
+    def test_infeasible_event_left_out(self):
+        p = problem(["a", "b"], 2, {"a": [], "b": [1]})
+        m = max_cardinality_matching(p)
+        assert m == {"b": 1}
+
+    def test_chain_augmentation(self):
+        """Three events with nested constraints force chained reassignment."""
+        p = problem(
+            ["a", "b", "c"], 3,
+            {"a": [0, 1, 2], "b": [0, 1], "c": [0]},
+        )
+        m = max_cardinality_matching(p)
+        assert m == {"a": 2, "b": 1, "c": 0}
+
+    def test_empty_problem(self):
+        p = problem([], 4, {})
+        assert max_cardinality_matching(p) == {}
+
+
+class TestMaxWeight:
+    def test_prefers_high_weight_event(self):
+        p = problem(
+            ["low", "high"], 1,
+            {"low": [0], "high": [0]},
+            weights={"low": 1.0, "high": 5.0},
+        )
+        m = max_weight_matching(p)
+        assert m == {"high": 0}
+
+    def test_uniform_weights_match_cardinality(self):
+        p = problem(
+            ["a", "b", "c"], 3,
+            {"a": [0, 1], "b": [1, 2], "c": [0]},
+        )
+        mc = max_cardinality_matching(p)
+        mw = max_weight_matching(p)
+        assert len(mw) == len(mc) == 3
+
+    def test_weight_beats_cardinality_when_told_to(self):
+        # one heavy event that blocks two light ones
+        p = problem(
+            ["heavy", "l1", "l2"], 2,
+            {"heavy": [0], "l1": [0], "l2": [0]},
+            weights={"heavy": 10.0, "l1": 1.0, "l2": 1.0},
+        )
+        m = max_weight_matching(p)
+        assert "heavy" in m
+
+    def test_empty(self):
+        assert max_weight_matching(problem([], 2, {})) == {}
+
+
+class TestBruteForceParity:
+    """Optimal matcher vs exhaustive search on all small instances."""
+
+    def _brute_force_max(self, p: MappingProblem) -> int:
+        events = list(p.events)
+
+        def recurse(i, used):
+            if i == len(events):
+                return 0
+            best = recurse(i + 1, used)
+            for c in p.allowed[events[i]]:
+                if c not in used:
+                    best = max(best, 1 + recurse(i + 1, used | {c}))
+            return best
+
+        return recurse(0, frozenset())
+
+    def test_parity_on_enumerated_instances(self):
+        import itertools
+
+        n_counters = 3
+        counter_subsets = [
+            frozenset(s)
+            for r in range(n_counters + 1)
+            for s in itertools.combinations(range(n_counters), r)
+        ]
+        # all 3-event problems over subsets of 3 counters (sampled grid)
+        for sa in counter_subsets:
+            for sb in counter_subsets[::2]:
+                for sc in counter_subsets[::3]:
+                    p = MappingProblem(
+                        ("a", "b", "c"), n_counters,
+                        {"a": sa, "b": sb, "c": sc},
+                    )
+                    got = len(max_cardinality_matching(p))
+                    want = self._brute_force_max(p)
+                    assert got == want, (sa, sb, sc)
+
+
+class TestTranslate:
+    def test_constraint_platform_roundtrip(self):
+        sub = create("simX86")
+        events = [sub.query_native(n) for n in ("CPU_CLK_UNHALTED", "FLOPS")]
+        result = allocate(sub, events)
+        assert result.complete
+        assert result.assignment["FLOPS"] == 0  # its only legal home
+
+    def test_greedy_vs_optimal_on_simx86(self):
+        sub = create("simX86")
+        # add order matters for first-fit: the clock grabs counter 0 first
+        events = [sub.query_native(n) for n in ("DTLB_MISS", "DCU_LINES_IN")]
+        # both are counter-0-only: nobody can map both
+        assert not allocate(sub, events).complete
+        events2 = [sub.query_native(n) for n in ("CPU_CLK_UNHALTED", "FLOPS")]
+        greedy = allocate_greedy(sub, events2)
+        optimal = allocate(sub, events2)
+        assert optimal.complete
+        assert not greedy.complete  # clock took counter 0, FLOPS stranded
+
+    def test_group_platform_single_group(self):
+        sub = create("simPOWER")
+        names = ["PM_CYC", "PM_FPU_INS", "PM_FPU_FMA", "PM_FPU_CVT"]
+        events = [sub.query_native(n) for n in names]
+        result = allocate(sub, events)
+        assert result.complete
+        assert result.group == 1  # the floating point study group
+        sub2 = create("simPOWER")
+        # events from different groups cannot coexist
+        events2 = [sub2.query_native(n) for n in ("PM_DTLB_MISS", "PM_BR_MPRED")]
+        result2 = allocate(sub2, events2)
+        assert not result2.complete
+
+    def test_group_greedy_locks_first_group(self):
+        sub = create("simPOWER")
+        # PM_CYC appears in group 0 first; PM_FPU_CVT only in group 1
+        events = [sub.query_native(n) for n in ("PM_CYC", "PM_FPU_CVT")]
+        greedy = allocate_greedy(sub, events)
+        optimal = allocate(sub, events)
+        assert not greedy.complete      # locked onto group 0
+        assert optimal.complete         # found group 1
+
+    def test_duplicate_events_rejected(self):
+        sub = create("simT3E")
+        ev = sub.query_native("CYC_CNT")
+        with pytest.raises(ValueError):
+            allocate(sub, [ev, ev])
+
+    def test_free_platform_always_fits_up_to_n(self):
+        sub = create("simT3E")
+        events = list(sub.native_events.values())[:4]
+        result = allocate(sub, events)
+        assert result.complete
+        greedy = allocate_greedy(sub, events)
+        assert greedy.complete  # no constraints: greedy == optimal
+
+    def test_result_accessors(self):
+        result = AllocationResult({"a": 0}, None, ("b",))
+        assert not result.complete
+        assert result.n_placed == 1

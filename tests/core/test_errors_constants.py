@@ -1,0 +1,72 @@
+"""Unit tests: error hierarchy and constants."""
+
+import pytest
+
+from repro.core import constants as C
+from repro.core.errors import (
+    ConflictError,
+    InvalidArgumentError,
+    NoSuchEventError,
+    PapiError,
+    error_for_code,
+    strerror,
+)
+
+
+class TestErrorHierarchy:
+    def test_every_error_code_has_a_class(self):
+        for code in C.ERROR_NAMES:
+            if code == C.PAPI_OK:
+                continue
+            exc = error_for_code(code)
+            assert isinstance(exc, PapiError)
+            assert exc.code == code or type(exc) is PapiError
+
+    def test_message_includes_name_and_detail(self):
+        exc = ConflictError("FLOPS vs DTLB_MISS")
+        text = str(exc)
+        assert "PAPI_ECNFLCT" in text
+        assert "FLOPS vs DTLB_MISS" in text
+
+    def test_code_attribute_matches_c_values(self):
+        assert ConflictError.code == C.PAPI_ECNFLCT == -8
+        assert NoSuchEventError.code == C.PAPI_ENOEVNT == -7
+        assert InvalidArgumentError.code == C.PAPI_EINVAL == -1
+
+    def test_catchable_as_papi_error(self):
+        with pytest.raises(PapiError):
+            raise ConflictError()
+
+    def test_strerror(self):
+        assert strerror(C.PAPI_OK) == "PAPI_OK: no error"
+        assert "conflicts" in strerror(C.PAPI_ECNFLCT)
+        assert "unknown" in strerror(-12345)
+
+
+class TestConstants:
+    def test_error_tables_aligned(self):
+        assert set(C.ERROR_NAMES) == set(C.ERROR_MESSAGES)
+
+    def test_code_namespaces_disjoint(self):
+        preset = C.PAPI_PRESET_MASK | 3
+        native = C.PAPI_NATIVE_MASK | 3
+        assert C.is_preset(preset) and not C.is_native(preset)
+        assert C.is_native(native) and not C.is_preset(native)
+        assert C.preset_index(preset) == 3
+        assert C.native_index(native) == 3
+
+    def test_domain_composition(self):
+        assert C.PAPI_DOM_ALL == C.PAPI_DOM_USER | C.PAPI_DOM_KERNEL
+
+    def test_state_flags_distinct_bits(self):
+        flags = [
+            C.PAPI_STOPPED, C.PAPI_RUNNING, C.PAPI_PAUSED, C.PAPI_NOT_INIT,
+            C.PAPI_OVERFLOWING, C.PAPI_PROFILING, C.PAPI_MULTIPLEXING,
+            C.PAPI_ATTACHED,
+        ]
+        for i, a in enumerate(flags):
+            for b in flags[i + 1:]:
+                assert a & b == 0
+
+    def test_profil_scale_constant(self):
+        assert C.PAPI_PROFIL_SCALE_ONE == 65536

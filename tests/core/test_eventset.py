@@ -1,0 +1,278 @@
+"""Unit tests: EventSet state machine and membership management."""
+
+import pytest
+
+from repro.core import constants as C
+from repro.core.errors import (
+    ConflictError,
+    InvalidArgumentError,
+    IsRunningError,
+    NoSuchEventError,
+    NoSuchEventSetError,
+    NotRunningError,
+    SubstrateFeatureError,
+)
+from repro.core.library import Papi
+from repro.workloads import dot
+
+
+def code(papi, name):
+    return papi.event_name_to_code(name)
+
+
+@pytest.fixture
+def power_papi(simpower):
+    return Papi(simpower)
+
+
+class TestMembership:
+    def test_add_and_list(self, power_papi):
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_CYC", "PAPI_FP_OPS")
+        assert es.event_names == ["PAPI_TOT_CYC", "PAPI_FP_OPS"]
+        assert es.num_events == 2
+
+    def test_duplicate_add_rejected(self, power_papi):
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_CYC")
+        with pytest.raises(InvalidArgumentError):
+            es.add_named("PAPI_TOT_CYC")
+
+    def test_unavailable_preset_rejected(self, simt3e):
+        papi = Papi(simt3e)
+        es = papi.create_eventset()
+        with pytest.raises(NoSuchEventError):
+            es.add_named("PAPI_TLB_DM")
+
+    def test_remove_event(self, power_papi):
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_CYC", "PAPI_FP_OPS")
+        es.remove_event(code(power_papi, "PAPI_TOT_CYC"))
+        assert es.event_names == ["PAPI_FP_OPS"]
+
+    def test_remove_absent_rejected(self, power_papi):
+        es = power_papi.create_eventset()
+        with pytest.raises(NoSuchEventError):
+            es.remove_event(code(power_papi, "PAPI_TOT_CYC"))
+
+    def test_cleanup_clears(self, power_papi):
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_CYC")
+        es.cleanup()
+        assert es.num_events == 0
+
+    def test_native_events_addable(self, power_papi):
+        es = power_papi.create_eventset()
+        es.add_named("PM_FPU_FMA", "PM_CYC")
+        assert es.num_events == 2
+
+    def test_derived_preset_pulls_multiple_natives(self, power_papi):
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_FP_OPS")
+        assert set(es.assignment) == {"PM_FPU_INS", "PM_FPU_FMA", "PM_FPU_CVT"}
+
+    def test_shared_natives_deduplicated(self, power_papi):
+        """FP_INS and FP_OPS share PM_FPU_INS: one counter, not two."""
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_FP_INS", "PAPI_FP_OPS")
+        assert len(es.assignment) == 3  # FPU_INS, FMA, CVT
+
+    def test_conflict_leaves_eventset_unchanged(self, simx86):
+        papi = Papi(simx86)
+        es = papi.create_eventset()
+        es.add_named("PAPI_L1_DCM")  # counter 0 only
+        with pytest.raises(ConflictError):
+            es.add_named("PAPI_TLB_DM")  # also counter 0 only
+        assert es.event_names == ["PAPI_L1_DCM"]
+
+
+class TestStateMachine:
+    def _loaded(self, papi, n=400):
+        wl = dot(n, use_fma=papi.substrate.HAS_FMA)
+        papi.substrate.machine.load(wl.program)
+        return wl
+
+    def test_initial_state_stopped(self, power_papi):
+        es = power_papi.create_eventset()
+        assert es.state() & C.PAPI_STOPPED
+
+    def test_running_state(self, power_papi):
+        self._loaded(power_papi)
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        es.start()
+        assert es.state() & C.PAPI_RUNNING
+        es.stop()
+        assert es.state() & C.PAPI_STOPPED
+
+    def test_start_empty_rejected(self, power_papi):
+        es = power_papi.create_eventset()
+        with pytest.raises(InvalidArgumentError):
+            es.start()
+
+    def test_double_start_rejected(self, power_papi):
+        self._loaded(power_papi)
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        es.start()
+        with pytest.raises(IsRunningError):
+            es.start()
+
+    def test_read_stopped_rejected(self, power_papi):
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        with pytest.raises(NotRunningError):
+            es.read()
+
+    def test_stop_stopped_rejected(self, power_papi):
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        with pytest.raises(NotRunningError):
+            es.stop()
+
+    def test_add_while_running_rejected(self, power_papi):
+        self._loaded(power_papi)
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        es.start()
+        with pytest.raises(IsRunningError):
+            es.add_named("PAPI_TOT_CYC")
+        es.stop()
+
+    def test_only_one_eventset_runs_at_a_time(self, power_papi):
+        self._loaded(power_papi)
+        es1 = power_papi.create_eventset()
+        es1.add_named("PAPI_TOT_INS")
+        es2 = power_papi.create_eventset()
+        es2.add_named("PAPI_TOT_CYC")
+        es1.start()
+        with pytest.raises(IsRunningError):
+            es2.start()
+        es1.stop()
+        es2.start()  # fine now
+        es2.stop()
+
+    def test_destroy_running_rejected(self, power_papi):
+        self._loaded(power_papi)
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        es.start()
+        with pytest.raises(IsRunningError):
+            power_papi.destroy_eventset(es)
+        es.stop()
+        power_papi.destroy_eventset(es)
+        with pytest.raises(NoSuchEventSetError):
+            power_papi.eventset(es.handle)
+
+    def test_reset_zeroes_counts(self, power_papi):
+        self._loaded(power_papi, n=1000)
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        es.start()
+        power_papi.substrate.machine.run(max_instructions=500)
+        assert es.read()[0] >= 500
+        es.reset()
+        assert es.read()[0] < 50
+        es.stop()
+
+    def test_accum_accumulates_and_resets(self, power_papi):
+        self._loaded(power_papi, n=1000)
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        es.start()
+        acc = [0]
+        power_papi.substrate.machine.run(max_instructions=300)
+        acc = es.accum(acc)
+        first = acc[0]
+        power_papi.substrate.machine.run(max_instructions=300)
+        acc = es.accum(acc)
+        assert acc[0] >= first + 300
+        es.stop()
+
+    def test_accum_length_checked(self, power_papi):
+        self._loaded(power_papi)
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        es.start()
+        with pytest.raises(InvalidArgumentError):
+            es.accum([0, 0])
+        es.stop()
+
+    def test_shutdown_stops_everything(self, power_papi):
+        self._loaded(power_papi)
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        es.start()
+        power_papi.shutdown()
+        assert not es.running
+        assert not power_papi.initialized
+
+
+class TestMultiplexOptions:
+    def test_multiplex_must_be_explicit(self, simx86):
+        """More events than counters without set_multiplex -> conflict."""
+        papi = Papi(simx86)
+        es = papi.create_eventset()
+        es.add_named("PAPI_TOT_CYC", "PAPI_TOT_INS")
+        with pytest.raises(ConflictError):
+            es.add_named("PAPI_FP_OPS")
+
+    def test_multiplex_allows_more_events(self, simx86):
+        papi = Papi(simx86)
+        es = papi.create_eventset()
+        es.set_multiplex()
+        es.add_named("PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS",
+                     "PAPI_L1_DCM", "PAPI_BR_MSP")
+        assert es.multiplexed
+        assert es.num_events == 5
+
+    def test_multiplex_on_sampling_platform_rejected(self, simalpha):
+        papi = Papi(simalpha)
+        es = papi.create_eventset()
+        with pytest.raises(SubstrateFeatureError):
+            es.set_multiplex()
+
+    def test_multiplex_while_running_rejected(self, power_papi):
+        wl = dot(200, use_fma=True)
+        power_papi.substrate.machine.load(wl.program)
+        es = power_papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        es.start()
+        with pytest.raises(IsRunningError):
+            es.set_multiplex()
+        es.stop()
+
+    def test_multiplex_rejects_impossible_event(self, simx86):
+        """Multiplexing can't conjure events no counter supports."""
+        papi = Papi(simx86)
+        es = papi.create_eventset()
+        es.set_multiplex()
+        es.add_named("PAPI_TOT_CYC")
+        # all natives are placeable alone on simX86, so build a fake one
+        from repro.platforms.base import NativeEvent
+        from repro.hw.events import Signal
+        impossible = NativeEvent("IMP", (Signal.TOT_INS,), allowed_counters=())
+        with pytest.raises(ConflictError):
+            es._check_multiplex_feasible({"IMP": impossible})
+
+
+class TestSamplingEventSets:
+    def test_any_number_of_events(self, simalpha):
+        """The sampler sees everything: no allocation limits."""
+        papi = Papi(simalpha)
+        es = papi.create_eventset()
+        es.add_named("PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS",
+                     "PAPI_LD_INS", "PAPI_SR_INS", "PAPI_L1_DCM",
+                     "PAPI_TLB_DM", "PAPI_BR_INS")
+        assert es.num_events == 8
+        assert es.assignment == {}
+
+    def test_attach_unsupported(self, simalpha):
+        papi = Papi(simalpha)
+        es = papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        from repro.simos.thread import Thread
+        wl = dot(50, use_fma=True)
+        t = Thread.create(1, wl.program)
+        with pytest.raises(SubstrateFeatureError):
+            es.attach(t)

@@ -1,0 +1,175 @@
+"""Unit tests: the C-flavoured low-level facade."""
+
+import pytest
+
+from repro.core import constants as C
+from repro.core.errors import InvalidArgumentError, NoSuchEventSetError
+from repro.core.lowlevel import LowLevelAPI
+from repro.core.profile import ProfileBuffer
+from repro.hw.isa import INS_BYTES
+from repro.workloads import dot
+
+
+@pytest.fixture
+def api(simpower):
+    api = LowLevelAPI(simpower)
+    api.library_init()
+    return api
+
+
+class TestLifecycle:
+    def test_init_returns_version(self, simpower):
+        api = LowLevelAPI(simpower)
+        assert api.library_init() == LowLevelAPI.PAPI_VER_CURRENT
+        assert api.is_initialized()
+
+    def test_version_check(self, simpower):
+        api = LowLevelAPI(simpower)
+        with pytest.raises(InvalidArgumentError):
+            api.library_init(version=0x01020304)
+        api.library_init(version=LowLevelAPI.PAPI_VER_CURRENT)
+
+    def test_calls_before_init_rejected(self, simpower):
+        api = LowLevelAPI(simpower)
+        with pytest.raises(InvalidArgumentError):
+            api.create_eventset()
+
+    def test_shutdown(self, api):
+        es = api.create_eventset()
+        api.add_named(es, "PAPI_TOT_INS")
+        api.shutdown()
+        assert not api.is_initialized()
+
+
+class TestEventSetFacade:
+    def test_full_counting_cycle(self, api, simpower):
+        wl = dot(600, use_fma=True)
+        simpower.machine.load(wl.program)
+        es = api.create_eventset()
+        api.add_event(es, api.event_name_to_code("PAPI_FP_OPS"))
+        api.add_event(es, api.event_name_to_code("PAPI_TOT_CYC"))
+        assert api.num_events(es) == 2
+        api.start(es)
+        simpower.machine.run_to_completion()
+        values = api.stop(es)
+        assert values[0] == wl.expect.flops
+        api.destroy_eventset(es)
+
+    def test_read_accum_reset(self, api, simpower):
+        wl = dot(2000, use_fma=True)
+        simpower.machine.load(wl.program)
+        es = api.create_eventset()
+        api.add_named(es, "PAPI_TOT_INS")
+        api.start(es)
+        simpower.machine.run(max_instructions=800)
+        assert api.read(es)[0] >= 800
+        api.reset(es)
+        assert api.read(es)[0] < 50
+        acc = api.accum(es, [0])
+        assert isinstance(acc, list)
+        api.stop(es)
+
+    def test_state_and_listing(self, api):
+        es = api.create_eventset()
+        api.add_named(es, "PAPI_TOT_INS", "PAPI_TOT_CYC")
+        codes = api.list_events(es)
+        assert [api.event_code_to_name(c) for c in codes] == [
+            "PAPI_TOT_INS", "PAPI_TOT_CYC",
+        ]
+        assert api.state(es) & C.PAPI_STOPPED
+
+    def test_remove_and_cleanup(self, api):
+        es = api.create_eventset()
+        code = api.event_name_to_code("PAPI_TOT_INS")
+        api.add_event(es, code)
+        api.remove_event(es, code)
+        assert api.num_events(es) == 0
+        api.add_event(es, code)
+        api.cleanup_eventset(es)
+        assert api.num_events(es) == 0
+
+    def test_unknown_handle_rejected(self, api):
+        with pytest.raises(NoSuchEventSetError):
+            api.start(999)
+
+    def test_multiplex_flag(self, api):
+        es = api.create_eventset()
+        assert not api.get_multiplex(es)
+        api.set_multiplex(es)
+        assert api.get_multiplex(es)
+
+
+class TestQueries:
+    def test_query_and_info(self, api):
+        code = api.event_name_to_code("PAPI_FP_OPS")
+        assert api.query_event(code)
+        info = api.get_event_info(code)
+        assert info.symbol == "PAPI_FP_OPS"
+        assert info.available
+
+    def test_enum_presets(self, api):
+        infos = api.enum_presets(available_only=True)
+        assert all(i.available for i in infos)
+        assert len(api.enum_presets()) >= len(infos)
+
+    def test_enum_native(self, api, simpower):
+        codes = api.enum_native()
+        assert len(codes) == len(simpower.native_events)
+        names = {api.event_code_to_name(c) for c in codes}
+        assert "PM_FPU_FMA" in names
+
+    def test_num_counters_alias(self, api, simpower):
+        assert api.num_counters() == api.num_hwctrs() == simpower.n_counters
+
+    def test_strerror(self):
+        assert "PAPI_ECNFLCT" in LowLevelAPI.strerror(C.PAPI_ECNFLCT)
+        assert "unknown" in LowLevelAPI.strerror(-999)
+
+
+class TestTimersAndMemory:
+    def test_timer_reads(self, api, simpower):
+        wl = dot(300, use_fma=True)
+        simpower.machine.load(wl.program)
+        t0 = api.get_real_cyc()
+        simpower.machine.run_to_completion()
+        assert api.get_real_cyc() > t0
+        assert api.get_real_usec() > 0
+        assert api.get_virt_cyc() <= api.get_real_cyc()
+        assert api.get_virt_usec() <= api.get_real_usec()
+
+    def test_dmem_info(self, api, simpower):
+        wl = dot(2000, use_fma=True)
+        simpower.machine.load(wl.program)
+        simpower.machine.run_to_completion()
+        info = api.get_dmem_info()
+        assert info.thread_rss_pages > 0
+        assert info.used_pages <= info.total_pages
+
+
+class TestOverflowProfilFacade:
+    def test_overflow_via_facade(self, api, simpower):
+        wl = dot(3000, use_fma=True)
+        simpower.machine.load(wl.program)
+        es = api.create_eventset()
+        api.add_named(es, "PAPI_TOT_INS")
+        hits = []
+        api.overflow(es, api.event_name_to_code("PAPI_TOT_INS"), 1000,
+                     hits.append)
+        api.start(es)
+        simpower.machine.run_to_completion()
+        api.stop(es)
+        assert hits
+
+    def test_profil_via_facade(self, api, simpower):
+        wl = dot(3000, use_fma=True)
+        simpower.machine.load(wl.program)
+        es = api.create_eventset()
+        api.add_named(es, "PAPI_TOT_INS")
+        buf = ProfileBuffer.covering(0, len(wl.program) * INS_BYTES)
+        prof = api.profil(buf, es, api.event_name_to_code("PAPI_TOT_INS"),
+                          300)
+        api.start(es)
+        simpower.machine.run_to_completion()
+        api.stop(es)
+        prof.collect()
+        assert buf.hits > 0

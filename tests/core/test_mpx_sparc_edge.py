@@ -1,0 +1,69 @@
+"""Edge-case tests: multiplexing on the pinned-PIC platform and misc."""
+
+import pytest
+
+from repro.core.errors import ConflictError
+from repro.core.library import Papi
+from repro.core.multiplex import partition_natives
+from repro.workloads import demo_app, dot
+
+
+class TestSparcMultiplex:
+    def test_conflicting_pics_partition_into_subsets(self, simsparc):
+        """DC_rd_miss and IC_miss share PIC1: multiplexing splits them."""
+        natives = {
+            n: simsparc.query_native(n)
+            for n in ("DC_rd_miss", "IC_miss", "EC_misses")
+        }
+        subsets = partition_natives(simsparc, natives)
+        assert len(subsets) == 3  # all three are PIC1-only
+        for subset in subsets:
+            assert list(subset.values()) == [1]
+
+    def test_multiplexed_counting_on_sparc(self, simsparc):
+        papi = Papi(simsparc)
+        papi.mpx_quantum_cycles = 2000
+        es = papi.create_eventset()
+        es.set_multiplex()
+        es.add_named("PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS",
+                     "PAPI_L1_DCM", "PAPI_BR_MSP")
+        wl = dot(8000, use_fma=False)
+        simsparc.machine.load(wl.program)
+        es.start()
+        simsparc.machine.run_to_completion()
+        values = dict(zip(es.event_names, es.stop()))
+        assert values["PAPI_FP_OPS"] == pytest.approx(16000, rel=0.15)
+
+    def test_l1_tcm_unavailable_by_design(self, simsparc):
+        """Both L1-miss natives live on PIC1 -> no L1_TCM preset."""
+        papi = Papi(simsparc)
+        from repro.core.presets import preset_from_symbol
+
+        assert not papi.query_event(preset_from_symbol("PAPI_L1_TCM").code)
+        # and the underlying pair really does conflict
+        es = papi.create_eventset()
+        es.add_named("DC_rd_miss")
+        with pytest.raises(ConflictError):
+            es.add_named("IC_miss")
+
+    def test_direct_counting_exact_on_sparc(self, simsparc):
+        papi = Papi(simsparc)
+        es = papi.create_eventset()
+        es.add_named("PAPI_FP_OPS", "PAPI_LD_INS")
+        n = 700
+        wl = dot(n, use_fma=False)
+        simsparc.machine.load(wl.program)
+        es.start()
+        simsparc.machine.run_to_completion()
+        values = es.stop()
+        assert values == [2 * n, 2 * n]
+
+    def test_profiler_batches_around_pins(self):
+        from repro.tools.profiler import Profiler
+
+        prof = Profiler(
+            "simSPARC", ["PAPI_TOT_CYC", "PAPI_L1_DCM", "PAPI_BR_MSP"]
+        )
+        report = prof.profile(lambda: demo_app(scale=15, use_fma=False))
+        assert report.hottest("PAPI_L1_DCM") == "memwalk"
+        assert report.hottest("PAPI_BR_MSP") == "branchy"

@@ -1,0 +1,159 @@
+"""Unit tests: preset catalogue and per-platform mapping tables."""
+
+import pytest
+
+from repro.core import constants as C
+from repro.core.errors import NotPresetError
+from repro.core.library import Papi
+from repro.core.presets import (
+    NUM_PRESETS,
+    PLATFORM_PRESET_TABLES,
+    PRESETS,
+    event_code_to_name,
+    event_name_to_code,
+    platform_preset_map,
+    preset_from_code,
+    preset_from_symbol,
+    reference_count,
+    reference_vector,
+)
+from repro.hw.events import Signal, fresh_counts
+from repro.platforms import PLATFORM_NAMES, create
+
+
+class TestCatalogue:
+    def test_indices_dense_and_stable(self):
+        assert [p.index for p in PRESETS] == list(range(NUM_PRESETS))
+
+    def test_symbols_unique_and_prefixed(self):
+        symbols = [p.symbol for p in PRESETS]
+        assert len(set(symbols)) == len(symbols)
+        assert all(s.startswith("PAPI_") for s in symbols)
+
+    def test_code_encoding(self):
+        p = preset_from_symbol("PAPI_FP_OPS")
+        assert C.is_preset(p.code)
+        assert not C.is_native(p.code)
+        assert C.preset_index(p.code) == p.index
+
+    def test_code_roundtrip(self):
+        for p in PRESETS:
+            assert preset_from_code(p.code) is p
+            assert event_code_to_name(p.code) == p.symbol
+            assert event_name_to_code(p.symbol) == p.code
+
+    def test_bad_code_rejected(self):
+        with pytest.raises(NotPresetError):
+            preset_from_code(0x123)
+        with pytest.raises(NotPresetError):
+            preset_from_code(C.PAPI_PRESET_MASK | 9999)
+        with pytest.raises(NotPresetError):
+            preset_from_symbol("PAPI_NOPE")
+
+    def test_fp_ops_counts_fma_twice(self):
+        vec = reference_vector(preset_from_symbol("PAPI_FP_OPS"))
+        assert vec[Signal.FP_FMA] == 2
+        vec_ins = reference_vector(preset_from_symbol("PAPI_FP_INS"))
+        assert vec_ins[Signal.FP_FMA] == 1
+
+    def test_reference_count_evaluates(self):
+        counts = fresh_counts()
+        counts[Signal.FP_ADD] = 3
+        counts[Signal.FP_FMA] = 2
+        p = preset_from_symbol("PAPI_FP_OPS")
+        assert reference_count(p, counts) == 3 + 2 * 2
+
+    def test_br_prc_is_difference(self):
+        vec = reference_vector(preset_from_symbol("PAPI_BR_PRC"))
+        assert vec[Signal.BR_MSP] == -1
+
+
+class TestPlatformTables:
+    def test_every_platform_has_a_table(self):
+        assert set(PLATFORM_PRESET_TABLES) == set(PLATFORM_NAMES)
+
+    @pytest.mark.parametrize("platform", PLATFORM_NAMES)
+    def test_table_references_real_presets_and_natives(self, platform):
+        sub = create(platform)
+        mapping = platform_preset_map(platform)
+        for symbol, pm in mapping.items():
+            preset_from_symbol(symbol)  # raises if unknown
+            for native_name, coeff in pm.terms:
+                assert native_name in sub.native_events, (
+                    f"{platform}: {symbol} references unknown {native_name}"
+                )
+                assert coeff != 0
+
+    @pytest.mark.parametrize("platform", PLATFORM_NAMES)
+    def test_core_presets_available_everywhere(self, platform):
+        mapping = platform_preset_map(platform)
+        for must in ("PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS",
+                     "PAPI_LD_INS", "PAPI_SR_INS"):
+            assert must in mapping, f"{platform} is missing {must}"
+
+    def test_availability_differs_across_platforms(self):
+        """The portability matrix must have holes (Section 1/E8)."""
+        availability = {
+            name: set(platform_preset_map(name)) for name in PLATFORM_NAMES
+        }
+        sizes = {len(v) for v in availability.values()}
+        assert len(sizes) > 1, "platforms suspiciously identical"
+        assert "PAPI_TLB_DM" not in availability["simT3E"]
+        assert "PAPI_FMA_INS" not in availability["simX86"]
+        assert "PAPI_L1_ICM" not in availability["simALPHA"]
+
+    def test_mapping_kind_classification(self):
+        mapping = platform_preset_map("simPOWER")
+        assert mapping["PAPI_TOT_CYC"].kind == "direct"
+        assert mapping["PAPI_FP_OPS"].kind == "derived"
+        assert mapping["PAPI_L1_TCM"].kind == "derived"
+
+    def test_power_fp_ops_formula(self):
+        """FP_OPS on simPOWER = FPU_INS + FMA - CVT (the corrected form)."""
+        mapping = platform_preset_map("simPOWER")["PAPI_FP_OPS"]
+        terms = dict(mapping.terms)
+        assert terms == {"PM_FPU_INS": 1, "PM_FPU_FMA": 1, "PM_FPU_CVT": -1}
+
+    def test_mapping_evaluate(self):
+        mapping = platform_preset_map("simPOWER")["PAPI_FP_OPS"]
+        values = {"PM_FPU_INS": 10, "PM_FPU_FMA": 4, "PM_FPU_CVT": 3}
+        assert mapping.evaluate(values) == 11
+
+
+class TestLibraryEventNamespace:
+    def test_query_event(self, simpower):
+        papi = Papi(simpower)
+        assert papi.query_event(event_name_to_code("PAPI_FP_OPS"))
+        assert not papi.query_event(event_name_to_code("PAPI_HW_INT"))
+
+    def test_native_codes(self, simpower):
+        papi = Papi(simpower)
+        code = papi.event_name_to_code("PM_FPU_FMA")
+        assert C.is_native(code)
+        assert papi.event_code_to_name(code) == "PM_FPU_FMA"
+        assert papi.query_event(code)
+
+    def test_event_info_for_unavailable_preset(self, simt3e):
+        papi = Papi(simt3e)
+        info = papi.event_info(event_name_to_code("PAPI_TLB_DM"))
+        assert not info.available
+        assert info.kind == "-"
+
+    def test_event_info_for_derived(self, simpower):
+        papi = Papi(simpower)
+        info = papi.event_info(event_name_to_code("PAPI_L1_TCM"))
+        assert info.available and info.kind == "derived"
+        assert len(info.native_terms) == 2
+
+    def test_list_presets_counts(self, simia64):
+        papi = Papi(simia64)
+        all_infos = papi.list_presets()
+        avail = papi.list_presets(available_only=True)
+        assert len(all_infos) == NUM_PRESETS
+        assert 0 < len(avail) < NUM_PRESETS
+
+    def test_availability_summary_shape(self, any_platform):
+        papi = Papi(any_platform)
+        summary = papi.availability_summary()
+        assert len(summary) == NUM_PRESETS
+        assert set(summary.values()) <= {"direct", "derived", "-"}

@@ -1,0 +1,118 @@
+"""Unit tests: portable timers and the PAPI-3 memory extension."""
+
+import pytest
+
+from repro.core.library import Papi
+from repro.core.memory import dmem_info, dmem_locality, object_location
+from repro.core.timers import TimeRegion, read_timers
+from repro.simos import OS
+from repro.workloads import dot, tlb_walker
+
+
+class TestTimers:
+    def test_reading_fields_consistent(self, simpower):
+        papi = Papi(simpower)
+        wl = dot(500, use_fma=True)
+        simpower.machine.load(wl.program)
+        simpower.machine.run_to_completion()
+        r = read_timers(papi)
+        mhz = simpower.machine.config.mhz
+        assert r.real_usec == pytest.approx(r.real_cyc / mhz)
+        assert r.virt_usec == pytest.approx(r.virt_cyc / mhz)
+        assert r.virt_cyc <= r.real_cyc
+
+    def test_region_measures_delta(self, simpower):
+        papi = Papi(simpower)
+        wl = dot(500, use_fma=True)
+        simpower.machine.load(wl.program)
+        with TimeRegion(papi) as tr:
+            simpower.machine.run_to_completion()
+        assert tr.real_cyc == simpower.machine.real_cycles
+        assert tr.real_usec > 0
+        assert tr.virt_cyc > 0
+
+    def test_region_incomplete_raises(self, simpower):
+        papi = Papi(simpower)
+        tr = TimeRegion(papi)
+        with pytest.raises(RuntimeError):
+            _ = tr.real_cyc
+
+    def test_interface_work_visible_in_real_not_virtual(self, simpower):
+        """Counter interface cost dilates real time, not virtual time."""
+        papi = Papi(simpower)
+        wl = dot(100, use_fma=True)
+        simpower.machine.load(wl.program)
+        v0, r0 = papi.get_virt_cyc(), papi.get_real_cyc()
+        simpower.machine.charge(10_000)
+        assert papi.get_virt_cyc() == v0
+        assert papi.get_real_cyc() == r0 + 10_000
+
+    def test_timers_monotone_across_platforms(self, any_platform):
+        papi = Papi(any_platform)
+        wl = dot(200, use_fma=any_platform.HAS_FMA)
+        any_platform.machine.load(wl.program)
+        readings = [papi.get_real_cyc()]
+        while not any_platform.machine.cpu.halted:
+            any_platform.machine.run(max_instructions=200)
+            readings.append(papi.get_real_cyc())
+        assert readings == sorted(readings)
+
+
+class TestMemoryExtension:
+    def test_dmem_info_single_process(self, simpower):
+        papi = Papi(simpower)
+        page_words = simpower.machine.hierarchy.config.tlb.page_bytes // 8
+        wl = tlb_walker(6, page_words=page_words)
+        simpower.machine.load(wl.program)
+        simpower.machine.run_to_completion()
+        info = dmem_info(papi)
+        assert info.thread_rss_pages == 6
+        assert info.used_bytes == info.used_pages * info.page_bytes
+
+    def test_dmem_info_per_thread(self, simpower):
+        papi = Papi(simpower)
+        os_ = simpower.os
+        page_words = simpower.machine.hierarchy.config.tlb.page_bytes // 8
+        t1 = os_.spawn(tlb_walker(3, page_words=page_words).program)
+        t2 = os_.spawn(tlb_walker(5, page_words=page_words).program)
+        os_.run()
+        assert dmem_info(papi, t1).thread_rss_pages == 3
+        assert dmem_info(papi, t2).thread_rss_pages == 5
+
+    def test_locality_histogram(self, simpower):
+        papi = Papi(simpower)
+        page_words = simpower.machine.hierarchy.config.tlb.page_bytes // 8
+        wl = tlb_walker(8, page_words=page_words)
+        simpower.machine.load(wl.program)
+        simpower.machine.run_to_completion()
+        hist = dmem_locality(papi, buckets=4)
+        assert sum(hist.values()) == 8
+
+    def test_locality_empty(self, simpower):
+        papi = Papi(simpower)
+        assert dmem_locality(papi) == {}
+
+    def test_object_location(self, simpower):
+        papi = Papi(simpower)
+        page_words = simpower.machine.hierarchy.config.tlb.page_bytes // 8
+        wl = tlb_walker(4, page_words=page_words)
+        simpower.machine.load(wl.program)
+        simpower.machine.run_to_completion()
+        loc = object_location(papi, base_word=0, length_words=4 * page_words)
+        assert loc["pages_spanned"] == 4
+        assert loc["pages_touched"] == 4
+
+    def test_object_location_untouched(self, simpower):
+        papi = Papi(simpower)
+        wl = dot(10, use_fma=True)
+        simpower.machine.load(wl.program)
+        loc = object_location(papi, base_word=0, length_words=100)
+        assert loc["pages_touched"] == 0
+
+    def test_papi_get_dmem_info_entry_point(self, simpower):
+        papi = Papi(simpower)
+        wl = dot(100, use_fma=True)
+        simpower.machine.load(wl.program)
+        simpower.machine.run_to_completion()
+        info = papi.get_dmem_info()
+        assert info.thread_rss_pages >= 1

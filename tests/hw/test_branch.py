@@ -1,0 +1,112 @@
+"""Unit tests: branch predictors."""
+
+import pytest
+
+from repro.hw.branch import (
+    GsharePredictor,
+    StaticTakenPredictor,
+    TwoBitPredictor,
+    make_predictor,
+)
+
+
+class TestStatic:
+    def test_always_taken(self):
+        p = StaticTakenPredictor()
+        assert p.predict(0) is True
+        p.update(0, False)
+        assert p.predict(0) is True
+
+
+class TestTwoBit:
+    def test_learns_taken_loop(self):
+        p = TwoBitPredictor()
+        for _ in range(4):
+            p.update(10, True)
+        assert p.predict(10) is True
+
+    def test_learns_not_taken(self):
+        p = TwoBitPredictor()
+        for _ in range(4):
+            p.update(10, False)
+        assert p.predict(10) is False
+
+    def test_hysteresis_survives_single_flip(self):
+        p = TwoBitPredictor()
+        for _ in range(4):
+            p.update(10, True)
+        p.update(10, False)  # one not-taken shouldn't flip a saturated state
+        assert p.predict(10) is True
+
+    def test_reset(self):
+        p = TwoBitPredictor()
+        for _ in range(4):
+            p.update(10, False)
+        p.reset()
+        assert p.predict(10) is True  # back to weakly-taken
+
+    def test_aliasing_uses_table_mask(self):
+        p = TwoBitPredictor(table_size=4)
+        for _ in range(4):
+            p.update(0, False)
+        # pc 4 aliases to the same entry with a 4-entry table
+        assert p.predict(4) is False
+
+    def test_bad_table_size_rejected(self):
+        with pytest.raises(ValueError):
+            TwoBitPredictor(table_size=3)
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        """Gshare learns period-2 patterns that defeat per-pc two-bit."""
+        p = GsharePredictor(history_bits=4)
+        pattern = [True, False] * 200
+        # train
+        for taken in pattern:
+            p.update(10, taken)
+        correct = 0
+        for taken in pattern:
+            if p.predict(10) == taken:
+                correct += 1
+            p.update(10, taken)
+        assert correct / len(pattern) > 0.95
+
+    def test_two_bit_fails_alternating_pattern(self):
+        p = TwoBitPredictor()
+        pattern = [True, False] * 200
+        for taken in pattern:
+            p.update(10, taken)
+        correct = 0
+        for taken in pattern:
+            if p.predict(10) == taken:
+                correct += 1
+            p.update(10, taken)
+        assert correct / len(pattern) <= 0.6
+
+    def test_reset_clears_history(self):
+        p = GsharePredictor()
+        for _ in range(10):
+            p.update(3, False)
+        p.reset()
+        assert p.predict(3) is True
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(table_size=100)
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("static-taken", StaticTakenPredictor),
+        ("two-bit", TwoBitPredictor),
+        ("gshare", GsharePredictor),
+    ])
+    def test_make_predictor(self, kind, cls):
+        assert isinstance(make_predictor(kind), cls)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_predictor("oracle")

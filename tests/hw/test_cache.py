@@ -1,0 +1,177 @@
+"""Unit tests: caches, TLB, memory hierarchy."""
+
+import pytest
+
+from repro.hw.cache import (
+    Cache,
+    CacheConfig,
+    HierarchyConfig,
+    MemoryHierarchy,
+    TLB,
+    TLBConfig,
+    default_hierarchy,
+)
+
+
+def small_cache(assoc=2, sets=4):
+    return Cache(CacheConfig("T", size_bytes=32 * assoc * sets,
+                             line_bytes=32, assoc=assoc))
+
+
+class TestCacheConfig:
+    def test_geometry_derivation(self):
+        cfg = CacheConfig("L1", 4096, 32, 2)
+        assert cfg.n_sets == 64
+        assert cfg.line_bits == 5
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("L1", 4096, 33, 2)
+
+    def test_bad_assoc_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("L1", 4096, 32, 0)
+
+    def test_non_pow2_sets_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("L1", 96 * 32, 32, 1)  # 96 sets
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(100) is False
+        assert c.access(100) is True
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_conflict_eviction_lru(self):
+        c = small_cache(assoc=2, sets=1)  # fully determined: 2 ways, 1 set
+        c.access(1)
+        c.access(2)
+        c.access(1)      # 1 becomes MRU
+        c.access(3)      # evicts 2 (LRU)
+        assert c.probe(1) and c.probe(3)
+        assert not c.probe(2)
+
+    def test_capacity_bounded(self):
+        c = small_cache(assoc=2, sets=4)
+        for line in range(100):
+            c.access(line)
+        total = sum(len(w) for _i, w in c.contents())
+        assert total <= 8
+
+    def test_probe_does_not_count(self):
+        c = small_cache()
+        c.probe(1)
+        assert c.accesses == 0
+
+    def test_evict_removes_line(self):
+        c = small_cache()
+        c.access(5)
+        assert c.evict(5) is True
+        assert c.evict(5) is False
+        assert not c.probe(5)
+
+    def test_flush_keeps_stats(self):
+        c = small_cache()
+        c.access(1)
+        c.flush()
+        assert not c.probe(1)
+        assert c.misses == 1
+
+    def test_reset_stats(self):
+        c = small_cache()
+        c.access(1)
+        c.reset_stats()
+        assert c.accesses == 0
+
+    def test_set_isolation(self):
+        c = small_cache(assoc=1, sets=4)
+        # lines 0 and 1 land in different sets -> no conflict
+        c.access(0)
+        c.access(1)
+        assert c.probe(0) and c.probe(1)
+        # lines 0 and 4 share set 0 with assoc 1 -> conflict
+        c.access(4)
+        assert not c.probe(0)
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        t = TLB(TLBConfig(entries=4, page_bytes=4096))
+        assert t.access(1) is False
+        assert t.access(1) is True
+
+    def test_lru_replacement(self):
+        t = TLB(TLBConfig(entries=2, page_bytes=4096))
+        t.access(1)
+        t.access(2)
+        t.access(1)   # 1 MRU
+        t.access(3)   # evicts 2
+        assert t.resident() == [1, 3]
+
+    def test_capacity(self):
+        t = TLB(TLBConfig(entries=3, page_bytes=4096))
+        for p in range(10):
+            t.access(p)
+        assert len(t.resident()) == 3
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=0, page_bytes=4096)
+        with pytest.raises(ValueError):
+            TLBConfig(entries=4, page_bytes=1000)
+
+
+class TestHierarchy:
+    def test_data_access_miss_chain(self):
+        h = MemoryHierarchy()
+        lat, l1m, l2m, tlbm = h.data_access(0)
+        assert l1m and l2m and tlbm  # everything cold
+        cfg = h.config
+        assert lat == cfg.l2_latency + cfg.mem_latency + cfg.tlb_walk_latency
+
+    def test_data_access_hit_is_free(self):
+        h = MemoryHierarchy()
+        h.data_access(0)
+        lat, l1m, l2m, tlbm = h.data_access(0)
+        assert lat == 0 and not (l1m or l2m or tlbm)
+
+    def test_l2_catches_l1_evictions(self):
+        h = MemoryHierarchy()
+        line = h.config.l1d.line_bytes
+        n_lines = h.config.l1d.size_bytes // line
+        addrs = [i * line for i in range(n_lines * 2)]
+        for a in addrs:
+            h.data_access(a)
+        # second pass: L1 misses (capacity), but L2 (16x larger) hits
+        lat, l1m, l2m, _ = h.data_access(addrs[0])
+        assert l1m and not l2m
+        assert lat == h.config.l2_latency
+
+    def test_inst_fetch_separate_from_data(self):
+        h = MemoryHierarchy()
+        h.inst_fetch(0)
+        # same address as data: still a data miss (separate L1s)
+        _, l1m, _, _ = h.data_access(0)
+        assert l1m
+
+    def test_pollution_evicts_but_does_not_count(self):
+        h = MemoryHierarchy()
+        h.data_access(0)
+        hits, misses = h.l1d.hits, h.l1d.misses
+        # pollute with enough conflicting lines to evict line 0
+        line = h.config.l1d.line_bytes
+        size = h.config.l1d.size_bytes
+        h.pollute(range(0, size * 2, line))
+        assert (h.l1d.hits, h.l1d.misses) == (hits, misses)
+        lat, l1m, _, _ = h.data_access(0)
+        assert l1m  # the application line was really evicted
+
+    def test_invalid_latency_rejected(self):
+        base = default_hierarchy()
+        with pytest.raises(ValueError):
+            HierarchyConfig(
+                l1d=base.l1d, l1i=base.l1i, l2=base.l2, tlb=base.tlb,
+                l2_latency=-1,
+            )

@@ -1,0 +1,374 @@
+"""Unit tests: CPU instruction semantics and event signal generation."""
+
+import pytest
+
+from repro.hw import Assembler, Machine
+from repro.hw.cpu import MachineFault
+from repro.hw.events import Signal
+from repro.hw.machine import MachineConfig
+
+
+def run_program(build_fn, **machine_kwargs):
+    asm = Assembler()
+    asm.func("main")
+    build_fn(asm)
+    asm.halt()
+    asm.endfunc()
+    m = Machine(MachineConfig(**machine_kwargs)) if machine_kwargs else Machine()
+    m.load(asm.build())
+    m.run_to_completion()
+    return m
+
+
+class TestIntegerOps:
+    def test_li_mov_add_sub(self):
+        def body(asm):
+            asm.li("r1", 7)
+            asm.mov("r2", "r1")
+            asm.li("r3", 3)
+            asm.add("r4", "r1", "r3")
+            asm.sub("r5", "r1", "r3")
+        m = run_program(body)
+        r = m.cpu.iregs
+        assert (r[1], r[2], r[4], r[5]) == (7, 7, 10, 4)
+
+    def test_mul_div(self):
+        def body(asm):
+            asm.li("r1", -7)
+            asm.li("r2", 2)
+            asm.mul("r3", "r1", "r2")
+            asm.div("r4", "r1", "r2")
+        m = run_program(body)
+        assert m.cpu.iregs[3] == -14
+        assert m.cpu.iregs[4] == -3  # truncation toward zero
+
+    def test_addi_muli(self):
+        def body(asm):
+            asm.li("r1", 10)
+            asm.addi("r2", "r1", -4)
+            asm.muli("r3", "r1", 5)
+        m = run_program(body)
+        assert (m.cpu.iregs[2], m.cpu.iregs[3]) == (6, 50)
+
+    def test_div_by_zero_faults(self):
+        def body(asm):
+            asm.li("r1", 1)
+            asm.li("r2", 0)
+            asm.div("r3", "r1", "r2")
+        with pytest.raises(MachineFault, match="divide by zero"):
+            run_program(body)
+
+    def test_int_ins_signal(self):
+        def body(asm):
+            asm.li("r1", 1)
+            asm.addi("r1", "r1", 1)
+            asm.add("r2", "r1", "r1")
+        m = run_program(body)
+        assert m.counts[Signal.INT_INS] == 3
+
+
+class TestFloatOps:
+    def test_arithmetic_results(self):
+        def body(asm):
+            asm.fli("f1", 3.0)
+            asm.fli("f2", 2.0)
+            asm.fadd("f3", "f1", "f2")
+            asm.fsub("f4", "f1", "f2")
+            asm.fmul("f5", "f1", "f2")
+            asm.fdiv("f6", "f1", "f2")
+            asm.fsqrt("f7", "f1")
+            asm.fma("f8", "f1", "f2", "f1")
+        m = run_program(body)
+        f = m.cpu.fregs
+        assert f[3] == 5.0 and f[4] == 1.0 and f[5] == 6.0 and f[6] == 1.5
+        assert f[7] == pytest.approx(3.0 ** 0.5)
+        assert f[8] == 9.0
+
+    def test_fp_signal_categories(self):
+        def body(asm):
+            asm.fli("f1", 2.0)
+            asm.fadd("f2", "f1", "f1")   # FP_ADD
+            asm.fsub("f2", "f1", "f1")   # FP_ADD (sub counts as add class)
+            asm.fmul("f3", "f1", "f1")   # FP_MUL
+            asm.fdiv("f4", "f1", "f1")   # FP_DIV
+            asm.fsqrt("f5", "f1")        # FP_SQRT
+            asm.fma("f6", "f1", "f1", "f1")  # FP_FMA
+            asm.fcvt("f7", "f1")         # FP_CVT
+            asm.fmov("f8", "f7")         # FP_MOV
+        m = run_program(body)
+        c = m.counts
+        assert c[Signal.FP_ADD] == 2
+        assert c[Signal.FP_MUL] == 1
+        assert c[Signal.FP_DIV] == 1
+        assert c[Signal.FP_SQRT] == 1
+        assert c[Signal.FP_FMA] == 1
+        assert c[Signal.FP_CVT] == 1
+        assert c[Signal.FP_MOV] == 2  # fli + fmov
+
+    def test_fcvt_rounds_to_single(self):
+        def body(asm):
+            asm.fli("f1", 1.0000000001)
+            asm.fcvt("f2", "f1")
+        m = run_program(body)
+        assert m.cpu.fregs[2] == 1.0
+
+    def test_fdiv_by_zero_faults(self):
+        def body(asm):
+            asm.fli("f1", 1.0)
+            asm.fdiv("f2", "f1", "f0")
+        with pytest.raises(MachineFault):
+            run_program(body)
+
+    def test_fsqrt_negative_faults(self):
+        def body(asm):
+            asm.fli("f1", -1.0)
+            asm.fsqrt("f2", "f1")
+        with pytest.raises(MachineFault):
+            run_program(body)
+
+
+class TestMemoryOps:
+    def test_store_load_roundtrip(self):
+        asm = Assembler()
+        base = asm.reserve_data(8)
+        asm.func("main")
+        asm.li("r1", base)
+        asm.li("r2", 42)
+        asm.store("r2", "r1", 3)
+        asm.load("r3", "r1", 3)
+        asm.fli("f1", 2.5)
+        asm.fstore("f1", "r1", 4)
+        asm.fload("f2", "r1", 4)
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        m.load(asm.build())
+        m.run_to_completion()
+        assert m.cpu.iregs[3] == 42
+        assert m.cpu.fregs[2] == 2.5
+
+    def test_data_init_applied(self):
+        asm = Assembler()
+        base = asm.init_array([10, 20, 30])
+        asm.func("main")
+        asm.li("r1", base)
+        asm.load("r2", "r1", 2)
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        m.load(asm.build())
+        m.run_to_completion()
+        assert m.cpu.iregs[2] == 30
+
+    def test_load_signals(self):
+        asm = Assembler()
+        base = asm.reserve_data(4)
+        asm.func("main")
+        asm.li("r1", base)
+        asm.load("r2", "r1", 0)
+        asm.store("r2", "r1", 1)
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        m.load(asm.build())
+        m.run_to_completion()
+        assert m.counts[Signal.LD_INS] == 1
+        assert m.counts[Signal.SR_INS] == 1
+        assert m.counts[Signal.L1D_ACC] == 2
+        assert m.counts[Signal.L1D_MISS] >= 1  # cold miss
+        assert m.counts[Signal.TLB_DM] >= 1
+
+    def test_out_of_range_load_faults(self):
+        def body(asm):
+            asm.li("r1", 99999)
+            asm.load("r2", "r1", 0)
+        with pytest.raises(MachineFault, match="out of range"):
+            run_program(body)
+
+    def test_out_of_range_store_faults(self):
+        def body(asm):
+            asm.li("r1", -1)
+            asm.store("r1", "r1", 0)
+        with pytest.raises(MachineFault, match="out of range"):
+            run_program(body)
+
+    def test_miss_penalty_charged_to_cycles(self):
+        asm = Assembler()
+        base = asm.reserve_data(4)
+        asm.func("main")
+        asm.li("r1", base)
+        asm.load("r2", "r1", 0)
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        m.load(asm.build())
+        m.run_to_completion()
+        cfg = m.hierarchy.config
+        expected_stall = cfg.l2_latency + cfg.mem_latency + cfg.tlb_walk_latency
+        assert m.counts[Signal.STL_CYC] >= expected_stall
+        assert m.counts[Signal.MEM_RCY] >= expected_stall
+
+
+class TestControlFlow:
+    def test_loop_executes_n_times(self):
+        def body(asm):
+            asm.li("r1", 10)
+            asm.li("r2", 0)
+            asm.label("loop")
+            asm.addi("r2", "r2", 1)
+            asm.blt("r2", "r1", "loop")
+        m = run_program(body)
+        assert m.cpu.iregs[2] == 10
+
+    def test_branch_signal_accounting(self):
+        def body(asm):
+            asm.li("r1", 10)
+            asm.li("r2", 0)
+            asm.label("loop")
+            asm.addi("r2", "r2", 1)
+            asm.blt("r2", "r1", "loop")
+        m = run_program(body)
+        c = m.counts
+        assert c[Signal.BR_CN] == 10
+        assert c[Signal.BR_TKN] == 9
+        assert c[Signal.BR_NTK] == 1
+        assert c[Signal.BR_TKN] + c[Signal.BR_NTK] == c[Signal.BR_CN]
+
+    def test_beq_bne_bge(self):
+        def body(asm):
+            asm.li("r1", 5)
+            asm.li("r2", 5)
+            asm.li("r3", 0)
+            asm.beq("r1", "r2", "t1")
+            asm.halt()
+            asm.label("t1")
+            asm.addi("r3", "r3", 1)
+            asm.bne("r1", "r2", "bad")
+            asm.bge("r1", "r2", "t2")
+            asm.label("bad")
+            asm.halt()
+            asm.label("t2")
+            asm.addi("r3", "r3", 1)
+        m = run_program(body)
+        assert m.cpu.iregs[3] == 2
+
+    def test_call_ret(self):
+        asm = Assembler()
+        asm.func("leaf")
+        asm.addi("r1", "r1", 1)
+        asm.ret()
+        asm.endfunc()
+        asm.func("main")
+        asm.li("r1", 0)
+        asm.call("leaf")
+        asm.call("leaf")
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        m.load(asm.build())
+        m.run_to_completion()
+        assert m.cpu.iregs[1] == 2
+        assert m.counts[Signal.CALL_INS] == 2
+        assert m.counts[Signal.RET_INS] == 2
+
+    def test_ret_without_call_faults(self):
+        def body(asm):
+            asm.ret()
+        with pytest.raises(MachineFault, match="empty call stack"):
+            run_program(body)
+
+    def test_mispredictions_counted_and_penalized(self):
+        def body(asm):
+            asm.li("r1", 100)
+            asm.li("r2", 0)
+            asm.label("loop")
+            asm.addi("r2", "r2", 1)
+            asm.blt("r2", "r1", "loop")
+        m = run_program(body)
+        assert 0 < m.counts[Signal.BR_MSP] <= 3  # learns quickly
+        assert m.counts[Signal.STL_CYC] > 0
+
+
+class TestRunControl:
+    def test_max_instructions_budget(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        result = m.run(max_instructions=100)
+        assert result.reason == "max_instructions"
+        assert result.instructions == 100
+        assert not m.cpu.halted
+
+    def test_max_cycles_budget(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        result = m.run(max_cycles=500)
+        assert result.reason == "max_cycles"
+        assert result.cycles >= 500  # can overshoot by one instruction
+
+    def test_resume_after_budget(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        m.run(max_instructions=1000)
+        result = m.run()
+        assert result.halted
+        assert m.counts[Signal.FP_FMA] == 1000
+
+    def test_stop_flag(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        m.cpu.stop_flag = True
+        result = m.run()
+        assert result.reason == "stop"
+        assert result.instructions == 0
+
+    def test_run_after_halt_is_noop(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        m.run_to_completion()
+        result = m.run()
+        assert result.halted and result.instructions == 0
+
+    def test_tot_ins_equals_executed(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        result = m.run_to_completion()
+        assert m.counts[Signal.TOT_INS] == result.instructions
+
+    def test_icache_fetches_counted(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        m.run_to_completion()
+        assert m.counts[Signal.L1I_ACC] > 0
+        # hot loop: instruction fetch misses are few
+        assert m.counts[Signal.L1I_MISS] < 10
+
+
+class TestContextSwitching:
+    def test_save_restore_roundtrip(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        m.run(max_instructions=500)
+        ctx = m.cpu.save_context()
+        # trash the CPU state
+        m.cpu.iregs[2] = 999999
+        m.cpu.pc = 0
+        m.cpu.restore_context(ctx)
+        result = m.run()
+        assert result.halted
+        assert m.counts[Signal.FP_FMA] == 1000
+
+    def test_migrate_mid_run(self, fma_loop_program):
+        from repro.hw.isa import Instruction, Op
+
+        m = Machine()
+        m.load(fma_loop_program)
+        m.run(max_instructions=500)
+        fp_before = m.counts[Signal.FP_FMA]
+        new_prog, remap = fma_loop_program.insert(
+            {0: [Instruction(Op.NOP)]}
+        )
+        m.cpu.migrate(new_prog, remap)
+        result = m.run()
+        assert result.halted
+        assert m.counts[Signal.FP_FMA] == 1000
+        assert fp_before < 1000

@@ -1,0 +1,173 @@
+"""Unit tests: Machine composition -- clocks, charging, probes, reset."""
+
+import pytest
+
+from repro.hw import Assembler, Machine
+from repro.hw.cpu import MachineFault
+from repro.hw.events import Signal, fresh_counts, signal_name, signal_by_name
+from repro.hw.machine import MachineConfig
+
+
+class TestClocks:
+    def test_real_includes_system_cycles(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        m.run_to_completion()
+        user = m.user_cycles
+        m.charge(1234)
+        assert m.real_cycles == user + 1234
+        assert m.user_cycles == user
+
+    def test_real_usec_uses_clock_rate(self):
+        m = Machine(MachineConfig(mhz=500))
+        m.charge(5000)
+        assert m.real_usec == pytest.approx(10.0)
+
+    def test_negative_charge_rejected(self):
+        m = Machine()
+        with pytest.raises(ValueError):
+            m.charge(-1)
+
+
+class TestPollution:
+    @staticmethod
+    def _rereading_program():
+        """Reads the same 64 words over and over (pollution-sensitive)."""
+        asm = Assembler()
+        base = asm.init_array([1] * 64)
+        asm.func("main")
+        asm.li("r9", 40)
+        asm.li("r8", 0)
+        asm.label("outer")
+        asm.li("r1", base)
+        asm.li("r2", 0)
+        asm.li("r3", 64)
+        asm.label("inner")
+        asm.load("r4", "r1", 0)
+        asm.addi("r1", "r1", 1)
+        asm.addi("r2", "r2", 1)
+        asm.blt("r2", "r3", "inner")
+        asm.addi("r8", "r8", 1)
+        asm.blt("r8", "r9", "outer")
+        asm.halt()
+        asm.endfunc()
+        return asm.build()
+
+    def test_charge_with_pollution_perturbs_cache(self):
+        # run the same re-reading program twice; the polluted machine
+        # sees more data cache misses because interface lines evict the
+        # program's hot working set mid-run.
+        program = self._rereading_program()
+        results = []
+        for pollute in (0, 512):
+            m = Machine()
+            m.load(program)
+            m.run(max_instructions=2000)
+            m.charge(100, pollute_lines=pollute)
+            m.run_to_completion()
+            results.append(m.counts[Signal.L1D_MISS])
+        assert results[1] > results[0]
+
+
+class TestProbes:
+    def test_probe_dispatch(self):
+        asm = Assembler()
+        asm.func("main")
+        asm.probe(7)
+        asm.probe(7)
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        calls = []
+        m.register_probe(7, lambda pid, cpu: calls.append((pid, cpu.pc)))
+        m.load(asm.build())
+        m.run_to_completion()
+        assert calls == [(7, 0), (7, 1)]
+        assert m.counts[Signal.PRB_INS] == 2
+
+    def test_unregistered_probe_is_noop(self):
+        asm = Assembler()
+        asm.func("main")
+        asm.probe(3)
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        m.load(asm.build())
+        m.run_to_completion()  # must not raise
+
+    def test_duplicate_probe_id_rejected(self):
+        m = Machine()
+        m.register_probe(1, lambda p, c: None)
+        with pytest.raises(ValueError):
+            m.register_probe(1, lambda p, c: None)
+
+    def test_unregister_probe(self):
+        m = Machine()
+        m.register_probe(1, lambda p, c: None)
+        m.unregister_probe(1)
+        m.register_probe(1, lambda p, c: None)  # ok again
+
+
+class TestSyscall:
+    def test_syscall_charges_cycles(self):
+        asm = Assembler()
+        asm.func("main")
+        asm.syscall(1)
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        m.load(asm.build())
+        m.run_to_completion()
+        assert m.counts[Signal.SYS_INS] == 1
+        assert m.counts[Signal.TOT_CYC] >= m.config.cpu.syscall_cost
+
+
+class TestReset:
+    def test_reset_zeroes_everything(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        m.pmu.program(0, (Signal.TOT_INS,))
+        m.pmu.start(0)
+        m.run_to_completion()
+        m.charge(100)
+        m.reset()
+        assert m.real_cycles == 0
+        assert all(c == 0 for c in m.counts)
+        assert m.cpu.halted
+        assert m.program is None
+
+    def test_reload_after_reset(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        m.run_to_completion()
+        m.reset()
+        m.load(fma_loop_program)
+        m.run_to_completion()
+        assert m.counts[Signal.FP_FMA] == 1000
+
+
+class TestRunToCompletion:
+    def test_budget_guard(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        with pytest.raises(MachineFault, match="did not halt"):
+            m.run_to_completion(budget_instructions=10)
+
+
+class TestSignalCatalogue:
+    def test_names_roundtrip(self):
+        for i in range(Signal.N_SIGNALS):
+            assert signal_by_name(signal_name(i)) == i
+
+    def test_fresh_counts_length(self):
+        assert len(fresh_counts()) == Signal.N_SIGNALS
+
+    def test_bad_signal_name(self):
+        with pytest.raises(ValueError):
+            signal_by_name("BOGUS")
+        with pytest.raises(ValueError):
+            signal_name(Signal.N_SIGNALS)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(mhz=0)

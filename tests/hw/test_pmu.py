@@ -1,0 +1,340 @@
+"""Unit tests: PMU counters, overflow, skid, timer, sampling hardware."""
+
+import pytest
+
+from repro.hw import Assembler, Machine
+from repro.hw.events import Signal
+from repro.hw.machine import MachineConfig
+from repro.hw.pmu import PMU, PMUConfig, PMUError
+
+
+def make_pmu(n=4, **kwargs):
+    counts = [0] * Signal.N_SIGNALS
+    return PMU(PMUConfig(n_counters=n, **kwargs), counts), counts
+
+
+class TestCounterControl:
+    def test_program_and_read_delta(self):
+        pmu, counts = make_pmu()
+        pmu.program(0, (Signal.FP_FMA,))
+        counts[Signal.FP_FMA] = 50
+        pmu.start(0)
+        counts[Signal.FP_FMA] = 80
+        assert pmu.read(0) == 30
+
+    def test_multi_signal_counter_sums(self):
+        pmu, counts = make_pmu()
+        pmu.program(0, (Signal.LD_INS, Signal.SR_INS))
+        pmu.start(0)
+        counts[Signal.LD_INS] = 5
+        counts[Signal.SR_INS] = 7
+        assert pmu.read(0) == 12
+
+    def test_stop_freezes_value(self):
+        pmu, counts = make_pmu()
+        pmu.program(0, (Signal.TOT_INS,))
+        pmu.start(0)
+        counts[Signal.TOT_INS] = 10
+        assert pmu.stop(0) == 10
+        counts[Signal.TOT_INS] = 99
+        assert pmu.read(0) == 10
+
+    def test_stop_start_accumulates(self):
+        pmu, counts = make_pmu()
+        pmu.program(0, (Signal.TOT_INS,))
+        pmu.start(0)
+        counts[Signal.TOT_INS] = 10
+        pmu.stop(0)
+        counts[Signal.TOT_INS] = 20  # not counted: stopped
+        pmu.start(0)
+        counts[Signal.TOT_INS] = 25
+        assert pmu.read(0) == 15  # 10 + 5
+
+    def test_write_resets_value(self):
+        pmu, counts = make_pmu()
+        pmu.program(0, (Signal.TOT_INS,))
+        pmu.start(0)
+        counts[Signal.TOT_INS] = 10
+        pmu.write(0, 0)
+        counts[Signal.TOT_INS] = 14
+        assert pmu.read(0) == 4
+
+    def test_start_unprogrammed_rejected(self):
+        pmu, _ = make_pmu()
+        with pytest.raises(PMUError):
+            pmu.start(0)
+
+    def test_double_start_rejected(self):
+        pmu, _ = make_pmu()
+        pmu.program(0, (Signal.TOT_INS,))
+        pmu.start(0)
+        with pytest.raises(PMUError):
+            pmu.start(0)
+
+    def test_program_while_running_rejected(self):
+        pmu, _ = make_pmu()
+        pmu.program(0, (Signal.TOT_INS,))
+        pmu.start(0)
+        with pytest.raises(PMUError):
+            pmu.program(0, (Signal.TOT_CYC,))
+
+    def test_bad_counter_index_rejected(self):
+        pmu, _ = make_pmu(n=2)
+        with pytest.raises(PMUError):
+            pmu.read(2)
+
+    def test_bad_signal_rejected(self):
+        pmu, _ = make_pmu()
+        with pytest.raises(ValueError):
+            pmu.program(0, (999,))
+
+    def test_clear_releases_counter(self):
+        pmu, _ = make_pmu()
+        pmu.program(0, (Signal.TOT_INS,))
+        pmu.clear(0)
+        assert pmu.counters[0].signals == ()
+
+    def test_reset_restores_poweron(self):
+        pmu, counts = make_pmu()
+        pmu.program(0, (Signal.TOT_INS,))
+        pmu.start(0)
+        pmu.set_overflow(0, 100, lambda r: None)
+        pmu.reset()
+        assert not pmu.watch_active
+        assert all(not c.running and not c.signals for c in pmu.counters)
+
+
+class TestOverflow:
+    def _machine_with_loop(self, skid=0, n=1000):
+        asm = Assembler()
+        asm.func("main")
+        asm.li("r1", n)
+        asm.li("r2", 0)
+        asm.label("loop")
+        asm.fma("f1", "f1", "f1", "f1")
+        asm.addi("r2", "r2", 1)
+        asm.blt("r2", "r1", "loop")
+        asm.halt()
+        asm.endfunc()
+        cfg = MachineConfig(pmu=PMUConfig(n_counters=4, skid_max=skid))
+        m = Machine(cfg)
+        m.load(asm.build())
+        return m
+
+    def test_overflow_fires_per_threshold(self):
+        m = self._machine_with_loop()
+        hits = []
+        m.pmu.program(0, (Signal.FP_FMA,))
+        m.pmu.set_overflow(0, 100, hits.append)
+        m.pmu.start(0)
+        m.run_to_completion()
+        assert len(hits) == 10
+
+    def test_overflow_counts_increment(self):
+        m = self._machine_with_loop()
+        hits = []
+        m.pmu.program(0, (Signal.FP_FMA,))
+        m.pmu.set_overflow(0, 250, hits.append)
+        m.pmu.start(0)
+        m.run_to_completion()
+        assert [h.overflow_count for h in hits] == [1, 2, 3, 4]
+
+    def test_zero_skid_reports_interrupt_pc_exactly(self):
+        m = self._machine_with_loop(skid=0)
+        hits = []
+        m.pmu.program(0, (Signal.FP_FMA,))
+        m.pmu.set_overflow(0, 100, hits.append)
+        m.pmu.start(0)
+        m.run_to_completion()
+        for h in hits:
+            assert h.reported_pc == h.trigger_pc
+
+    def test_skid_shifts_reported_pc(self):
+        m = self._machine_with_loop(skid=10)
+        hits = []
+        m.pmu.program(0, (Signal.FP_FMA,))
+        m.pmu.set_overflow(0, 50, hits.append)
+        m.pmu.start(0)
+        m.run_to_completion()
+        assert any(h.reported_pc != h.trigger_pc for h in hits)
+
+    def test_overflow_cost_charged(self):
+        m0 = self._machine_with_loop()
+        m0.run_to_completion()
+        base = m0.counts[Signal.TOT_CYC]
+
+        m1 = self._machine_with_loop()
+        m1.pmu.program(0, (Signal.FP_FMA,))
+        m1.pmu.set_overflow(0, 10, lambda r: None)
+        m1.pmu.start(0)
+        m1.run_to_completion()
+        assert m1.counts[Signal.TOT_CYC] > base
+        assert m1.counts[Signal.HW_INT] == 100
+
+    def test_threshold_validation(self):
+        pmu, _ = make_pmu()
+        pmu.program(0, (Signal.TOT_INS,))
+        with pytest.raises(PMUError):
+            pmu.set_overflow(0, 0, lambda r: None)
+
+    def test_overflow_on_unprogrammed_rejected(self):
+        pmu, _ = make_pmu()
+        with pytest.raises(PMUError):
+            pmu.set_overflow(0, 10, lambda r: None)
+
+    def test_clear_overflow(self):
+        m = self._machine_with_loop()
+        hits = []
+        m.pmu.program(0, (Signal.FP_FMA,))
+        m.pmu.set_overflow(0, 100, hits.append)
+        m.pmu.start(0)
+        m.run(max_instructions=1500)
+        n = len(hits)
+        m.pmu.clear_overflow(0)
+        m.run_to_completion()
+        assert len(hits) == n
+
+
+class TestCycleTimer:
+    def test_timer_fires_periodically(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        ticks = []
+        m.pmu.set_cycle_timer(1000, ticks.append)
+        m.run_to_completion()
+        total = m.counts[Signal.TOT_CYC]
+        assert total // 1000 - 2 <= len(ticks) <= total // 1000 + 2
+
+    def test_timer_clear(self, fma_loop_program):
+        m = Machine()
+        m.load(fma_loop_program)
+        ticks = []
+        m.pmu.set_cycle_timer(500, ticks.append)
+        m.run(max_instructions=1000)
+        n = len(ticks)
+        assert n > 0
+        m.pmu.clear_cycle_timer()
+        m.run_to_completion()
+        assert len(ticks) == n
+
+    def test_timer_period_validation(self):
+        pmu, _ = make_pmu()
+        with pytest.raises(PMUError):
+            pmu.set_cycle_timer(0, lambda c: None)
+
+
+class TestProfileMe:
+    def _sampling_machine(self, period, n=4000):
+        asm = Assembler()
+        asm.func("main")
+        asm.li("r1", n)
+        asm.li("r2", 0)
+        asm.label("loop")
+        asm.fadd("f1", "f1", "f1")
+        asm.addi("r2", "r2", 1)
+        asm.blt("r2", "r1", "loop")
+        asm.halt()
+        asm.endfunc()
+        cfg = MachineConfig(pmu=PMUConfig(n_counters=2, has_profileme=True))
+        m = Machine(cfg)
+        m.load(asm.build())
+        m.pmu.enable_profileme(period)
+        return m
+
+    def test_sampler_requires_capability(self):
+        pmu, _ = make_pmu(has_profileme=False)
+        with pytest.raises(PMUError):
+            pmu.enable_profileme(100)
+
+    def test_sample_rate_close_to_period(self):
+        m = self._sampling_machine(period=200)
+        m.run_to_completion()
+        total = m.counts[Signal.TOT_INS]
+        n_samples = m.pmu.sampler.n_samples
+        assert n_samples == pytest.approx(total / 200, rel=0.35)
+
+    def test_samples_record_true_instruction_mix(self):
+        m = self._sampling_machine(period=64)
+        m.run_to_completion()
+        samples = m.pmu.sampler.drain()
+        fp = sum(1 for s in samples if s.is_fp)
+        # loop body: fadd, addi, blt -> roughly a third fp
+        assert fp / len(samples) == pytest.approx(1 / 3, abs=0.12)
+
+    def test_sample_pcs_inside_loop(self):
+        m = self._sampling_machine(period=64)
+        m.run_to_completion()
+        samples = m.pmu.sampler.drain()
+        assert samples
+        for s in samples:
+            assert 0 <= s.pc <= 6
+
+    def test_sampling_cost_charged(self):
+        m0 = self._sampling_machine(period=10**9)
+        m0.run_to_completion()
+        quiet = m0.counts[Signal.TOT_CYC]
+        m1 = self._sampling_machine(period=50)
+        m1.run_to_completion()
+        assert m1.counts[Signal.TOT_CYC] > quiet
+        assert m1.counts[Signal.HW_INT] == m1.pmu.sampler.n_samples
+
+    def test_period_validation(self):
+        pmu, _ = make_pmu(has_profileme=True)
+        with pytest.raises(PMUError):
+            pmu.enable_profileme(1)
+
+
+class TestEAR:
+    def _ear_machine(self, period):
+        asm = Assembler()
+        base = asm.reserve_data(4096)
+        asm.func("main")
+        asm.li("r1", base)
+        asm.li("r2", 0)
+        asm.li("r3", 512)
+        asm.label("loop")
+        asm.load("r4", "r1", 0)
+        asm.addi("r1", "r1", 8)   # stride 8 words = 64B: every load misses
+        asm.addi("r2", "r2", 1)
+        asm.blt("r2", "r3", "loop")
+        asm.halt()
+        asm.endfunc()
+        cfg = MachineConfig(pmu=PMUConfig(n_counters=4, has_ear=True))
+        m = Machine(cfg)
+        m.load(asm.build())
+        return m
+
+    def test_ear_requires_capability(self):
+        pmu, _ = make_pmu(has_ear=False)
+        with pytest.raises(PMUError):
+            pmu.add_ear(4)
+
+    def test_ear_samples_every_nth_miss(self):
+        m = self._ear_machine(period=4)
+        ear = m.pmu.add_ear(4, "l1d_miss")
+        m.run_to_completion()
+        misses = m.counts[Signal.L1D_MISS]
+        assert ear.n_records == misses // 4
+
+    def test_ear_records_exact_pc(self):
+        m = self._ear_machine(period=2)
+        ear = m.pmu.add_ear(2, "l1d_miss")
+        m.run_to_completion()
+        load_pc = 4  # li,li,li, [loop] load -> the load sits at index 3
+        load_pc = 3
+        assert ear.records
+        for rec in ear.records:
+            assert rec.pc == load_pc
+
+    def test_ear_event_validation(self):
+        pmu, _ = make_pmu(has_ear=True)
+        with pytest.raises(PMUError):
+            pmu.add_ear(4, "branch_mispredict")
+
+    def test_remove_ear(self):
+        m = self._ear_machine(period=2)
+        ear = m.pmu.add_ear(2, "l1d_miss")
+        m.pmu.remove_ear(ear)
+        assert not m.pmu.ear_active
+        m.run_to_completion()
+        assert ear.n_records == 0

@@ -1,0 +1,63 @@
+"""Unit tests: configuration validation across the hardware layer."""
+
+import pytest
+
+from repro.hw.cpu import CPUConfig, default_latencies
+from repro.hw.isa import Op
+from repro.hw.machine import MachineConfig
+from repro.hw.pmu import PMUConfig
+
+
+class TestCPUConfig:
+    def test_latencies_must_cover_all_opcodes(self):
+        with pytest.raises(ValueError):
+            CPUConfig(latencies=(1, 2, 3))
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(ValueError):
+            CPUConfig(branch_penalty=-1)
+        with pytest.raises(ValueError):
+            CPUConfig(syscall_cost=-1)
+
+    def test_default_latencies_sane(self):
+        lat = default_latencies()
+        assert len(lat) == Op.N_OPS
+        assert all(l >= 1 for l in lat)
+        assert lat[Op.FDIV] > lat[Op.FMUL] > lat[Op.NOP]
+
+    def test_custom_latency_changes_cycle_cost(self, fma_loop_program):
+        from repro.hw import Machine
+
+        slow = default_latencies()
+        slow[Op.FMA] = 50
+        m_fast = Machine(MachineConfig())
+        m_slow = Machine(MachineConfig(cpu=CPUConfig(latencies=tuple(slow))))
+        for m in (m_fast, m_slow):
+            m.load(fma_loop_program)
+            m.run_to_completion()
+        assert m_slow.user_cycles > m_fast.user_cycles
+
+
+class TestPMUConfig:
+    def test_counter_count_required(self):
+        with pytest.raises(ValueError):
+            PMUConfig(n_counters=0)
+
+    def test_negative_skid_rejected(self):
+        with pytest.raises(ValueError):
+            PMUConfig(skid_max=-1)
+
+    def test_negative_interrupt_cost_rejected(self):
+        with pytest.raises(ValueError):
+            PMUConfig(interrupt_cost=-1)
+
+
+class TestMachineConfig:
+    def test_clock_rate_positive(self):
+        with pytest.raises(ValueError):
+            MachineConfig(mhz=0)
+
+    def test_defaults_compose(self):
+        cfg = MachineConfig()
+        assert cfg.pmu.n_counters >= 1
+        assert cfg.hierarchy.l1d.size_bytes > 0

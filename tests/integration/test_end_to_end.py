@@ -1,0 +1,190 @@
+"""Integration tests: full pipelines spanning the whole stack."""
+
+import pytest
+
+from repro.core.library import Papi
+from repro.core.lowlevel import LowLevelAPI
+from repro.core.profile import ProfileBuffer, Profil
+from repro.hw.isa import INS_BYTES
+from repro.platforms import PLATFORM_NAMES, create
+from repro.simos import OS
+from repro.tools import (
+    Dynaprof,
+    PapiProbe,
+    Perfometer,
+    Profiler,
+    papirun,
+)
+from repro.workloads import demo_app, dot, matmul, phased
+
+
+class TestPortableQuickstart:
+    """The README quickstart must work verbatim on every platform."""
+
+    @pytest.mark.parametrize("platform", PLATFORM_NAMES)
+    def test_quickstart_flow(self, platform):
+        from repro import HighLevel
+
+        substrate = create(platform)
+        papi = Papi(substrate)
+        hl = HighLevel(papi)
+        work = matmul(8, use_fma=substrate.HAS_FMA)
+        substrate.machine.load(work.program)
+        hl.start_counters(["PAPI_FP_OPS", "PAPI_TOT_CYC"])
+        substrate.machine.run_to_completion()
+        fp_ops, cycles = hl.stop_counters()
+        assert cycles > 0
+        if substrate.COUNTING == "direct":
+            assert fp_ops == 2 * 8 ** 3
+        else:
+            assert fp_ops >= 0  # sampled estimate on short runs is noisy
+
+
+class TestSamePortableCodeEverywhere:
+    """One measurement function, five platforms: PAPI's whole point."""
+
+    @staticmethod
+    def measure_everywhere(symbols, make_workload):
+        results = {}
+        for name in PLATFORM_NAMES:
+            sub = create(name)
+            papi = Papi(sub)
+            es = papi.create_eventset()
+            usable = []
+            for s in symbols:
+                try:
+                    es.add_event(papi.event_name_to_code(s))
+                    usable.append(s)
+                except Exception:
+                    pass
+            sub.machine.load(make_workload(sub).program)
+            es.start()
+            sub.machine.run_to_completion()
+            results[name] = dict(zip(usable, es.stop()))
+        return results
+
+    def test_cycles_and_instructions_everywhere(self):
+        # long enough that the sampling platform collects samples too
+        results = self.measure_everywhere(
+            ["PAPI_TOT_CYC", "PAPI_TOT_INS"],
+            lambda sub: dot(8000, use_fma=sub.HAS_FMA),
+        )
+        for name, values in results.items():
+            assert values["PAPI_TOT_CYC"] > values["PAPI_TOT_INS"] > 0, name
+
+    def test_availability_driven_degradation(self):
+        results = self.measure_everywhere(
+            ["PAPI_TOT_CYC", "PAPI_TLB_DM"],
+            lambda sub: dot(200, use_fma=sub.HAS_FMA),
+        )
+        assert "PAPI_TLB_DM" not in results["simT3E"]
+        assert "PAPI_TLB_DM" in results["simIA64"]
+
+
+class TestToolPipeline:
+    def test_dynaprof_profiler_perfometer_stack(self):
+        """dynaprof -> profiles, then perfometer on a second machine."""
+        report = Profiler(
+            "simPOWER", ["PAPI_TOT_CYC", "PAPI_L1_DCM"]
+        ).profile(lambda: demo_app(scale=20))
+        assert report.hottest("PAPI_L1_DCM") == "memwalk"
+
+        sub = create("simPOWER")
+        pm = Perfometer(sub, metric="PAPI_L1_DCM", interval_cycles=10_000)
+        sub.machine.load(demo_app(scale=20).program)
+        trace = pm.monitor()
+        assert max(trace.rates()) > 0
+
+    def test_papirun_matches_manual_measurement(self):
+        wl_result = papirun("simIA64", dot(600, use_fma=True),
+                            events=["PAPI_FP_OPS"])
+        sub = create("simIA64")
+        papi = Papi(sub)
+        es = papi.create_eventset()
+        es.add_named("PAPI_FP_OPS")
+        sub.machine.load(dot(600, use_fma=True).program)
+        es.start()
+        sub.machine.run_to_completion()
+        manual = es.stop()[0]
+        assert wl_result.values["PAPI_FP_OPS"] == manual == 1200
+
+    def test_profil_and_dynaprof_agree_on_hotspot(self):
+        """Statistical profiling and probe-based profiling must agree."""
+        # dynaprof says memwalk is the cycle hog...
+        report = Profiler("simIA64", ["PAPI_TOT_CYC"]).profile(
+            lambda: demo_app(scale=25)
+        )
+        hot_fn = report.hottest("PAPI_TOT_CYC")
+        assert hot_fn == "memwalk"
+
+        # ...and PAPI_profil's histogram puts the most samples there too
+        sub = create("simIA64")
+        papi = Papi(sub)
+        wl = demo_app(scale=25)
+        sub.machine.load(wl.program)
+        es = papi.create_eventset()
+        es.add_named("PAPI_TOT_CYC")
+        buf = ProfileBuffer.covering(0, len(wl.program) * INS_BYTES)
+        prof = Profil(es, buf, papi.event_name_to_code("PAPI_TOT_CYC"), 500)
+        prof.install()
+        es.start()
+        sub.machine.run_to_completion()
+        es.stop()
+        prof.collect()
+        fn = wl.program.functions[hot_fn]
+        hot_hits = sum(
+            buf.buckets[b]
+            for pc in range(fn.start, fn.end)
+            if (b := buf.bucket_index(pc * INS_BYTES)) is not None
+        )
+        assert hot_hits / buf.hits > 0.5
+
+
+class TestThreadedCounting:
+    def test_attached_eventset_counts_one_thread(self):
+        """PAPI attach + OS scheduling: per-thread counts, as DADD enabled
+        on the Tru64 platform (Section 2)."""
+        sub = create("simPOWER")
+        papi = Papi(sub)
+        os_ = sub.os
+        t1 = os_.spawn(dot(1500, use_fma=True).program, name="hot")
+        t2 = os_.spawn(dot(1500, use_fma=True).program, name="other")
+        es = papi.create_eventset()
+        es.add_named("PAPI_FP_OPS")
+        es.attach(t1)
+        es.start()
+        os_.run()
+        values = es.stop()
+        assert values[0] == 2 * 1500          # t1 only
+        # both threads really ran
+        assert t1.finished and t2.finished
+
+    def test_virtual_timers_with_threads(self):
+        sub = create("simPOWER")
+        papi = Papi(sub)
+        os_ = sub.os
+        t1 = os_.spawn(dot(2000, use_fma=True).program)
+        t2 = os_.spawn(dot(500, use_fma=True).program)
+        os_.run()
+        assert papi.get_virt_cyc(t1) > papi.get_virt_cyc(t2) > 0
+        assert papi.get_real_cyc() >= papi.get_virt_cyc(t1)
+
+
+class TestLowLevelMixedWithHighLevel:
+    def test_mixing_interfaces(self):
+        """"high-level and low-level calls can be mixed" (Section 2)."""
+        from repro import HighLevel
+
+        sub = create("simIA64")
+        api = LowLevelAPI(sub)
+        api.library_init()
+        hl = HighLevel(api.papi)
+        wl = dot(800, use_fma=True)
+        sub.machine.load(wl.program)
+        hl.start_counters(["PAPI_FP_OPS"])
+        sub.machine.run(max_instructions=2000)
+        # low-level timer reads interleave fine with high-level counting
+        assert api.get_real_usec() > 0
+        sub.machine.run_to_completion()
+        values = hl.stop_counters()
+        assert values[0] == 1600

@@ -1,0 +1,140 @@
+"""Unit tests: the sampling substrate (DCPI/DADD model)."""
+
+import pytest
+
+from repro.hw.events import Signal
+from repro.platforms import SubstrateError, create
+from repro.platforms.simalpha import sample_matches
+from repro.workloads import dot, matmul
+
+
+@pytest.fixture
+def alpha():
+    return create("simALPHA")
+
+
+class TestDirectCountingUnavailable:
+    def test_all_direct_ops_raise(self, alpha):
+        ev = alpha.query_native("RET_INS")
+        with pytest.raises(SubstrateError):
+            alpha.program_counter(0, ev)
+        with pytest.raises(SubstrateError):
+            alpha.start_counters([0])
+        with pytest.raises(SubstrateError):
+            alpha.stop_counters([0])
+        with pytest.raises(SubstrateError):
+            alpha.read_counters([0])
+        with pytest.raises(SubstrateError):
+            alpha.reset_counters([0])
+        with pytest.raises(SubstrateError):
+            alpha.clear_counter(0)
+
+    def test_supports_sampling_flag(self, alpha):
+        assert alpha.supports_sampling_counts()
+        assert not create("simT3E").supports_sampling_counts()
+
+
+class TestSamplingSession:
+    def _run(self, alpha, wl, period=None):
+        events = [alpha.query_native(n) for n in
+                  ("CYCLES", "RET_INS", "RET_FLOPS", "RET_LOADS")]
+        session = alpha.sampling_session(events, period=period)
+        alpha.machine.load(wl.program)
+        session.start()
+        alpha.machine.run_to_completion()
+        session.stop()
+        return session
+
+    def test_cycles_exact(self, alpha):
+        wl = dot(2000, use_fma=True)
+        session = self._run(alpha, wl)
+        cyc = session.estimate(alpha.query_native("CYCLES"))
+        assert cyc == session.elapsed_cycles()
+        assert cyc > 0
+
+    def test_tot_ins_estimate_unbiased(self, alpha):
+        wl = matmul(20, use_fma=False)
+        session = self._run(alpha, wl, period=256)
+        est = session.estimate(alpha.query_native("RET_INS"))
+        true = alpha.machine.counts[Signal.TOT_INS]
+        assert est == pytest.approx(true, rel=0.15)
+
+    def test_flops_estimate_converges_with_run_length(self, alpha):
+        errors = []
+        for n in (8, 32):
+            sub = create("simALPHA")
+            wl = matmul(n, use_fma=False)
+            events = [sub.query_native("RET_FLOPS")]
+            session = sub.sampling_session(events, period=512)
+            sub.machine.load(wl.program)
+            session.start()
+            sub.machine.run_to_completion()
+            session.stop()
+            est = session.estimate(events[0])
+            true = 2 * n ** 3
+            errors.append(abs(est - true) / true)
+        assert errors[1] < errors[0] or errors[1] < 0.05
+
+    def test_session_reset_discards(self, alpha):
+        wl = dot(4000, use_fma=True)
+        events = [alpha.query_native("RET_INS")]
+        session = alpha.sampling_session(events, period=128)
+        alpha.machine.load(wl.program)
+        session.start()
+        alpha.machine.run(max_instructions=5000)
+        assert session.n_samples > 0
+        session.reset()
+        assert session.n_samples == 0
+        alpha.machine.run_to_completion()
+        session.stop()
+        assert session.n_samples > 0
+
+    def test_double_start_rejected(self, alpha):
+        session = alpha.sampling_session([alpha.query_native("RET_INS")])
+        wl = dot(100, use_fma=True)
+        alpha.machine.load(wl.program)
+        session.start()
+        with pytest.raises(SubstrateError):
+            session.start()
+
+    def test_stop_without_start_rejected(self, alpha):
+        session = alpha.sampling_session([alpha.query_native("RET_INS")])
+        with pytest.raises(SubstrateError):
+            session.stop()
+
+    def test_sampling_charges_interrupt_costs(self, alpha):
+        """Samples cost interrupt cycles (the amortized overhead)."""
+        wl = dot(4000, use_fma=True)
+        session = alpha.sampling_session(
+            [alpha.query_native("RET_INS")], period=64
+        )
+        alpha.machine.load(wl.program)
+        session.start()
+        alpha.machine.run_to_completion()
+        session.stop()
+        assert alpha.machine.counts[Signal.HW_INT] == session.n_samples
+
+
+class TestSampleMatching:
+    def test_matchers_partition_sensibly(self, alpha):
+        wl = matmul(12, use_fma=False)
+        events = {n: alpha.query_native(n) for n in
+                  ("RET_INS", "RET_FLOPS", "RET_LOADS", "RET_STORES",
+                   "RET_BRANCHES")}
+        session = alpha.sampling_session(list(events.values()), period=64)
+        alpha.machine.load(wl.program)
+        session.start()
+        alpha.machine.run_to_completion()
+        session.stop()
+        samples = session.samples()
+        assert samples
+        for s in samples:
+            assert sample_matches(events["RET_INS"], s)
+            # an instruction is at most one of load/store/fp-arith/branch
+            kinds = sum([
+                sample_matches(events["RET_FLOPS"], s),
+                sample_matches(events["RET_LOADS"], s),
+                sample_matches(events["RET_STORES"], s),
+                sample_matches(events["RET_BRANCHES"], s),
+            ])
+            assert kinds <= 1

@@ -1,0 +1,148 @@
+"""Unit tests: platform substrates -- tables, costs, counter operations."""
+
+import pytest
+
+from repro.hw.events import Signal
+from repro.platforms import (
+    DIRECT_PLATFORMS,
+    PLATFORM_NAMES,
+    SubstrateError,
+    all_platforms,
+    create,
+)
+from repro.workloads import dot
+
+
+class TestRegistry:
+    def test_all_platforms_instantiable(self):
+        subs = all_platforms()
+        assert [s.NAME for s in subs] == PLATFORM_NAMES
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SubstrateError):
+            create("simVAX")
+
+    def test_direct_platforms_exclude_sampling(self):
+        assert "simALPHA" not in DIRECT_PLATFORMS
+        assert len(DIRECT_PLATFORMS) == 5
+
+    def test_interface_styles_cover_the_paper(self):
+        styles = {s.STYLE for s in all_platforms()}
+        assert styles == {"register", "syscall", "library", "sampling"}
+
+
+class TestNativeTables:
+    def test_every_platform_has_cycles_and_instructions(self, any_platform):
+        signals = {
+            sig for ev in any_platform.native_events.values()
+            for sig in ev.signals
+        }
+        assert Signal.TOT_CYC in signals
+        assert Signal.TOT_INS in signals
+
+    def test_query_native(self, simt3e):
+        ev = simt3e.query_native("CYC_CNT")
+        assert ev.signals == (Signal.TOT_CYC,)
+        with pytest.raises(SubstrateError):
+            simt3e.query_native("NOPE")
+
+    def test_list_native_sorted(self, simx86):
+        names = [e.name for e in simx86.list_native()]
+        assert names == sorted(names)
+
+    def test_constraints_reference_valid_counters(self, any_platform):
+        for ev in any_platform.native_events.values():
+            if ev.allowed_counters is not None:
+                assert all(
+                    0 <= c < any_platform.n_counters
+                    for c in ev.allowed_counters
+                )
+
+    def test_simx86_has_pairing_constraints(self, simx86):
+        constrained = [
+            e for e in simx86.native_events.values()
+            if e.allowed_counters is not None
+        ]
+        assert constrained, "simX86 must model P6 pairing constraints"
+
+    def test_simpower_groups_valid(self, simpower):
+        assert simpower.uses_groups
+        for g in simpower.groups:
+            counters = list(g.assignments.values())
+            assert len(set(counters)) == len(counters), "group reuses a counter"
+
+    def test_simpower_fpu_event_includes_converts(self, simpower):
+        ev = simpower.query_native("PM_FPU_INS")
+        assert Signal.FP_CVT in ev.signals  # the POWER3 anecdote
+
+    def test_t3e_lacks_tlb_events(self, simt3e):
+        signals = {
+            sig for ev in simt3e.native_events.values() for sig in ev.signals
+        }
+        assert Signal.TLB_DM not in signals
+
+
+class TestCounterOps:
+    def _run_dot(self, substrate, n=300):
+        wl = dot(n, use_fma=substrate.HAS_FMA)
+        substrate.machine.load(wl.program)
+        return wl
+
+    def test_program_start_read_stop(self, direct_platform):
+        sub = direct_platform
+        wl = self._run_dot(sub)
+        cyc = sub.query_native(
+            {
+                "simT3E": "CYC_CNT",
+                "simX86": "CPU_CLK_UNHALTED",
+                "simPOWER": "PM_CYC",
+                "simIA64": "CPU_CYCLES",
+                "simSPARC": "Cycle_cnt",
+            }[sub.NAME]
+        )
+        sub.program_counter(0, cyc)
+        sub.start_counters([0])
+        sub.machine.run_to_completion()
+        values = sub.stop_counters([0])
+        assert values[0] == sub.machine.user_cycles
+
+    def test_read_charges_interface_cycles(self, direct_platform):
+        sub = direct_platform
+        self._run_dot(sub)
+        ev = next(iter(sub.native_events.values()))
+        sub.program_counter(0, ev)
+        sub.start_counters([0])
+        before = sub.machine.system_cycles
+        sub.read_counters([0])
+        charged = sub.machine.system_cycles - before
+        assert charged == sub.COSTS.read + sub.COSTS.read_per_counter
+
+    def test_interface_cost_ordering_matches_styles(self):
+        """register < library < syscall read costs (the paper's ordering)."""
+        t3e = create("simT3E").COSTS.read
+        power = create("simPOWER").COSTS.read
+        x86 = create("simX86").COSTS.read
+        assert t3e < power < x86
+
+    def test_reset_counters(self, simt3e):
+        self._run_dot(simt3e)
+        ev = simt3e.query_native("INS_CNT")
+        simt3e.program_counter(0, ev)
+        simt3e.start_counters([0])
+        simt3e.machine.run(max_instructions=100)
+        simt3e.reset_counters([0])
+        assert simt3e.read_counters([0])[0] == 0
+
+    def test_timers(self, direct_platform):
+        sub = direct_platform
+        self._run_dot(sub)
+        t0 = sub.real_cyc()
+        sub.machine.run_to_completion()
+        assert sub.real_cyc() > t0
+        assert sub.real_usec() == pytest.approx(
+            sub.real_cyc() / sub.machine.config.mhz
+        )
+        assert sub.virt_cyc() <= sub.real_cyc()
+
+    def test_describe_mentions_name(self, any_platform):
+        assert any_platform.NAME in any_platform.describe()

@@ -1,0 +1,110 @@
+"""Property-based tests: cache and TLB invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cache import Cache, CacheConfig, TLB, TLBConfig
+
+lines = st.lists(st.integers(min_value=0, max_value=4095), min_size=1,
+                 max_size=300)
+geometries = st.sampled_from([
+    (1, 4), (2, 4), (4, 2), (1, 16), (8, 1), (2, 16),
+])
+
+
+def make_cache(assoc, sets):
+    return Cache(CacheConfig("P", 32 * assoc * sets, 32, assoc))
+
+
+class TestCacheProperties:
+    @given(lines, geometries)
+    @settings(max_examples=60)
+    def test_hits_plus_misses_equals_accesses(self, addrs, geom):
+        c = make_cache(*geom)
+        for a in addrs:
+            c.access(a)
+        assert c.hits + c.misses == len(addrs)
+
+    @given(lines, geometries)
+    @settings(max_examples=60)
+    def test_capacity_never_exceeded(self, addrs, geom):
+        assoc, sets = geom
+        c = make_cache(assoc, sets)
+        for a in addrs:
+            c.access(a)
+        for _set_idx, ways in c.contents():
+            assert len(ways) <= assoc
+
+    @given(lines, geometries)
+    @settings(max_examples=60)
+    def test_distinct_lines_bound_misses_below(self, addrs, geom):
+        """At least one miss per distinct line (cold misses are mandatory)."""
+        c = make_cache(*geom)
+        for a in addrs:
+            c.access(a)
+        assert c.misses >= len(set(addrs))
+
+    @given(lines)
+    @settings(max_examples=60)
+    def test_fully_assoc_lru_matches_reference_model(self, addrs):
+        """1-set LRU cache == textbook LRU stack simulation."""
+        assoc = 4
+        c = make_cache(assoc, 1)
+        stack = []  # LRU..MRU
+        for a in addrs:
+            hit_model = a in stack
+            if hit_model:
+                stack.remove(a)
+            elif len(stack) == assoc:
+                stack.pop(0)
+            stack.append(a)
+            assert c.access(a) == hit_model
+
+    @given(lines, geometries)
+    @settings(max_examples=40)
+    def test_immediate_reaccess_always_hits(self, addrs, geom):
+        c = make_cache(*geom)
+        for a in addrs:
+            c.access(a)
+            assert c.probe(a)
+
+    @given(lines, geometries)
+    @settings(max_examples=40)
+    def test_repeating_a_trace_never_increases_misses(self, addrs, geom):
+        """Second identical pass cannot miss more than the first."""
+        c = make_cache(*geom)
+        for a in addrs:
+            c.access(a)
+        first_misses = c.misses
+        c.reset_stats()
+        for a in addrs:
+            c.access(a)
+        assert c.misses <= first_misses
+
+
+class TestTLBProperties:
+    pages = st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                     max_size=200)
+
+    @given(pages, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60)
+    def test_residency_bounded(self, pages, entries):
+        t = TLB(TLBConfig(entries=entries, page_bytes=4096))
+        for p in pages:
+            t.access(p)
+        assert len(t.resident()) <= entries
+
+    @given(pages, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60)
+    def test_mru_always_resident(self, pages, entries):
+        t = TLB(TLBConfig(entries=entries, page_bytes=4096))
+        for p in pages:
+            t.access(p)
+            assert t.resident()[-1] == p
+
+    @given(pages)
+    @settings(max_examples=40)
+    def test_infinite_tlb_misses_once_per_page(self, pages):
+        t = TLB(TLBConfig(entries=1024, page_bytes=4096))
+        for p in pages:
+            t.access(p)
+        assert t.misses == len(set(pages))

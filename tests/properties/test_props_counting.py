@@ -1,0 +1,81 @@
+"""Property-based tests: PAPI counting invariants across random workloads."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.library import Papi
+from repro.platforms import create
+from repro.workloads import dot, phased
+
+
+class TestCountingProperties:
+    @given(st.integers(min_value=1, max_value=400))
+    @settings(max_examples=25, deadline=None)
+    def test_fp_ops_linear_in_n(self, n):
+        sub = create("simPOWER")
+        papi = Papi(sub)
+        es = papi.create_eventset()
+        es.add_named("PAPI_FP_OPS")
+        sub.machine.load(dot(n, use_fma=True).program)
+        es.start()
+        sub.machine.run_to_completion()
+        assert es.stop() == [2 * n]
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_fp_ops_invariant_under_fma_choice(self, n, use_fma):
+        """FP_OPS is codegen-independent: same flops either way."""
+        sub = create("simIA64")
+        papi = Papi(sub)
+        es = papi.create_eventset()
+        es.add_named("PAPI_FP_OPS")
+        sub.machine.load(dot(n, use_fma=use_fma).program)
+        es.start()
+        sub.machine.run_to_completion()
+        assert es.stop() == [2 * n]
+
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_read_monotone_while_running(self, n):
+        sub = create("simT3E")
+        papi = Papi(sub)
+        es = papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        sub.machine.load(dot(max(n, 50), use_fma=False).program)
+        es.start()
+        prev = 0
+        while not sub.machine.cpu.halted:
+            sub.machine.run(max_instructions=37)
+            cur = es.read()[0]
+            assert cur >= prev
+            prev = cur
+        es.stop()
+
+    @given(st.integers(min_value=2, max_value=100),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_accumulate_equals_single_measurement(self, n, pieces):
+        """Sum of accum() pieces == one uninterrupted stop() measurement."""
+        wl_a = phased([("fp", n)], repeats=pieces)
+        sub1 = create("simPOWER")
+        papi1 = Papi(sub1)
+        es1 = papi1.create_eventset()
+        es1.add_named("PAPI_FP_OPS")
+        sub1.machine.load(wl_a.program)
+        es1.start()
+        sub1.machine.run_to_completion()
+        single = es1.stop()[0]
+
+        wl_b = phased([("fp", n)], repeats=pieces)
+        sub2 = create("simPOWER")
+        papi2 = Papi(sub2)
+        es2 = papi2.create_eventset()
+        es2.add_named("PAPI_FP_OPS")
+        sub2.machine.load(wl_b.program)
+        es2.start()
+        acc = [0]
+        while not sub2.machine.cpu.halted:
+            sub2.machine.run(max_instructions=53)
+            acc = es2.accum(acc)
+        final = es2.stop()[0]
+        assert acc[0] + final == single

@@ -1,0 +1,175 @@
+"""Stateful property test: the EventSet state machine under random drives.
+
+Hypothesis generates random sequences of PAPI calls (add, remove, start,
+stop, read, reset, run-some-instructions) and verifies the library's
+state machine invariants at every step:
+
+- reads are monotone while running and no event goes negative,
+- start/stop pairing is enforced, membership can't change while running,
+- the library's single-running-EventSet discipline holds,
+- counts after stop equal the last read.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.core import constants as C
+from repro.core.errors import PapiError
+from repro.core.library import Papi
+from repro.platforms import create
+from repro.workloads import phased
+
+#: events known-allocatable together on simPOWER's group 0
+CANDIDATES = [
+    "PAPI_TOT_CYC",
+    "PAPI_TOT_INS",
+    "PAPI_LD_INS",
+    "PAPI_SR_INS",
+    "PAPI_BR_INS",
+]
+
+
+class EventSetMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.substrate = create("simPOWER")
+        self.papi = Papi(self.substrate)
+        self.es = self.papi.create_eventset()
+        # an endless-enough workload to step through
+        work = phased([("fp", 2000), ("mem", 2000)], repeats=50)
+        self.substrate.machine.load(work.program)
+        self.members = []            # event symbols, in add order
+        self.running = False
+        self.last_read = None
+
+    # ------------------------------------------------------------------
+
+    @rule(symbol=st.sampled_from(CANDIDATES))
+    def add_event(self, symbol):
+        code = self.papi.event_name_to_code(symbol)
+        if self.running or symbol in self.members:
+            try:
+                self.es.add_event(code)
+                assert False, "add must fail while running/duplicate"
+            except PapiError:
+                pass
+        else:
+            self.es.add_event(code)
+            self.members.append(symbol)
+            self.last_read = None
+
+    @rule(symbol=st.sampled_from(CANDIDATES))
+    def remove_event(self, symbol):
+        code = self.papi.event_name_to_code(symbol)
+        if self.running or symbol not in self.members:
+            try:
+                self.es.remove_event(code)
+                assert False, "remove must fail while running/absent"
+            except PapiError:
+                pass
+        else:
+            self.es.remove_event(code)
+            self.members.remove(symbol)
+            self.last_read = None
+
+    @rule()
+    def start(self):
+        if self.running or not self.members:
+            try:
+                self.es.start()
+                assert False, "start must fail when running or empty"
+            except PapiError:
+                pass
+        else:
+            self.es.start()
+            self.running = True
+            self.last_read = None
+
+    @rule()
+    def stop(self):
+        if not self.running:
+            try:
+                self.es.stop()
+                assert False, "stop must fail when not running"
+            except PapiError:
+                pass
+        else:
+            values = self.es.stop()
+            self.running = False
+            assert len(values) == len(self.members)
+            assert all(v >= 0 for v in values)
+            if self.last_read is not None:
+                # counters only grow between the last read and stop
+                assert all(
+                    v >= r for v, r in zip(values, self.last_read)
+                )
+            self.last_read = None
+
+    @rule(steps=st.integers(min_value=10, max_value=500))
+    def run_machine(self, steps):
+        if not self.substrate.machine.cpu.halted:
+            self.substrate.machine.run(max_instructions=steps)
+
+    @rule()
+    def read(self):
+        if not self.running:
+            try:
+                self.es.read()
+                assert False, "read must fail when not running"
+            except PapiError:
+                pass
+        else:
+            values = self.es.read()
+            assert len(values) == len(self.members)
+            assert all(v >= 0 for v in values)
+            if self.last_read is not None:
+                assert all(
+                    v >= r for v, r in zip(values, self.last_read)
+                ), "counts must be monotone while running"
+            self.last_read = values
+
+    @rule()
+    def reset(self):
+        if not self.running:
+            try:
+                self.es.reset()
+                assert False, "reset must fail when not running"
+            except PapiError:
+                pass
+        else:
+            self.es.reset()
+            self.last_read = None
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def state_flags_consistent(self):
+        state = self.es.state()
+        if self.running:
+            assert state & C.PAPI_RUNNING
+        else:
+            assert state & C.PAPI_STOPPED
+
+    @invariant()
+    def membership_consistent(self):
+        assert self.es.event_names == self.members
+
+    @invariant()
+    def library_running_discipline(self):
+        handle = self.papi._running_handle
+        if self.running:
+            assert handle == self.es.handle
+        else:
+            assert handle is None
+
+
+TestEventSetStateMachine = EventSetMachine.TestCase
+TestEventSetStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

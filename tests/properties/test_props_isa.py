@@ -1,0 +1,113 @@
+"""Property-based tests: program rewriting and execution invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import Assembler, Machine
+from repro.hw.events import Signal
+from repro.hw.isa import Instruction, Op
+
+
+def accumulator_program(increments):
+    """r1 += each increment, in a function call per value."""
+    asm = Assembler()
+    asm.func("bump")
+    asm.add("r1", "r1", "r2")
+    asm.ret()
+    asm.endfunc()
+    asm.func("main")
+    asm.li("r1", 0)
+    for inc in increments:
+        asm.li("r2", inc)
+        asm.call("bump")
+    asm.halt()
+    asm.endfunc()
+    return asm.build()
+
+
+increment_lists = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=1, max_size=20
+)
+
+
+class TestExecutionProperties:
+    @given(increment_lists)
+    @settings(max_examples=50)
+    def test_result_matches_python_semantics(self, incs):
+        m = Machine()
+        m.load(accumulator_program(incs))
+        m.run_to_completion()
+        assert m.cpu.iregs[1] == sum(incs)
+
+    @given(increment_lists)
+    @settings(max_examples=50)
+    def test_call_ret_balanced(self, incs):
+        m = Machine()
+        m.load(accumulator_program(incs))
+        m.run_to_completion()
+        assert m.counts[Signal.CALL_INS] == len(incs)
+        assert m.counts[Signal.RET_INS] == len(incs)
+        assert not m.cpu.call_stack
+
+    @given(increment_lists, st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50)
+    def test_sliced_execution_equals_straight_run(self, incs, slice_len):
+        """Running in max_instruction slices must not change results."""
+        straight = Machine()
+        straight.load(accumulator_program(incs))
+        straight.run_to_completion()
+
+        sliced = Machine()
+        sliced.load(accumulator_program(incs))
+        while not sliced.cpu.halted:
+            sliced.run(max_instructions=slice_len)
+        assert sliced.cpu.iregs[1] == straight.cpu.iregs[1]
+        assert sliced.counts[Signal.TOT_INS] == straight.counts[Signal.TOT_INS]
+
+
+class TestRewritingProperties:
+    @given(
+        increment_lists,
+        st.sets(st.integers(min_value=0, max_value=10), max_size=5),
+    )
+    @settings(max_examples=50)
+    def test_nop_insertion_preserves_semantics(self, incs, points):
+        """Inserting NOPs anywhere never changes architectural results."""
+        program = accumulator_program(incs)
+        valid_points = {p for p in points if p <= len(program)}
+        if valid_points:
+            program, _ = program.insert(
+                {p: [Instruction(Op.NOP)] for p in valid_points}
+            )
+        m = Machine()
+        m.load(program)
+        m.run_to_completion()
+        assert m.cpu.iregs[1] == sum(incs)
+
+    @given(increment_lists)
+    @settings(max_examples=30)
+    def test_probe_everywhere_preserves_semantics(self, incs):
+        """A probe before every instruction is still semantics-neutral."""
+        program = accumulator_program(incs)
+        program, _ = program.insert(
+            {i: [Instruction(Op.PROBE, i)] for i in range(len(program))}
+        )
+        m = Machine()
+        m.load(program)
+        m.run_to_completion()
+        assert m.cpu.iregs[1] == sum(incs)
+        assert m.counts[Signal.PRB_INS] > 0
+
+    @given(increment_lists, st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40)
+    def test_migration_mid_run_preserves_semantics(self, incs, pause_at):
+        """Pause anywhere, insert a NOP at every index, migrate, finish."""
+        program = accumulator_program(incs)
+        m = Machine()
+        m.load(program)
+        m.run(max_instructions=pause_at)
+        new_prog, remap = program.insert(
+            {i: [Instruction(Op.NOP)] for i in range(len(program))}
+        )
+        m.cpu.migrate(new_prog, remap)
+        m.run_to_completion()
+        assert m.cpu.iregs[1] == sum(incs)

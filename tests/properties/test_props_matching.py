@@ -1,0 +1,86 @@
+"""Property-based tests: counter-allocation matching invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import (
+    MappingProblem,
+    first_fit,
+    max_cardinality_matching,
+    max_weight_matching,
+)
+
+MAX_EVENTS = 6
+MAX_COUNTERS = 5
+
+
+@st.composite
+def problems(draw):
+    n_events = draw(st.integers(min_value=0, max_value=MAX_EVENTS))
+    n_counters = draw(st.integers(min_value=1, max_value=MAX_COUNTERS))
+    events = [f"e{i}" for i in range(n_events)]
+    allowed = {}
+    for ev in events:
+        allowed[ev] = frozenset(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=n_counters - 1),
+                    max_size=n_counters,
+                )
+            )
+        )
+    return MappingProblem(tuple(events), n_counters, allowed)
+
+
+def brute_force_max(p: MappingProblem) -> int:
+    events = list(p.events)
+
+    def recurse(i, used):
+        if i == len(events):
+            return 0
+        best = recurse(i + 1, used)
+        for c in p.allowed[events[i]]:
+            if c not in used:
+                best = max(best, 1 + recurse(i + 1, used | {c}))
+        return best
+
+    return recurse(0, frozenset())
+
+
+class TestMatchingProperties:
+    @given(problems())
+    @settings(max_examples=150)
+    def test_assignment_is_valid(self, p):
+        assignment = max_cardinality_matching(p)
+        p.validate_assignment(assignment)  # raises on violation
+
+    @given(problems())
+    @settings(max_examples=150)
+    def test_cardinality_is_optimal(self, p):
+        assert len(max_cardinality_matching(p)) == brute_force_max(p)
+
+    @given(problems())
+    @settings(max_examples=100)
+    def test_weight_solver_matches_cardinality_on_uniform_weights(self, p):
+        assert len(max_weight_matching(p)) == brute_force_max(p)
+
+    @given(problems())
+    @settings(max_examples=100)
+    def test_greedy_never_beats_optimal(self, p):
+        greedy = first_fit(p)
+        optimal = max_cardinality_matching(p)
+        assert len(greedy) <= len(optimal)
+
+    @given(problems())
+    @settings(max_examples=100)
+    def test_greedy_assignment_also_valid(self, p):
+        p.validate_assignment(first_fit(p))
+
+    @given(problems())
+    @settings(max_examples=60)
+    def test_matching_is_deterministic(self, p):
+        assert max_cardinality_matching(p) == max_cardinality_matching(p)
+
+    @given(problems())
+    @settings(max_examples=60)
+    def test_upper_bound_respected(self, p):
+        assert len(max_cardinality_matching(p)) <= p.feasible_upper_bound()

@@ -1,0 +1,64 @@
+"""Property-based tests: scheduler accounting conservation laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import Machine
+from repro.hw.events import Signal
+from repro.simos import OS
+from repro.workloads import dot
+
+
+class TestSchedulerConservation:
+    @given(
+        sizes=st.lists(st.integers(min_value=50, max_value=800),
+                       min_size=1, max_size=4),
+        quantum=st.integers(min_value=300, max_value=8000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_virtual_times_sum_to_machine_time(self, sizes, quantum):
+        """Sum of per-thread virtual cycles == machine user cycles,
+        for any thread mix and any quantum."""
+        machine = Machine()
+        os_ = OS(machine, quantum_cycles=quantum)
+        threads = [
+            os_.spawn(dot(n, use_fma=True).program) for n in sizes
+        ]
+        os_.run()
+        assert all(t.finished for t in threads)
+        assert sum(t.user_cycles for t in threads) == machine.user_cycles
+
+    @given(
+        sizes=st.lists(st.integers(min_value=50, max_value=500),
+                       min_size=2, max_size=3),
+        quantum=st.integers(min_value=200, max_value=4000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_context_switch_costs_fully_accounted(self, sizes, quantum):
+        machine = Machine()
+        os_ = OS(machine, quantum_cycles=quantum, ctx_switch_cost=333)
+        for n in sizes:
+            os_.spawn(dot(n, use_fma=True).program)
+        stats = os_.run()
+        assert machine.system_cycles == 333 * stats.context_switches
+        assert machine.real_cycles == (
+            machine.user_cycles + machine.system_cycles
+        )
+
+    @given(
+        n=st.integers(min_value=100, max_value=600),
+        quantum=st.integers(min_value=100, max_value=5000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_scheduling_does_not_change_event_counts(self, n, quantum):
+        """Total FMA count is invariant under any time-slicing."""
+        direct = Machine()
+        direct.load(dot(n, use_fma=True).program)
+        direct.run_to_completion()
+        expected = direct.counts[Signal.FP_FMA]
+
+        machine = Machine()
+        os_ = OS(machine, quantum_cycles=quantum)
+        os_.spawn(dot(n, use_fma=True).program)
+        os_.spawn(dot(n, use_fma=True).program)
+        os_.run()
+        assert machine.counts[Signal.FP_FMA] == 2 * expected

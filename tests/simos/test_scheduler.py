@@ -1,0 +1,199 @@
+"""Unit tests: the simulated OS scheduler and counter virtualization."""
+
+import pytest
+
+from repro.hw import Assembler, Machine
+from repro.hw.events import Signal
+from repro.simos import OS, OSError_, ThreadState
+
+
+def counting_program(n, reg_value=1):
+    """A loop of n FMAs, plus a marker value left in r7."""
+    asm = Assembler()
+    asm.func("main")
+    asm.li("r7", reg_value)
+    asm.li("r1", n)
+    asm.li("r2", 0)
+    asm.label("loop")
+    asm.fma("f1", "f1", "f1", "f1")
+    asm.addi("r2", "r2", 1)
+    asm.blt("r2", "r1", "loop")
+    asm.halt()
+    asm.endfunc()
+    return asm.build()
+
+
+class TestSpawnAndRun:
+    def test_single_thread_runs_to_completion(self):
+        m = Machine()
+        os_ = OS(m, quantum_cycles=5000)
+        t = os_.spawn(counting_program(2000))
+        os_.run()
+        assert t.finished
+        assert m.counts[Signal.FP_FMA] == 2000
+
+    def test_two_threads_interleave(self):
+        m = Machine()
+        os_ = OS(m, quantum_cycles=2000)
+        t1 = os_.spawn(counting_program(3000, 1))
+        t2 = os_.spawn(counting_program(3000, 2))
+        os_.run()
+        assert t1.finished and t2.finished
+        assert m.counts[Signal.FP_FMA] == 6000
+        assert t1.dispatches > 1 and t2.dispatches > 1
+
+    def test_registers_isolated_between_threads(self):
+        m = Machine()
+        os_ = OS(m, quantum_cycles=1000)
+        t1 = os_.spawn(counting_program(2000, reg_value=11))
+        t2 = os_.spawn(counting_program(2000, reg_value=22))
+        os_.run()
+        assert t1.context.iregs[7] == 11
+        assert t2.context.iregs[7] == 22
+
+    def test_memory_isolated_between_threads(self):
+        asm = Assembler()
+        base = asm.reserve_data(4)
+        asm.func("main")
+        asm.li("r1", base)
+        asm.li("r2", 77)
+        asm.store("r2", "r1", 0)
+        asm.load("r3", "r1", 0)
+        asm.halt()
+        asm.endfunc()
+        prog = asm.build()
+        m = Machine()
+        os_ = OS(m)
+        t1 = os_.spawn(prog)
+        t2 = os_.spawn(prog)
+        os_.run()
+        assert t1.context.memory is not t2.context.memory
+        assert t1.context.memory[base] == 77
+
+    def test_virtual_time_accumulates_per_thread(self):
+        m = Machine()
+        os_ = OS(m, quantum_cycles=1000)
+        t1 = os_.spawn(counting_program(4000))
+        t2 = os_.spawn(counting_program(1000))
+        os_.run()
+        assert t1.user_cycles > t2.user_cycles > 0
+        # virtual times sum to the machine's user cycles
+        assert t1.user_cycles + t2.user_cycles == m.user_cycles
+
+    def test_context_switch_cost_charged(self):
+        m = Machine()
+        os_ = OS(m, quantum_cycles=500, ctx_switch_cost=400)
+        os_.spawn(counting_program(3000))
+        stats = os_.run()
+        assert m.system_cycles == stats.context_switches * 400
+
+    def test_run_budget_limits(self):
+        m = Machine()
+        os_ = OS(m, quantum_cycles=500)
+        t = os_.spawn(counting_program(100000))
+        os_.run(max_slices=3)
+        assert not t.finished
+        assert os_.stats.slices == 3
+
+    def test_bad_quantum_rejected(self):
+        with pytest.raises(OSError_):
+            OS(Machine(), quantum_cycles=0)
+
+    def test_thread_lookup(self):
+        m = Machine()
+        os_ = OS(m)
+        t = os_.spawn(counting_program(10), name="worker")
+        assert os_.thread_by_tid(t.tid) is t
+        with pytest.raises(OSError_):
+            os_.thread_by_tid(999)
+
+
+class TestCounterVirtualization:
+    def _setup(self, quantum=1000):
+        m = Machine()
+        os_ = OS(m, quantum_cycles=quantum)
+        t1 = os_.spawn(counting_program(3000))
+        t2 = os_.spawn(counting_program(3000))
+        return m, os_, t1, t2
+
+    def test_bound_counter_counts_only_its_thread(self):
+        m, os_, t1, t2 = self._setup()
+        m.pmu.program(0, (Signal.FP_FMA,))
+        os_.bind_counter(t1, 0)
+        os_.counter_start(t1, 0)
+        os_.run()
+        value = os_.counter_stop(t1, 0)
+        # thread 1 did exactly 3000 FMAs; thread 2's are not counted
+        assert value == 3000
+        assert m.counts[Signal.FP_FMA] == 6000
+
+    def test_counter_cannot_bind_twice(self):
+        m, os_, t1, t2 = self._setup()
+        m.pmu.program(0, (Signal.FP_FMA,))
+        os_.bind_counter(t1, 0)
+        with pytest.raises(OSError_):
+            os_.bind_counter(t2, 0)
+
+    def test_start_requires_bind(self):
+        m, os_, t1, _ = self._setup()
+        with pytest.raises(OSError_):
+            os_.counter_start(t1, 0)
+
+    def test_unbound_counter_counts_everything(self):
+        m, os_, t1, t2 = self._setup()
+        m.pmu.program(1, (Signal.FP_FMA,))
+        m.pmu.start(1)
+        os_.run()
+        assert m.pmu.read(1) == 6000
+
+    def test_stop_while_descheduled(self):
+        m, os_, t1, t2 = self._setup(quantum=800)
+        m.pmu.program(0, (Signal.FP_FMA,))
+        os_.bind_counter(t1, 0)
+        os_.counter_start(t1, 0)
+        # run a few slices, t1 will end descheduled at some point
+        os_.run(max_slices=3)
+        value = os_.counter_stop(t1, 0)
+        assert 0 < value < 3000
+
+    def test_unbind_while_running(self):
+        m, os_, t1, _ = self._setup()
+        m.pmu.program(0, (Signal.FP_FMA,))
+        os_.bind_counter(t1, 0)
+        os_.counter_start(t1, 0)
+        os_.run(max_slices=1)
+        os_.unbind_counter(t1, 0)
+        assert 0 not in t1.bound_counters
+
+
+class TestSignalsRouting:
+    def test_current_tid_follows_dispatch(self):
+        m = Machine()
+        os_ = OS(m, quantum_cycles=500)
+        seen = []
+        t1 = os_.spawn(counting_program(1500))
+        m.pmu.program(0, (Signal.FP_FMA,))
+        os_.bind_counter(t1, 0)
+        os_.counter_start(t1, 0)
+        m.pmu.set_overflow(0, 100, os_.signals.dispatch)
+        os_.signals.register(0, lambda rec: seen.append(rec), tid=t1.tid)
+        os_.run()
+        assert len(seen) >= 10  # ~15 overflows at threshold 100
+
+    def test_unrouted_overflow_dropped(self):
+        m = Machine()
+        os_ = OS(m, quantum_cycles=500)
+        t1 = os_.spawn(counting_program(1500))
+        m.pmu.program(0, (Signal.FP_FMA,))
+        os_.bind_counter(t1, 0)
+        os_.counter_start(t1, 0)
+        m.pmu.set_overflow(0, 100, os_.signals.dispatch)
+        os_.run()
+        assert os_.signals.dropped > 0
+        assert os_.signals.delivered == 0
+
+    def test_duplicate_handler_rejected(self):
+        os_ = OS(Machine())
+        os_.signals.register(0, lambda r: None)
+        with pytest.raises(ValueError):
+            os_.signals.register(0, lambda r: None)

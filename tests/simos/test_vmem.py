@@ -1,0 +1,104 @@
+"""Unit tests: memory accounting (the PAPI-3 extension substrate)."""
+
+import pytest
+
+from repro.hw import Assembler, Machine
+from repro.simos import OS, MemoryAccounting, Thread
+from repro.workloads import tlb_walker
+
+
+def touch_pages_program(pages, page_words=512):
+    return tlb_walker(pages, page_words=page_words).program
+
+
+class TestMemoryAccounting:
+    def test_rss_counts_touched_pages(self):
+        m = Machine()
+        os_ = OS(m, phys_pages=1024)
+        t = os_.spawn(touch_pages_program(10))
+        os_.run()
+        info = os_.memory_info(t)
+        assert info.thread_rss_pages == 10
+        assert info.used_pages == 10
+        assert info.free_pages == 1024 - 10
+
+    def test_hwm_monotone(self):
+        m = Machine()
+        os_ = OS(m, quantum_cycles=500, phys_pages=1024)
+        t = os_.spawn(touch_pages_program(12))
+        hwms = []
+        while not os_.all_finished():
+            os_.run(max_slices=1)
+            hwms.append(t.hwm_pages)
+        assert hwms == sorted(hwms)
+        assert hwms[-1] == 12
+
+    def test_swap_model_triggers_beyond_capacity(self):
+        m = Machine()
+        os_ = OS(m, phys_pages=4)
+        t = os_.spawn(touch_pages_program(10))
+        os_.run()
+        info = os_.memory_info(t)
+        assert info.swapped_pages == 6
+        assert info.swap_events >= 6
+        assert info.free_pages == 0
+
+    def test_two_threads_share_node_capacity(self):
+        m = Machine()
+        os_ = OS(m, phys_pages=1024)
+        t1 = os_.spawn(touch_pages_program(5))
+        t2 = os_.spawn(touch_pages_program(7))
+        os_.run()
+        info = os_.memory_info(t1)
+        assert info.thread_rss_pages == 5
+        assert info.used_pages == 12
+
+    def test_locality_histogram(self):
+        m = Machine()
+        os_ = OS(m, phys_pages=1024)
+        t = os_.spawn(touch_pages_program(16))
+        os_.run()
+        hist = os_.vmem.locality_histogram(t, buckets=4)
+        assert sum(hist.values()) == 16
+        assert len(hist) <= 4
+
+    def test_empty_thread_histogram(self):
+        m = Machine()
+        os_ = OS(m)
+        t = os_.spawn(touch_pages_program(4))
+        # not run yet: no pages touched
+        assert os_.vmem.locality_histogram(t) == {}
+
+    def test_info_bytes_properties(self):
+        m = Machine()
+        os_ = OS(m, phys_pages=1024)
+        t = os_.spawn(touch_pages_program(3))
+        os_.run()
+        info = os_.memory_info(t)
+        assert info.thread_rss_bytes == 3 * info.page_bytes
+        assert info.used_bytes == info.used_pages * info.page_bytes
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccounting(page_bytes=0, total_pages=10)
+        with pytest.raises(ValueError):
+            MemoryAccounting(page_bytes=4096, total_pages=0)
+
+
+class TestThreadObject:
+    def test_create_binds_program(self):
+        prog = touch_pages_program(2)
+        t = Thread.create(1, prog)
+        assert t.program is prog
+        assert not t.finished
+        assert t.context.pc == prog.label_at(prog.entry)
+
+    def test_bind_duplicate_counter_rejected(self):
+        t = Thread.create(1, touch_pages_program(2))
+        t.bind_counter(0)
+        with pytest.raises(ValueError):
+            t.bind_counter(0)
+
+    def test_unbind_missing_is_noop(self):
+        t = Thread.create(1, touch_pages_program(2))
+        t.unbind_counter(5)  # must not raise

@@ -1,0 +1,104 @@
+"""Unit tests: the command-line utilities."""
+
+import pytest
+
+from repro.tools.cli import build_parser, main
+
+
+class TestPlatforms:
+    def test_lists_all(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("simT3E", "simX86", "simPOWER", "simALPHA",
+                     "simIA64", "simSPARC"):
+            assert name in out
+
+
+class TestAvail:
+    def test_full_listing(self, capsys):
+        assert main(["avail", "simPOWER"]) == 0
+        out = capsys.readouterr().out
+        assert "PAPI_FP_OPS" in out
+        assert "derived" in out
+        assert "presets available" in out
+
+    def test_available_only_filters(self, capsys):
+        main(["avail", "simT3E"])
+        full = capsys.readouterr().out
+        main(["avail", "simT3E", "--available-only"])
+        filtered = capsys.readouterr().out
+        assert len(filtered.splitlines()) < len(full.splitlines())
+        assert " no " not in filtered
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["avail", "simVAX"])
+
+
+class TestNativeAvail:
+    def test_native_table(self, capsys):
+        assert main(["native-avail", "simX86"]) == 0
+        out = capsys.readouterr().out
+        assert "FLOPS" in out
+        assert "0" in out  # the counter-0 pinning is displayed
+
+    def test_groups_shown_on_power(self, capsys):
+        main(["native-avail", "simPOWER"])
+        out = capsys.readouterr().out
+        assert "counter groups" in out
+        assert "group 0" in out
+
+
+class TestPapirunCmd:
+    def test_runs_kernel(self, capsys):
+        assert main(["papirun", "simPOWER", "dot", "--n", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "papirun" in out and "PAPI_TOT_CYC" in out
+
+    def test_custom_events(self, capsys):
+        assert main([
+            "papirun", "simIA64", "triad", "--n", "300",
+            "--events", "PAPI_FP_OPS,PAPI_LD_INS",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PAPI_LD_INS" in out
+
+    def test_multiplex_flag(self, capsys):
+        assert main(["papirun", "simX86", "dot", "--n", "4000",
+                     "--multiplex"]) == 0
+        out = capsys.readouterr().out
+        assert "multiplexed" in out
+
+    def test_unknown_workload_errors(self, capsys):
+        assert main(["papirun", "simPOWER", "fibonacci"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestCalibrateCmd:
+    def test_direct_platform_exact(self, capsys):
+        assert main(["calibrate", "simT3E", "--n", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "FP_OPS error %" in out
+        assert "expected FLOPs" in out
+
+    def test_sampling_platform_with_period(self, capsys):
+        rc = main(["calibrate", "simALPHA", "--n", "40000",
+                   "--sampling-period", "256"])
+        assert rc == 0  # within the 25% health threshold
+        assert "calibrate" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("platforms", "avail", "native-avail", "papirun",
+                    "calibrate"):
+            args = parser.parse_args(
+                [cmd] + (["simT3E"] if cmd not in ("platforms",) else [])
+                + (["dot"] if cmd == "papirun" else [])
+            )
+            assert args.command == cmd

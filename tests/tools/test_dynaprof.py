@@ -1,0 +1,173 @@
+"""Unit tests: dynaprof dynamic instrumentation."""
+
+import pytest
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.library import Papi
+from repro.platforms import create
+from repro.tools.dynaprof import (
+    Dynaprof,
+    PapiProbe,
+    UserProbe,
+    WallclockProbe,
+)
+from repro.workloads import demo_app, phased
+
+
+@pytest.fixture
+def setup():
+    sub = create("simPOWER")
+    papi = Papi(sub)
+    return sub, papi, Dynaprof(sub, papi)
+
+
+class TestStructureListing:
+    def test_list_functions(self, setup):
+        _, _, dyn = setup
+        dyn.load(demo_app(scale=10))
+        names = [n for n, _size in dyn.list_functions()]
+        assert names == ["compute", "memwalk", "branchy", "main"]
+
+    def test_list_before_load_rejected(self, setup):
+        _, _, dyn = setup
+        with pytest.raises(InvalidArgumentError):
+            dyn.list_functions()
+
+
+class TestInstrumentation:
+    def test_calls_counted_per_function(self, setup):
+        sub, papi, dyn = setup
+        wl = phased([("fp", 100), ("mem", 100)], repeats=5)
+        dyn.load(wl)
+        probe = dyn.add_probe(WallclockProbe(papi))
+        dyn.instrument()
+        dyn.run()
+        assert probe.profiles["phase_0"].calls == 5
+        assert probe.profiles["phase_1"].calls == 5
+        assert probe.profiles["main"].calls == 1
+
+    def test_selective_instrumentation(self, setup):
+        sub, papi, dyn = setup
+        dyn.load(demo_app(scale=10))
+        probe = dyn.add_probe(WallclockProbe(papi))
+        dyn.instrument(functions=["memwalk"])
+        dyn.run()
+        assert set(probe.profiles) == {"memwalk"}
+
+    def test_unknown_function_rejected(self, setup):
+        _, _, dyn = setup
+        dyn.load(demo_app(scale=5))
+        with pytest.raises(InvalidArgumentError):
+            dyn.instrument(functions=["bogus"])
+
+    def test_double_instrument_rejected(self, setup):
+        _, _, dyn = setup
+        dyn.load(demo_app(scale=5))
+        dyn.instrument()
+        with pytest.raises(InvalidArgumentError):
+            dyn.instrument()
+
+    def test_program_result_unchanged_by_instrumentation(self):
+        """Probes must not perturb architectural results."""
+        wl = phased([("fp", 200)], repeats=1)
+        plain = create("simPOWER")
+        plain.machine.load(wl.program)
+        plain.machine.run_to_completion()
+        expected_f1 = plain.machine.cpu.fregs[1]
+
+        sub = create("simPOWER")
+        papi = Papi(sub)
+        dyn = Dynaprof(sub, papi)
+        dyn.load(phased([("fp", 200)], repeats=1))
+        dyn.add_probe(WallclockProbe(papi))
+        dyn.instrument()
+        dyn.run()
+        assert sub.machine.cpu.fregs[1] == expected_f1
+
+
+class TestPapiProbe:
+    def test_exclusive_metrics_attributed(self, setup):
+        sub, papi, dyn = setup
+        dyn.load(demo_app(scale=30))
+        probe = dyn.add_probe(
+            PapiProbe(papi, ["PAPI_TOT_CYC", "PAPI_L1_DCM"])
+        )
+        dyn.instrument()
+        dyn.run()
+        profs = probe.profiles
+        # memwalk dominates L1 misses exclusively
+        miss = {f: p.exclusive["PAPI_L1_DCM"] for f, p in profs.items()}
+        assert max(miss, key=miss.get) == "memwalk"
+
+    def test_inclusive_exceeds_exclusive_for_main(self, setup):
+        sub, papi, dyn = setup
+        dyn.load(demo_app(scale=20))
+        probe = dyn.add_probe(PapiProbe(papi, ["PAPI_TOT_CYC"]))
+        dyn.instrument()
+        dyn.run()
+        main = probe.profiles["main"]
+        assert main.inclusive["PAPI_TOT_CYC"] > main.exclusive["PAPI_TOT_CYC"]
+        # main's inclusive covers nearly the whole run
+        total = sum(p.exclusive["PAPI_TOT_CYC"] for p in probe.profiles.values())
+        assert main.inclusive["PAPI_TOT_CYC"] == pytest.approx(total, rel=0.05)
+
+    def test_instrumentation_dilates_real_time(self):
+        """Probe reads cost real cycles: measured overhead is visible."""
+        wl_factory = lambda: phased([("fp", 500)], repeats=10)
+        plain = create("simPOWER")
+        plain.machine.load(wl_factory().program)
+        plain.machine.run_to_completion()
+        base = plain.machine.real_cycles
+
+        sub = create("simPOWER")
+        papi = Papi(sub)
+        dyn = Dynaprof(sub, papi)
+        dyn.load(wl_factory())
+        dyn.add_probe(PapiProbe(papi, ["PAPI_TOT_CYC"]))
+        dyn.instrument()
+        dyn.run()
+        assert sub.machine.real_cycles > base
+
+    def test_empty_event_list_rejected(self, setup):
+        _, papi, _ = setup
+        with pytest.raises(InvalidArgumentError):
+            PapiProbe(papi, [])
+
+
+class TestUserProbe:
+    def test_custom_callbacks(self, setup):
+        sub, papi, dyn = setup
+        entries, exits = [], []
+        dyn.load(demo_app(scale=5))
+        dyn.add_probe(UserProbe(
+            entry=lambda fn, cpu: entries.append(fn),
+            exit=lambda fn, cpu: exits.append(fn),
+        ))
+        dyn.instrument()
+        dyn.run()
+        assert entries == ["main", "compute", "memwalk", "branchy"]
+        assert exits == ["compute", "memwalk", "branchy", "main"]
+
+
+class TestAttach:
+    def test_attach_to_running_program(self, setup):
+        """The paper's headline dynaprof feature: attach without restart."""
+        sub, papi, dyn = setup
+        wl = phased([("fp", 300), ("mem", 300)], repeats=6)
+        sub.machine.load(wl.program)
+        # run ~half the program uninstrumented
+        sub.machine.run(max_instructions=4000)
+        assert not sub.machine.cpu.halted
+        dyn.attach()
+        probe = dyn.add_probe(WallclockProbe(papi))
+        dyn.instrument()
+        result = dyn.run()
+        assert result.halted
+        # phases called after attach were profiled
+        assert probe.profiles
+        assert all(p.calls >= 1 for p in probe.profiles.values())
+
+    def test_attach_without_program_rejected(self, setup):
+        _, _, dyn = setup
+        with pytest.raises(InvalidArgumentError):
+            dyn.attach()

@@ -1,0 +1,76 @@
+"""Unit tests: the papirun utility."""
+
+import pytest
+
+from repro.platforms import create
+from repro.tools.papirun import DEFAULT_EVENTS, papirun
+from repro.workloads import dot, demo_app
+
+
+class TestPapirun:
+    def test_default_events_on_big_platform(self):
+        result = papirun("simPOWER", dot(500, use_fma=True))
+        assert result.platform == "simPOWER"
+        assert result.values["PAPI_FP_OPS"] == 1000
+        # simPOWER's counter *groups* cannot host fp + cache + branch
+        # events simultaneously, so papirun correctly skips the tail
+        assert result.skipped_events == ["PAPI_L1_DCM", "PAPI_BR_MSP"]
+        assert result.real_usec > 0
+
+    def test_all_defaults_fit_on_constraint_free_pmu(self):
+        result = papirun("simIA64", dot(500, use_fma=True),
+                         events=["PAPI_TOT_CYC", "PAPI_TOT_INS",
+                                 "PAPI_L1_DCM"])
+        assert not result.skipped_events
+        assert result.values["PAPI_TOT_INS"] > 0
+
+    def test_unavailable_events_skipped_gracefully(self):
+        result = papirun("simT3E", dot(300, use_fma=False))
+        assert "PAPI_TOT_CYC" in result.values
+        assert "PAPI_BR_MSP" in result.skipped_events  # no such event on T3E
+
+    def test_conflicting_events_skipped_on_small_pmu(self):
+        result = papirun("simX86", dot(300, use_fma=False))
+        # two counters: the five default events can't all fit
+        assert result.skipped_events
+        assert len(result.values) <= 2 or result.multiplexed
+
+    def test_multiplex_mode_captures_all(self):
+        result = papirun(
+            "simX86", demo_app(scale=40, use_fma=False), multiplex=True
+        )
+        assert not result.skipped_events
+        assert result.multiplexed
+        assert set(result.values) == set(DEFAULT_EVENTS)
+
+    def test_custom_event_list(self):
+        result = papirun(
+            "simIA64", dot(200, use_fma=True),
+            events=["PAPI_TOT_CYC", "PAPI_FMA_INS"],
+        )
+        assert result.values["PAPI_FMA_INS"] == 200
+
+    def test_derived_metrics(self):
+        result = papirun("simPOWER", dot(1000, use_fma=True))
+        assert result.ipc is not None and 0 < result.ipc < 2
+        assert result.mflops is not None and result.mflops > 0
+
+    def test_substrate_instance_accepted(self):
+        sub = create("simPOWER")
+        result = papirun(sub, dot(100, use_fma=True))
+        assert result.platform == "simPOWER"
+
+    def test_report_text(self):
+        result = papirun("simPOWER", dot(100, use_fma=True))
+        text = result.to_text()
+        assert "papirun" in text
+        assert "MFLOPS" in text
+        assert "real time" in text
+
+    def test_sampling_platform_works(self):
+        result = papirun(
+            "simALPHA", dot(5000, use_fma=False),
+            events=["PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS"],
+        )
+        assert result.values["PAPI_TOT_CYC"] > 0
+        assert result.values["PAPI_FP_OPS"] > 0

@@ -1,0 +1,156 @@
+"""Unit tests: the perfometer real-time monitor (Figure 2)."""
+
+import pytest
+
+from repro.core.errors import InvalidArgumentError
+from repro.platforms import create
+from repro.tools.perfometer import Perfometer, PerfometerTrace, TracePoint
+from repro.workloads import phased
+
+
+def fp_then_mem(repeats=2):
+    return phased([("fp", 2500), ("mem", 2500)], repeats=repeats)
+
+
+class TestMonitoring:
+    def test_trace_collected_until_halt(self):
+        sub = create("simPOWER")
+        pm = Perfometer(sub, metric="PAPI_FP_OPS", interval_cycles=10_000)
+        sub.machine.load(fp_then_mem().program)
+        trace = pm.monitor()
+        assert sub.machine.cpu.halted
+        assert len(trace.points) > 4
+        assert all(p.metric == "PAPI_FP_OPS" for p in trace.points)
+
+    def test_trace_shows_phases(self):
+        """fp-phase intervals show high FLOPS, mem-phase near zero --
+        the Figure 2 content."""
+        sub = create("simPOWER")
+        pm = Perfometer(sub, metric="PAPI_FP_OPS", interval_cycles=8_000)
+        sub.machine.load(fp_then_mem(repeats=3).program)
+        trace = pm.monitor()
+        rates = trace.rates()
+        assert max(rates) > 0
+        assert min(rates) == 0.0  # mem phases do no fp work
+
+    def test_max_intervals_budget(self):
+        sub = create("simPOWER")
+        pm = Perfometer(sub, interval_cycles=5_000)
+        sub.machine.load(fp_then_mem().program)
+        pm.monitor(max_intervals=3)
+        assert len(pm.trace.points) == 3
+        assert not sub.machine.cpu.halted
+
+    def test_select_metric_midway(self):
+        """The Select Metric button: switch events between intervals."""
+        sub = create("simPOWER")
+        pm = Perfometer(sub, metric="PAPI_FP_OPS", interval_cycles=6_000)
+        sub.machine.load(fp_then_mem(repeats=3).program)
+        pm.monitor(max_intervals=4)
+        pm.select_metric("PAPI_L1_DCM")
+        pm.monitor()
+        metrics = {p.metric for p in pm.trace.points}
+        assert metrics == {"PAPI_FP_OPS", "PAPI_L1_DCM"}
+
+    def test_select_unavailable_metric_rejected(self):
+        sub = create("simT3E")
+        pm = Perfometer(sub)
+        with pytest.raises(Exception):
+            pm.select_metric("PAPI_TLB_DM")
+
+    def test_monitor_without_program_rejected(self):
+        sub = create("simPOWER")
+        pm = Perfometer(sub)
+        with pytest.raises(InvalidArgumentError):
+            pm.monitor()
+
+    def test_interval_validation(self):
+        sub = create("simPOWER")
+        with pytest.raises(InvalidArgumentError):
+            Perfometer(sub, interval_cycles=10)
+
+    def test_attach_midway_scenario(self):
+        """Dynaprof story: attach the perfometer to a half-run program."""
+        sub = create("simPOWER")
+        sub.machine.load(fp_then_mem().program)
+        sub.machine.run(max_instructions=3000)
+        pm = Perfometer(sub, metric="PAPI_TOT_INS", interval_cycles=8_000)
+        trace = pm.monitor()
+        assert trace.points
+        assert sub.machine.cpu.halted
+
+
+class TestTraceFile:
+    def test_save_load_roundtrip(self, tmp_path):
+        sub = create("simPOWER")
+        pm = Perfometer(sub, interval_cycles=8_000)
+        sub.machine.load(fp_then_mem().program)
+        trace = pm.monitor()
+        path = tmp_path / "run.perfometer.json"
+        trace.save(str(path))
+        loaded = PerfometerTrace.load(str(path))
+        assert loaded.platform == trace.platform
+        assert loaded.points == trace.points
+
+    def test_rates_filter_by_metric(self):
+        trace = PerfometerTrace(platform="x")
+        trace.points.append(TracePoint(1.0, "A", 10, 100.0))
+        trace.points.append(TracePoint(2.0, "B", 20, 200.0))
+        assert trace.rates("A") == [100.0]
+        assert len(trace.rates()) == 2
+
+
+class TestRendering:
+    def test_render_produces_plot(self):
+        sub = create("simPOWER")
+        pm = Perfometer(sub, interval_cycles=8_000)
+        sub.machine.load(fp_then_mem().program)
+        pm.monitor()
+        art = pm.render(width=40, height=4)
+        assert "PAPI_FP_OPS" in art
+        assert "#" in art
+
+
+class TestPerfometerProbe:
+    """The dynaprof perfometer probe: per-call rate points."""
+
+    def _run(self, metric="PAPI_FP_OPS"):
+        from repro.core.library import Papi
+        from repro.tools.dynaprof import Dynaprof
+        from repro.tools.perfometer import PerfometerProbe
+
+        sub = create("simPOWER")
+        papi = Papi(sub)
+        dyn = Dynaprof(sub, papi)
+        dyn.load(phased([("fp", 400), ("mem", 400)], repeats=4,
+                        names=("solver", "exchange")))
+        probe = dyn.add_probe(PerfometerProbe(papi, metric=metric))
+        dyn.instrument(functions=["solver", "exchange"])
+        dyn.run()
+        return probe
+
+    def test_one_point_per_instrumented_call(self):
+        probe = self._run()
+        assert len(probe.trace.points) == 8  # 4 solver + 4 exchange calls
+
+    def test_fp_phase_has_rate_mem_phase_none(self):
+        probe = self._run()
+        rates = [p.rate for p in probe.trace.points]
+        # alternating solver/exchange: every other point is fp-hot
+        solver_rates = rates[0::2]
+        exchange_rates = rates[1::2]
+        assert all(r > 0 for r in solver_rates)
+        assert all(r == 0 for r in exchange_rates)
+
+    def test_counts_match_phase_work(self):
+        probe = self._run()
+        solver_counts = [p.count for p in probe.trace.points[0::2]]
+        assert all(c == 800 for c in solver_counts)  # 2 flops x 400 iters
+
+    def test_trace_is_saveable(self, tmp_path):
+        from repro.tools.perfometer import PerfometerTrace
+
+        probe = self._run()
+        path = tmp_path / "probe.json"
+        probe.trace.save(str(path))
+        assert len(PerfometerTrace.load(str(path)).points) == 8

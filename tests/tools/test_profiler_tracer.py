@@ -1,0 +1,194 @@
+"""Unit tests: the TAU-style profiler and Vampir-style tracer."""
+
+import io
+
+import pytest
+
+from repro.core import constants as C
+from repro.core.errors import InvalidArgumentError
+from repro.core.library import Papi
+from repro.platforms import create
+from repro.tools.dynaprof import Dynaprof
+from repro.tools.profiler import Profiler
+from repro.tools.tracer import Trace, TraceKind, TraceRecord, TracerProbe
+from repro.workloads import demo_app, phased
+
+
+class TestProfiler:
+    def test_multi_metric_profile(self):
+        prof = Profiler(
+            "simPOWER",
+            ["PAPI_TOT_CYC", "PAPI_L1_DCM", "PAPI_BR_MSP", "PAPI_FP_OPS"],
+        )
+        report = prof.profile(lambda: demo_app(scale=25))
+        assert set(report.functions) >= {"compute", "memwalk", "branchy"}
+        assert report.hottest("PAPI_L1_DCM") == "memwalk"
+        assert report.hottest("PAPI_BR_MSP") == "branchy"
+        assert report.hottest("PAPI_FP_OPS") == "compute"
+
+    def test_batching_respects_counter_limits(self):
+        """simX86 has 2 counters: 4 metrics need multiple batches."""
+        prof = Profiler(
+            "simX86",
+            ["PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS", "PAPI_L1_DCM"],
+        )
+        batches = prof._batches()
+        assert len(batches) >= 2
+        assert sorted(m for b in batches for m in b) == sorted(prof.metrics)
+
+    def test_batches_merge_into_single_report(self):
+        prof = Profiler("simX86", ["PAPI_TOT_CYC", "PAPI_FP_OPS",
+                                   "PAPI_L1_DCM"])
+        report = prof.profile(lambda: demo_app(scale=15, use_fma=False))
+        for fn in report.functions:
+            row = report.exclusive[fn]
+            assert set(row) == set(prof.metrics)
+
+    def test_correlation_analysis(self):
+        """Section 3: correlate time with cache misses across functions."""
+        prof = Profiler("simPOWER", ["PAPI_TOT_CYC", "PAPI_L1_DCM"])
+        report = prof.profile(lambda: demo_app(scale=25))
+        corr = report.correlation("PAPI_TOT_CYC", "PAPI_L1_DCM")
+        # memwalk dominates both cycles and misses -> strong correlation
+        assert corr > 0.6
+
+    def test_derived_ratio(self):
+        prof = Profiler("simPOWER", ["PAPI_TOT_INS", "PAPI_L1_DCM"])
+        report = prof.profile(lambda: demo_app(scale=20))
+        ratios = report.derived_ratio("PAPI_L1_DCM", "PAPI_TOT_INS")
+        assert ratios["memwalk"] > ratios["compute"]
+
+    def test_to_text_renders(self):
+        prof = Profiler("simPOWER", ["PAPI_TOT_CYC"])
+        report = prof.profile(lambda: demo_app(scale=10))
+        text = report.to_text()
+        assert "memwalk" in text and "PAPI_TOT_CYC" in text
+        assert "inclusive" in report.to_text(inclusive=True)
+
+    def test_metric_limit_enforced(self):
+        with pytest.raises(InvalidArgumentError):
+            Profiler("simPOWER", ["PAPI_TOT_CYC"] * (C.PAPI_MAX_TOOL_METRICS + 1))
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            Profiler("simPOWER", [])
+
+    def test_impossible_metric_rejected(self):
+        prof = Profiler("simT3E", ["PAPI_TLB_DM"])
+        with pytest.raises(InvalidArgumentError):
+            prof._batches()
+
+
+class TestTracer:
+    def _traced_run(self, events=()):
+        sub = create("simPOWER")
+        papi = Papi(sub)
+        dyn = Dynaprof(sub, papi)
+        dyn.load(phased([("fp", 200), ("mem", 200)], repeats=3))
+        trace = Trace()
+        dyn.add_probe(TracerProbe(papi, trace, tid=1, events=list(events)))
+        dyn.instrument()
+        dyn.run()
+        return trace
+
+    def test_enter_exit_pairing(self):
+        trace = self._traced_run()
+        enters = trace.by_kind(TraceKind.ENTER)
+        exits = trace.by_kind(TraceKind.EXIT)
+        assert len(enters) == len(exits) == 7  # 3x2 phases + main
+
+    def test_timestamps_monotone(self):
+        trace = self._traced_run()
+        times = [r.t_cycles for r in trace.records]
+        assert times == sorted(times)
+
+    def test_functions_seen_in_order(self):
+        trace = self._traced_run()
+        assert trace.functions_seen() == ["main", "phase_0", "phase_1"]
+
+    def test_counter_values_recorded(self):
+        trace = self._traced_run(events=["PAPI_TOT_INS"])
+        enters = trace.by_kind(TraceKind.ENTER)
+        values = [r.values[0] for r in enters if r.values]
+        assert values == sorted(values)  # counts only grow
+
+    def test_region_durations(self):
+        trace = self._traced_run()
+        durations = trace.region_durations()
+        assert durations["main"] > durations["phase_0"]
+        assert durations["phase_0"] > 0
+
+    def test_export_parse_roundtrip(self):
+        trace = self._traced_run()
+        buf = io.StringIO()
+        n = trace.export(buf)
+        assert n == len(trace)
+        buf.seek(0)
+        parsed = Trace.parse(buf)
+        assert len(parsed) == len(trace)
+        assert parsed.records[0].kind is trace.sorted().records[0].kind
+
+    def test_merge_orders_by_time(self):
+        t1 = Trace([TraceRecord(10, 1, TraceKind.MARKER, "a")])
+        t2 = Trace([TraceRecord(5, 2, TraceKind.MARKER, "b")])
+        merged = Trace.merge([t1, t2])
+        assert [r.name for r in merged.records] == ["b", "a"]
+
+    def test_record_line_roundtrip(self):
+        rec = TraceRecord(123, 4, TraceKind.COUNTER, "PAPI_TOT_INS", (9, 8))
+        assert TraceRecord.from_line(rec.to_line()) == rec
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            TraceRecord.from_line("nope")
+
+
+class TestTraceConversion:
+    """Section 3: 'merged and converted to ALOG, SDDF, Paraver' formats."""
+
+    def _trace(self):
+        sub = create("simPOWER")
+        papi = Papi(sub)
+        from repro.tools.dynaprof import Dynaprof
+
+        dyn = Dynaprof(sub, papi)
+        dyn.load(phased([("fp", 150), ("mem", 150)], repeats=2))
+        trace = Trace()
+        dyn.add_probe(TracerProbe(papi, trace, tid=1))
+        dyn.instrument()
+        dyn.run()
+        return trace
+
+    def test_alog_conversion(self):
+        trace = self._trace()
+        buf = io.StringIO()
+        n = trace.convert(buf, "alog")
+        text = buf.getvalue()
+        assert n == len(trace)
+        assert "-101" in text and "-102" in text  # enter/exit event types
+        assert "-9 0 0" in text                    # string table entries
+
+    def test_sddf_conversion(self):
+        trace = self._trace()
+        buf = io.StringIO()
+        n = trace.convert(buf, "sddf")
+        text = buf.getvalue()
+        assert n == len(trace)
+        assert '"TraceRecord"' in text
+        assert "timestamp" in text
+
+    def test_paraver_conversion_folds_states(self):
+        trace = self._trace()
+        buf = io.StringIO()
+        n = trace.convert(buf, "paraver")
+        text = buf.getvalue()
+        # every enter/exit pair becomes one state interval
+        enters = len(trace.by_kind(TraceKind.ENTER))
+        assert n == enters
+        assert text.count("\n1:") or text.startswith("1:")
+        assert "# state" in text
+
+    def test_unknown_format_rejected(self):
+        trace = self._trace()
+        with pytest.raises(InvalidArgumentError):
+            trace.convert(io.StringIO(), "otf2")

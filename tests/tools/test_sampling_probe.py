@@ -1,0 +1,76 @@
+"""Unit tests: statistical call sampling for probes."""
+
+import pytest
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.library import Papi
+from repro.platforms import create
+from repro.tools.dynaprof import Dynaprof, PapiProbe
+from repro.tools.sampling_probe import SamplingPapiProbe
+from repro.workloads import phased
+
+
+def instrumented_run(platform, probe_cls, k=None, repeats=40):
+    substrate = create(platform)
+    papi = Papi(substrate)
+    dyn = Dynaprof(substrate, papi)
+    dyn.load(phased([("fp", 300)], repeats=repeats, names=("work",)))
+    if k is None:
+        probe = dyn.add_probe(probe_cls(papi, ["PAPI_TOT_CYC"]))
+    else:
+        probe = dyn.add_probe(probe_cls(papi, ["PAPI_TOT_CYC"], k))
+    dyn.instrument(functions=["work"])
+    dyn.run()
+    return substrate, probe
+
+
+class TestSamplingProbe:
+    def test_k1_matches_full_probe(self):
+        _, full = instrumented_run("simPOWER", PapiProbe)
+        _, sampled = instrumented_run("simPOWER", SamplingPapiProbe, k=1)
+        f = full.profiles["work"]
+        s = sampled.profiles["work"]
+        assert s.calls == f.calls
+        assert s.inclusive["PAPI_TOT_CYC"] == pytest.approx(
+            f.inclusive["PAPI_TOT_CYC"], rel=0.02
+        )
+
+    def test_all_calls_counted_even_when_skipped(self):
+        _, probe = instrumented_run("simPOWER", SamplingPapiProbe, k=8,
+                                    repeats=40)
+        assert probe.profiles["work"].calls == 40
+        assert probe.measured_calls == 5
+        assert probe.skipped_calls == 35
+
+    def test_scaled_estimate_close_on_uniform_calls(self):
+        """Identical call bodies: the scaled estimate is near exact."""
+        _, full = instrumented_run("simPOWER", PapiProbe)
+        _, sampled = instrumented_run("simPOWER", SamplingPapiProbe, k=8)
+        f = full.profiles["work"].inclusive["PAPI_TOT_CYC"]
+        s = sampled.profiles["work"].inclusive["PAPI_TOT_CYC"]
+        assert s == pytest.approx(f, rel=0.15)
+
+    def test_sampling_reduces_overhead(self):
+        """The whole point: fewer reads, less real-time dilation."""
+        sub_full, _ = instrumented_run("simX86", PapiProbe)
+        sub_sampled, _ = instrumented_run("simX86", SamplingPapiProbe, k=16)
+        assert (
+            sub_sampled.machine.system_cycles
+            < sub_full.machine.system_cycles / 4
+        )
+
+    def test_error_bound_shrinks_with_measured_calls(self):
+        _, p8 = instrumented_run("simPOWER", SamplingPapiProbe, k=8,
+                                 repeats=64)
+        _, p2 = instrumented_run("simPOWER", SamplingPapiProbe, k=2,
+                                 repeats=64)
+        assert p2.estimate_error_bound("work") < p8.estimate_error_bound("work")
+
+    def test_unknown_function_bound_infinite(self):
+        _, probe = instrumented_run("simPOWER", SamplingPapiProbe, k=4)
+        assert probe.estimate_error_bound("nope") == float("inf")
+
+    def test_bad_k_rejected(self):
+        papi = Papi(create("simPOWER"))
+        with pytest.raises(InvalidArgumentError):
+            SamplingPapiProbe(papi, ["PAPI_TOT_CYC"], 0)

@@ -1,0 +1,84 @@
+"""Unit tests: the VProf-style source annotator."""
+
+import pytest
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.library import Papi
+from repro.core.profile import Profil, ProfileBuffer
+from repro.hw.isa import INS_BYTES
+from repro.platforms import create
+from repro.tools.vprof import annotate
+from repro.workloads import demo_app, dot
+
+
+def profiled_run(platform="simIA64", wl=None, threshold=150):
+    substrate = create(platform)
+    papi = Papi(substrate)
+    wl = wl or dot(4000, use_fma=substrate.HAS_FMA)
+    substrate.machine.load(wl.program)
+    es = papi.create_eventset()
+    es.add_named("PAPI_TOT_INS")
+    buf = ProfileBuffer.covering(0, (len(wl.program) + 16) * INS_BYTES)
+    prof = Profil(es, buf, papi.event_name_to_code("PAPI_TOT_INS"),
+                  threshold)
+    prof.install()
+    es.start()
+    substrate.machine.run_to_completion()
+    es.stop()
+    prof.collect()
+    return wl, buf
+
+
+class TestAnnotation:
+    def test_lines_cover_program(self):
+        wl, buf = profiled_run()
+        ann = annotate(wl.program, buf)
+        assert len(ann.lines) == len(wl.program)
+        assert ann.lines[0].pc == 0
+
+    def test_shares_sum_to_coverage(self):
+        wl, buf = profiled_run()
+        ann = annotate(wl.program, buf)
+        assert sum(l.share for l in ann.lines) == pytest.approx(
+            ann.coverage()
+        )
+        assert 0.9 <= ann.coverage() <= 1.0
+
+    def test_hot_lines_in_the_loop(self):
+        wl, buf = profiled_run()
+        ann = annotate(wl.program, buf)
+        # the dot kernel's loop body starts after 3 setup instructions
+        for line in ann.hottest_lines(3):
+            assert line.pc >= 3
+
+    def test_function_summary_demo_app(self):
+        wl, buf = profiled_run(wl=demo_app(scale=40), threshold=200)
+        ann = annotate(wl.program, buf)
+        summaries = {s.name: s for s in ann.function_summaries()}
+        assert set(summaries) == {"compute", "memwalk", "branchy", "main"}
+        # memwalk burns the most cycles -> on a TOT_INS profile the three
+        # phases all show up; main is cold
+        assert summaries["main"].hits < summaries["memwalk"].hits
+        assert ann.hottest_function() in ("compute", "memwalk", "branchy")
+
+    def test_text_renders(self):
+        wl, buf = profiled_run()
+        ann = annotate(wl.program, buf)
+        text = ann.to_text()
+        assert "vprof" in text
+        assert "FMA" in text or "FMUL" in text
+        summary = ann.summary_text()
+        assert "main" in summary
+
+    def test_empty_buffer_rejected(self):
+        wl = dot(100, use_fma=True)
+        buf = ProfileBuffer.covering(0, 1024)
+        with pytest.raises(InvalidArgumentError):
+            annotate(wl.program, buf)
+
+    def test_annotated_line_fields(self):
+        wl, buf = profiled_run()
+        ann = annotate(wl.program, buf)
+        line = ann.lines[0]
+        assert line.function == "main"
+        assert isinstance(line.text, str) and line.text

@@ -1,0 +1,245 @@
+"""Unit tests: workload kernels match their analytic expectations.
+
+Validated against the raw hardware signal counts on a generic machine --
+no PAPI in the loop -- so workload bugs and PAPI bugs cannot mask each
+other.
+"""
+
+import pytest
+
+from repro.hw import Machine
+from repro.hw.events import Signal
+from repro.workloads import (
+    CALIBRATION_KERNELS,
+    axpy,
+    demo_app,
+    dot,
+    matmul,
+    mixed_precision_sum,
+    phased,
+    pointer_chase,
+    predictable_branches,
+    random_branches,
+    strided_scan,
+    tlb_walker,
+    triad,
+    working_set_sweep,
+)
+from repro.workloads.builder import Flow, trip_count_overhead
+from repro.hw.isa import Assembler
+
+
+def run(workload):
+    m = Machine()
+    m.load(workload.program)
+    m.run_to_completion()
+    return m
+
+
+def fp_arith(m):
+    c = m.counts
+    return (c[Signal.FP_ADD] + c[Signal.FP_MUL] + c[Signal.FP_DIV]
+            + c[Signal.FP_SQRT] + c[Signal.FP_FMA])
+
+
+def flops(m):
+    return fp_arith(m) + m.counts[Signal.FP_FMA]
+
+
+class TestLinalgExpectations:
+    @pytest.mark.parametrize("use_fma", [True, False])
+    @pytest.mark.parametrize("kernel", [dot, axpy, triad])
+    def test_streaming_kernels(self, kernel, use_fma):
+        n = 257
+        wl = kernel(n, use_fma=use_fma)
+        m = run(wl)
+        assert flops(m) == wl.expect.flops == 2 * n
+        assert fp_arith(m) == wl.expect.fp_ins
+        assert m.counts[Signal.LD_INS] == wl.expect.loads
+        if wl.expect.stores is not None:
+            assert m.counts[Signal.SR_INS] == wl.expect.stores
+
+    @pytest.mark.parametrize("blocked", [False, True])
+    def test_matmul(self, blocked):
+        n = 8
+        wl = matmul(n, use_fma=True, blocked=blocked, block=4)
+        m = run(wl)
+        assert flops(m) == wl.expect.flops == 2 * n ** 3
+        assert m.counts[Signal.FP_FMA] == n ** 3
+
+    def test_matmul_computes_correct_product(self):
+        """The blocked and naive kernels produce identical matrices."""
+        n = 8
+        results = []
+        for blocked in (False, True):
+            wl = matmul(n, use_fma=False, blocked=blocked, block=4)
+            m = run(wl)
+            c_base = None
+            # C occupies the last n*n words of initialized data space
+            c_base = wl.program.data_size - n * n
+            results.append([m.cpu.memory[c_base + i] for i in range(n * n)])
+        assert results[0] == pytest.approx(results[1])
+
+    def test_blocked_matmul_misses_fewer_lines(self):
+        n = 24
+        naive = run(matmul(n, use_fma=True, blocked=False))
+        blocked = run(matmul(n, use_fma=True, blocked=True, block=4))
+        assert blocked.counts[Signal.L1D_MISS] < naive.counts[Signal.L1D_MISS]
+
+    def test_mixed_precision_sum(self):
+        n = 123
+        wl = mixed_precision_sum(n)
+        m = run(wl)
+        assert m.counts[Signal.FP_CVT] == n
+        assert m.counts[Signal.FP_ADD] == n
+        assert flops(m) == wl.expect.flops == n
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            dot(0)
+        with pytest.raises(ValueError):
+            matmul(8, blocked=True, block=3)
+
+
+class TestMemoryExpectations:
+    def test_pointer_chase_loads(self):
+        wl = pointer_chase(256, steps=500)
+        m = run(wl)
+        assert m.counts[Signal.LD_INS] == 500
+
+    def test_pointer_chase_visits_whole_cycle(self):
+        """Sattolo permutation: the walk returns to node 0 after n steps."""
+        n_nodes = 64
+        wl = pointer_chase(n_nodes, steps=n_nodes)
+        m = run(wl)
+        assert m.cpu.iregs[1] == 0  # back at start after one full cycle
+
+    def test_strided_scan_counts(self):
+        wl = strided_scan(1000, stride=4, passes=2)
+        m = run(wl)
+        assert m.counts[Signal.LD_INS] == wl.expect.loads == 500
+
+    def test_working_set_sweep_counts(self):
+        wl = working_set_sweep(200, passes=3)
+        m = run(wl)
+        assert m.counts[Signal.LD_INS] == 600
+        assert m.counts[Signal.SR_INS] == 600
+        # every word incremented passes times
+        base = 0
+        assert all(m.cpu.memory[base + i] == 3 for i in range(200))
+
+    def test_tlb_walker_touches_pages(self):
+        m = Machine()
+        page_words = m.hierarchy.config.tlb.page_bytes // 8
+        wl = tlb_walker(10, page_words=page_words)
+        m.load(wl.program)
+        m.run_to_completion()
+        assert len(m.cpu.touched_pages) == 10
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            pointer_chase(1, 1)
+        with pytest.raises(ValueError):
+            strided_scan(10, 0)
+        with pytest.raises(ValueError):
+            working_set_sweep(0, 1)
+        with pytest.raises(ValueError):
+            tlb_walker(0)
+
+
+class TestBranchExpectations:
+    def test_predictable_low_mispredict(self):
+        m = run(predictable_branches(2000))
+        rate = m.counts[Signal.BR_MSP] / m.counts[Signal.BR_CN]
+        assert rate < 0.02
+
+    def test_random_data_recorded(self):
+        wl = random_branches(500, seed=3, taken_prob=0.5)
+        m = run(wl)
+        assert m.cpu.iregs[5] == wl.expect.extra["data_ones"]
+
+    def test_random_branches_deterministic_per_seed(self):
+        a = random_branches(300, seed=1).program.data_init
+        b = random_branches(300, seed=1).program.data_init
+        c = random_branches(300, seed=2).program.data_init
+        assert a == b
+        assert a != c  # different seed, different bit sequence
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            random_branches(10, taken_prob=1.5)
+
+
+class TestPhasedPrograms:
+    def test_phase_functions_exist(self):
+        wl = phased([("fp", 10), ("mem", 10), ("br", 10)], names=("a", "b", "c"))
+        assert set(wl.program.functions) == {"a", "b", "c", "main"}
+
+    def test_fp_counts_scale_with_repeats(self):
+        one = run(phased([("fp", 100)], repeats=1))
+        three = run(phased([("fp", 100)], repeats=3))
+        assert fp_arith(three) == 3 * fp_arith(one)
+
+    def test_demo_app_structure(self):
+        wl = demo_app(scale=5)
+        assert list(wl.program.functions) == [
+            "compute", "memwalk", "branchy", "main",
+        ]
+
+    def test_names_arity_checked(self):
+        with pytest.raises(ValueError):
+            phased([("fp", 10)], names=("a", "b"))
+
+    def test_bad_phase_kind_rejected(self):
+        with pytest.raises(ValueError):
+            phased([("gpu", 10)])
+
+
+class TestBuilder:
+    def test_flow_loop_zero_trip(self):
+        asm = Assembler()
+        flow = Flow(asm)
+        asm.func("main")
+        asm.li("r5", 0)
+        with flow.loop(0, "r30", "r31"):
+            asm.addi("r5", "r5", 1)
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        m.load(asm.build())
+        m.run_to_completion()
+        assert m.cpu.iregs[5] == 0
+
+    def test_flow_nested_loops(self):
+        asm = Assembler()
+        flow = Flow(asm)
+        asm.func("main")
+        asm.li("r5", 0)
+        with flow.loop(7, "r28", "r29"):
+            with flow.loop(5, "r30", "r31"):
+                asm.addi("r5", "r5", 1)
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        m.load(asm.build())
+        m.run_to_completion()
+        assert m.cpu.iregs[5] == 35
+
+    def test_trip_count_overhead_formula(self):
+        n = 13
+        asm = Assembler()
+        flow = Flow(asm)
+        asm.func("main")
+        with flow.loop(n, "r30", "r31"):
+            pass
+        asm.halt()
+        asm.endfunc()
+        m = Machine()
+        m.load(asm.build())
+        m.run_to_completion()
+        assert m.counts[Signal.TOT_INS] == trip_count_overhead(n) + 1  # +HALT
+
+    def test_calibration_registry_complete(self):
+        for name, factory in CALIBRATION_KERNELS.items():
+            wl = factory(50, use_fma=False)
+            assert wl.expect.flops is not None, name
