@@ -14,7 +14,6 @@ placement over random EventSets -- quality must be identical -- and let
 pytest-benchmark time the split allocator itself.
 """
 
-import itertools
 import random
 
 from _shared import emit

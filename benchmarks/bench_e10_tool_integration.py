@@ -16,7 +16,6 @@ routine.
 """
 
 from _shared import emit, run_once
-from repro.analysis import Table
 from repro.tools.profiler import Profiler
 from repro.workloads import demo_app
 

@@ -12,7 +12,6 @@ the dilation of real (wall-clock) cycles versus an uninstrumented run of
 the same program.
 """
 
-import pytest
 
 from _shared import emit, run_once
 from repro.analysis import Table, overhead_pct

@@ -11,7 +11,6 @@ unconstrained simT3E the two coincide; on the pairing-constrained simX86
 and group-managed simPOWER the optimal matcher wins.
 """
 
-import itertools
 import random
 
 from _shared import emit, run_once

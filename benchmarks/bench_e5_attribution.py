@@ -18,7 +18,6 @@ from _shared import emit, run_once
 from repro.analysis import Table
 from repro.core.library import Papi
 from repro.core.profile import (
-    Profil,
     ProfileBuffer,
     profile_from_ears,
     profile_from_samples,

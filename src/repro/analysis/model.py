@@ -19,7 +19,7 @@ which makes the model a sharp end-to-end test of counter fidelity, too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -22,6 +22,7 @@ translation.  This package implements all of it:
 from repro.core.allocation.graph import MappingProblem
 from repro.core.allocation.greedy import first_fit
 from repro.core.allocation.matching import (
+    deficiency_witness,
     max_cardinality_matching,
     max_weight_matching,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "MappingProblem",
     "allocate",
     "allocate_greedy",
+    "deficiency_witness",
     "first_fit",
     "max_cardinality_matching",
     "max_weight_matching",

@@ -10,7 +10,7 @@ placed -- the gap experiment E4 measures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.allocation.graph import MappingProblem
 

@@ -17,7 +17,7 @@ absent (callers decide whether partial is acceptable).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.allocation.graph import MappingProblem
 
@@ -116,3 +116,40 @@ def _branch_and_bound_weight(problem: MappingProblem) -> Dict[str, int]:
     recurse(0, {}, {}, 0.0)
     problem.validate_assignment(best)
     return best
+
+
+def deficiency_witness(
+    problem: MappingProblem,
+) -> Optional[Tuple[Tuple[str, ...], Tuple[int, ...]]]:
+    """Hall-condition violation witness for an infeasible problem.
+
+    By König's theorem, when the maximum matching leaves some event
+    unmatched there is a set of events S whose combined allowed-counter
+    neighbourhood N(S) is strictly smaller than S -- the certificate
+    that no complete assignment can exist.  The witness is found by
+    walking alternating paths from an unmatched event: every counter
+    reachable that way is saturated, and the events owning them are
+    pulled into S until a fixpoint, leaving ``|S| = |N(S)| + 1``.
+
+    Returns ``(events, counters)`` -- the deficient event set and its
+    entire neighbourhood -- or ``None`` when the problem is feasible.
+    """
+    matching = max_cardinality_matching(problem)
+    unmatched = [e for e in problem.events if e not in matching]
+    if not unmatched:
+        return None
+    owner: Dict[int, str] = {c: e for e, c in matching.items()}
+    events = {unmatched[0]}
+    counters: set = set()
+    frontier = list(events)
+    while frontier:
+        ev = frontier.pop()
+        for c in problem.allowed[ev]:
+            if c in counters:
+                continue
+            counters.add(c)
+            holder = owner.get(c)
+            if holder is not None and holder not in events:
+                events.add(holder)
+                frontier.append(holder)
+    return tuple(sorted(events)), tuple(sorted(counters))

@@ -19,14 +19,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core import constants as C
 from repro.core.errors import (
-    InvalidArgumentError,
     NoSuchEventError,
     NoSuchEventSetError,
 )
 from repro.core.presets import (
-    NUM_PRESETS,
     PRESETS,
-    Preset,
     PresetMapping,
     platform_preset_map,
     preset_from_code,

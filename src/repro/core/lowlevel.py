@@ -22,7 +22,7 @@ drive the same :class:`~repro.core.library.Papi` object.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core import constants as C
 from repro.core.errors import InvalidArgumentError, strerror as _strerror

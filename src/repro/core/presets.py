@@ -18,7 +18,7 @@ the reference vector to quantify exactly where each platform deviates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core import constants as C
 from repro.core.errors import InvalidArgumentError, NotPresetError
@@ -175,6 +175,27 @@ class PresetMapping:
 
     def evaluate(self, native_values: Dict[str, int]) -> int:
         return sum(coeff * native_values[name] for name, coeff in self.terms)
+
+
+def mapping_signal_vector(
+    terms: Tuple[Tuple[str, int], ...],
+    native_signals: Dict[str, Tuple[int, ...]],
+) -> Dict[int, int]:
+    """The {signal: coefficient} vector a platform mapping actually counts.
+
+    Each term contributes its coefficient once per hardware signal of the
+    named native event.  Comparing this against :func:`reference_vector`
+    is how semantic drift between a platform's realization and the
+    catalogue's reference semantics -- the POWER3 rounding-instruction
+    discrepancy of Section 4 -- is detected mechanically (papi-lint rule
+    PL204).  Native names absent from *native_signals* are skipped; the
+    dangling-name check (PL201) reports those separately.
+    """
+    vec: Dict[int, int] = {}
+    for name, coeff in terms:
+        for sig in native_signals.get(name, ()):
+            vec[sig] = vec.get(sig, 0) + coeff
+    return {sig: c for sig, c in vec.items() if c != 0}
 
 
 #: Hand-authored preset tables, platform name -> preset symbol -> terms.

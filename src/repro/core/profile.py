@@ -20,13 +20,12 @@ Experiment E5 compares the attribution accuracy of all three.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.core import constants as C
 from repro.core.errors import (
     InvalidArgumentError,
     NotRunningError,
-    SubstrateFeatureError,
 )
 from repro.core.overflow import OverflowInfo
 from repro.hw.isa import INS_BYTES

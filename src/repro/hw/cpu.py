@@ -14,7 +14,7 @@ Event semantics (what increments what) are documented in
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Set, Tuple
 
 from repro.hw.branch import BranchPredictor, make_predictor

@@ -28,7 +28,7 @@ control-plane and can afford normal Python costs.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.hw.events import Signal, signal_name

@@ -1,0 +1,63 @@
+"""papi-lint: static analysis for PAPI counter programs.
+
+Three analyzers behind one diagnostic engine (see DESIGN.md):
+
+- **API misuse** (:mod:`repro.lint.apilint`, rules PL0xx): an AST
+  state machine over Papi/EventSet/HighLevel call sequences;
+- **static feasibility** (:mod:`repro.lint.feasibility`, PL1xx):
+  decides counter allocability without executing, reusing the runtime
+  allocator's bipartite matching over the platform tables;
+- **preset-table validation** (:mod:`repro.lint.presetlint`, PL2xx):
+  dangling natives, malformed mappings, FMA normalization, semantic
+  drift versus the catalogue's reference vectors.
+
+CLI: ``python -m repro.tools.cli lint | check-events | check-presets``.
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    apply_suppressions,
+    parse_suppressions,
+    render_json,
+    render_text,
+    sort_diagnostics,
+    worst_severity,
+)
+from repro.lint.engine import lint_file, lint_source
+from repro.lint.feasibility import (
+    EventResolution,
+    FeasibilityReport,
+    check_events,
+    portability_matrix,
+    resolve_event,
+)
+from repro.lint.presetlint import (
+    lint_mapping,
+    lint_platform_table,
+    lint_preset_tables,
+)
+from repro.lint.rules import RULES, Rule, Severity, rule
+
+__all__ = [
+    "Diagnostic",
+    "EventResolution",
+    "FeasibilityReport",
+    "RULES",
+    "Rule",
+    "Severity",
+    "apply_suppressions",
+    "check_events",
+    "lint_file",
+    "lint_mapping",
+    "lint_platform_table",
+    "lint_preset_tables",
+    "lint_source",
+    "parse_suppressions",
+    "portability_matrix",
+    "render_json",
+    "render_text",
+    "resolve_event",
+    "rule",
+    "sort_diagnostics",
+    "worst_severity",
+]

@@ -1,0 +1,933 @@
+"""AST-based API-misuse linting for PAPI instrumentation scripts.
+
+The checker walks a script's AST and tracks, per scope, an abstract
+state machine for every ``Papi`` / ``EventSet`` / ``HighLevel`` object
+it can identify statically: which platform it is bound to (from a
+``create("simX86")`` literal), which events were added (from string
+literals, ``event_name_to_code`` calls, or module-level constant
+lists), and whether it is running, multiplexed, or has overflow
+registered.  Illegal or hazardous call sequences become PL0xx
+diagnostics; when the platform and event names are all statically
+known, the set is additionally handed to the static feasibility
+checker (:mod:`repro.lint.feasibility`) for PL1xx diagnostics, and
+assignments into ``PLATFORM_PRESET_TABLES`` are validated by the
+preset lint (PL2xx).
+
+Design points:
+
+- **Linear control flow.**  Statements are interpreted in source
+  order; both branches of an ``if`` are walked with the same entry
+  state and loop bodies are walked once.  This is the usual lint
+  trade-off: simple, fast, and right for straight-line instrumentation
+  code, which is what counter-measurement scripts overwhelmingly are.
+- **Guard awareness.**  A call inside ``try: ... except ConflictError``
+  demonstrates intent (the script *expects* the failure -- e.g. the
+  multiplexing example that shows the ECNFLCT path), so rules whose
+  failure the handler catches are suppressed there.  ``except
+  Exception`` guards every guardable rule.
+- **No execution.**  Only substrate/preset tables are consulted; the
+  linted script is never imported or run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.presets import PRESET_BY_SYMBOL
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.feasibility import _substrate, check_events, portability_matrix
+from repro.lint.rules import RULES
+from repro.platforms import PLATFORM_NAMES
+
+#: below this many instructions, a multiplexed run has too few timer
+#: rotations for the time-slice extrapolation to converge (the E3
+#: regime where estimates are badly wrong).  Default quantum is 5000
+#: cycles; tens of rotations are needed to average over phases.
+MIN_MPX_RUN_INSTRUCTIONS = 50_000
+
+
+class _PapiState:
+    """Abstract state of one Papi library instance."""
+
+    def __init__(self, platform: Optional[str]) -> None:
+        self.platform = platform
+        self.hl_line: Optional[int] = None     # first high-level use
+        self.ll_line: Optional[int] = None     # first low-level start
+        self.mixing_reported = False
+        self.running: Set[int] = set()         # ids of running EventSets
+
+
+class _EventSetState:
+    """Abstract state of one EventSet variable."""
+
+    def __init__(self, papi: Optional[_PapiState], line: int) -> None:
+        self.papi = papi
+        self.created_line = line
+        self.events: List[Tuple[Optional[str], int]] = []  # (name, line)
+        self.multiplexed = False
+        self.running = False
+        self.overflow = False
+        self.started_line: Optional[int] = None
+        self.ever_stopped = False
+        self.conflict_reported = False
+
+    @property
+    def platform(self) -> Optional[str]:
+        return self.papi.platform if self.papi else None
+
+    @property
+    def names(self) -> List[str]:
+        return [n for n, _line in self.events if n is not None]
+
+    @property
+    def fully_resolved(self) -> bool:
+        return bool(self.events) and all(
+            n is not None for n, _line in self.events
+        )
+
+
+class _HighLevelState:
+    """Abstract state of one HighLevel interface instance."""
+
+    def __init__(self, papi: Optional[_PapiState]) -> None:
+        self.papi = papi
+        self.started = False
+        self.started_line: Optional[int] = None
+
+
+class ApiLinter:
+    """Lints one module's AST; collect results from :attr:`diagnostics`."""
+
+    def __init__(
+        self, path: str, default_platform: Optional[str] = None
+    ) -> None:
+        self.path = path
+        self.default_platform = default_platform
+        self.diagnostics: List[Diagnostic] = []
+        #: module-level literal constants (lists of event names etc.)
+        self.module_env: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def lint(self, tree: ast.Module) -> List[Diagnostic]:
+        self._collect_module_constants(tree)
+        # module top level is one scope; every function body another.
+        self._run_scope(tree.body)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._run_scope(node.body)
+        return self.diagnostics
+
+    def _collect_module_constants(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = self._literal(stmt.value)
+            if value is not None:
+                self.module_env[target.id] = value
+
+    @staticmethod
+    def _literal(node: ast.AST) -> Optional[object]:
+        """Evaluate a literal expression (str/int/list/tuple) or None."""
+        try:
+            return ast.literal_eval(node)
+        except (ValueError, SyntaxError):
+            return None
+
+    # ------------------------------------------------------------------
+    # one scope
+    # ------------------------------------------------------------------
+
+    def _run_scope(self, body: Sequence[ast.stmt]) -> None:
+        scope = _ScopeInterpreter(self)
+        scope.run(body)
+
+    def report(
+        self,
+        code: str,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+        guards: Optional[Set[str]] = None,
+    ) -> None:
+        rule = RULES[code]
+        if guards and rule.guards:
+            catchable = set(rule.guards) | {"Exception", "BaseException"}
+            if guards & catchable:
+                return  # statically guarded: the script expects this
+        self.diagnostics.append(Diagnostic(
+            code, self.path,
+            getattr(node, "lineno", 0), getattr(node, "col_offset", 0),
+            message, hint,
+        ))
+
+
+class _ScopeInterpreter:
+    """Interprets one scope's statements over abstract PAPI objects."""
+
+    def __init__(self, linter: ApiLinter) -> None:
+        self.linter = linter
+        self.env: Dict[str, object] = dict(linter.module_env)
+        self.vars: Dict[str, object] = {}     # name -> abstract object
+        self.eventsets: List[_EventSetState] = []
+        self.highlevels: List[_HighLevelState] = []
+        self.guard_stack: List[Set[str]] = []
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def guards(self) -> Set[str]:
+        out: Set[str] = set()
+        for g in self.guard_stack:
+            out |= g
+        return out
+
+    def report(
+        self, code: str, node: ast.AST, message: str, hint: str = ""
+    ) -> None:
+        self.linter.report(code, node, message, hint, guards=self.guards)
+
+    # -- statement dispatch --------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        self.visit_block(body)
+        self._end_of_scope(body)
+
+    def visit_block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit_stmt(stmt)
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            self._handle_assign(stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = self.eval_expr(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                self._bind(stmt.target.id, stmt.value, value)
+        elif isinstance(stmt, ast.AugAssign):
+            self.eval_expr(stmt.value)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            self.eval_expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval_expr(stmt.test)
+            self.visit_block(stmt.body)
+            self.visit_block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval_expr(stmt.iter)
+            self.visit_block(stmt.body)
+            self.visit_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval_expr(stmt.test)
+            self.visit_block(stmt.body)
+            self.visit_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval_expr(item.context_expr)
+            self.visit_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.guard_stack.append(self._handler_names(stmt))
+            try:
+                self.visit_block(stmt.body)
+            finally:
+                self.guard_stack.pop()
+            for handler in stmt.handlers:
+                self.visit_block(handler.body)
+            self.visit_block(stmt.orelse)
+            self.visit_block(stmt.finalbody)
+        # FunctionDef/ClassDef bodies are linted as separate scopes.
+
+    @staticmethod
+    def _handler_names(stmt: ast.Try) -> Set[str]:
+        names: Set[str] = set()
+
+        def add(node: Optional[ast.expr]) -> None:
+            if node is None:
+                names.add("BaseException")  # bare except
+            elif isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, ast.Tuple):
+                for elt in node.elts:
+                    add(elt)
+
+        for handler in stmt.handlers:
+            add(handler.type)
+        return names
+
+    # -- assignment ----------------------------------------------------
+
+    def _handle_assign(self, stmt: ast.Assign) -> None:
+        if self._maybe_preset_table_assign(stmt):
+            return
+        value = self.eval_expr(stmt.value)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                self._bind(target.id, stmt.value, value)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                # tuple unpacking of stop() results etc.: nothing tracked
+                pass
+
+    def _bind(
+        self, name: str, rhs: ast.expr, value: Optional[object]
+    ) -> None:
+        if isinstance(
+            value, (_PapiState, _EventSetState, _HighLevelState, str)
+        ) or value.__class__.__name__ == "_SubstrateRef":
+            self.vars[name] = value
+            return
+        if isinstance(rhs, ast.Name) and rhs.id in self.vars:
+            self.vars[name] = self.vars[rhs.id]  # aliasing
+            return
+        literal = self.linter._literal(rhs)
+        if literal is not None:
+            self.env[name] = literal
+        else:
+            # rebinding kills any stale tracking for this name
+            self.vars.pop(name, None)
+
+    # -- preset table edits --------------------------------------------
+
+    def _maybe_preset_table_assign(self, stmt: ast.Assign) -> bool:
+        """``PLATFORM_PRESET_TABLES["plat"]["SYM"] = [...]`` in a script."""
+        if len(stmt.targets) != 1:
+            return False
+        target = stmt.targets[0]
+        if not (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Subscript)
+        ):
+            return False
+        base = target.value.value
+        base_name = (
+            base.id if isinstance(base, ast.Name)
+            else base.attr if isinstance(base, ast.Attribute)
+            else None
+        )
+        if base_name != "PLATFORM_PRESET_TABLES":
+            return False
+        platform = self.linter._literal(target.value.slice)
+        symbol = self.linter._literal(target.slice)
+        terms = self.linter._literal(stmt.value)
+        if not (
+            isinstance(platform, str)
+            and platform in PLATFORM_NAMES
+            and isinstance(symbol, str)
+            and isinstance(terms, (list, tuple))
+        ):
+            return False
+        from repro.lint.presetlint import lint_mapping
+
+        term_lines: Dict[int, int] = {}
+        if isinstance(stmt.value, (ast.List, ast.Tuple)):
+            for i, elt in enumerate(stmt.value.elts):
+                term_lines[i] = elt.lineno
+        try:
+            normalized = tuple((str(n), int(c)) for n, c in terms)
+        except (TypeError, ValueError):
+            self.report(
+                "PL202", stmt,
+                f"{platform}: {symbol} terms are not (name, coeff) pairs",
+            )
+            return True
+        for diag in lint_mapping(
+            platform, symbol, normalized,
+            path=self.linter.path, line=stmt.lineno, term_lines=term_lines,
+        ):
+            self.linter.diagnostics.append(diag)
+        return True
+
+    # -- expression evaluation -----------------------------------------
+
+    def eval_expr(self, node: ast.expr) -> Optional[object]:
+        """Evaluate an expression; returns an abstract object or None.
+
+        Recurses so that nested calls (``dict(zip(a, es.stop()))``) are
+        still interpreted in evaluation order.
+        """
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Name):
+            return self.vars.get(node.id)
+        if isinstance(node, ast.Attribute):
+            self.eval_expr(node.value)
+            return None
+        if isinstance(node, ast.Constant):
+            return None
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child)
+        return None
+
+    def _eval_call(self, node: ast.Call) -> Optional[object]:
+        for arg in node.args:
+            self.eval_expr(
+                arg.value if isinstance(arg, ast.Starred) else arg
+            )
+        for kw in node.keywords:
+            self.eval_expr(kw.value)
+
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self._call_by_name(func.id, node)
+        if isinstance(func, ast.Attribute):
+            return self._call_method(func, node)
+        self.eval_expr(func)
+        return None
+
+    def _call_by_name(self, name: str, node: ast.Call) -> Optional[object]:
+        if name == "create" and node.args:
+            platform = self.linter._literal(node.args[0])
+            if not isinstance(platform, str):
+                platform = None
+            return _SubstrateRef(platform)
+        if name == "Papi":
+            platform = self._platform_of_arg(node)
+            return _PapiState(platform)
+        if name == "HighLevel" and node.args:
+            papi = self.eval_expr(node.args[0])
+            hl = _HighLevelState(
+                papi if isinstance(papi, _PapiState) else None
+            )
+            self.highlevels.append(hl)
+            return hl
+        return None
+
+    def _platform_of_arg(self, node: ast.Call) -> Optional[str]:
+        if not node.args:
+            return None
+        arg = self.eval_expr(node.args[0])
+        if isinstance(arg, _SubstrateRef):
+            return arg.platform
+        return None
+
+    # -- method dispatch -----------------------------------------------
+
+    def _call_method(
+        self, func: ast.Attribute, node: ast.Call
+    ) -> Optional[object]:
+        base = self.eval_expr(func.value)
+        method = func.attr
+
+        if isinstance(base, _PapiState):
+            if method == "create_eventset":
+                es = _EventSetState(base, node.lineno)
+                self.eventsets.append(es)
+                return es
+            return None
+        if isinstance(base, _EventSetState):
+            return self._eventset_method(base, method, node)
+        if isinstance(base, _HighLevelState):
+            return self._highlevel_method(base, method, node)
+        if method == "create_eventset":
+            # the receiver is untracked (e.g. a function parameter),
+            # but the method name is unambiguous: still track the set
+            # so feasibility checks work under --platform.
+            es = _EventSetState(None, node.lineno)
+            self.eventsets.append(es)
+            return es
+        if method == "run":
+            self._check_short_mpx_run(node)
+        return None
+
+    # -- EventSet state machine ----------------------------------------
+
+    def _eventset_method(
+        self, es: _EventSetState, method: str, node: ast.Call
+    ) -> Optional[object]:
+        if method in ("add_event", "add_events", "add_named"):
+            self._es_add(es, method, node)
+        elif method in ("remove_event", "cleanup"):
+            if es.running:
+                self.report(
+                    "PL007", node,
+                    f"{method} on a running EventSet",
+                    hint="stop() it first",
+                )
+            if method == "cleanup":
+                es.events.clear()
+            else:
+                self._es_remove(es, node)
+        elif method == "set_multiplex":
+            self._es_set_multiplex(es, node)
+        elif method in ("set_domain", "attach", "detach"):
+            if es.running:
+                self.report(
+                    "PL007", node,
+                    f"{method} on a running EventSet",
+                    hint="stop() it first",
+                )
+        elif method == "overflow":
+            self._es_overflow(es, node)
+        elif method == "start":
+            self._es_start(es, node)
+        elif method == "stop":
+            self._es_expect_running(es, "stop", node)
+            if es.running and es.papi is not None:
+                es.papi.running.discard(id(es))
+            es.running = False
+            es.ever_stopped = True
+        elif method in ("read", "reset", "accum"):
+            self._es_expect_running(es, method, node)
+        return None
+
+    def _es_expect_running(
+        self, es: _EventSetState, method: str, node: ast.Call
+    ) -> None:
+        if not es.running:
+            self.report(
+                "PL001", node,
+                f"{method}() on an EventSet that was never started "
+                f"(created at line {es.created_line})"
+                if es.started_line is None else
+                f"{method}() on an EventSet that is already stopped",
+                hint="call start() first",
+            )
+
+    def _es_add(
+        self, es: _EventSetState, method: str, node: ast.Call
+    ) -> None:
+        if es.running:
+            self.report(
+                "PL007", node,
+                f"{method} on a running EventSet",
+                hint="stop() before changing membership",
+            )
+        for name in self._event_names_of_call(method, node):
+            self._es_add_one(es, name, node)
+
+    def _event_names_of_call(
+        self, method: str, node: ast.Call
+    ) -> List[Optional[str]]:
+        """Event names added by one add_* call (None = unresolvable)."""
+        if method == "add_event":
+            return [self._event_name(a) for a in node.args[:1]]
+        if method == "add_named":
+            names: List[Optional[str]] = []
+            for arg in node.args:
+                if isinstance(arg, ast.Starred):
+                    seq = self._name_sequence(arg.value)
+                    names.extend(seq if seq is not None else [None])
+                else:
+                    names.append(self._event_name(arg))
+            return names
+        # add_events([codes...])
+        if node.args:
+            arg = node.args[0]
+            if isinstance(arg, (ast.List, ast.Tuple)):
+                return [self._event_name(e) for e in arg.elts]
+        return [None]
+
+    def _name_sequence(self, node: ast.expr) -> Optional[List[str]]:
+        value: object = None
+        if isinstance(node, ast.Name):
+            value = self.env.get(node.id)
+        else:
+            value = self.linter._literal(node)
+        if isinstance(value, (list, tuple)) and all(
+            isinstance(v, str) for v in value
+        ):
+            return list(value)
+        return None
+
+    def _event_name(self, node: ast.expr) -> Optional[str]:
+        """Statically resolve one event-spec expression to a name."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            value = self.env.get(node.id)
+            return value if isinstance(value, str) else None
+        if isinstance(node, ast.Call):
+            func = node.func
+            fname = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if fname == "event_name_to_code" and node.args:
+                return self._event_name(node.args[0])
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "code"
+            and isinstance(node.value, ast.Call)
+        ):
+            func = node.value.func
+            fname = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if fname in ("preset_from_symbol", "preset_from_code") and \
+                    node.value.args:
+                return self._event_name(node.value.args[0])
+        return None
+
+    def _es_add_one(
+        self, es: _EventSetState, name: Optional[str], node: ast.Call
+    ) -> None:
+        if name is not None:
+            self._check_event_known(name, es.platform, node)
+            if name in es.names:
+                self.report(
+                    "PL012", node,
+                    f"event {name} is already in this EventSet",
+                )
+        es.events.append((name, node.lineno))
+        self._check_feasibility_incremental(es, node)
+
+    def _es_remove(self, es: _EventSetState, node: ast.Call) -> None:
+        if not node.args:
+            return
+        name = self._event_name(node.args[0])
+        if name is None:
+            # unknown removal: previous membership is no longer reliable
+            es.events.append((None, node.lineno))
+            return
+        for i, (n, _line) in enumerate(es.events):
+            if n == name:
+                del es.events[i]
+                return
+
+    def _check_event_known(
+        self, name: str, platform: Optional[str], node: ast.Call
+    ) -> None:
+        platform = platform or self.linter.default_platform
+        if name.startswith("PAPI_"):
+            if name not in PRESET_BY_SYMBOL:
+                self.report(
+                    "PL010", node,
+                    f"{name} is not a preset in the catalogue",
+                    hint="see `papi-lint` docs or papi_avail for symbols",
+                )
+            elif platform is not None:
+                from repro.core.presets import PLATFORM_PRESET_TABLES
+
+                if name not in PLATFORM_PRESET_TABLES.get(platform, {}):
+                    self.report(
+                        "PL011", node,
+                        f"{name} is not available on {platform}",
+                        hint=f"check `cli avail {platform}`; guard with "
+                             f"query_event() for portable code",
+                    )
+        elif platform is not None:
+            if name not in _substrate(platform).native_events:
+                self.report(
+                    "PL010", node,
+                    f"{name!r} is neither a preset symbol nor a native "
+                    f"event of {platform}",
+                )
+
+    # -- feasibility hooks ---------------------------------------------
+
+    def _feasibility_platform(
+        self, es: _EventSetState
+    ) -> Optional[str]:
+        return es.platform or self.linter.default_platform
+
+    def _check_feasibility_incremental(
+        self, es: _EventSetState, node: ast.Call
+    ) -> None:
+        """Mirror add_event: the add that overflows the counters errs."""
+        platform = self._feasibility_platform(es)
+        if (
+            platform is None
+            or es.conflict_reported
+            or not es.fully_resolved
+        ):
+            return
+        report = check_events(tuple(es.names), platform)
+        if report.unknown or report.unavailable or report.sampling:
+            return
+        if es.multiplexed:
+            # every event only needs to be placeable alone
+            if not report.feasible_multiplexed:
+                es.conflict_reported = True
+                self.report(
+                    "PL101", node,
+                    f"{report.conflict_witness or es.names} cannot be "
+                    f"counted on {platform} even with multiplexing",
+                )
+            return
+        if not report.feasible_direct:
+            es.conflict_reported = True
+            witness = ", ".join(report.conflict_witness)
+            hint = "enable set_multiplex() before adding, or split " \
+                   "the measurement into multiple runs"
+            if report.hall_witness is not None:
+                natives, counters = report.hall_witness
+                hint += (
+                    f"; Hall violation: natives {list(natives)} share "
+                    f"only counters {list(counters)}"
+                )
+            self.report(
+                "PL101", node,
+                f"adding this event makes the set unallocatable on "
+                f"{platform}: minimal conflicting subset {{{witness}}}",
+                hint=hint,
+            )
+
+    def _es_set_multiplex(
+        self, es: _EventSetState, node: ast.Call
+    ) -> None:
+        if es.running:
+            self.report(
+                "PL007", node,
+                "set_multiplex on a running EventSet",
+                hint="stop() it first",
+            )
+        if es.overflow:
+            self.report(
+                "PL009", node,
+                "set_multiplex on an EventSet with overflow registered",
+                hint="overflow interrupts and time-slicing are exclusive",
+            )
+        if es.events:
+            self.report(
+                "PL003", node,
+                f"set_multiplex after {len(es.events)} event(s) were "
+                f"already added",
+                hint="enable multiplexing first so conflicts surface as "
+                     "capacity, not ECNFLCT",
+            )
+        es.multiplexed = True
+
+    def _es_overflow(self, es: _EventSetState, node: ast.Call) -> None:
+        if es.running:
+            self.report(
+                "PL005", node,
+                "overflow registered while the EventSet is running",
+                hint="register before start() for portable behaviour",
+            )
+        if es.multiplexed:
+            self.report(
+                "PL009", node,
+                "overflow on a multiplexed EventSet",
+                hint="overflow interrupts and time-slicing are exclusive",
+            )
+        es.overflow = True
+
+    def _es_start(self, es: _EventSetState, node: ast.Call) -> None:
+        if es.running:
+            self.report(
+                "PL002", node,
+                "start() on an EventSet that is already running",
+            )
+        papi = es.papi
+        if papi is not None:
+            if papi.running - {id(es)}:
+                self.report(
+                    "PL013", node,
+                    "start() while another EventSet of the same library "
+                    "is still running",
+                    hint="stop the other set first (one running EventSet "
+                         "per library)",
+                )
+            papi.running.add(id(es))
+            papi.ll_line = papi.ll_line or node.lineno
+            self._check_mixing(papi, node)
+        es.running = True
+        es.started_line = node.lineno
+        self._check_feasibility_at_start(es, node)
+
+    def _check_feasibility_at_start(
+        self, es: _EventSetState, node: ast.Call
+    ) -> None:
+        platform = self._feasibility_platform(es)
+        if platform is None or not es.fully_resolved:
+            return
+        report = check_events(tuple(es.names), platform)
+        if report.unknown or report.unavailable:
+            return
+        if (
+            es.multiplexed
+            and not report.sampling
+            and report.feasible_direct
+        ):
+            natives: Set[str] = set()
+            for res in report.resolutions:
+                natives.update(res.natives)
+            self.report(
+                "PL102", node,
+                f"multiplexing is enabled but {len(natives)} native "
+                f"event(s) fit {platform}'s counters directly",
+                hint="drop set_multiplex() to count exactly instead of "
+                     "estimating",
+            )
+        if report.status in ("ok", "mpx", "sampling"):
+            # a script that already multiplexes is fine on platforms
+            # where the set *needs* multiplexing.
+            acceptable = ("ok", "sampling") + (
+                ("mpx",) if es.multiplexed else ()
+            )
+            matrix = portability_matrix(tuple(es.names))
+            broken = {
+                name: rep.status
+                for name, rep in matrix.items()
+                if name != platform and rep.status not in acceptable
+            }
+            if broken:
+                detail = ", ".join(
+                    f"{name} ({status})"
+                    for name, status in sorted(broken.items())
+                )
+                self.report(
+                    "PL103", node,
+                    f"this EventSet is not portable as-is: {detail}",
+                    hint="see `cli check-events ... --matrix` for the "
+                         "full portability matrix (E8)",
+                )
+
+    # -- HighLevel ------------------------------------------------------
+
+    def _highlevel_method(
+        self, hl: _HighLevelState, method: str, node: ast.Call
+    ) -> Optional[object]:
+        papi = hl.papi
+        if method == "start_counters":
+            if hl.started:
+                self.report(
+                    "PL002", node,
+                    "start_counters while high-level counters are "
+                    "already started",
+                )
+            hl.started = True
+            hl.started_line = node.lineno
+            self._hl_mark_use(papi, node)
+            self._hl_check_events(hl, node)
+        elif method in ("read_counters", "accum_counters"):
+            if not hl.started:
+                self.report(
+                    "PL001", node,
+                    f"{method} before start_counters",
+                )
+        elif method == "stop_counters":
+            if not hl.started:
+                self.report(
+                    "PL001", node,
+                    "stop_counters before start_counters",
+                )
+            hl.started = False
+        elif method in ("flops", "flips", "ipc"):
+            self._hl_mark_use(papi, node)
+        return None
+
+    def _hl_mark_use(
+        self, papi: Optional[_PapiState], node: ast.Call
+    ) -> None:
+        if papi is None:
+            return
+        papi.hl_line = papi.hl_line or node.lineno
+        self._check_mixing(papi, node)
+
+    def _check_mixing(self, papi: _PapiState, node: ast.Call) -> None:
+        if (
+            papi.hl_line is not None
+            and papi.ll_line is not None
+            and not papi.mixing_reported
+        ):
+            papi.mixing_reported = True
+            self.report(
+                "PL006", node,
+                f"high-level (line {papi.hl_line}) and low-level "
+                f"(line {papi.ll_line}) counting mixed on one library",
+                hint="use one interface per measurement region",
+            )
+
+    def _hl_check_events(
+        self, hl: _HighLevelState, node: ast.Call
+    ) -> None:
+        if not node.args:
+            return
+        arg = node.args[0]
+        names: Optional[List[Optional[str]]] = None
+        if isinstance(arg, (ast.List, ast.Tuple)):
+            names = [self._event_name(e) for e in arg.elts]
+        else:
+            seq = self._name_sequence(arg)
+            if seq is not None:
+                names = list(seq)
+        if names is None:
+            return
+        platform = (
+            hl.papi.platform if hl.papi else None
+        ) or self.linter.default_platform
+        for name in names:
+            if name is not None:
+                self._check_event_known(name, platform, node)
+        if platform is None or any(n is None for n in names):
+            return
+        report = check_events(tuple(n for n in names if n), platform)
+        if (
+            not report.unknown
+            and not report.unavailable
+            and not report.sampling
+            and not report.feasible_direct
+        ):
+            witness = ", ".join(report.conflict_witness)
+            self.report(
+                "PL101", node,
+                f"start_counters set is unallocatable on {platform}: "
+                f"minimal conflicting subset {{{witness}}}",
+                hint="the high-level interface never multiplexes "
+                     "(Section 2); use fewer events or the low-level "
+                     "API with set_multiplex",
+            )
+
+    # -- short multiplexed runs ----------------------------------------
+
+    def _check_short_mpx_run(self, node: ast.Call) -> None:
+        """``machine.run(max_instructions=N)`` under a multiplexed set."""
+        bound: Optional[int] = None
+        for kw in node.keywords:
+            if kw.arg == "max_instructions":
+                value = self.linter._literal(kw.value)
+                if isinstance(value, int):
+                    bound = value
+        if bound is None or bound >= MIN_MPX_RUN_INSTRUCTIONS:
+            return
+        for es in self.eventsets:
+            if es.running and es.multiplexed:
+                self.report(
+                    "PL004", node,
+                    f"multiplexed EventSet (started at line "
+                    f"{es.started_line}) measures a run bounded to "
+                    f"{bound} instructions; time-slice estimates will "
+                    f"not converge",
+                    hint=f"run at least ~{MIN_MPX_RUN_INSTRUCTIONS} "
+                         f"instructions or count directly (E3)",
+                )
+
+    # -- scope exit -----------------------------------------------------
+
+    def _end_of_scope(self, body: Sequence[ast.stmt]) -> None:
+        for es in self.eventsets:
+            if es.running and es.started_line is not None:
+                self.linter.diagnostics.append(Diagnostic(
+                    "PL008", self.linter.path, es.started_line, 0,
+                    "EventSet is started here but never stopped in "
+                    "this scope",
+                    hint="stop() releases the hardware counters",
+                ))
+        for hl in self.highlevels:
+            if hl.started and hl.started_line is not None:
+                self.linter.diagnostics.append(Diagnostic(
+                    "PL008", self.linter.path, hl.started_line, 0,
+                    "high-level counters are started here but never "
+                    "stopped in this scope",
+                    hint="stop_counters() releases the counters",
+                ))
+
+
+class _SubstrateRef:
+    """Marker for a ``create("...")`` result bound to a variable."""
+
+    def __init__(self, platform: Optional[str]) -> None:
+        self.platform = platform

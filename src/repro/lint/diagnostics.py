@@ -1,0 +1,159 @@
+"""Diagnostics: what every papi-lint analyzer emits.
+
+A :class:`Diagnostic` pins one rule violation to a ``file:line:col``
+position with a message and an optional fix hint.  The module also owns
+the suppression mechanism -- ``# papi-lint: disable=PL001`` (or
+``disable=all``) on the offending line -- and the two output renderers
+(human text and machine-readable JSON) shared by the CLI and CI.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lint.rules import RULES, Severity
+
+#: the magic comment prefix, e.g. ``# papi-lint: disable=PL001,PL011``
+DIRECTIVE = "papi-lint:"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a source position."""
+
+    code: str                   #: rule code, e.g. "PL001"
+    path: str
+    line: int                   #: 1-based
+    col: int                    #: 0-based, as in the ast module
+    message: str
+    hint: str = ""
+    #: severity; defaults to the rule's declared severity.
+    severity: Severity = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.severity is None:
+            object.__setattr__(
+                self, "severity", RULES[self.code].severity
+            )
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """``path:line:col: PLxxx severity: message [hint]``"""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.severity}: {self.message}"
+        )
+        if self.hint:
+            text += f"  [{self.hint}]"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule codes disabled on that line.
+
+    A ``# papi-lint: disable=PL001,PL011`` comment suppresses the listed
+    codes for diagnostics reported on its line; ``disable=all``
+    suppresses everything there.  Unknown directives are ignored (they
+    are comments, not syntax).
+    """
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for lineno, text in comments:
+        body = text.lstrip("#").strip()
+        if not body.startswith(DIRECTIVE):
+            continue
+        directive = body[len(DIRECTIVE):].strip()
+        if not directive.startswith("disable="):
+            continue
+        codes = {
+            c.strip()
+            for c in directive[len("disable="):].split(",")
+            if c.strip()
+        }
+        out.setdefault(lineno, set()).update(codes)
+    return out
+
+
+def apply_suppressions(
+    diagnostics: Iterable[Diagnostic], suppressions: Dict[int, Set[str]]
+) -> List[Diagnostic]:
+    """Drop diagnostics disabled by a same-line directive."""
+    kept = []
+    for diag in diagnostics:
+        disabled = suppressions.get(diag.line, set())
+        if "all" in disabled or diag.code in disabled:
+            continue
+        kept.append(diag)
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def worst_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    severities = [d.severity for d in diagnostics]
+    return max(severities) if severities else None
+
+
+def render_text(diagnostics: List[Diagnostic]) -> str:
+    """The human report: one line per finding plus a count summary."""
+    lines = [d.render() for d in diagnostics]
+    n_err = sum(1 for d in diagnostics if d.severity == Severity.ERROR)
+    n_warn = sum(1 for d in diagnostics if d.severity == Severity.WARNING)
+    n_info = len(diagnostics) - n_err - n_warn
+    lines.append(
+        f"{len(diagnostics)} finding(s): "
+        f"{n_err} error(s), {n_warn} warning(s), {n_info} info"
+    )
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: List[Diagnostic]) -> str:
+    """The machine report consumed by CI and editor integrations."""
+    payload = {
+        "findings": [d.to_dict() for d in diagnostics],
+        "errors": sum(
+            1 for d in diagnostics if d.severity == Severity.ERROR
+        ),
+        "warnings": sum(
+            1 for d in diagnostics if d.severity == Severity.WARNING
+        ),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def sort_diagnostics(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    return sorted(
+        diagnostics, key=lambda d: (d.path, d.line, d.col, d.code)
+    )

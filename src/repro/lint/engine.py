@@ -1,0 +1,68 @@
+"""The papi-lint engine: parse, analyze, suppress, sort.
+
+One entry point per input kind:
+
+- :func:`lint_source` / :func:`lint_file` run the AST API-misuse
+  checker (with its embedded feasibility and preset-table hooks) over a
+  Python instrumentation script;
+- the feasibility and preset-table analyzers are also usable directly
+  via :mod:`repro.lint.feasibility` and :mod:`repro.lint.presetlint`
+  for the ``check-events`` / ``check-presets`` CLI verbs.
+
+A file that does not parse yields exactly one PL900 diagnostic at the
+syntax error's position rather than raising -- linters report, they do
+not crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.apilint import ApiLinter
+from repro.lint.diagnostics import (
+    Diagnostic,
+    apply_suppressions,
+    parse_suppressions,
+    sort_diagnostics,
+)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    default_platform: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Lint Python *source*; returns sorted, suppression-filtered findings.
+
+    *default_platform* supplies a platform for feasibility checks when
+    the script itself does not pin one statically (the CLI's
+    ``--platform`` flag).
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            "PL900", path, exc.lineno or 0, (exc.offset or 1) - 1,
+            f"cannot parse: {exc.msg}",
+        )]
+    linter = ApiLinter(path, default_platform=default_platform)
+    diagnostics = linter.lint(tree)
+    diagnostics = apply_suppressions(
+        diagnostics, parse_suppressions(source)
+    )
+    return sort_diagnostics(diagnostics)
+
+
+def lint_file(
+    path: str, default_platform: Optional[str] = None
+) -> List[Diagnostic]:
+    """Lint one file on disk (unreadable files become PL900)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        return [Diagnostic(
+            "PL900", path, 0, 0, f"cannot read file: {exc.strerror}",
+        )]
+    return lint_source(source, path, default_platform=default_platform)

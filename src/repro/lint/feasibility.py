@@ -1,0 +1,243 @@
+"""Static EventSet feasibility: decide allocability without executing.
+
+Counter allocation (Section 5) is a bipartite-matching problem over
+platform tables that exist *before any code runs* -- so whether a list
+of events can share the hardware is a static question.  This module
+answers it from the same tables the runtime allocator uses
+(:func:`repro.core.allocation.allocate` over the substrate's native
+event table or counter groups), which is what guarantees the verdict
+agrees with what ``EventSet.add_event`` will do at runtime (the
+property test in ``tests/properties/test_props_lint.py`` pins this).
+
+For an infeasible set the report carries two certificates:
+
+- a **minimal conflicting subset** of the requested events (removing
+  any one member makes the rest allocable), found by greedy deletion;
+- on constraint platforms, the **Hall-condition violation witness** at
+  the native-event level (a set of natives whose combined
+  allowed-counter neighbourhood is smaller than the set), from
+  :func:`repro.core.allocation.deficiency_witness`.
+
+It also classifies whether multiplexing would rescue the set, and
+builds the full cross-platform **portability matrix** (experiment E8's
+table, computed statically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import constants as C
+from repro.core.allocation import allocate, deficiency_witness
+from repro.core.allocation.translate import build_problem
+from repro.core.presets import PLATFORM_PRESET_TABLES
+from repro.platforms import PLATFORM_NAMES, create
+from repro.platforms.base import NativeEvent, Substrate
+
+
+@lru_cache(maxsize=None)
+def _substrate(platform: str) -> Substrate:
+    """One cached substrate per platform.
+
+    Only its static tables (native events, groups, counter geometry)
+    are consulted; the attached machine is never run, so sharing one
+    instance across lint invocations is safe and keeps linting fast.
+    """
+    return create(platform)
+
+
+@dataclass(frozen=True)
+class EventResolution:
+    """How one requested event name resolves on one platform."""
+
+    name: str
+    #: "direct" | "derived" | "native" | "unavailable" | "unknown"
+    kind: str
+    natives: Tuple[str, ...]
+
+    @property
+    def available(self) -> bool:
+        return self.kind in ("direct", "derived", "native")
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """The static verdict for one event list on one platform."""
+
+    platform: str
+    events: Tuple[str, ...]
+    resolutions: Tuple[EventResolution, ...]
+    #: True on the sampling substrate, where no allocation happens.
+    sampling: bool
+    #: all events placeable on physical counters at the same time.
+    feasible_direct: bool
+    #: native name -> counter index when feasible_direct (constraint
+    #: platforms) or the within-group layout (group platforms).
+    assignment: Dict[str, int]
+    group: Optional[int]
+    #: each event placeable alone and the set small enough to rotate --
+    #: i.e. set_multiplex would make the set runnable.
+    feasible_multiplexed: bool
+    #: minimal conflicting subset of requested event names (empty when
+    #: feasible); removing any one member makes the rest allocable.
+    conflict_witness: Tuple[str, ...]
+    #: Hall violator at the native level: (natives, counters) with
+    #: len(natives) == len(counters) + 1; None on group platforms.
+    hall_witness: Optional[Tuple[Tuple[str, ...], Tuple[int, ...]]]
+
+    @property
+    def unknown(self) -> Tuple[str, ...]:
+        return tuple(
+            r.name for r in self.resolutions if r.kind == "unknown"
+        )
+
+    @property
+    def unavailable(self) -> Tuple[str, ...]:
+        return tuple(
+            r.name for r in self.resolutions if r.kind == "unavailable"
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Would ``add_event`` for every event succeed without multiplex?"""
+        return (
+            not self.unknown
+            and not self.unavailable
+            and (self.sampling or self.feasible_direct)
+        )
+
+    @property
+    def status(self) -> str:
+        """One-word verdict used by the portability matrix."""
+        if self.unknown:
+            return "unknown-event"
+        if self.unavailable:
+            return "unavailable"
+        if self.sampling:
+            return "sampling"
+        if self.feasible_direct:
+            return "ok"
+        if self.feasible_multiplexed:
+            return "mpx"
+        return "infeasible"
+
+
+def resolve_event(name: str, platform: str) -> EventResolution:
+    """Resolve one preset symbol or native event name, statically."""
+    substrate = _substrate(platform)
+    if name.startswith("PAPI_"):
+        table = PLATFORM_PRESET_TABLES.get(platform, {})
+        terms = table.get(name)
+        if terms is None:
+            from repro.core.presets import PRESET_BY_SYMBOL
+
+            kind = (
+                "unavailable" if name in PRESET_BY_SYMBOL else "unknown"
+            )
+            return EventResolution(name, kind, ())
+        natives = tuple(n for n, _coeff in terms)
+        kind = (
+            "direct" if len(terms) == 1 and terms[0][1] == 1 else "derived"
+        )
+        return EventResolution(name, kind, natives)
+    if name in substrate.native_events:
+        return EventResolution(name, "native", (name,))
+    return EventResolution(name, "unknown", ())
+
+
+def _natives_of(
+    resolutions: Tuple[EventResolution, ...], substrate: Substrate
+) -> List[NativeEvent]:
+    seen: Dict[str, NativeEvent] = {}
+    for res in resolutions:
+        for native in res.natives:
+            seen.setdefault(native, substrate.query_native(native))
+    return list(seen.values())
+
+
+def _direct_feasible(
+    event_names: Tuple[str, ...],
+    by_name: Dict[str, EventResolution],
+    substrate: Substrate,
+):
+    natives = _natives_of(
+        tuple(by_name[n] for n in event_names), substrate
+    )
+    return allocate(substrate, natives)
+
+
+def _minimal_conflict(
+    event_names: Tuple[str, ...],
+    by_name: Dict[str, EventResolution],
+    substrate: Substrate,
+) -> Tuple[str, ...]:
+    """Greedy deletion: shrink to a minimal infeasible event subset."""
+    witness = list(event_names)
+    for name in list(witness):
+        trial = tuple(n for n in witness if n != name)
+        if trial and not _direct_feasible(trial, by_name, substrate).complete:
+            witness.remove(name)
+    return tuple(witness)
+
+
+def check_events(
+    events: Tuple[str, ...] | List[str], platform: str
+) -> FeasibilityReport:
+    """The static feasibility verdict for *events* on *platform*."""
+    events = tuple(events)
+    substrate = _substrate(platform)
+    resolutions = tuple(resolve_event(name, platform) for name in events)
+    by_name = {r.name: r for r in resolutions}
+    resolved = tuple(r.name for r in resolutions if r.available)
+
+    sampling = substrate.supports_sampling_counts()
+    if sampling:
+        # the sampler observes every signal at once: no allocation.
+        return FeasibilityReport(
+            platform, events, resolutions, True,
+            feasible_direct=True,
+            assignment={}, group=None,
+            feasible_multiplexed=False,
+            conflict_witness=(), hall_witness=None,
+        )
+
+    natives = _natives_of(tuple(by_name[n] for n in resolved), substrate)
+    result = allocate(substrate, natives)
+
+    feasible_multiplexed = False
+    conflict: Tuple[str, ...] = ()
+    hall = None
+    if not result.complete:
+        conflict = _minimal_conflict(resolved, by_name, substrate)
+        if not substrate.uses_groups:
+            hall = deficiency_witness(build_problem(substrate, natives))
+        each_alone = all(
+            allocate(substrate, [native]).complete for native in natives
+        )
+        feasible_multiplexed = (
+            each_alone and len(natives) <= C.PAPI_MAX_MPX_EVENTS
+        )
+    else:
+        feasible_multiplexed = len(natives) <= C.PAPI_MAX_MPX_EVENTS
+
+    return FeasibilityReport(
+        platform, events, resolutions, False,
+        feasible_direct=result.complete,
+        assignment=dict(result.assignment) if result.complete else {},
+        group=result.group,
+        feasible_multiplexed=feasible_multiplexed,
+        conflict_witness=conflict,
+        hall_witness=hall,
+    )
+
+
+def portability_matrix(
+    events: Tuple[str, ...] | List[str],
+) -> Dict[str, FeasibilityReport]:
+    """Experiment E8's portability table, computed statically."""
+    return {
+        platform: check_events(events, platform)
+        for platform in PLATFORM_NAMES
+    }

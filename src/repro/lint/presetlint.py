@@ -1,0 +1,241 @@
+"""Preset-table cross-validation: linting the preset->native tables.
+
+The paper's Section 4 lesson is that preset tables are where
+portability quietly breaks: a table can reference a native event the
+platform does not document (dangling name), combine natives
+incoherently (malformed terms), or realize a preset with semantics
+that drift from the catalogue's reference definition -- the POWER3
+case, where ``PM_FPU_INS`` silently included precision-convert
+(rounding) instructions.  All three hazards are checkable mechanically
+against the substrate tables, with no execution:
+
+- **PL201** dangling native event name;
+- **PL202** malformed mapping (unknown preset symbol, duplicate native
+  in one term list, zero coefficient, empty terms);
+- **PL203** missing FMA normalization: on an FMA-capable platform
+  ``PAPI_FP_OPS`` must count a fused multiply-add as *two* operations
+  (the E6 normalization story);
+- **PL204** (info) semantic drift: the mapping's signal vector differs
+  from the preset's reference vector -- the POWER3 discrepancy caught
+  statically, reported as the exact per-signal delta.
+
+Diagnostics for the shipped tables point at the real source lines in
+``repro/core/presets.py`` (located by parsing its AST), so
+``papi-lint check-presets`` output is clickable like any linter's.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.presets import (
+    PLATFORM_PRESET_TABLES,
+    PRESET_BY_SYMBOL,
+    mapping_signal_vector,
+    reference_vector,
+)
+from repro.hw.events import signal_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.feasibility import _substrate
+from repro.platforms import PLATFORM_NAMES
+
+#: terms type: ((native name, coefficient), ...)
+Terms = Sequence[Tuple[str, int]]
+
+#: position key -> line: (platform, symbol) or (platform, symbol, term_i)
+Positions = Dict[Tuple, int]
+
+
+def shipped_table_positions() -> Tuple[str, Positions]:
+    """Locate every shipped table entry in ``repro/core/presets.py``.
+
+    Parses the module source and walks the ``PLATFORM_PRESET_TABLES``
+    dict literal, recording the line of each ``platform -> symbol``
+    entry and of each individual term tuple.
+    """
+    import repro.core.presets as presets_module
+
+    path = inspect.getsourcefile(presets_module) or "repro/core/presets.py"
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read())
+    positions: Positions = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AnnAssign) and not isinstance(
+            node, ast.Assign
+        ):
+            continue
+        targets = (
+            [node.target] if isinstance(node, ast.AnnAssign)
+            else node.targets
+        )
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if "PLATFORM_PRESET_TABLES" not in names:
+            continue
+        if not isinstance(node.value, ast.Dict):
+            continue
+        for pkey, ptable in zip(node.value.keys, node.value.values):
+            if not isinstance(pkey, ast.Constant) or not isinstance(
+                ptable, ast.Dict
+            ):
+                continue
+            platform = pkey.value
+            for skey, terms in zip(ptable.keys, ptable.values):
+                if not isinstance(skey, ast.Constant):
+                    continue
+                symbol = skey.value
+                positions[(platform, symbol)] = skey.lineno
+                if isinstance(terms, (ast.List, ast.Tuple)):
+                    for i, term in enumerate(terms.elts):
+                        positions[(platform, symbol, i)] = term.lineno
+    return path, positions
+
+
+def lint_mapping(
+    platform: str,
+    symbol: str,
+    terms: Terms,
+    *,
+    path: str = "<table>",
+    line: int = 0,
+    term_lines: Optional[Dict[int, int]] = None,
+) -> List[Diagnostic]:
+    """Validate one ``symbol -> terms`` entry of one platform's table."""
+    substrate = _substrate(platform)
+    term_lines = term_lines or {}
+    diags: List[Diagnostic] = []
+
+    preset = PRESET_BY_SYMBOL.get(symbol)
+    if preset is None:
+        return [Diagnostic(
+            "PL202", path, line, 0,
+            f"{platform}: {symbol!r} is not a preset symbol in the "
+            f"catalogue",
+            hint="fix the symbol or add the preset to PRESETS",
+        )]
+    if not terms:
+        return [Diagnostic(
+            "PL202", path, line, 0,
+            f"{platform}: {symbol} has an empty term list",
+            hint="remove the entry to mark the preset unavailable",
+        )]
+
+    seen: Dict[str, int] = {}
+    for i, (name, coeff) in enumerate(terms):
+        term_line = term_lines.get(i, line)
+        if coeff == 0:
+            diags.append(Diagnostic(
+                "PL202", path, term_line, 0,
+                f"{platform}: {symbol} term {name!r} has coefficient 0",
+                hint="drop the term; zero-weight natives never count",
+            ))
+        if name in seen:
+            diags.append(Diagnostic(
+                "PL202", path, term_line, 0,
+                f"{platform}: {symbol} lists native {name!r} twice "
+                f"(first at term {seen[name]})",
+                hint="merge the coefficients into one term",
+            ))
+        seen.setdefault(name, i)
+        if name not in substrate.native_events:
+            diags.append(Diagnostic(
+                "PL201", path, term_line, 0,
+                f"{platform}: {symbol} references native event {name!r}, "
+                f"which {platform} does not define",
+                hint=f"known natives: papi_native_avail {platform}",
+            ))
+
+    # semantic drift vs the reference vector (only meaningful when every
+    # native resolved -- dangling names already got PL201 above).
+    if all(name in substrate.native_events for name, _ in terms):
+        native_signals = {
+            name: substrate.native_events[name].signals for name, _ in terms
+        }
+        actual = mapping_signal_vector(tuple(terms), native_signals)
+        expected = reference_vector(preset)
+        if actual != expected:
+            deltas = []
+            for sig in sorted(set(actual) | set(expected)):
+                diff = actual.get(sig, 0) - expected.get(sig, 0)
+                if diff:
+                    deltas.append(f"{signal_name(sig)}{diff:+d}")
+            diags.append(Diagnostic(
+                "PL204", path, line, 0,
+                f"{platform}: {symbol} counts {', '.join(deltas)} "
+                f"relative to the reference semantics",
+                hint="interpret cross-platform comparisons accordingly "
+                     "(Section 4)",
+            ))
+    return diags
+
+
+def lint_platform_table(
+    platform: str,
+    table: Optional[Dict[str, Terms]] = None,
+    *,
+    path: str = "<table>",
+    positions: Optional[Positions] = None,
+) -> List[Diagnostic]:
+    """Validate one platform's whole preset table."""
+    if table is None:
+        table = PLATFORM_PRESET_TABLES[platform]
+    positions = positions or {}
+    substrate = _substrate(platform)
+    diags: List[Diagnostic] = []
+    for symbol, terms in table.items():
+        line = positions.get((platform, symbol), 0)
+        term_lines = {
+            i: positions[(platform, symbol, i)]
+            for i in range(len(terms))
+            if (platform, symbol, i) in positions
+        }
+        diags.extend(lint_mapping(
+            platform, symbol, terms,
+            path=path, line=line, term_lines=term_lines,
+        ))
+
+    # the FMA-normalization flag: checked per table, not per entry,
+    # because *absence* of a normalized FP_OPS is also a finding.
+    if substrate.HAS_FMA:
+        from repro.hw.events import Signal
+
+        fp_ops = table.get("PAPI_FP_OPS")
+        line = positions.get((platform, "PAPI_FP_OPS"), 0)
+        if fp_ops is None:
+            diags.append(Diagnostic(
+                "PL203", path, line, 0,
+                f"{platform} has FMA hardware but no PAPI_FP_OPS mapping "
+                f"(PAPI_flops cannot normalize)",
+                hint="add a derived mapping counting FMA as two",
+            ))
+        elif all(n in substrate.native_events for n, _ in fp_ops):
+            vec = mapping_signal_vector(
+                tuple(fp_ops),
+                {n: substrate.native_events[n].signals for n, _ in fp_ops},
+            )
+            if vec.get(Signal.FP_FMA, 0) != 2:
+                diags.append(Diagnostic(
+                    "PL203", path, line, 0,
+                    f"{platform}: PAPI_FP_OPS counts a fused multiply-add "
+                    f"as {vec.get(Signal.FP_FMA, 0)} operation(s), not 2",
+                    hint="add the FMA native once more to the term list "
+                         "(the E6 normalization)",
+                ))
+    return diags
+
+
+def lint_preset_tables(
+    platforms: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Validate the shipped tables for *platforms* (default: all six).
+
+    Diagnostics carry real ``repro/core/presets.py`` line numbers.
+    """
+    path, positions = shipped_table_positions()
+    diags: List[Diagnostic] = []
+    for platform in platforms or PLATFORM_NAMES:
+        diags.extend(lint_platform_table(
+            platform, path=path, positions=positions,
+        ))
+    return diags

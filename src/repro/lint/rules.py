@@ -1,0 +1,155 @@
+"""The papi-lint rule registry.
+
+Every diagnostic papi-lint can emit is declared here with a stable code,
+a default severity, and the paper section whose lesson it mechanizes.
+Rule codes are grouped by analyzer:
+
+- ``PL0xx`` -- API-misuse rules from the AST state machine
+  (:mod:`repro.lint.apilint`);
+- ``PL1xx`` -- static EventSet feasibility rules
+  (:mod:`repro.lint.feasibility`);
+- ``PL2xx`` -- preset-table cross-validation rules
+  (:mod:`repro.lint.presetlint`);
+- ``PL9xx`` -- engine-level problems (unparseable input).
+
+Severities: an ``error`` is a call sequence or configuration that the
+runtime would reject (or that yields numbers known to be wrong); a
+``warning`` is legal but hazardous -- the "silently produces wrong
+counts" class the paper's Section 2-3 lessons are about; ``info``
+surfaces portability/semantics facts worth knowing without failing a
+build.  Only errors affect the lint exit status.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so max() picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable code, severity, summary, paper anchor."""
+
+    code: str
+    severity: Severity
+    summary: str
+    #: which part of the paper the rule reproduces ("Section 2", "E3", ...)
+    paper: str
+    #: names of PAPI exception types whose except-handler statically
+    #: guards this rule (a try/except around the call shows intent, so
+    #: the diagnostic is suppressed -- see repro.lint.apilint).
+    guards: Tuple[str, ...] = ()
+
+
+_PAPI_GUARD = ("PapiError",)
+
+RULES: Dict[str, Rule] = {
+    r.code: r
+    for r in [
+        # -- API misuse (AST state machine) -----------------------------
+        Rule("PL001", Severity.ERROR,
+             "read/stop/reset/accum on an EventSet that is not running",
+             "Section 5 (EventSet run control)",
+             guards=("NotRunningError",) + _PAPI_GUARD),
+        Rule("PL002", Severity.ERROR,
+             "start on an EventSet (or high-level set) that is already "
+             "running",
+             "Section 5 (EventSet run control)",
+             guards=("IsRunningError",) + _PAPI_GUARD),
+        Rule("PL003", Severity.WARNING,
+             "set_multiplex called after events were already added",
+             "Section 2 (multiplexing is an explicit low-level opt-in)"),
+        Rule("PL004", Severity.WARNING,
+             "multiplexed measurement over a run too short for the "
+             "time-slice estimates to converge",
+             "Section 3, experiment E3 (multiplexing error on short runs)"),
+        Rule("PL005", Severity.WARNING,
+             "overflow registered on a running EventSet (not portable; "
+             "the C library requires a stopped EventSet)",
+             "Section 2 (overflow dispatch)"),
+        Rule("PL006", Severity.WARNING,
+             "high-level and low-level counting mixed on one library "
+             "instance",
+             "Section 2 (the two interfaces must not be interleaved)"),
+        Rule("PL007", Severity.ERROR,
+             "membership or configuration change on a running EventSet",
+             "Section 5 (EventSet run control)",
+             guards=("IsRunningError",) + _PAPI_GUARD),
+        Rule("PL008", Severity.WARNING,
+             "EventSet started but never stopped in its scope (counters "
+             "stay acquired)",
+             "Section 5 (one running EventSet at a time)"),
+        Rule("PL009", Severity.ERROR,
+             "overflow and multiplexing combined on one EventSet",
+             "Section 2 (features documented as mutually exclusive)",
+             guards=("InvalidArgumentError",) + _PAPI_GUARD),
+        Rule("PL010", Severity.ERROR,
+             "unknown event name",
+             "Section 4 (preset/native event namespace)",
+             guards=("NoSuchEventError", "NotPresetError") + _PAPI_GUARD),
+        Rule("PL011", Severity.WARNING,
+             "event is not available on the bound platform",
+             "Section 4 / experiment E8 (the portability matrix)",
+             guards=("NoSuchEventError",) + _PAPI_GUARD),
+        Rule("PL012", Severity.ERROR,
+             "event added twice to the same EventSet",
+             "Section 5 (EventSet membership)",
+             guards=("InvalidArgumentError",) + _PAPI_GUARD),
+        Rule("PL013", Severity.WARNING,
+             "two EventSets started concurrently on one library "
+             "(overlapping EventSets are unsupported)",
+             "Section 5 (PAPI 3 removes overlapping EventSets)",
+             guards=("IsRunningError",) + _PAPI_GUARD),
+        # -- static EventSet feasibility --------------------------------
+        Rule("PL101", Severity.ERROR,
+             "EventSet cannot be mapped onto the platform's physical "
+             "counters (allocation conflict)",
+             "Section 5 (counter allocation as bipartite matching)",
+             guards=("ConflictError",) + _PAPI_GUARD),
+        Rule("PL102", Severity.WARNING,
+             "multiplexing enabled although the events fit the physical "
+             "counters directly (exact counts traded for estimates)",
+             "Section 2-3 (multiplexed counts are estimates)"),
+        Rule("PL103", Severity.INFO,
+             "EventSet is feasible here but not on every platform",
+             "Section 4 / experiment E8 (the portability matrix)"),
+        # -- preset table cross-validation ------------------------------
+        Rule("PL201", Severity.ERROR,
+             "preset mapping references a native event the platform does "
+             "not define",
+             "Section 4 (per-platform preset translation tables)"),
+        Rule("PL202", Severity.ERROR,
+             "malformed preset mapping (unknown symbol, duplicate or "
+             "zero-coefficient term)",
+             "Section 4 (per-platform preset translation tables)"),
+        Rule("PL203", Severity.ERROR,
+             "missing FMA normalization: PAPI_FP_OPS on an FMA-capable "
+             "platform must count a fused multiply-add as two operations",
+             "Section 4 / experiment E6 (FP_OPS normalization)"),
+        Rule("PL204", Severity.INFO,
+             "platform semantics deviate from the preset's reference "
+             "vector (per-platform semantic drift)",
+             "Section 4 (the POWER3 rounding-instruction discrepancy)"),
+        # -- engine ------------------------------------------------------
+        Rule("PL900", Severity.ERROR,
+             "file cannot be parsed as Python",
+             "-"),
+    ]
+}
+
+
+def rule(code: str) -> Rule:
+    """Look up a rule by code; raises KeyError for unknown codes."""
+    return RULES[code]

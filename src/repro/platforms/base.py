@@ -27,7 +27,7 @@ overflow dispatch, profiling -- is the portable library in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hw.machine import Machine, MachineConfig
@@ -106,6 +106,9 @@ class Substrate:
     COSTS = AccessCosts(read=0, read_per_counter=0, start=0, stop=0,
                         program=0, reset=0)
     DESCRIPTION = ""
+    #: whether the modelled FPU has fused multiply-add; drives workload
+    #: generation and the preset-table FMA-normalization lint (PL203).
+    HAS_FMA = False
 
     def __init__(self, seed: int = 12345) -> None:
         self.machine = Machine(self._machine_config(seed))

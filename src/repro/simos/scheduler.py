@@ -10,8 +10,8 @@ switch cost to the machine's system clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.hw.cpu import RunResult
 from repro.hw.isa import Program

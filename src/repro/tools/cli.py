@@ -1,26 +1,33 @@
-"""Command-line utilities: papi_avail, papi_native_avail, papirun, calibrate.
+"""Command-line utilities: papi_avail, papi_native_avail, papirun, lint.
 
 The real PAPI distribution ships small command-line programs next to the
 library; the paper's Section 5 explicitly plans "a papirun utility that
 will allow users to execute a program and easily collect basic timing
 and hardware counter data".  This module provides them over the
-simulated platforms::
+simulated platforms, plus the papi-lint static analyzers::
 
     python -m repro.tools.cli avail simPOWER
     python -m repro.tools.cli native-avail simX86
     python -m repro.tools.cli papirun simIA64 dot --n 2000 --multiplex
     python -m repro.tools.cli calibrate simALPHA --kernel dot --n 50000
     python -m repro.tools.cli platforms
+    python -m repro.tools.cli lint examples/quickstart.py --platform simX86
+    python -m repro.tools.cli check-events PAPI_L1_DCM PAPI_L1_ICM \\
+        --platform simSPARC --matrix
+    python -m repro.tools.cli check-presets --format json
 
 Every subcommand returns 0 on success and prints a table to stdout, so
 the utilities compose with shell pipelines like their C ancestors.
+Lint exit codes follow linter convention: 0 clean (warnings/info do not
+fail), 1 on error-severity findings; ``check-events`` additionally
+returns 2 when the set needs multiplexing to run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.report import Table
 from repro.core.calibrate import calibrate
@@ -135,6 +142,152 @@ def cmd_calibrate(args) -> int:
     return 0 if result.fp_ops_error < 0.25 else 1
 
 
+def cmd_lint(args) -> int:
+    """papi-lint: static analysis of instrumentation scripts."""
+    from repro.lint import (
+        Severity,
+        lint_file,
+        render_json,
+        render_text,
+        worst_severity,
+    )
+
+    diagnostics = []
+    for path in args.files:
+        diagnostics.extend(
+            lint_file(path, default_platform=args.platform)
+        )
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    return 1 if worst_severity(diagnostics) == Severity.ERROR else 0
+
+
+def cmd_check_events(args) -> int:
+    """Static feasibility verdict for an event list on one platform."""
+    from repro.lint import check_events, portability_matrix
+
+    report = check_events(tuple(args.events), args.platform)
+
+    if args.format == "json":
+        import json
+
+        payload = {
+            "platform": report.platform,
+            "events": list(report.events),
+            "status": report.status,
+            "resolutions": [
+                {
+                    "name": r.name,
+                    "kind": r.kind,
+                    "natives": list(r.natives),
+                }
+                for r in report.resolutions
+            ],
+            "feasible_direct": report.feasible_direct,
+            "feasible_multiplexed": report.feasible_multiplexed,
+            "assignment": report.assignment,
+            "group": report.group,
+            "conflict_witness": list(report.conflict_witness),
+            "hall_witness": (
+                None if report.hall_witness is None else {
+                    "natives": list(report.hall_witness[0]),
+                    "counters": list(report.hall_witness[1]),
+                }
+            ),
+        }
+        if args.matrix:
+            payload["matrix"] = {
+                name: rep.status
+                for name, rep in portability_matrix(
+                    tuple(args.events)
+                ).items()
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        table = Table(
+            ["event", "resolves to", "natives"],
+            title=f"check-events: {args.platform} [{report.status}]",
+        )
+        for r in report.resolutions:
+            table.add_row(
+                r.name, r.kind, ", ".join(r.natives) or "-"
+            )
+        print(table.render())
+        if report.unknown:
+            print(f"unknown event name(s): {', '.join(report.unknown)}")
+        if report.unavailable:
+            print(
+                f"not available on {args.platform}: "
+                f"{', '.join(report.unavailable)}"
+            )
+        if report.unknown or report.unavailable:
+            # no allocation verdict: it would only cover resolved events
+            pass
+        elif report.sampling:
+            print(
+                "sampling platform: counts are derived from samples, "
+                "no counter allocation"
+            )
+        elif report.feasible_direct:
+            if report.group is not None:
+                print(f"feasible: counter group {report.group}")
+            elif report.assignment:
+                placed = ", ".join(
+                    f"{name}->c{counter}"
+                    for name, counter in sorted(report.assignment.items())
+                )
+                print(f"feasible: {placed}")
+            else:
+                print("feasible")
+        else:
+            witness = ", ".join(report.conflict_witness)
+            print(f"infeasible: minimal conflicting subset {{{witness}}}")
+            if report.hall_witness is not None:
+                natives, counters = report.hall_witness
+                print(
+                    f"Hall violation: natives {list(natives)} share "
+                    f"only counters {list(counters)}"
+                )
+            if report.feasible_multiplexed:
+                print("set_multiplex() would make this set runnable")
+        if args.matrix:
+            matrix = portability_matrix(tuple(args.events))
+            mtable = Table(
+                ["platform", "status"], title="portability matrix (E8)"
+            )
+            for name in PLATFORM_NAMES:
+                mtable.add_row(name, matrix[name].status)
+            print()
+            print(mtable.render())
+
+    if report.unknown or report.unavailable:
+        return 1
+    if report.sampling or report.feasible_direct:
+        return 0
+    return 2 if report.feasible_multiplexed else 1
+
+
+def cmd_check_presets(args) -> int:
+    """Cross-validate the shipped preset->native tables."""
+    from repro.lint import (
+        Severity,
+        lint_preset_tables,
+        render_json,
+        render_text,
+        worst_severity,
+    )
+
+    platforms = args.platform or None
+    diagnostics = lint_preset_tables(platforms)
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    return 1 if worst_severity(diagnostics) == Severity.ERROR else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.cli",
@@ -171,6 +324,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=2000)
     p.add_argument("--sampling-period", type=int, default=None)
 
+    p = sub.add_parser(
+        "lint", help="papi-lint: static analysis of counter scripts"
+    )
+    p.add_argument("files", nargs="+", help="Python scripts to lint")
+    p.add_argument(
+        "--platform", choices=PLATFORM_NAMES, default=None,
+        help="platform for feasibility checks when the script does not "
+             "pin one statically",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+
+    p = sub.add_parser(
+        "check-events",
+        help="static allocability of an event list on one platform",
+    )
+    p.add_argument("events", nargs="+", help="preset or native names")
+    p.add_argument("--platform", choices=PLATFORM_NAMES, required=True)
+    p.add_argument(
+        "--matrix", action="store_true",
+        help="also print the cross-platform portability matrix",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+
+    p = sub.add_parser(
+        "check-presets",
+        help="cross-validate the shipped preset->native tables",
+    )
+    p.add_argument(
+        "--platform", choices=PLATFORM_NAMES, action="append",
+        help="restrict to one platform (repeatable; default: all)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+
     return parser
 
 
@@ -180,6 +366,9 @@ _COMMANDS = {
     "native-avail": cmd_native_avail,
     "papirun": cmd_papirun,
     "calibrate": cmd_calibrate,
+    "lint": cmd_lint,
+    "check-events": cmd_check_events,
+    "check-presets": cmd_check_presets,
 }
 
 

@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.report import Table
-from repro.core.errors import NoSuchEventError
 from repro.core.library import Papi
 from repro.hw.isa import Program
 from repro.platforms import create

@@ -17,7 +17,7 @@ from repeated runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import Table
 from repro.analysis.stats import pearson, rank_by

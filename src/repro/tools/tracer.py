@@ -17,7 +17,7 @@ line-oriented format in the spirit of ALOG/SDDF.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, TextIO
 
 from repro.core.errors import InvalidArgumentError

@@ -16,7 +16,7 @@ the program listing, producing the classic annotated view --
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.analysis.report import Table
 from repro.core.errors import InvalidArgumentError

@@ -14,7 +14,7 @@ functions use r26-r31 and r1-r10 internally (clobbered across calls).
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.hw.isa import Assembler
 from repro.workloads.builder import Expectations, Flow, Workload

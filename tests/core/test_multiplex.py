@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.errors import ConflictError
 from repro.core.library import Papi
 from repro.core.multiplex import partition_natives
 from repro.workloads import dot, phased

@@ -5,7 +5,6 @@ import pytest
 from repro.core.library import Papi
 from repro.core.memory import dmem_info, dmem_locality, object_location
 from repro.core.timers import TimeRegion, read_timers
-from repro.simos import OS
 from repro.workloads import dot, tlb_walker
 
 

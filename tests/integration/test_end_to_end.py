@@ -7,15 +7,12 @@ from repro.core.lowlevel import LowLevelAPI
 from repro.core.profile import ProfileBuffer, Profil
 from repro.hw.isa import INS_BYTES
 from repro.platforms import PLATFORM_NAMES, create
-from repro.simos import OS
 from repro.tools import (
-    Dynaprof,
-    PapiProbe,
     Perfometer,
     Profiler,
     papirun,
 )
-from repro.workloads import demo_app, dot, matmul, phased
+from repro.workloads import demo_app, dot, matmul
 
 
 class TestPortableQuickstart:

@@ -1,0 +1,372 @@
+"""Unit tests: the AST API-misuse checker (PL0xx rules)."""
+
+from repro.lint import Severity, lint_source
+
+PRELUDE = """\
+from repro.core.library import Papi
+from repro.platforms import create
+
+substrate = create("{platform}")
+papi = Papi(substrate)
+es = papi.create_eventset()
+"""
+
+
+def codes(source, platform=None, path="script.py"):
+    return [
+        d.code for d in lint_source(source, path, default_platform=platform)
+    ]
+
+
+def lint(source, platform=None, path="script.py"):
+    return lint_source(source, path, default_platform=platform)
+
+
+class TestRunControl:
+    def test_read_before_start_is_pl001(self):
+        src = PRELUDE.format(platform="simT3E") + "es.read()\n"
+        assert codes(src) == ["PL001"]
+
+    def test_stop_before_start_is_pl001(self):
+        src = PRELUDE.format(platform="simT3E") + "es.stop()\n"
+        assert codes(src) == ["PL001"]
+
+    def test_read_after_stop_is_pl001(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+            "es.stop()\n"
+            "es.read()\n"
+        )
+        assert codes(src) == ["PL001"]
+
+    def test_double_start_is_pl002(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src) == ["PL002"]
+
+    def test_add_while_running_is_pl007(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+            'es.add_named("PAPI_TOT_INS")\n'
+            "es.stop()\n"
+        )
+        assert "PL007" in codes(src)
+
+    def test_started_never_stopped_is_pl008(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+        )
+        assert codes(src) == ["PL008"]
+
+    def test_correct_sequence_is_clean(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC", "PAPI_TOT_INS")\n'
+            "es.start()\n"
+            "es.read()\n"
+            "counts = es.stop()\n"
+        )
+        assert codes(src) == []
+
+    def test_diagnostic_carries_position(self):
+        src = PRELUDE.format(platform="simT3E") + "es.read()\n"
+        (diag,) = lint(src, path="myscript.py")
+        assert diag.path == "myscript.py"
+        assert diag.line == 7  # the es.read() line
+        assert "myscript.py:7:" in diag.render()
+
+    def test_overlapping_eventsets_is_pl013(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "es2 = papi.create_eventset()\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            'es2.add_named("PAPI_TOT_INS")\n'
+            "es.start()\n"
+            "es2.start()\n"
+            "es.stop()\n"
+            "es2.stop()\n"
+        )
+        assert "PL013" in codes(src)
+
+
+class TestMultiplexAndOverflow:
+    def test_set_multiplex_after_add_is_pl003(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.set_multiplex()\n"
+        )
+        assert "PL003" in codes(src)
+
+    def test_set_multiplex_before_add_is_clean(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "es.set_multiplex()\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+        )
+        assert "PL003" not in codes(src)
+
+    def test_short_multiplexed_run_is_pl004(self):
+        src = PRELUDE.format(platform="simX86") + (
+            "es.set_multiplex()\n"
+            'es.add_named("PAPI_TOT_CYC", "PAPI_TOT_INS")\n'
+            "es.start()\n"
+            "substrate.machine.run(max_instructions=1000)\n"
+            "es.stop()\n"
+        )
+        result = codes(src)
+        assert "PL004" in result
+
+    def test_long_multiplexed_run_is_clean_of_pl004(self):
+        src = PRELUDE.format(platform="simX86") + (
+            "es.set_multiplex()\n"
+            'es.add_named("PAPI_TOT_CYC", "PAPI_TOT_INS")\n'
+            "es.start()\n"
+            "substrate.machine.run(max_instructions=500000)\n"
+            "es.stop()\n"
+        )
+        assert "PL004" not in codes(src)
+
+    def test_overflow_on_running_set_is_pl005(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+            "es.overflow(0, 10000, lambda *a: None)\n"
+            "es.stop()\n"
+        )
+        assert "PL005" in codes(src)
+
+    def test_overflow_plus_multiplex_is_pl009(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "es.set_multiplex()\n"
+            "es.overflow(0, 10000, lambda *a: None)\n"
+        )
+        assert "PL009" in codes(src)
+
+
+class TestEventNames:
+    def test_unknown_preset_is_pl010(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_NO_SUCH")\n'
+        )
+        assert "PL010" in codes(src)
+
+    def test_unavailable_preset_is_pl011(self):
+        # PAPI_BR_MSP exists in the catalogue but has no simT3E mapping.
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_BR_MSP")\n'
+        )
+        assert "PL011" in codes(src)
+
+    def test_duplicate_add_is_pl012(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC")\n'
+            'es.add_named("PAPI_TOT_CYC")\n'
+        )
+        assert "PL012" in codes(src)
+
+    def test_module_constant_list_is_resolved(self):
+        src = (
+            'EVENTS = ["PAPI_TOT_CYC", "PAPI_NO_SUCH"]\n'
+            + PRELUDE.format(platform="simT3E")
+            + "es.add_named(*EVENTS)\n"
+        )
+        assert "PL010" in codes(src)
+
+    def test_event_name_to_code_call_is_resolved(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_event(papi.event_name_to_code("PAPI_NO_SUCH"))\n'
+        )
+        assert "PL010" in codes(src)
+
+
+class TestMixingInterfaces:
+    def test_high_and_low_level_on_one_library_is_pl006(self):
+        src = (
+            "from repro.core.highlevel import HighLevel\n"
+            + PRELUDE.format(platform="simPOWER")
+            + "hl = HighLevel(papi)\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+            "es.stop()\n"
+            'hl.start_counters(["PAPI_TOT_INS"])\n'
+            "hl.stop_counters()\n"
+        )
+        assert "PL006" in codes(src)
+
+    def test_highlevel_read_before_start_is_pl001(self):
+        src = (
+            "from repro.core.highlevel import HighLevel\n"
+            + PRELUDE.format(platform="simPOWER")
+            + "hl = HighLevel(papi)\n"
+            "hl.read_counters()\n"
+        )
+        assert "PL001" in codes(src)
+
+    def test_highlevel_alone_is_clean(self):
+        src = (
+            "from repro.core.highlevel import HighLevel\n"
+            "from repro.core.library import Papi\n"
+            "from repro.platforms import create\n"
+            'papi = Papi(create("simPOWER"))\n'
+            "hl = HighLevel(papi)\n"
+            'hl.start_counters(["PAPI_TOT_CYC", "PAPI_TOT_INS"])\n'
+            "hl.read_counters()\n"
+            "hl.stop_counters()\n"
+        )
+        assert codes(src) == []
+
+
+class TestGuards:
+    def test_try_except_conflict_suppresses_pl101(self):
+        src = PRELUDE.format(platform="simX86") + (
+            "from repro.core.errors import ConflictError\n"
+            "try:\n"
+            '    es.add_named("PAPI_FP_OPS", "PAPI_L1_DCM")\n'
+            "except ConflictError:\n"
+            "    pass\n"
+        )
+        assert "PL101" not in codes(src)
+
+    def test_bare_except_suppresses_guardable_rules(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "try:\n"
+            "    es.read()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert "PL001" not in codes(src)
+
+    def test_unrelated_handler_does_not_suppress(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "try:\n"
+            "    es.read()\n"
+            "except ValueError:\n"
+            "    pass\n"
+        )
+        assert "PL001" in codes(src)
+
+
+class TestSuppressions:
+    def test_disable_comment_suppresses_on_its_line(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "es.read()  # papi-lint: disable=PL001\n"
+        )
+        assert codes(src) == []
+
+    def test_disable_all(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "es.read()  # papi-lint: disable=all\n"
+        )
+        assert codes(src) == []
+
+    def test_disable_other_code_keeps_finding(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "es.read()  # papi-lint: disable=PL999\n"
+        )
+        assert codes(src) == ["PL001"]
+
+
+class TestFeasibilityIntegration:
+    def test_infeasible_add_is_pl101(self):
+        # FLOPS and DCU_LINES_IN both pin to counter 0 on simX86.
+        src = PRELUDE.format(platform="simX86") + (
+            'es.add_named("PAPI_FP_OPS", "PAPI_L1_DCM")\n'
+        )
+        result = lint(src)
+        assert [d.code for d in result] == ["PL101"]
+        assert result[0].severity == Severity.ERROR
+        assert "simX86" in result[0].message
+
+    def test_default_platform_flag_enables_feasibility(self):
+        src = (
+            "from repro.core.library import Papi\n"
+            "def run(papi):\n"
+            "    es = papi.create_eventset()\n"
+            '    es.add_named("PAPI_FP_OPS", "PAPI_L1_DCM")\n'
+        )
+        assert codes(src) == []  # platform unknown: nothing to check
+        assert "PL101" in codes(src, platform="simX86")
+
+    def test_unnecessary_multiplex_is_pl102(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "es.set_multiplex()\n"
+            'es.add_named("PAPI_TOT_CYC", "PAPI_TOT_INS")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert "PL102" in codes(src)
+
+    def test_portability_info_is_pl103(self):
+        # feasible on simX86 but needs multiplexing on simSPARC.
+        src = PRELUDE.format(platform="simX86") + (
+            'es.add_named("PAPI_L1_DCM", "PAPI_L1_ICM")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        result = lint(src)
+        by_code = {d.code: d for d in result}
+        assert "PL103" in by_code
+        assert by_code["PL103"].severity == Severity.INFO
+
+    def test_highlevel_infeasible_set_is_pl101(self):
+        src = (
+            "from repro.core.highlevel import HighLevel\n"
+            "from repro.core.library import Papi\n"
+            "from repro.platforms import create\n"
+            'papi = Papi(create("simX86"))\n'
+            "hl = HighLevel(papi)\n"
+            'hl.start_counters(["PAPI_FP_OPS", "PAPI_L1_DCM"])\n'
+            "hl.stop_counters()\n"
+        )
+        assert "PL101" in codes(src)
+
+
+class TestPresetTableEdits:
+    def test_dangling_native_in_script_is_pl201(self):
+        src = (
+            "from repro.core.presets import PLATFORM_PRESET_TABLES\n"
+            'PLATFORM_PRESET_TABLES["simX86"]["PAPI_L1_DCM"] = '
+            '[("NO_SUCH", 1)]\n'
+        )
+        result = lint(src)
+        assert [d.code for d in result] == ["PL201"]
+        assert result[0].line == 2
+
+    def test_zero_coefficient_in_script_is_pl202(self):
+        src = (
+            'PLATFORM_PRESET_TABLES["simX86"]["PAPI_TOT_CYC"] = '
+            '[("CPU_CLK_UNHALTED", 0)]\n'
+        )
+        assert "PL202" in codes(src)
+
+
+class TestEngine:
+    def test_syntax_error_is_pl900(self):
+        result = lint("def broken(:\n")
+        assert [d.code for d in result] == ["PL900"]
+        assert result[0].line == 1
+
+    def test_functions_are_linted_as_scopes(self):
+        src = (
+            "from repro.core.library import Papi\n"
+            "from repro.platforms import create\n"
+            "def measure():\n"
+            '    papi = Papi(create("simT3E"))\n'
+            "    es = papi.create_eventset()\n"
+            "    es.read()\n"
+        )
+        assert codes(src) == ["PL001"]
+
+    def test_aliasing_tracks_the_same_eventset(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "alias = es\n"
+            'alias.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+            "alias.start()\n"
+            "es.stop()\n"
+        )
+        assert "PL002" in codes(src)

@@ -1,0 +1,145 @@
+"""Unit tests: static EventSet feasibility (PL1xx machinery)."""
+
+from repro.core import constants as C
+from repro.lint import check_events, portability_matrix, resolve_event
+
+
+class TestResolution:
+    def test_direct_preset(self):
+        res = resolve_event("PAPI_TOT_CYC", "simX86")
+        assert res.kind == "direct"
+        assert res.natives == ("CPU_CLK_UNHALTED",)
+
+    def test_derived_preset(self):
+        res = resolve_event("PAPI_FP_OPS", "simPOWER")
+        assert res.kind == "derived"
+        assert len(res.natives) > 1
+
+    def test_native_name(self):
+        res = resolve_event("CPU_CLK_UNHALTED", "simX86")
+        assert res.kind == "native"
+
+    def test_unavailable_preset(self):
+        # in the catalogue, but no simT3E mapping
+        res = resolve_event("PAPI_BR_MSP", "simT3E")
+        assert res.kind == "unavailable"
+        assert not res.available
+
+    def test_unknown_name(self):
+        assert resolve_event("PAPI_NO_SUCH", "simX86").kind == "unknown"
+        assert resolve_event("NOT_A_NATIVE", "simX86").kind == "unknown"
+
+
+class TestConstraintPlatforms:
+    def test_feasible_pair_on_simx86(self):
+        report = check_events(("PAPI_TOT_CYC", "PAPI_TOT_INS"), "simX86")
+        assert report.ok
+        assert report.status == "ok"
+        assert set(report.assignment) == {
+            "CPU_CLK_UNHALTED", "INST_RETIRED",
+        }
+
+    def test_pinned_conflict_on_simx86(self):
+        # FLOPS and DCU_LINES_IN both pin to counter 0.
+        report = check_events(("PAPI_FP_OPS", "PAPI_L1_DCM"), "simX86")
+        assert not report.feasible_direct
+        assert report.status == "mpx"
+        assert set(report.conflict_witness) == {
+            "PAPI_FP_OPS", "PAPI_L1_DCM",
+        }
+        assert report.hall_witness is not None
+        natives, counters = report.hall_witness
+        assert len(natives) == len(counters) + 1
+
+    def test_simsparc_icache_dcache_conflict(self):
+        report = check_events(("PAPI_L1_DCM", "PAPI_L1_ICM"), "simSPARC")
+        assert not report.feasible_direct
+        assert report.feasible_multiplexed
+        natives, counters = report.hall_witness
+        assert set(natives) == {"DC_rd_miss", "IC_miss"}
+        assert counters == (1,)
+
+    def test_minimal_conflict_is_minimal(self):
+        report = check_events(
+            ("PAPI_TOT_CYC", "PAPI_FP_OPS", "PAPI_L1_DCM"), "simX86"
+        )
+        witness = report.conflict_witness
+        assert witness
+        # removing any one member of the witness leaves a feasible rest
+        for name in witness:
+            rest = tuple(n for n in witness if n != name)
+            if rest:
+                assert check_events(rest, "simX86").feasible_direct
+
+    def test_too_many_events_infeasible_not_mpx_capped(self):
+        report = check_events(
+            ("PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_INS",
+             "PAPI_L1_DCM", "PAPI_BR_INS"),
+            "simT3E",
+        )
+        assert not report.feasible_direct  # only 4 counters
+        assert report.feasible_multiplexed
+        assert len(report.events) <= C.PAPI_MAX_MPX_EVENTS
+
+
+class TestGroupPlatforms:
+    def test_group_allocation_reports_group(self):
+        report = check_events(("PAPI_TOT_CYC", "PAPI_TOT_INS"), "simPOWER")
+        assert report.feasible_direct
+        assert report.group is not None
+        assert report.hall_witness is None  # not a constraint platform
+
+    def test_cross_group_conflict(self):
+        # FP and branch natives live in different counter groups.
+        report = check_events(("PAPI_FP_INS", "PAPI_BR_MSP"), "simPOWER")
+        assert not report.feasible_direct
+        assert report.hall_witness is None
+        assert report.conflict_witness
+
+
+class TestSamplingPlatform:
+    def test_sampling_always_feasible(self):
+        from repro.core.presets import PLATFORM_PRESET_TABLES
+
+        # every available preset at once: no allocation on the sampler.
+        events = tuple(sorted(PLATFORM_PRESET_TABLES["simALPHA"]))
+        report = check_events(events, "simALPHA")
+        assert report.sampling
+        assert report.ok
+        assert report.status == "sampling"
+
+    def test_unavailable_still_reported_on_sampling(self):
+        report = check_events(("PAPI_FP_OPS", "PAPI_HW_INT"), "simALPHA")
+        assert report.sampling
+        if report.unavailable:
+            assert not report.ok
+
+
+class TestStatuses:
+    def test_unknown_event_status(self):
+        report = check_events(("PAPI_NO_SUCH",), "simX86")
+        assert report.status == "unknown-event"
+        assert not report.ok
+
+    def test_unavailable_status(self):
+        report = check_events(("PAPI_BR_MSP",), "simT3E")
+        assert report.status == "unavailable"
+
+    def test_empty_set_is_ok(self):
+        assert check_events((), "simX86").ok
+
+
+class TestPortabilityMatrix:
+    def test_matrix_covers_all_platforms(self):
+        matrix = portability_matrix(("PAPI_TOT_CYC", "PAPI_TOT_INS"))
+        assert set(matrix) == {
+            "simT3E", "simX86", "simPOWER", "simALPHA",
+            "simIA64", "simSPARC",
+        }
+
+    def test_e8_shape(self):
+        # the L1 miss pair: fine most places, mpx-only on simSPARC
+        matrix = portability_matrix(("PAPI_L1_DCM", "PAPI_L1_ICM"))
+        assert matrix["simSPARC"].status == "mpx"
+        assert matrix["simX86"].status == "ok"
+        assert matrix["simALPHA"].status in ("sampling", "unavailable")

@@ -1,0 +1,110 @@
+"""Unit tests: preset-table cross-validation (PL2xx rules)."""
+
+from repro.lint import (
+    Severity,
+    lint_mapping,
+    lint_platform_table,
+    lint_preset_tables,
+)
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestLintMapping:
+    def test_valid_mapping_is_clean(self):
+        assert lint_mapping(
+            "simX86", "PAPI_TOT_CYC", (("CPU_CLK_UNHALTED", 1),)
+        ) == []
+
+    def test_dangling_native_is_pl201(self):
+        diags = lint_mapping(
+            "simX86", "PAPI_TOT_CYC", (("NO_SUCH_EVENT", 1),)
+        )
+        assert codes(diags) == ["PL201"]
+        assert "NO_SUCH_EVENT" in diags[0].message
+
+    def test_unknown_symbol_is_pl202(self):
+        diags = lint_mapping(
+            "simX86", "PAPI_NOT_A_PRESET", (("CPU_CLK_UNHALTED", 1),)
+        )
+        assert codes(diags) == ["PL202"]
+
+    def test_empty_terms_is_pl202(self):
+        assert codes(
+            lint_mapping("simX86", "PAPI_TOT_CYC", ())
+        ) == ["PL202"]
+
+    def test_zero_coefficient_is_pl202(self):
+        assert "PL202" in codes(lint_mapping(
+            "simX86", "PAPI_TOT_CYC", (("CPU_CLK_UNHALTED", 0),)
+        ))
+
+    def test_duplicate_native_is_pl202(self):
+        assert "PL202" in codes(lint_mapping(
+            "simX86", "PAPI_TOT_CYC",
+            (("CPU_CLK_UNHALTED", 1), ("CPU_CLK_UNHALTED", 1)),
+        ))
+
+    def test_semantic_drift_is_pl204_info(self):
+        # counting branch instructions as total cycles drifts wildly.
+        diags = lint_mapping(
+            "simX86", "PAPI_TOT_CYC", (("BR_INST_RETIRED", 1),)
+        )
+        assert codes(diags) == ["PL204"]
+        assert diags[0].severity == Severity.INFO
+
+    def test_positions_flow_into_diagnostics(self):
+        diags = lint_mapping(
+            "simX86", "PAPI_TOT_CYC", (("NO_SUCH_EVENT", 1),),
+            path="conf.py", line=10, term_lines={0: 12},
+        )
+        assert diags[0].path == "conf.py"
+        assert diags[0].line == 12  # the term's own line wins
+
+
+class TestFmaNormalization:
+    def test_missing_fp_ops_on_fma_platform_is_pl203(self):
+        # simPOWER has FMA: a table without PAPI_FP_OPS is a finding.
+        diags = lint_platform_table(
+            "simPOWER", {"PAPI_TOT_CYC": (("PM_CYC", 1),)}
+        )
+        assert "PL203" in codes(diags)
+
+    def test_unnormalized_fp_ops_is_pl203(self):
+        # PM_FPU_INS counts an FMA once; without adding PM_FPU_FMA the
+        # mapping under-counts operations (the E6 normalization).
+        diags = lint_platform_table(
+            "simPOWER", {"PAPI_FP_OPS": (("PM_FPU_INS", 1),)}
+        )
+        assert "PL203" in codes(diags)
+
+    def test_no_fma_platform_never_pl203(self):
+        diags = lint_platform_table("simT3E", {})
+        assert "PL203" not in codes(diags)
+
+
+class TestShippedTables:
+    def test_shipped_tables_have_no_errors(self):
+        diags = lint_preset_tables()
+        errors = [d for d in diags if d.severity == Severity.ERROR]
+        assert errors == []
+
+    def test_power3_discrepancy_is_reported(self):
+        # the paper's POWER3 case: PM_FPU_INS includes FP converts, so
+        # simPOWER's PAPI_FP_INS drifts from the reference by +FP_CVT.
+        diags = lint_preset_tables(["simPOWER"])
+        drift = [
+            d for d in diags
+            if d.code == "PL204" and "PAPI_FP_INS" in d.message
+        ]
+        assert len(drift) == 1
+        assert "FP_CVT+1" in drift[0].message
+
+    def test_diagnostics_point_into_presets_py(self):
+        diags = lint_preset_tables()
+        assert diags  # the intentional drift entries exist
+        for d in diags:
+            assert d.path.endswith("presets.py")
+            assert d.line > 0

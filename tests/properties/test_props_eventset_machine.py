@@ -14,7 +14,6 @@ from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     invariant,
-    precondition,
     rule,
 )
 import hypothesis.strategies as st

@@ -1,0 +1,98 @@
+"""Property test: static feasibility agrees with the runtime allocator.
+
+papi-lint's whole value rests on one claim: the verdict computed from
+the platform tables *without executing* (``repro.lint.check_events``)
+is the verdict the runtime would reach -- ``EventSet.add_event`` calls
+in sequence either all succeed (set allocatable) or raise
+``ConflictError`` at some prefix (set not allocatable).  Hypothesis
+drives random event subsets on every platform and pins the agreement
+in both directions, including the multiplexed variant.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConflictError, PapiError
+from repro.core.library import Papi
+from repro.core.presets import PLATFORM_PRESET_TABLES
+from repro.lint import check_events
+from repro.platforms import PLATFORM_NAMES, create
+
+#: per-platform pool of preset symbols that resolve (availability is
+#: not what this test is about -- allocation is).
+_POOLS = {
+    platform: sorted(PLATFORM_PRESET_TABLES[platform])
+    for platform in PLATFORM_NAMES
+}
+
+
+@st.composite
+def platform_and_events(draw):
+    platform = draw(st.sampled_from(PLATFORM_NAMES))
+    pool = _POOLS[platform]
+    events = draw(
+        st.lists(
+            st.sampled_from(pool), min_size=1, max_size=6, unique=True
+        )
+    )
+    return platform, tuple(events)
+
+
+def runtime_adds_succeed(platform, events, multiplex=False):
+    """Ground truth: drive the real library, return whether adds fit."""
+    papi = Papi(create(platform))
+    es = papi.create_eventset()
+    if multiplex:
+        es.set_multiplex()
+    try:
+        for symbol in events:
+            es.add_event(papi.event_name_to_code(symbol))
+    except ConflictError:
+        return False
+    except PapiError:  # pragma: no cover - pool excludes these
+        raise
+    return True
+
+
+@given(platform_and_events())
+@settings(max_examples=150, deadline=None)
+def test_static_verdict_matches_runtime(case):
+    platform, events = case
+    report = check_events(events, platform)
+    assert report.ok == runtime_adds_succeed(platform, events), (
+        f"static says ok={report.ok} but the runtime disagrees for "
+        f"{events} on {platform}"
+    )
+
+
+@given(platform_and_events())
+@settings(max_examples=60, deadline=None)
+def test_static_mpx_verdict_matches_runtime(case):
+    platform, events = case
+    report = check_events(events, platform)
+    if report.sampling:
+        return  # set_multiplex is rejected on the sampling substrate
+    runtime_ok = runtime_adds_succeed(platform, events, multiplex=True)
+    assert report.feasible_multiplexed == runtime_ok, (
+        f"static says mpx={report.feasible_multiplexed} but the runtime "
+        f"disagrees for {events} on {platform}"
+    )
+
+
+@given(platform_and_events())
+@settings(max_examples=60, deadline=None)
+def test_conflict_witness_is_infeasible_and_minimal(case):
+    platform, events = case
+    report = check_events(events, platform)
+    if report.feasible_direct or report.sampling:
+        return
+    witness = report.conflict_witness
+    assert witness, "infeasible report must carry a conflict witness"
+    assert set(witness) <= set(events)
+    assert not check_events(witness, platform).feasible_direct
+    for name in witness:
+        rest = tuple(n for n in witness if n != name)
+        if rest:
+            assert check_events(rest, platform).feasible_direct, (
+                f"witness {witness} is not minimal: still infeasible "
+                f"without {name}"
+            )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.hw import Assembler, Machine
 from repro.hw.events import Signal
-from repro.simos import OS, OSError_, ThreadState
+from repro.simos import OS, OSError_
 
 
 def counting_program(n, reg_value=1):

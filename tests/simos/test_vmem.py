@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw import Assembler, Machine
+from repro.hw import Machine
 from repro.simos import OS, MemoryAccounting, Thread
 from repro.workloads import tlb_walker
 

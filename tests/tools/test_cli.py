@@ -102,3 +102,142 @@ class TestParser:
                 + (["dot"] if cmd == "papirun" else [])
             )
             assert args.command == cmd
+
+
+class TestLintCmd:
+    def test_clean_script_exits_zero(self, tmp_path, capsys):
+        script = tmp_path / "ok.py"
+        script.write_text(
+            "from repro.core.library import Papi\n"
+            "from repro.platforms import create\n"
+            'papi = Papi(create("simT3E"))\n'
+            "es = papi.create_eventset()\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert main(["lint", str(script)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_findings_exit_one(self, tmp_path, capsys):
+        script = tmp_path / "bad.py"
+        script.write_text(
+            "from repro.core.library import Papi\n"
+            "from repro.platforms import create\n"
+            'papi = Papi(create("simX86"))\n'
+            "es = papi.create_eventset()\n"
+            "es.read()\n"
+            'es.add_named("PAPI_FP_OPS", "PAPI_L1_DCM")\n'
+            'PLATFORM_PRESET_TABLES["simX86"]["PAPI_TOT_CYC"] = '
+            '[("BOGUS", 1)]\n'
+        )
+        assert main(["lint", str(script)]) == 1
+        out = capsys.readouterr().out
+        # the three analyzers each contribute their acceptance finding
+        assert "PL001" in out      # read before start
+        assert "PL101" in out      # infeasible EventSet
+        assert "PL201" in out      # dangling preset term
+        assert f"{script}:5:" in out  # file:line positions
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        script = tmp_path / "bad.py"
+        script.write_text(
+            "from repro.core.library import Papi\n"
+            "from repro.platforms import create\n"
+            'papi = Papi(create("simT3E"))\n'
+            "es = papi.create_eventset()\n"
+            "es.read()\n"
+        )
+        assert main(["lint", str(script), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["code"] == "PL001"
+        assert payload["findings"][0]["line"] == 5
+
+    def test_platform_flag_supplies_context(self, tmp_path, capsys):
+        script = tmp_path / "generic.py"
+        script.write_text(
+            "def measure(papi):\n"
+            "    es = papi.create_eventset()\n"
+            '    es.add_named("PAPI_FP_OPS", "PAPI_L1_DCM")\n'
+        )
+        assert main(["lint", str(script)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(script), "--platform", "simX86"]) == 1
+        assert "PL101" in capsys.readouterr().out
+
+    def test_syntax_error_exits_one(self, tmp_path, capsys):
+        script = tmp_path / "broken.py"
+        script.write_text("def broken(:\n")
+        assert main(["lint", str(script)]) == 1
+        assert "PL900" in capsys.readouterr().out
+
+    def test_examples_lint_clean(self, capsys):
+        import glob
+
+        files = sorted(glob.glob("examples/*.py"))
+        assert files, "examples/ must exist for this test"
+        assert main(["lint"] + files) == 0
+
+
+class TestCheckEventsCmd:
+    def test_feasible_set_exits_zero(self, capsys):
+        rc = main(["check-events", "PAPI_TOT_CYC", "PAPI_TOT_INS",
+                   "--platform", "simX86"])
+        assert rc == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_mpx_only_set_exits_two(self, capsys):
+        rc = main(["check-events", "PAPI_L1_DCM", "PAPI_L1_ICM",
+                   "--platform", "simSPARC"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "minimal conflicting subset" in out
+        assert "Hall violation" in out
+        assert "set_multiplex" in out
+
+    def test_unknown_event_exits_one(self, capsys):
+        rc = main(["check-events", "PAPI_NO_SUCH",
+                   "--platform", "simX86"])
+        assert rc == 1
+
+    def test_matrix_lists_all_platforms(self, capsys):
+        rc = main(["check-events", "PAPI_TOT_CYC",
+                   "--platform", "simX86", "--matrix"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("simT3E", "simPOWER", "simALPHA", "simIA64",
+                     "simSPARC"):
+            assert name in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        rc = main(["check-events", "PAPI_L1_DCM", "PAPI_L1_ICM",
+                   "--platform", "simSPARC", "--format", "json",
+                   "--matrix"])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "mpx"
+        assert payload["hall_witness"]["counters"] == [1]
+        assert payload["matrix"]["simX86"] == "ok"
+
+
+class TestCheckPresetsCmd:
+    def test_shipped_tables_pass(self, capsys):
+        assert main(["check-presets"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_platform_filter(self, capsys):
+        assert main(["check-presets", "--platform", "simPOWER"]) == 0
+        out = capsys.readouterr().out
+        assert "simPOWER" in out
+        assert "simSPARC" not in out
+
+    def test_power3_drift_is_visible(self, capsys):
+        main(["check-presets", "--platform", "simPOWER"])
+        out = capsys.readouterr().out
+        assert "PL204" in out
+        assert "PAPI_FP_INS" in out

@@ -1,6 +1,5 @@
 """Unit tests: the papirun utility."""
 
-import pytest
 
 from repro.platforms import create
 from repro.tools.papirun import DEFAULT_EVENTS, papirun
