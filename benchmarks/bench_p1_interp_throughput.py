@@ -1,0 +1,236 @@
+"""P1: simulator throughput -- interpreter vs the block execution engine.
+
+Not a paper experiment: this guards the engine that makes the paper
+experiments affordable.  Three workload shapes stress the three engine
+paths:
+
+- ``loop_heavy``  -- a steady counted loop, O(1) bulk replay;
+- ``branchy``     -- data-dependent branches, compiled blocks only;
+- ``probed``      -- a probe in the hot loop, forced slow-path crossings.
+
+The headline metrics are *speedup ratios* (engine time vs interpreter
+time on the same host), which are stable across machines; absolute
+instructions/second are reported for context only.  The committed
+baseline in ``BENCH_p1_interp_throughput.json`` stores the expected
+ratios; ``--check`` fails when a ratio regresses by more than 20%,
+``--update-baseline`` rewrites it and appends to the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _shared import emit, run_once
+from repro.analysis import Table
+from repro.hw import Assembler, Machine, MachineConfig
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_p1_interp_throughput.json"
+
+#: a regression worse than this factor vs the baseline ratio fails --check.
+REGRESSION_TOLERANCE = 0.20
+
+#: baseline ratios below this are noise-dominated (the workload runs
+#: mostly on the slow path, so engine and interpreter times are nearly
+#: equal); they are reported and tracked but not regression-gated.
+GATE_MIN_BASELINE = 1.5
+
+#: floor asserted regardless of baseline: the whole point of the engine.
+MIN_LOOP_HEAVY_SPEEDUP = 5.0
+
+
+def loop_heavy(n=120_000):
+    """Steady counted loop: invariant FP recomputation + affine counters.
+
+    This is the replay-eligible shape (an accumulating ``f3 = f3*s + c``
+    would rightly be rejected -- its value changes every iteration)."""
+    asm = Assembler(name="loop_heavy")
+    asm.label("main")
+    asm.li("r1", 0)
+    asm.li("r2", n)
+    asm.fli("f1", 1.0001)
+    asm.fli("f2", 0.75)
+    asm.label("loop")
+    asm.fma("f3", "f1", "f2", "f1")
+    asm.fmul("f4", "f1", "f2")
+    asm.addi("r4", "r4", 3)
+    asm.addi("r1", "r1", 1)
+    asm.blt("r1", "r2", "loop")
+    asm.halt()
+    return asm.build()
+
+
+def branchy(n=40_000):
+    """Alternates branch direction on a data-dependent parity test."""
+    asm = Assembler(name="branchy")
+    asm.label("main")
+    asm.li("r1", 0)
+    asm.li("r2", n)
+    asm.li("r5", 2)
+    asm.label("loop")
+    asm.div("r3", "r1", "r5")
+    asm.muli("r4", "r3", 2)
+    asm.sub("r6", "r1", "r4")
+    asm.beq("r6", "r0", "even")
+    asm.addi("r7", "r7", 1)
+    asm.jmp("join")
+    asm.label("even")
+    asm.addi("r8", "r8", 1)
+    asm.label("join")
+    asm.addi("r1", "r1", 1)
+    asm.blt("r1", "r2", "loop")
+    asm.halt()
+    return asm.build()
+
+
+def probed(n=30_000):
+    asm = Assembler(name="probed")
+    asm.func("main")
+    asm.li("r1", 0)
+    asm.li("r2", n)
+    asm.label("loop")
+    asm.probe(1)
+    asm.addi("r4", "r4", 7)
+    asm.addi("r1", "r1", 1)
+    asm.blt("r1", "r2", "loop")
+    asm.halt()
+    asm.endfunc()
+    return asm.build()
+
+
+WORKLOADS = [("loop_heavy", loop_heavy), ("branchy", branchy),
+             ("probed", probed)]
+
+
+def _time_run(prog, block_engine: bool):
+    m = Machine(MachineConfig(block_engine=block_engine))
+    m.load(prog)
+    if prog.name == "probed":
+        m.register_probe(1, lambda pid, cpu: None)
+    t0 = time.perf_counter()
+    result = m.run_to_completion()
+    elapsed = time.perf_counter() - t0
+    return elapsed, result.instructions, list(m.counts)
+
+
+def run_experiment():
+    rows = []
+    for name, build in WORKLOADS:
+        prog = build()
+        t_interp, n_interp, c_interp = _time_run(prog, block_engine=False)
+        t_engine, n_engine, c_engine = _time_run(prog, block_engine=True)
+        assert n_interp == n_engine and c_interp == c_engine, name
+        rows.append({
+            "workload": name,
+            "instructions": n_interp,
+            "interp_seconds": t_interp,
+            "engine_seconds": t_engine,
+            "interp_ips": n_interp / t_interp,
+            "engine_ips": n_engine / t_engine,
+            "speedup": t_interp / t_engine,
+        })
+    return rows
+
+
+def render(rows) -> str:
+    table = Table(
+        ["workload", "instructions", "interp ins/s", "engine ins/s",
+         "speedup"],
+        title="P1: interpreter vs block-engine throughput (bit-exact paths)",
+    )
+    for r in rows:
+        table.add_row(
+            r["workload"], r["instructions"],
+            f"{r['interp_ips']:,.0f}", f"{r['engine_ips']:,.0f}",
+            f"{r['speedup']:.1f}x",
+        )
+    return table.render()
+
+
+def load_baseline():
+    if not BASELINE_PATH.exists():
+        return None
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def check_against_baseline(rows, baseline) -> list:
+    """Regression messages ([] = pass): ratio drops >20% vs baseline."""
+    problems = []
+    expected = baseline["speedups"]
+    for r in rows:
+        name = r["workload"]
+        if name not in expected or expected[name] < GATE_MIN_BASELINE:
+            continue
+        floor = expected[name] * (1.0 - REGRESSION_TOLERANCE)
+        if r["speedup"] < floor:
+            problems.append(
+                f"{name}: speedup {r['speedup']:.1f}x below "
+                f"{floor:.1f}x (baseline {expected[name]:.1f}x - 20%)"
+            )
+    return problems
+
+
+def update_baseline(rows) -> None:
+    baseline = load_baseline() or {"speedups": {}, "trajectory": []}
+    baseline["speedups"] = {r["workload"]: round(r["speedup"], 1)
+                            for r in rows}
+    baseline["trajectory"].append({
+        r["workload"]: round(r["speedup"], 1) for r in rows
+    })
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+
+def bench_p1_interp_throughput(benchmark, capsys):
+    rows = run_once(benchmark, run_experiment)
+    emit(capsys, render(rows))
+    by_name = {r["workload"]: r for r in rows}
+    # the tentpole acceptance: >= 5x on the loop-heavy workload
+    assert by_name["loop_heavy"]["speedup"] >= MIN_LOOP_HEAVY_SPEEDUP
+    # compiled blocks beat the interpreter even without replay
+    assert by_name["branchy"]["speedup"] > 1.0
+    baseline = load_baseline()
+    if baseline is not None:
+        problems = check_against_baseline(rows, baseline)
+        assert not problems, problems
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >20%% speedup regression vs baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the committed baseline ratios")
+    args = parser.parse_args(argv)
+
+    rows = run_experiment()
+    print(render(rows))
+    by_name = {r["workload"]: r for r in rows}
+    if by_name["loop_heavy"]["speedup"] < MIN_LOOP_HEAVY_SPEEDUP:
+        print(f"FAIL: loop_heavy speedup "
+              f"{by_name['loop_heavy']['speedup']:.1f}x < "
+              f"{MIN_LOOP_HEAVY_SPEEDUP:.0f}x floor")
+        return 1
+    if args.update_baseline:
+        update_baseline(rows)
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+    if args.check:
+        baseline = load_baseline()
+        if baseline is None:
+            print(f"no baseline at {BASELINE_PATH}; "
+                  f"run with --update-baseline first")
+            return 1
+        problems = check_against_baseline(rows, baseline)
+        for p in problems:
+            print("FAIL:", p)
+        if problems:
+            return 1
+        print("ok: all speedups within 20% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,8 +11,8 @@ experiment (E2) and the sampling-period ablation (A2).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from dataclasses import astuple, dataclass
+from typing import Callable, List, Sequence, Tuple
 
 from repro.hw.pmu import SampleRecord
 
@@ -55,6 +55,19 @@ def estimate_count(
         n_matches=matches,
         period=period,
     )
+
+
+def sample_signature(samples: Sequence[SampleRecord]) -> Tuple[tuple, ...]:
+    """Canonical hashable form of a sample stream, for exact comparison.
+
+    Sampling is driven by a jittered countdown whose RNG draws are part of
+    the simulated hardware state, so two runs of the same machine
+    configuration must produce *identical* streams -- in particular with
+    the block execution engine on vs. off (the engine defers to the
+    interpreter around every sampling tick precisely so this holds).
+    Equality of signatures is the strongest form of that check.
+    """
+    return tuple(astuple(s) for s in samples)
 
 
 def relative_error(estimate: float, expected: float) -> float:

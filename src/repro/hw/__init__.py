@@ -12,7 +12,10 @@ top of: a deterministic instruction-level machine simulator consisting of
   registers, overflow interrupts, sampling hardware and event address
   registers (:mod:`repro.hw.pmu`),
 - the interpreter CPU that executes programs and raises event signals
-  (:mod:`repro.hw.cpu`), and
+  (:mod:`repro.hw.cpu`),
+- a basic-block execution engine that caches decoded blocks and replays
+  steady-state loops in O(1), bit-exactly (:mod:`repro.hw.blockcache`),
+  and
 - the :class:`~repro.hw.machine.Machine` that wires all of the above
   together (:mod:`repro.hw.machine`).
 
@@ -23,6 +26,7 @@ about counters -- multiplexing error, overflow profiles, attribution skid,
 measurement perturbation -- emerges from genuine program behaviour.
 """
 
+from repro.hw.blockcache import BlockEngine, EngineStats
 from repro.hw.cache import Cache, CacheConfig, TLB, TLBConfig
 from repro.hw.cpu import CPU, CPUConfig
 from repro.hw.events import Signal, SIGNAL_NAMES, signal_name
@@ -46,8 +50,10 @@ from repro.hw.pmu import (
 
 __all__ = [
     "Assembler",
+    "BlockEngine",
     "CPU",
     "CPUConfig",
+    "EngineStats",
     "Cache",
     "CacheConfig",
     "CounterControl",

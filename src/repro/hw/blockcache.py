@@ -1,0 +1,978 @@
+"""Basic-block execution engine for the simulated CPU.
+
+The interpreter in :mod:`repro.hw.cpu` dispatches one instruction at a
+time; every experiment in the repo bottoms out in that loop.  This module
+adds a *block cache* in front of it:
+
+- a loaded program's resolved code is partitioned into **basic blocks**
+  (maximal straight-line runs ending at a control transfer, cut before
+  PROBE/SYSCALL/HALT, which always take the precise path);
+- each block is compiled, once, into a Python function that replays the
+  interpreter's exact effect sequence -- signal counts, cache/TLB
+  accesses, EAR callbacks, fault messages, register/memory writes -- with
+  all per-instruction constants (latencies, signal indices, byte
+  addresses, line boundaries) baked in as literals;
+- self-loop blocks whose body is *steady* (invariant memory addresses,
+  affine loop counter, all-hit cache behaviour, saturated predictor) are
+  **replayed in O(1)**: one trial iteration through the compiled body
+  proves steadiness, then the remaining iterations are applied as a
+  single bulk update of the counts array, cache hit statistics and the
+  affine registers.
+
+Correctness contract: a run with the engine enabled is **bit-exact**
+with the interpreter -- identical ``counts[]``, cache/TLB state and
+statistics, RNG stream, architectural state, fault behaviour and
+interrupt delivery points.  The engine guarantees this by computing a
+*deadline* before every fast step: the number of instructions/cycles
+until the next PMU overflow threshold, ProfileMe sample, cycle-timer
+tick, or instruction/cycle budget boundary.  If the block could cross
+any deadline, the engine declines and the interpreter executes it one
+instruction at a time, so interrupts and samples fire at exactly the
+same instruction boundary (and draw from the RNG at exactly the same
+point) as an engine-off run.  PROBE instructions are never compiled, so
+dynaprof probes likewise always fire from the precise path.
+
+Invalidation rules (see DESIGN.md): block tables are keyed by the
+identity of the resolved code list, so ``migrate`` (dynaprof probe
+insertion) retires the old program's table; context restores rebind the
+active table; :meth:`Machine.charge` cache pollution bumps the engine
+epoch, which re-arms replay trials for blocks previously blacklisted as
+unsteady.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hw.events import Signal
+from repro.hw.isa import (
+    BLOCK_BREAK_OPS,
+    BRANCH_OPS,
+    INS_BYTES,
+    WORD_BYTES,
+    Op,
+)
+
+#: longest straight-line run compiled into one block; bounds both the
+#: generated-code size and the worst-case deadline a block can consume.
+MAX_BLOCK_LEN = 64
+
+#: most code tables kept alive at once (one per resolved program).
+MAX_TABLES = 16
+
+#: upper bound on iterations applied by a single bulk replay step.
+REPLAY_CHUNK = 1 << 20
+
+#: consecutive unsteady trials before a loop block stops being trialled
+#: (until the next engine epoch re-arms it).
+REPLAY_FAIL_LIMIT = 12
+
+_S = Signal
+
+#: ALU-ish opcodes with no fault, memory or control behaviour; their
+#: count updates can be merged into one segment of the compiled body.
+_SIMPLE_EFFECTS: Dict[int, Tuple[Tuple[int, ...], str]] = {
+    Op.NOP: ((), ""),
+    Op.LI: ((_S.INT_INS,), "iregs[{a}] = {d}"),
+    Op.MOV: ((_S.INT_INS,), "iregs[{a}] = iregs[{b}]"),
+    Op.ADD: ((_S.INT_INS,), "iregs[{a}] = iregs[{b}] + iregs[{c}]"),
+    Op.SUB: ((_S.INT_INS,), "iregs[{a}] = iregs[{b}] - iregs[{c}]"),
+    Op.MUL: ((_S.INT_INS,), "iregs[{a}] = iregs[{b}] * iregs[{c}]"),
+    Op.ADDI: ((_S.INT_INS,), "iregs[{a}] = iregs[{b}] + {d}"),
+    Op.MULI: ((_S.INT_INS,), "iregs[{a}] = iregs[{b}] * {d}"),
+    Op.FLI: ((_S.FP_MOV,), "fregs[{a}] = {d}"),
+    Op.FMOV: ((_S.FP_MOV,), "fregs[{a}] = fregs[{b}]"),
+    Op.FADD: ((_S.FP_ADD,), "fregs[{a}] = fregs[{b}] + fregs[{c}]"),
+    Op.FSUB: ((_S.FP_ADD,), "fregs[{a}] = fregs[{b}] - fregs[{c}]"),
+    Op.FMUL: ((_S.FP_MUL,), "fregs[{a}] = fregs[{b}] * fregs[{c}]"),
+    Op.FMA: ((_S.FP_FMA,), "fregs[{a}] = fregs[{b}] * fregs[{c}] + fregs[{d}]"),
+    Op.FCVT: ((_S.FP_CVT,), "fregs[{a}] = _round_to_single(fregs[{b}])"),
+}
+
+
+@dataclass
+class LoopInfo:
+    """Static shape of a replay-eligible self-loop block."""
+
+    #: pc of the closing conditional branch.
+    branch_pc: int
+    #: branch opcode (one of BRANCH_OPS).
+    branch_op: int
+    #: normalized predicate kind on the counter value: lt/le/gt/ge/eq/ne.
+    kind: str
+    #: the affine counter register, or -1 when both operands are invariant.
+    counter: int
+    #: the invariant bound register.
+    bound: int
+    #: affine stride: ("imm", value) or ("reg", reg, sign).
+    stride: Tuple
+    #: every affine register with its stride spec (bulk update targets).
+    affine: List[Tuple[int, Tuple]]
+    #: steady-state instruction fetches per iteration (entered from the
+    #: loop's own back edge); the trial must match this exactly.
+    steady_fetches: int
+
+
+@dataclass
+class BasicBlock:
+    """One compiled basic block."""
+
+    start: int
+    n_ins: int
+    #: compiled executor; returns ``(next_pc, cur_iline)``.
+    fn: object
+    #: literal instruction-cache line of the last instruction.
+    il_last: int
+    #: worst-case cycles one execution can add (every access missing).
+    max_cyc: int
+    #: worst-case per-signal deltas of one execution (deadline headroom).
+    max_deltas: List[int]
+    loop: Optional[LoopInfo] = None
+    #: ends without a control transfer (next block starts at start+n_ins).
+    falls_through: bool = False
+    #: consecutive unsteady trials; replay is suspended past the limit.
+    fails: int = 0
+    fail_epoch: int = -1
+
+
+@dataclass
+class EngineStats:
+    """Cumulative work accounting (exposed via ``Machine.engine_stats``)."""
+
+    #: block executions through compiled code (including replay trials).
+    blocks_executed: int = 0
+    #: instructions retired through the engine (compiled + replayed).
+    fast_instructions: int = 0
+    #: bulk replay engagements.
+    replays: int = 0
+    #: instructions retired as bulk loop replay.
+    replayed_instructions: int = 0
+    #: distinct blocks compiled.
+    blocks_compiled: int = 0
+    #: flush-barrier invocations (PMU reads / Machine.charge).
+    flushes: int = 0
+
+
+@dataclass
+class _CodeTable:
+    """Per-program decode cache: compiled blocks keyed by entry pc."""
+
+    code: List[tuple]
+    leaders: Set[int]
+    blocks: Dict[int, BasicBlock] = field(default_factory=dict)
+    denied: Set[int] = field(default_factory=set)
+
+
+def _compute_leaders(code: List[tuple]) -> Set[int]:
+    """Basic-block leaders: entry, control targets, post-break pcs."""
+    leaders = {0}
+    for pc, ins in enumerate(code):
+        op = ins[0]
+        if op in BRANCH_OPS:
+            leaders.add(ins[3])
+            leaders.add(pc + 1)
+        elif op == Op.JMP or op == Op.CALL:
+            leaders.add(ins[1])
+            leaders.add(pc + 1)
+        elif op in BLOCK_BREAK_OPS or op == Op.RET:
+            leaders.add(pc + 1)
+    return leaders
+
+
+def _count_consecutive_takens(kind: str, c: int, s: int, bound: int, cap: int) -> int:
+    """Future consecutive taken iterations of the loop branch.
+
+    The counter's branch-time value in future iteration ``j`` (j >= 1)
+    is ``c + j*s`` where ``c`` is its post-trial value.  Returns how many
+    leading ``j`` satisfy the (normalized) predicate, capped at *cap*.
+    """
+    v1 = c + s
+    if kind == "lt":
+        if not v1 < bound:
+            return 0
+        if s <= 0:
+            return cap
+        return min(cap, (bound - 1 - c) // s)
+    if kind == "le":
+        if not v1 <= bound:
+            return 0
+        if s <= 0:
+            return cap
+        return min(cap, (bound - c) // s)
+    if kind == "gt":
+        if not v1 > bound:
+            return 0
+        if s >= 0:
+            return cap
+        return min(cap, (c - bound - 1) // (-s))
+    if kind == "ge":
+        if not v1 >= bound:
+            return 0
+        if s >= 0:
+            return cap
+        return min(cap, (c - bound) // (-s))
+    if kind == "eq":
+        if v1 != bound:
+            return 0
+        return cap if s == 0 else 1
+    # "ne"
+    if v1 == bound:
+        return 0
+    if s != 0 and (bound - c) % s == 0:
+        j0 = (bound - c) // s
+        if j0 >= 1:
+            return min(cap, j0 - 1)
+    return cap
+
+
+class BlockCompiler:
+    """Generates the per-block executor functions.
+
+    The generated source replicates the interpreter's effect ordering
+    instruction for instruction.  Count updates of consecutive simple ALU
+    instructions are merged into a single segment; every observable point
+    (memory access, fault check, EAR callback, branch resolution) flushes
+    the pending segment first, so ``counts[]`` is exact whenever foreign
+    code can run or an exception can propagate.
+    """
+
+    def __init__(self, cpu) -> None:
+        config = cpu.config
+        hcfg = cpu.hierarchy.config
+        self._lat = config.latencies
+        self._branch_penalty = config.branch_penalty
+        self._iline_shift = hcfg.l1i.line_bits
+        self._page_shift = hcfg.tlb.page_bits
+        #: worst-case extra cycles for one data access / one fetch.
+        self._mem_worst = hcfg.tlb_walk_latency + hcfg.l2_latency + hcfg.mem_latency
+        self._fetch_worst = hcfg.l2_latency + hcfg.mem_latency
+        self._globals = {
+            "MachineFault": _machine_fault_class(),
+            "_round_to_single": _round_to_single_fn(),
+        }
+
+    # -- partitioning ---------------------------------------------------
+
+    def scan_block(self, code: List[tuple], start: int) -> List[tuple]:
+        """Instructions of the block headed at *start* (may be empty)."""
+        instrs: List[tuple] = []
+        pc = start
+        end = len(code)
+        while pc < end and len(instrs) < MAX_BLOCK_LEN:
+            ins = code[pc]
+            op = ins[0]
+            if op in BLOCK_BREAK_OPS:
+                break
+            instrs.append(ins)
+            if op in BRANCH_OPS or op in (Op.JMP, Op.CALL, Op.RET):
+                break
+            pc += 1
+        return instrs
+
+    # -- code generation ------------------------------------------------
+
+    def compile_block(self, code: List[tuple], start: int) -> Optional[BasicBlock]:
+        instrs = self.scan_block(code, start)
+        if not instrs:
+            return None
+        last_op = instrs[-1][0]
+        if last_op not in BRANCH_OPS and last_op not in (Op.JMP, Op.CALL, Op.RET):
+            # fall-through block (next pc may be past the end; the slow
+            # path then raises the same "pc out of range" fault).
+            pass
+
+        lines: List[str] = []
+        pending: Dict[int, int] = {}
+        md = [0] * Signal.N_SIGNALS
+        max_cyc = 0
+        n_fetches = 0
+
+        def emit(text: str) -> None:
+            lines.append("    " + text)
+
+        def add_pending(sig: int, n: int = 1) -> None:
+            pending[sig] = pending.get(sig, 0) + n
+
+        def flush_pending() -> None:
+            for sig, n in pending.items():
+                emit(f"counts[{sig}] += {n}")
+            pending.clear()
+
+        def emit_fetch(pc: int, conditional: bool) -> None:
+            nonlocal max_cyc, n_fetches
+            il = (pc * INS_BYTES) >> self._iline_shift
+            pad = ""
+            if conditional:
+                emit(f"if cur_iline != {il}:")
+                pad = "    "
+            emit(f"{pad}_fl, _i1m, _il2m = inst_fetch({pc * INS_BYTES})")
+            emit(f"{pad}counts[{_S.L1I_ACC}] += 1")
+            emit(f"{pad}if _i1m:")
+            emit(f"{pad}    counts[{_S.L1I_MISS}] += 1")
+            emit(f"{pad}    counts[{_S.L2_ACC}] += 1")
+            emit(f"{pad}    if _il2m:")
+            emit(f"{pad}        counts[{_S.L2_MISS}] += 1")
+            emit(f"{pad}if _fl:")
+            emit(f"{pad}    counts[{_S.TOT_CYC}] += _fl")
+            emit(f"{pad}    counts[{_S.STL_CYC}] += _fl")
+            n_fetches += 1
+            md[_S.L1I_ACC] += 1
+            md[_S.L1I_MISS] += 1
+            md[_S.L2_ACC] += 1
+            md[_S.L2_MISS] += 1
+            md[_S.TOT_CYC] += self._fetch_worst
+            md[_S.STL_CYC] += self._fetch_worst
+            max_cyc += self._fetch_worst
+
+        lat = self._lat
+        il_prev = None
+        il_start = (start * INS_BYTES) >> self._iline_shift
+        for i, ins in enumerate(instrs):
+            pc = start + i
+            op, a, b, c, d = ins
+            il = (pc * INS_BYTES) >> self._iline_shift
+            if i == 0:
+                emit_fetch(pc, conditional=True)
+            elif il != il_prev:
+                flush_pending()
+                emit_fetch(pc, conditional=False)
+            il_prev = il
+
+            md[_S.TOT_INS] += 1
+            md[_S.TOT_CYC] += lat[op]
+            max_cyc += lat[op]
+
+            simple = _SIMPLE_EFFECTS.get(op)
+            if simple is not None:
+                sigs, template = simple
+                add_pending(_S.TOT_INS)
+                add_pending(_S.TOT_CYC, lat[op])
+                for sig in sigs:
+                    add_pending(sig)
+                    md[sig] += 1
+                if template:
+                    emit(template.format(a=a, b=b, c=c, d=repr(d)))
+                continue
+
+            # every remaining opcode is an observable point: apply its
+            # retirement counts in interpreter order, before any fault
+            # check or hierarchy access.
+            add_pending(_S.TOT_INS)
+            add_pending(_S.TOT_CYC, lat[op])
+            if op in (Op.LOAD, Op.FLOAD, Op.STORE, Op.FSTORE):
+                flush_pending()
+                self._emit_memory(emit, pc, op, a, b, d)
+                md[_S.LD_INS if op in (Op.LOAD, Op.FLOAD) else _S.SR_INS] += 1
+                md[_S.L1D_ACC] += 1
+                md[_S.L1D_MISS] += 1
+                md[_S.L2_ACC] += 1
+                md[_S.L2_MISS] += 1
+                md[_S.TLB_DM] += 1
+                md[_S.TOT_CYC] += self._mem_worst
+                md[_S.STL_CYC] += self._mem_worst
+                md[_S.MEM_RCY] += self._mem_worst
+                max_cyc += self._mem_worst
+            elif op == Op.DIV:
+                add_pending(_S.INT_INS)
+                md[_S.INT_INS] += 1
+                flush_pending()
+                emit(f"if iregs[{c}] == 0:")
+                emit(f'    raise MachineFault("pc {pc}: integer divide by zero")')
+                emit(f"_q = abs(iregs[{b}]) // abs(iregs[{c}])")
+                emit(
+                    f"iregs[{a}] = _q if (iregs[{b}] < 0) == (iregs[{c}] < 0) else -_q"
+                )
+            elif op == Op.FDIV:
+                add_pending(_S.FP_DIV)
+                md[_S.FP_DIV] += 1
+                flush_pending()
+                emit(f"if fregs[{c}] == 0.0:")
+                emit(f'    raise MachineFault("pc {pc}: float divide by zero")')
+                emit(f"fregs[{a}] = fregs[{b}] / fregs[{c}]")
+            elif op == Op.FSQRT:
+                add_pending(_S.FP_SQRT)
+                md[_S.FP_SQRT] += 1
+                flush_pending()
+                emit(f"if fregs[{b}] < 0.0:")
+                emit(f'    raise MachineFault("pc {pc}: sqrt of negative value")')
+                emit(f"fregs[{a}] = fregs[{b}] ** 0.5")
+            elif op in BRANCH_OPS:
+                add_pending(_S.BR_INS)
+                add_pending(_S.BR_CN)
+                md[_S.BR_INS] += 1
+                md[_S.BR_CN] += 1
+                md[_S.BR_TKN] += 1
+                md[_S.BR_NTK] += 1
+                md[_S.BR_MSP] += 1
+                md[_S.TOT_CYC] += self._branch_penalty
+                md[_S.STL_CYC] += self._branch_penalty
+                max_cyc += self._branch_penalty
+                flush_pending()
+                cmp_op = {Op.BLT: "<", Op.BGE: ">=", Op.BEQ: "==", Op.BNE: "!="}[op]
+                emit(f"_t = iregs[{a}] {cmp_op} iregs[{b}]")
+                emit(f"_p = predict({pc})")
+                emit(f"pred_update({pc}, _t)")
+                emit("if _t:")
+                emit(f"    counts[{_S.BR_TKN}] += 1")
+                emit("else:")
+                emit(f"    counts[{_S.BR_NTK}] += 1")
+                emit("if _p != _t:")
+                emit(f"    counts[{_S.BR_MSP}] += 1")
+                emit(f"    counts[{_S.TOT_CYC}] += {self._branch_penalty}")
+                emit(f"    counts[{_S.STL_CYC}] += {self._branch_penalty}")
+                emit(f"return ({c} if _t else {pc + 1}), {il}")
+            elif op == Op.JMP:
+                add_pending(_S.BR_INS)
+                md[_S.BR_INS] += 1
+                flush_pending()
+                emit(f"return {a}, {il}")
+            elif op == Op.CALL:
+                add_pending(_S.BR_INS)
+                add_pending(_S.CALL_INS)
+                md[_S.BR_INS] += 1
+                md[_S.CALL_INS] += 1
+                flush_pending()
+                emit(f"call_stack.append({pc + 1})")
+                emit(f"return {a}, {il}")
+            elif op == Op.RET:
+                add_pending(_S.BR_INS)
+                add_pending(_S.RET_INS)
+                md[_S.BR_INS] += 1
+                md[_S.RET_INS] += 1
+                flush_pending()
+                emit("if not call_stack:")
+                emit(f'    raise MachineFault("pc {pc}: RET with empty call stack")')
+                emit(f"return call_stack.pop(), {il}")
+            else:  # pragma: no cover - BLOCK_BREAK_OPS never reach here
+                return None
+
+        last_pc = start + len(instrs) - 1
+        il_last = (last_pc * INS_BYTES) >> self._iline_shift
+        last_op = instrs[-1][0]
+        falls_through = last_op not in BRANCH_OPS and last_op not in (
+            Op.JMP, Op.CALL, Op.RET
+        )
+        if falls_through:
+            flush_pending()
+            emit(f"return {last_pc + 1}, {il_last}")
+
+        src = (
+            "def _block(counts, iregs, fregs, memory, mem_len, call_stack,\n"
+            "           data_access, inst_fetch, predict, pred_update, pmu,\n"
+            "           touched, data_base, cur_iline):\n"
+            + "\n".join(lines)
+            + "\n"
+        )
+        ns: Dict[str, object] = {}
+        exec(compile(src, f"<block@{start}>", "exec"), dict(self._globals), ns)
+        fn = ns["_block"]
+
+        block = BasicBlock(
+            start=start,
+            n_ins=len(instrs),
+            fn=fn,
+            il_last=il_last,
+            max_cyc=max_cyc,
+            max_deltas=md,
+            falls_through=falls_through,
+        )
+        block.loop = self._analyze_loop(instrs, start, n_fetches, il_start, il_last)
+        return block
+
+    def _emit_memory(self, emit, pc: int, op: int, a: int, b: int, d: int) -> None:
+        is_load = op in (Op.LOAD, Op.FLOAD)
+        word = "load" if is_load else "store"
+        emit(f"_ad = iregs[{b}] + {d}")
+        emit("if not 0 <= _ad < mem_len:")
+        emit(
+            "    raise MachineFault("
+            f"f\"pc {pc}: {word} address {{_ad}} out of range\")"
+        )
+        emit(f"_ba = _ad * {WORD_BYTES} + data_base")
+        emit("_pen, _l1m, _l2m, _tlbm = data_access(_ba)")
+        emit(f"counts[{_S.LD_INS if is_load else _S.SR_INS}] += 1")
+        emit(f"counts[{_S.L1D_ACC}] += 1")
+        emit("if _l1m:")
+        emit(f"    counts[{_S.L1D_MISS}] += 1")
+        emit(f"    counts[{_S.L2_ACC}] += 1")
+        emit("    if _l2m:")
+        emit(f"        counts[{_S.L2_MISS}] += 1")
+        emit("    if pmu is not None and pmu.ear_active:")
+        emit(f"        pmu.ear_miss({pc}, _ba, counts[{_S.TOT_CYC}], \"l1d_miss\")")
+        emit("if _tlbm:")
+        emit(f"    counts[{_S.TLB_DM}] += 1")
+        emit(f"    touched.add(_ba >> {self._page_shift})")
+        emit("    if pmu is not None and pmu.ear_active:")
+        emit(f"        pmu.ear_miss({pc}, _ba, counts[{_S.TOT_CYC}], \"tlb_miss\")")
+        emit("if _pen:")
+        emit(f"    counts[{_S.TOT_CYC}] += _pen")
+        emit(f"    counts[{_S.STL_CYC}] += _pen")
+        emit(f"    counts[{_S.MEM_RCY}] += _pen")
+        if op == Op.LOAD:
+            emit(f"iregs[{a}] = int(memory[_ad])")
+        elif op == Op.FLOAD:
+            emit(f"fregs[{a}] = float(memory[_ad])")
+        elif op == Op.STORE:
+            emit(f"memory[_ad] = iregs[{a}]")
+        else:
+            emit(f"memory[_ad] = fregs[{a}]")
+
+    # -- static loop analysis -------------------------------------------
+
+    def _analyze_loop(
+        self,
+        instrs: List[tuple],
+        start: int,
+        n_fetches: int,
+        il_start: int,
+        il_last: int,
+    ) -> Optional[LoopInfo]:
+        """Classify a self-loop block for O(1) replay, or return None.
+
+        Eligibility: the closing branch targets the block head, every
+        written integer register is either iteration-invariant or affine
+        (a single self-increment by a loop-invariant stride), every
+        written float register is iteration-invariant, memory addresses
+        and store values are invariant, fault operands are invariant, and
+        the branch compares the affine counter against an invariant bound
+        (or two invariants).  Under those conditions -- plus the dynamic
+        all-hit / saturated-predictor trial -- every future iteration is
+        an exact copy of the trial, so its effects can be multiplied.
+        """
+        term = instrs[-1]
+        if term[0] not in BRANCH_OPS or term[3] != start:
+            return None
+        body = instrs[:-1]
+        has_store = any(ins[0] in (Op.STORE, Op.FSTORE) for ins in body)
+        has_load = any(ins[0] in (Op.LOAD, Op.FLOAD) for ins in body)
+        if has_store and has_load:
+            # a load could observe an in-loop store; values would then
+            # depend on the iteration.  Keep the analysis simple: such
+            # loops run through the compiled path only.
+            return None
+
+        # single-write affine candidates: r op= invariant stride.
+        iwrites: Dict[int, List[tuple]] = {}
+        fwrites: Dict[int, int] = {}
+        for ins in body:
+            op, a = ins[0], ins[1]
+            if op in (Op.LI, Op.MOV, Op.ADD, Op.SUB, Op.MUL, Op.DIV,
+                      Op.ADDI, Op.MULI, Op.LOAD):
+                iwrites.setdefault(a, []).append(ins)
+            elif op in (Op.FLI, Op.FMOV, Op.FADD, Op.FSUB, Op.FMUL,
+                        Op.FDIV, Op.FSQRT, Op.FMA, Op.FCVT, Op.FLOAD):
+                fwrites[a] = fwrites.get(a, 0) + 1
+
+        affine: Dict[int, Tuple] = {}
+        for reg, writes in iwrites.items():
+            if len(writes) != 1:
+                continue
+            op, a, b, c, d = writes[0]
+            if op == Op.ADDI and b == reg:
+                affine[reg] = ("imm", d)
+            elif op == Op.ADD and b == reg and c not in iwrites:
+                affine[reg] = ("reg", c, 1)
+            elif op == Op.ADD and c == reg and b not in iwrites:
+                affine[reg] = ("reg", b, 1)
+            elif op == Op.SUB and b == reg and c not in iwrites:
+                affine[reg] = ("reg", c, -1)
+
+        # abstract interpretation over one iteration.  Start state is
+        # pessimistic for written registers (VAR, or AFF for the matched
+        # affine updates): a value carried across the back edge through a
+        # written register cannot be assumed invariant, or self-increment
+        # chains and write cycles (swaps) would wrongly classify as
+        # invariant.  A written register only becomes INV flow-sensitively,
+        # at a write that recomputes it from invariant inputs (LI, LOAD
+        # from invariant memory, ALU over INV sources).
+        INV, AFF, VAR = 0, 1, 2
+        iabs = [INV] * 32
+        fabs = [INV] * 32
+        for reg in iwrites:
+            iabs[reg] = AFF if reg in affine else VAR
+        for reg in fwrites:
+            fabs[reg] = VAR
+
+        def ival(reg: int) -> int:
+            return iabs[reg]
+
+        for ins in body:
+            op, a, b, c, d = ins
+            if op in (Op.LOAD, Op.FLOAD, Op.STORE, Op.FSTORE):
+                if ival(b) != INV:
+                    return None  # striding address: lines change per iter
+                if op == Op.STORE and ival(a) != INV:
+                    return None  # stored value must be invariant
+                if op == Op.FSTORE and fabs[a] != INV:
+                    return None
+                if op == Op.LOAD:
+                    # no stores in the body (checked above), so memory is
+                    # iteration-invariant and so is the loaded value.
+                    if has_store:
+                        return None
+                    iabs[a] = INV
+                elif op == Op.FLOAD:
+                    if has_store:
+                        return None
+                    fabs[a] = INV
+                continue
+            if op == Op.DIV and ival(c) != INV:
+                return None  # divisor could hit zero in a later iteration
+            if op == Op.FDIV and fabs[c] != INV:
+                return None
+            if op == Op.FSQRT and fabs[b] != INV:
+                return None
+            if a in affine and op == affine_op(affine[a]):
+                # the affine self-update keeps the register affine.
+                continue
+            if op in (Op.MOV, Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.ADDI, Op.MULI):
+                srcs = _int_sources(op, b, c)
+                out = INV
+                for s in srcs:
+                    if ival(s) != INV:
+                        out = VAR
+                iabs[a] = out if op != Op.LI else INV
+            elif op == Op.LI:
+                iabs[a] = INV
+            elif op == Op.FLI:
+                fabs[a] = INV
+            elif op in (Op.FMOV, Op.FCVT, Op.FSQRT):
+                fabs[a] = fabs[b]
+            elif op in (Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV):
+                fabs[a] = max(fabs[b], fabs[c])
+            elif op == Op.FMA:
+                fabs[a] = max(fabs[b], fabs[c], fabs[d])
+            elif op == Op.NOP:
+                pass
+            else:  # pragma: no cover - body ops are exhaustive above
+                return None
+
+        # every written register must end reproducible: INV (no-op under
+        # replay) or AFF (bulk += stride * k).
+        for reg in iwrites:
+            if iabs[reg] == VAR:
+                return None
+        for reg in fwrites:
+            if fabs[reg] != INV:
+                return None
+
+        op, ra, rb, _tgt, _ = term
+        va, vb = iabs[ra], iabs[rb]
+        if va == AFF and vb == INV:
+            counter, bound, counter_is_a = ra, rb, True
+        elif va == INV and vb == AFF:
+            counter, bound, counter_is_a = rb, ra, False
+        elif va == INV and vb == INV:
+            counter, bound, counter_is_a = -1, rb, True
+        else:
+            return None
+        if op == Op.BLT:
+            kind = "lt" if counter_is_a else "gt"
+        elif op == Op.BGE:
+            kind = "ge" if counter_is_a else "le"
+        elif op == Op.BEQ:
+            kind = "eq"
+        else:
+            kind = "ne"
+
+        steady = (n_fetches - 1) + (1 if il_start != il_last else 0)
+        return LoopInfo(
+            branch_pc=start + len(instrs) - 1,
+            branch_op=op,
+            kind=kind,
+            counter=counter,
+            bound=bound,
+            stride=affine.get(counter, ("imm", 0)),
+            affine=sorted(affine.items()),
+            steady_fetches=steady,
+        )
+
+
+def affine_op(spec: Tuple) -> int:
+    """The opcode that realizes an affine stride spec (for write matching)."""
+    if spec[0] == "imm":
+        return Op.ADDI
+    return Op.ADD if spec[2] > 0 else Op.SUB
+
+
+def _int_sources(op: int, b: int, c: int) -> Tuple[int, ...]:
+    if op in (Op.MOV, Op.ADDI, Op.MULI):
+        return (b,)
+    return (b, c)
+
+
+def _machine_fault_class():
+    from repro.hw.cpu import MachineFault
+
+    return MachineFault
+
+
+def _round_to_single_fn():
+    from repro.hw.cpu import _round_to_single
+
+    return _round_to_single
+
+
+class BlockEngine:
+    """The block cache + replay engine bound to one CPU.
+
+    ``CPU.run`` calls :meth:`begin` once per slice and :meth:`execute`
+    whenever the pc heads a (potential) block; everything else -- table
+    management, deadline math, replay -- lives here.
+    """
+
+    def __init__(self, cpu) -> None:
+        self.cpu = cpu
+        self.compiler = BlockCompiler(cpu)
+        self.stats = EngineStats()
+        self._tables: Dict[int, _CodeTable] = {}
+        self._table: Optional[_CodeTable] = None
+        self._epoch = 0
+        self._ctx: Optional[tuple] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def begin(self) -> Tuple[Dict[int, BasicBlock], Set[int]]:
+        """Bind the engine to the CPU's current code; called per run()."""
+        cpu = self.cpu
+        code = cpu.code
+        key = id(code)
+        table = self._tables.get(key)
+        if table is None or table.code is not code:
+            table = _CodeTable(code, _compute_leaders(code))
+            while len(self._tables) >= MAX_TABLES:
+                self._tables.pop(next(iter(self._tables)))
+            self._tables[key] = table
+        # a slice can resume mid-block (quantum expiry); treat the resume
+        # pc as a leader so the hot path re-enters compiled code there.
+        entry = cpu.pc
+        if entry not in table.leaders:
+            table.leaders.add(entry)
+            table.denied.discard(entry)
+        self._table = table
+        self._ctx = (
+            cpu.counts, cpu.iregs, cpu.fregs, cpu.memory, len(cpu.memory),
+            cpu.call_stack, cpu.hierarchy.data_access, cpu.hierarchy.inst_fetch,
+            cpu.predictor.predict, cpu.predictor.update, cpu.pmu,
+            cpu.touched_pages, cpu.data_base,
+        )
+        return table.blocks, table.denied
+
+    def invalidate(self) -> None:
+        """Drop every code table (machine reset)."""
+        self._tables.clear()
+        self._table = None
+        self._ctx = None
+
+    def retire(self, code: List[tuple]) -> None:
+        """Drop the table of one program (dynaprof migrate/reload)."""
+        self._tables.pop(id(code), None)
+        if self._table is not None and self._table.code is code:
+            self.unbind()
+
+    def unbind(self) -> None:
+        """Forget the active binding (context restore); tables survive."""
+        self._table = None
+        self._ctx = None
+
+    def barrier(self) -> None:
+        """External machine-state change (e.g. cache pollution).
+
+        Bumps the epoch so replay blacklists are re-armed: a block that
+        looked unsteady before the change may be steady after it (and
+        vice versa -- the next trial re-proves steadiness either way).
+        """
+        self._epoch += 1
+        self.flush()
+
+    def flush(self) -> None:
+        """Flush-before-read barrier (installed as the PMU flush hook).
+
+        The engine applies all effects synchronously inside
+        :meth:`execute` -- compiled bodies write ``counts[]`` directly and
+        bulk replay commits before returning -- so there is never deferred
+        state to write back; this hook is the enforcement point that keeps
+        it that way (any future staging must drain here) and the
+        observability counter for the read-barrier tests.
+        """
+        self.stats.flushes += 1
+
+    # -- execution ------------------------------------------------------
+
+    def execute(
+        self, pc: int, cur_iline: int, rem_ins: int, cyc_budget: int
+    ) -> Optional[Tuple[int, int, int]]:
+        """Run the block headed at *pc* fast, or return None to decline.
+
+        *rem_ins* is the remaining instruction budget (-1 = unlimited);
+        *cyc_budget* the absolute TOT_CYC stop line (-1 = unlimited).
+        Returns ``(next_pc, cur_iline, instructions_retired)``.
+        """
+        table = self._table
+        block = table.blocks.get(pc)
+        if block is None:
+            if pc not in table.leaders:
+                table.denied.add(pc)
+                return None
+            block = self.compiler.compile_block(table.code, pc)
+            if block is None:
+                table.denied.add(pc)
+                return None
+            table.blocks[pc] = block
+            self.stats.blocks_compiled += 1
+            if block.falls_through:
+                # a MAX_BLOCK_LEN split: let the hot path continue into
+                # the rest of the straight-line run.
+                nxt = block.start + block.n_ins
+                table.leaders.add(nxt)
+                table.denied.discard(nxt)
+
+        n_ins = block.n_ins
+        if 0 <= rem_ins < n_ins:
+            return None
+        cpu = self.cpu
+        counts = cpu.counts
+        if cyc_budget >= 0 and counts[_S.TOT_CYC] + block.max_cyc >= cyc_budget:
+            return None
+
+        # -- PMU deadlines: decline if the block could cross one --------
+        pmu = cpu.pmu
+        sampler_on = False
+        if pmu is not None:
+            if pmu.sampler is not None:
+                if pmu.sample_countdown <= n_ins:
+                    return None
+                sampler_on = True
+            if pmu.watch_active:
+                if pmu.has_pending():
+                    return None
+                md = block.max_deltas
+                for headroom, signals in pmu.watch_constraints():
+                    worst = 0
+                    for s in signals:
+                        worst += md[s]
+                    if headroom <= worst:
+                        return None
+            if pmu.timer_active and pmu.cycles_to_timer(counts[_S.TOT_CYC]) <= block.max_cyc:
+                return None
+
+        loop = block.loop
+        if (
+            loop is not None
+            and block.fail_epoch == self._epoch
+            and block.fails >= REPLAY_FAIL_LIMIT
+        ):
+            loop = None
+
+        total = n_ins
+        if loop is None:
+            next_pc, cur_iline = block.fn(*self._ctx, cur_iline)
+        else:
+            snap = counts.copy()
+            hsnap = cpu.hierarchy.hit_snapshot()
+            next_pc, cur_iline = block.fn(*self._ctx, cur_iline)
+            if next_pc == block.start:
+                k = self._try_replay(
+                    block, loop, snap, hsnap, rem_ins, cyc_budget, sampler_on
+                )
+                total += k * n_ins
+        if sampler_on:
+            pmu.sample_countdown -= total
+        self.stats.blocks_executed += 1
+        self.stats.fast_instructions += total
+        return next_pc, cur_iline, total
+
+    def _try_replay(
+        self,
+        block: BasicBlock,
+        loop: LoopInfo,
+        snap: List[int],
+        hsnap: Tuple[int, int, int, int],
+        rem_ins: int,
+        cyc_budget: int,
+        sampler_on: bool,
+    ) -> int:
+        """After a taken trial iteration, bulk-apply up to *n* more."""
+        cpu = self.cpu
+        counts = cpu.counts
+        iregs = cpu.iregs
+        d = [counts[i] - snap[i] for i in range(Signal.N_SIGNALS)]
+
+        # steady-state trial? all accesses hit, branch predicted, fetch
+        # footprint equal to the back-edge steady state.
+        if (
+            d[_S.L1D_MISS] or d[_S.L1I_MISS] or d[_S.L2_MISS]
+            or d[_S.TLB_DM] or d[_S.BR_MSP]
+            or d[_S.L1I_ACC] != loop.steady_fetches
+        ):
+            if block.fail_epoch != self._epoch:
+                block.fail_epoch = self._epoch
+                block.fails = 0
+            block.fails += 1
+            return 0
+        if not cpu.predictor.steady_taken(loop.branch_pc):
+            return 0
+
+        # exact remaining taken count from the affine counter.
+        if loop.counter < 0:
+            # both operands invariant: the branch repeats its trial
+            # outcome (taken) forever; replay in chunks.
+            n = REPLAY_CHUNK
+        else:
+            spec = loop.stride
+            stride = spec[1] if spec[0] == "imm" else iregs[spec[1]] * spec[2]
+            n = _count_consecutive_takens(
+                loop.kind, iregs[loop.counter], stride, iregs[loop.bound],
+                REPLAY_CHUNK,
+            )
+        if n <= 0:
+            return 0
+
+        # deadline caps: never cross a budget, sample tick, overflow
+        # threshold or timer inside the bulk step.
+        n_ins = block.n_ins
+        k = n
+        if rem_ins >= 0:
+            k = min(k, rem_ins // n_ins - 1)
+        d_cyc = d[_S.TOT_CYC]
+        if cyc_budget >= 0 and d_cyc > 0:
+            k = min(k, (cyc_budget - counts[_S.TOT_CYC] - 1) // d_cyc)
+        pmu = cpu.pmu
+        if pmu is not None:
+            if sampler_on:
+                k = min(k, (pmu.sample_countdown - n_ins - 1) // n_ins)
+            if pmu.watch_active:
+                for headroom, signals in pmu.watch_constraints():
+                    dw = 0
+                    for s in signals:
+                        dw += d[s]
+                    if dw > 0:
+                        k = min(k, (headroom - 1) // dw)
+            if pmu.timer_active and d_cyc > 0:
+                k = min(k, (pmu.cycles_to_timer(counts[_S.TOT_CYC]) - 1) // d_cyc)
+        if k <= 0:
+            return 0
+
+        # -- commit: k identical iterations as one bulk update ----------
+        for i in range(Signal.N_SIGNALS):
+            di = d[i]
+            if di:
+                counts[i] += di * k
+        h = cpu.hierarchy
+        cur = h.hit_snapshot()
+        h.replay_hits(
+            (cur[0] - hsnap[0]) * k,
+            (cur[1] - hsnap[1]) * k,
+            (cur[2] - hsnap[2]) * k,
+            (cur[3] - hsnap[3]) * k,
+        )
+        for reg, spec in loop.affine:
+            if spec[0] == "imm":
+                iregs[reg] += spec[1] * k
+            else:
+                iregs[reg] += iregs[spec[1]] * spec[2] * k
+        block.fails = 0
+        self.stats.replays += 1
+        self.stats.replayed_instructions += k * n_ins
+        return k

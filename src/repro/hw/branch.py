@@ -30,6 +30,18 @@ class BranchPredictor:
         """Forget all learned state."""
         raise NotImplementedError
 
+    def steady_taken(self, pc: int) -> bool:
+        """True when the branch at *pc* is in a *steady taken* state.
+
+        Steady means: ``predict(pc)`` returns True and ``update(pc, True)``
+        leaves the predictor's entire state unchanged, so an unbounded run
+        of taken outcomes is a fixed point.  The block engine's loop
+        replay requires this before multiplying a trial iteration.
+        Unknown predictors conservatively answer False (replay disabled,
+        correctness unaffected).
+        """
+        return False
+
 
 class StaticTakenPredictor(BranchPredictor):
     """Always predicts taken (backward-branch-dominated codes do well)."""
@@ -44,6 +56,9 @@ class StaticTakenPredictor(BranchPredictor):
 
     def reset(self) -> None:
         pass
+
+    def steady_taken(self, pc: int) -> bool:
+        return True
 
 
 class TwoBitPredictor(BranchPredictor):
@@ -77,6 +92,10 @@ class TwoBitPredictor(BranchPredictor):
     def reset(self) -> None:
         for i in range(len(self._table)):
             self._table[i] = 2
+
+    def steady_taken(self, pc: int) -> bool:
+        # state 3 is saturated: a taken outcome leaves it at 3.
+        return self._table[pc & self._mask] == 3
 
 
 class GsharePredictor(BranchPredictor):
@@ -115,6 +134,15 @@ class GsharePredictor(BranchPredictor):
         for i in range(len(self._table)):
             self._table[i] = 2
         self._history = 0
+
+    def steady_taken(self, pc: int) -> bool:
+        # taken outcomes shift 1s into the history; once it saturates at
+        # all-ones AND the indexed entry saturates at 3, further taken
+        # outcomes change nothing.
+        return (
+            self._history == self._history_mask
+            and self._table[(pc ^ self._history) & self._mask] == 3
+        )
 
 
 _PREDICTORS: Dict[str, type] = {

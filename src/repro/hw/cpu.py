@@ -120,6 +120,7 @@ class CPU:
         hierarchy: Optional[MemoryHierarchy] = None,
         pmu: Optional[PMU] = None,
         counts: Optional[List[int]] = None,
+        block_engine: bool = True,
     ) -> None:
         self.config = config or CPUConfig()
         self.counts: List[int] = counts if counts is not None else fresh_counts()
@@ -148,6 +149,16 @@ class CPU:
         # derived constants
         self._page_shift = self.hierarchy.config.tlb.page_bits
         self._iline_shift = self.hierarchy.config.l1i.line_bits
+        #: basic-block execution engine (None = pure interpreter).  The
+        #: engine is bit-exact with the interpreter; see
+        #: :mod:`repro.hw.blockcache` for the correctness contract.
+        self.engine = None
+        if block_engine:
+            from repro.hw.blockcache import BlockEngine
+
+            self.engine = BlockEngine(self)
+            if self.pmu is not None:
+                self.pmu.set_flush_hook(self.engine.flush)
 
     # ------------------------------------------------------------------
     # program loading / context switching
@@ -156,6 +167,8 @@ class CPU:
     def load(self, program: Program, heap_words: Optional[int] = None) -> None:
         """Load *program*, allocate its memory and reset architectural state."""
         heap = self.config.heap_words if heap_words is None else heap_words
+        if self.engine is not None and self.code:
+            self.engine.retire(self.code)
         self.program = program
         self.code = program.resolve()
         self.memory = [0] * (program.data_size + heap)
@@ -200,6 +213,27 @@ class CPU:
         self.memory = ctx.memory
         self.program = ctx.program
         self.touched_pages = ctx.touched_pages
+        if self.engine is not None:
+            # the incoming thread's register/memory objects differ from
+            # the bound ones; drop the binding until the next run().
+            self.engine.unbind()
+
+    # ------------------------------------------------------------------
+    # block-engine control
+    # ------------------------------------------------------------------
+
+    def engine_barrier(self) -> None:
+        """External machine-state change (cache pollution, reset, ...).
+
+        Flushes the engine and re-arms its replay trials; a no-op when
+        the engine is disabled.
+        """
+        if self.engine is not None:
+            self.engine.barrier()
+
+    def engine_stats(self):
+        """The engine's :class:`~repro.hw.blockcache.EngineStats`, or None."""
+        return self.engine.stats if self.engine is not None else None
 
     def migrate(self, program: Program, remap: Callable[[int], int]) -> None:
         """Move a paused CPU onto rewritten *program* (dynaprof attach).
@@ -207,6 +241,10 @@ class CPU:
         ``remap`` translates old instruction indices to new ones; it is
         applied to the pc and every return address on the call stack.
         """
+        if self.engine is not None and self.code:
+            # probe insertion rewrote the program: retire the old decode
+            # cache (pcs and block shapes no longer match).
+            self.engine.retire(self.code)
         self.program = program
         self.code = program.resolve()
         self.pc = remap(self.pc)
@@ -266,6 +304,17 @@ class CPU:
         ins_budget = max_instructions if max_instructions is not None else -1
         cyc_budget = (cycle0 + max_cycles) if max_cycles is not None else -1
 
+        # block engine: compiled fast path for block-leader pcs.  Any pc
+        # in ``denied`` (probes, syscalls, halts, mid-block resumes) and
+        # any block that could cross a PMU/budget deadline falls through
+        # to the interpreter body below, which remains the precise
+        # reference path.
+        engine = self.engine
+        denied = None
+        if engine is not None:
+            _blocks, denied = engine.begin()
+            engine_execute = engine.execute
+
         TOT_INS = Signal.TOT_INS
         TOT_CYC = Signal.TOT_CYC
         STL_CYC = Signal.STL_CYC
@@ -297,6 +346,18 @@ class CPU:
             if cyc_budget >= 0 and counts[TOT_CYC] >= cyc_budget:
                 reason = "max_cycles"
                 break
+
+            if denied is not None and pc not in denied:
+                res = engine_execute(
+                    pc,
+                    cur_iline,
+                    ins_budget - executed if ins_budget >= 0 else -1,
+                    cyc_budget,
+                )
+                if res is not None:
+                    pc, cur_iline, n = res
+                    executed += n
+                    continue
 
             # ---- instruction fetch -------------------------------------
             byte_pc = pc * INS_BYTES

@@ -124,6 +124,19 @@ CONTROL_OPS = BRANCH_OPS | JUMP_OPS | {Op.RET, Op.HALT}
 #: Opcodes that access data memory.
 MEMORY_OPS = frozenset({Op.LOAD, Op.STORE, Op.FLOAD, Op.FSTORE})
 
+#: Opcodes the block engine never compiles: they re-enter the simulation
+#: control plane (probe dispatch, syscalls) or end execution, so they
+#: always take the precise interpreter path and cut basic blocks short.
+BLOCK_BREAK_OPS = frozenset({Op.PROBE, Op.SYSCALL, Op.HALT})
+
+#: Opcodes that can raise a MachineFault at runtime (bad address, divide
+#: by zero, negative sqrt, empty call stack).  The block compiler flushes
+#: pending count updates before each of these so the counts array is
+#: exact at the moment a fault propagates.
+FAULTING_OPS = frozenset(
+    {Op.LOAD, Op.STORE, Op.FLOAD, Op.FSTORE, Op.DIV, Op.FDIV, Op.FSQRT, Op.RET}
+)
+
 #: Floating point opcodes (for instruction-mix bookkeeping).
 FP_OPS_SET = frozenset(
     {Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FSQRT, Op.FMA, Op.FCVT, Op.FLI, Op.FMOV}

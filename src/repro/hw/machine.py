@@ -39,6 +39,11 @@ class MachineConfig:
     #: simulated core clock, cycles per microsecond (500 => 500 MHz).
     mhz: int = 500
     seed: int = 12345
+    #: basic-block execution engine switch (see repro/hw/blockcache.py).
+    #: The engine is bit-exact with the interpreter -- identical counts,
+    #: cache state and interrupt delivery -- so this only trades
+    #: simulation speed against the pure-interpreter reference path.
+    block_engine: bool = True
 
     def __post_init__(self) -> None:
         if self.mhz < 1:
@@ -64,6 +69,7 @@ class Machine:
             hierarchy=self.hierarchy,
             pmu=self.pmu,
             counts=self.counts,
+            block_engine=self.config.block_engine,
         )
         self.system_cycles = 0
         self._probes: Dict[int, Callable[[int, CPU], None]] = {}
@@ -107,6 +113,10 @@ class Machine:
             self.hierarchy.pollute(
                 base + i * line for i in range(pollute_lines)
             )
+        # external state changed behind the CPU's back: flush the block
+        # engine and re-arm its steady-loop trials against the new cache
+        # contents.
+        self.cpu.engine_barrier()
 
     # ------------------------------------------------------------------
     # program control
@@ -163,6 +173,10 @@ class Machine:
         """Raw machine-lifetime total of one event signal."""
         return self.counts[signal]
 
+    def engine_stats(self):
+        """Block-engine work counters, or None when the engine is off."""
+        return self.cpu.engine_stats()
+
     def reset(self) -> None:
         """Power-cycle: zero all signals, flush caches, reset the PMU.
 
@@ -178,4 +192,9 @@ class Machine:
         self.cpu.halted = True
         self.cpu.program = None
         self.cpu.code = []
+        if self.cpu.engine is not None:
+            self.cpu.engine.invalidate()
+            # pmu.reset() does not clear the flush hook; keep the barrier
+            # installed for the machine's lifetime.
+            self.pmu.set_flush_hook(self.cpu.engine.flush)
         self._probes.clear()

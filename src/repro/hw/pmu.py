@@ -235,6 +235,15 @@ class PMU:
         #: interrupts delivered (overflow + timer + samples); the machine
         #: charges ``interrupt_cost`` cycles for each.
         self.interrupts_delivered = 0
+        #: flush-before-read barrier: invoked before any externally
+        #: observable counter read so an execution engine that batches
+        #: count updates (see :mod:`repro.hw.blockcache`) can drain them
+        #: first.  ``None`` when no engine is attached.
+        self._flush_hook: Optional[Callable[[], None]] = None
+
+    def set_flush_hook(self, hook: Optional[Callable[[], None]]) -> None:
+        """Install the barrier invoked before counter reads/stops."""
+        self._flush_hook = hook
 
     # ------------------------------------------------------------------
     # counter control
@@ -291,6 +300,8 @@ class PMU:
 
     def stop(self, index: int) -> int:
         """Stop counting; returns the final value."""
+        if self._flush_hook is not None:
+            self._flush_hook()
         ctr = self._counter(index)
         if ctr.running:
             ctr.accum += self._live_delta(ctr)
@@ -299,6 +310,13 @@ class PMU:
         return ctr.accum
 
     def read(self, index: int) -> int:
+        """Externally observable read: flush-barrier, then the value."""
+        if self._flush_hook is not None:
+            self._flush_hook()
+        return self._read(index)
+
+    def _read(self, index: int) -> int:
+        """Barrier-free read for internal hot paths (overflow checks)."""
         ctr = self._counter(index)
         if ctr.running:
             return ctr.accum + self._live_delta(ctr)
@@ -363,7 +381,7 @@ class PMU:
         delivered = 0
         if self._watches:
             for watch in self._watches.values():
-                value = self.read(watch.counter)
+                value = self._read(watch.counter)
                 if value >= watch.next_trigger:
                     # schedule delivery; catch up if multiple thresholds
                     # were crossed at once (possible with multi-signal
@@ -398,6 +416,40 @@ class PMU:
             self._pending = still_pending
             self.watch_active = bool(self._watches or self._pending)
         return delivered
+
+    # ------------------------------------------------------------------
+    # deadline queries (block-engine support)
+    # ------------------------------------------------------------------
+
+    def has_pending(self) -> bool:
+        """True while overflow deliveries are in their skid window.
+
+        Pending deliveries drain one skid step per retired instruction,
+        so any bulk executor must fall back to the precise path until the
+        queue is empty.
+        """
+        return bool(self._pending)
+
+    def watch_constraints(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """``(headroom, signals)`` per armed overflow watch.
+
+        ``headroom`` is how far the watched counter sits below its next
+        trigger; a bulk step may advance the watch's signals by strictly
+        less than that without crossing the threshold.  Watches on
+        stopped counters are omitted: their value is frozen, so no amount
+        of signal traffic can cross them.
+        """
+        out: List[Tuple[int, Tuple[int, ...]]] = []
+        for watch in self._watches.values():
+            if self.counters[watch.counter].running:
+                out.append(
+                    (watch.next_trigger - self._read(watch.counter), watch.signals)
+                )
+        return out
+
+    def cycles_to_timer(self, cycle: int) -> int:
+        """Cycles until the next cycle-timer tick (undefined when off)."""
+        return self._timer_next - cycle
 
     # ------------------------------------------------------------------
     # cycle timer

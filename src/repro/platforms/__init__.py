@@ -52,15 +52,20 @@ DIRECT_PLATFORMS: List[str] = [
 ]
 
 
-def create(name: str, seed: int = 12345) -> Substrate:
-    """Instantiate the named platform substrate."""
+def create(name: str, seed: int = 12345, block_engine: bool = True) -> Substrate:
+    """Instantiate the named platform substrate.
+
+    ``block_engine=False`` forces the machine onto the pure-interpreter
+    reference path (see :class:`repro.hw.machine.MachineConfig`); results
+    are bit-identical either way, only simulation speed differs.
+    """
     try:
         cls = _REGISTRY[name]
     except KeyError:
         raise SubstrateError(
             f"unknown platform {name!r}; known: {PLATFORM_NAMES}"
         ) from None
-    return cls(seed=seed)
+    return cls(seed=seed, block_engine=block_engine)
 
 
 def all_platforms(seed: int = 12345) -> List[Substrate]:

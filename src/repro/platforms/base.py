@@ -27,6 +27,7 @@ overflow dispatch, profiling -- is the portable library in
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -110,8 +111,11 @@ class Substrate:
     #: generation and the preset-table FMA-normalization lint (PL203).
     HAS_FMA = False
 
-    def __init__(self, seed: int = 12345) -> None:
-        self.machine = Machine(self._machine_config(seed))
+    def __init__(self, seed: int = 12345, block_engine: bool = True) -> None:
+        config = self._machine_config(seed)
+        if config.block_engine != block_engine:
+            config = dataclasses.replace(config, block_engine=block_engine)
+        self.machine = Machine(config)
         self.os = OS(self.machine)
         self.native_events: Dict[str, NativeEvent] = {
             ev.name: ev for ev in self._native_events()

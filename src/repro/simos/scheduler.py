@@ -30,6 +30,11 @@ class SchedulerStats:
     context_switches: int = 0
     slices: int = 0
     idle_dispatches: int = 0
+    #: instructions retired through the CPU's block engine across all
+    #: slices (0 when the engine is disabled); replayed_instructions is
+    #: the subset applied as bulk steady-loop replay.
+    engine_instructions: int = 0
+    engine_replayed: int = 0
 
 
 class OS:
@@ -165,9 +170,15 @@ class OS:
             raise OSError_(f"thread {thread.tid} is not ready ({thread.state.value})")
         self._current = thread
         self._dispatch(thread)
+        est = self.machine.engine_stats()
+        fast0 = est.fast_instructions if est is not None else 0
+        replay0 = est.replayed_instructions if est is not None else 0
         result = self.machine.run(
             max_cycles=max_cycles if max_cycles is not None else self.quantum_cycles
         )
+        if est is not None:
+            self.stats.engine_instructions += est.fast_instructions - fast0
+            self.stats.engine_replayed += est.replayed_instructions - replay0
         self._deschedule(thread, result)
         self.machine.charge(self.ctx_switch_cost)
         self.stats.context_switches += 1
