@@ -1,0 +1,201 @@
+"""A5: SMP scaling -- per-CPU PMUs, thread migration, exact virtual counts.
+
+Not a paper experiment: the paper's platforms were measured one CPU at a
+time, but the ROADMAP north-star shards monitored work across cores
+(LIKWID/ScALPEL lineage).  This ablation schedules a fixed pool of
+worker threads over 1, 2, 4 and 8 simulated CPUs and reports the
+*makespan* (busiest CPU's cycle tally -- the reconstructed parallel wall
+clock).  Two hard invariants are asserted on every configuration:
+
+- **conservation**: the per-thread virtual counts of the bound FMA
+  counters sum exactly to the per-CPU signal totals;
+- **placement independence**: each thread's virtual count is identical
+  whatever the CPU count, even though threads migrate freely.
+
+The committed baseline in ``BENCH_a5_smp_scaling.json`` stores the
+expected speedups; the simulation is deterministic, so ``--check``
+failures mean the scheduler's placement or accounting changed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _shared import emit, run_once
+from repro.analysis import Table
+from repro.hw import Assembler, Signal
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.pmu import PMUConfig
+from repro.simos.scheduler import OS
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_a5_smp_scaling.json"
+
+#: a speedup drop worse than this factor vs the baseline fails --check.
+REGRESSION_TOLERANCE = 0.10
+
+NCPUS_SWEEP = [1, 2, 4, 8]
+NTHREADS = 8
+QUANTUM_CYCLES = 4000
+
+
+def worker(iters: int, name: str) -> "object":
+    """A loop-heavy worker with FMA traffic and some memory churn."""
+    asm = Assembler(name=name)
+    base = asm.reserve_data(64)
+    asm.label("main")
+    asm.li("r1", 0)
+    asm.li("r2", iters)
+    asm.li("r9", base)
+    asm.fli("f1", 1.0001)
+    asm.fli("f2", 0.75)
+    asm.label("loop")
+    asm.fma("f3", "f1", "f2", "f1")
+    asm.load("r6", "r9", 3)
+    asm.addi("r4", "r4", 1)
+    asm.addi("r1", "r1", 1)
+    asm.blt("r1", "r2", "loop")
+    asm.halt()
+    return asm.build()
+
+
+def _run_pool(ncpus: int):
+    machine = Machine(MachineConfig(
+        ncpus=ncpus, pmu=PMUConfig(n_counters=NTHREADS)
+    ))
+    os_ = OS(machine, quantum_cycles=QUANTUM_CYCLES)
+    threads = [
+        os_.spawn(worker(2_000 + 250 * i, f"w{i}")) for i in range(NTHREADS)
+    ]
+    for i, t in enumerate(threads):
+        machine.cpus[0].pmu.program(i, [Signal.FP_FMA])
+        os_.bind_counter(t, i)
+        os_.counter_start(t, i)
+    t0 = time.perf_counter()
+    stats = os_.run()
+    sim_seconds = time.perf_counter() - t0
+    per_thread = [os_.counter_stop(t, i) for i, t in enumerate(threads)]
+    per_cpu_total = sum(
+        cpu.counts[Signal.FP_FMA] for cpu in machine.cpus
+    )
+    assert sum(per_thread) == per_cpu_total, (
+        f"conservation violated at ncpus={ncpus}: "
+        f"{sum(per_thread)} != {per_cpu_total}"
+    )
+    return {
+        "ncpus": ncpus,
+        "makespan_cycles": stats.makespan_cycles,
+        "total_cycles": sum(stats.cpu_busy_cycles),
+        "migrations": stats.migrations,
+        "counter_migrations": stats.counter_migrations,
+        "per_thread_fma": per_thread,
+        "sim_seconds": sim_seconds,
+    }
+
+
+def run_experiment():
+    rows = [_run_pool(ncpus) for ncpus in NCPUS_SWEEP]
+    base = rows[0]
+    for r in rows:
+        r["speedup"] = base["makespan_cycles"] / r["makespan_cycles"]
+        # placement independence: virtual counts never depend on ncpus
+        assert r["per_thread_fma"] == base["per_thread_fma"], (
+            f"per-thread counts changed at ncpus={r['ncpus']}"
+        )
+    return rows
+
+
+def render(rows) -> str:
+    table = Table(
+        ["ncpus", "makespan cycles", "speedup", "migrations",
+         "counter moves"],
+        title=f"A5: SMP scaling, {NTHREADS} workers, "
+              f"{QUANTUM_CYCLES}-cycle quantum (virtual counts exact)",
+    )
+    for r in rows:
+        table.add_row(
+            r["ncpus"], r["makespan_cycles"], f"{r['speedup']:.2f}x",
+            r["migrations"], r["counter_migrations"],
+        )
+    return table.render()
+
+
+def load_baseline():
+    if not BASELINE_PATH.exists():
+        return None
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def check_against_baseline(rows, baseline) -> list:
+    """Regression messages ([] = pass): speedup drops >10% vs baseline."""
+    problems = []
+    expected = baseline["speedups"]
+    for r in rows:
+        key = str(r["ncpus"])
+        if key not in expected:
+            continue
+        floor = expected[key] * (1.0 - REGRESSION_TOLERANCE)
+        if r["speedup"] < floor:
+            problems.append(
+                f"ncpus={key}: speedup {r['speedup']:.2f}x below "
+                f"{floor:.2f}x (baseline {expected[key]:.2f}x - 10%)"
+            )
+    return problems
+
+
+def update_baseline(rows) -> None:
+    baseline = load_baseline() or {"speedups": {}, "trajectory": []}
+    baseline["speedups"] = {
+        str(r["ncpus"]): round(r["speedup"], 2) for r in rows
+    }
+    baseline["trajectory"].append(baseline["speedups"])
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+
+def bench_a5_smp_scaling(benchmark, capsys):
+    rows = run_once(benchmark, run_experiment)
+    emit(capsys, render(rows))
+    by_ncpus = {r["ncpus"]: r for r in rows}
+    # the tentpole acceptance: adding CPUs must shorten the makespan
+    assert by_ncpus[2]["speedup"] > 1.5
+    assert by_ncpus[4]["speedup"] > by_ncpus[2]["speedup"]
+    baseline = load_baseline()
+    if baseline is not None:
+        problems = check_against_baseline(rows, baseline)
+        assert not problems, problems
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >10%% speedup regression vs baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the committed baseline ratios")
+    args = parser.parse_args(argv)
+
+    rows = run_experiment()
+    print(render(rows))
+    if args.update_baseline:
+        update_baseline(rows)
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+    if args.check:
+        baseline = load_baseline()
+        if baseline is None:
+            print(f"no baseline at {BASELINE_PATH}; "
+                  f"run with --update-baseline first")
+            return 1
+        problems = check_against_baseline(rows, baseline)
+        for p in problems:
+            print("FAIL:", p)
+        if problems:
+            return 1
+        print("ok: all speedups within 10% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,6 +61,9 @@ class EventSet:
         self._overflows: Dict[int, OverflowRegistration] = {}
         self._start_real_cyc = 0
         self._domain = C.PAPI_DOM_USER
+        #: CPU whose PMU hosts this EventSet's counters (SMP machines);
+        #: attached threads may migrate, re-homing the counters with them.
+        self._cpu = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -90,6 +93,11 @@ class EventSet:
     @property
     def attached(self) -> Optional["Thread"]:
         return self._attached
+
+    @property
+    def cpu(self) -> int:
+        """The CPU this EventSet's counters are allocated on."""
+        return self._cpu
 
     @property
     def assignment(self) -> Dict[str, int]:
@@ -284,6 +292,24 @@ class EventSet:
             raise IsRunningError("cannot detach while running")
         self._attached = None
 
+    def bind_cpu(self, cpu: int) -> None:
+        """Pin this EventSet's counter allocation to one CPU's PMU.
+
+        On SMP machines each CPU has its own physical counters; an
+        unattached EventSet counts whatever runs on its bound CPU, while
+        an attached one merely starts there (the scheduler re-homes the
+        counters whenever the thread migrates).  CPU 0 is the default
+        and the only choice on single-CPU machines.
+        """
+        if self._running:
+            raise IsRunningError("cannot re-bind CPU while running")
+        ncpus = self.substrate.machine.config.ncpus
+        if not 0 <= cpu < ncpus:
+            raise InvalidArgumentError(
+                f"cpu {cpu} out of range (machine has {ncpus})"
+            )
+        self._cpu = cpu
+
     # ------------------------------------------------------------------
     # overflow
     # ------------------------------------------------------------------
@@ -330,16 +356,27 @@ class EventSet:
         if self._running:
             self._install_overflow(self._overflows[code])
 
+    def _pmu_for(self, idx: int):
+        """The PMU physically hosting counter *idx* right now.
+
+        Attached counters live wherever the scheduler last homed them
+        (they migrate with the thread); otherwise on the bound CPU.
+        """
+        if self._attached is not None and idx in self._attached.counter_home:
+            home = self._attached.counter_home[idx]
+            return self.substrate.machine.cpus[home].pmu
+        return self.substrate.machine.cpus[self._cpu].pmu
+
     def clear_overflow(self, code: int) -> None:
         reg = self._overflows.pop(code, None)
         if reg is not None and self._running:
             idx = self._assignment.get(reg.native.name)
             if idx is not None:
-                self.substrate.machine.pmu.clear_overflow(idx)
+                self._pmu_for(idx).clear_overflow(idx)
 
     def _install_overflow(self, reg: OverflowRegistration) -> None:
         idx = self._assignment[reg.native.name]
-        reg.install(self.substrate.machine.pmu, idx)
+        reg.install(self._pmu_for(idx), idx)
 
     # ------------------------------------------------------------------
     # run control
@@ -395,24 +432,25 @@ class EventSet:
         return native
 
     def _start_direct(self) -> None:
-        pmu = self.substrate.machine.pmu
+        pmu = self.substrate.machine.cpus[self._cpu].pmu
         order = self._counter_order()
         for name, idx in order:
             if pmu.running(idx):
                 pmu.stop(idx)
             self.substrate.program_counter(
-                idx, self._programmed_event(self._natives[name])
+                idx, self._programmed_event(self._natives[name]),
+                cpu=self._cpu,
             )
         indices = [idx for _name, idx in order]
         if self._attached is not None:
             os_ = self.substrate.os
             for idx in indices:
                 if idx not in self._attached.bound_counters:
-                    os_.bind_counter(self._attached, idx)
+                    os_.bind_counter(self._attached, idx, cpu=self._cpu)
                 os_.counter_start(self._attached, idx)
             self.substrate._charge(self.substrate.COSTS.start)
         else:
-            self.substrate.start_counters(indices)
+            self.substrate.start_counters(indices, cpu=self._cpu)
         for reg in self._overflows.values():
             self._install_overflow(reg)
 
@@ -449,9 +487,19 @@ class EventSet:
                 ]
                 self.substrate._charge(self.substrate.COSTS.stop)
             else:
-                values = self.substrate.stop_counters(indices)
+                values = self.substrate.stop_counters(indices, cpu=self._cpu)
         else:
-            values = self.substrate.read_counters(indices)
+            if self._attached is not None:
+                os_ = self.substrate.os
+                self.substrate._charge(
+                    self.substrate.COSTS.read
+                    + self.substrate.COSTS.read_per_counter * len(indices)
+                )
+                values = [
+                    os_.counter_value(self._attached, idx) for idx in indices
+                ]
+            else:
+                values = self.substrate.read_counters(indices, cpu=self._cpu)
         return {name: val for (name, _idx), val in zip(order, values)}
 
     def read(self) -> List[int]:
@@ -465,12 +513,11 @@ class EventSet:
         if not self._running:
             raise NotRunningError("EventSet is not running")
         values = self._compute_values(self._read_native_values(stop=True))
-        pmu = self.substrate.machine.pmu
         for code in self._overflows:
             terms = self._terms[code]
             idx = self._assignment.get(terms[0][0].name)
             if idx is not None:
-                pmu.clear_overflow(idx)
+                self._pmu_for(idx).clear_overflow(idx)
         if self._attached is not None:
             os_ = self.substrate.os
             for idx in list(self._attached.bound_counters):

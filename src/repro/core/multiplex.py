@@ -17,6 +17,11 @@ the spec forces multiplexing to be an explicit low-level opt-in -- is
 exactly what experiment E3 measures.  Every subset rotation goes through
 the substrate's real program/start/stop operations, so multiplexing also
 pays its true interface overhead.
+
+On SMP machines each controller is pinned to its EventSet's bound CPU:
+the rotation timer and the quantum clock are that CPU's own cycle
+counter, so each CPU multiplexes independently at the pace of the work
+its counters observe.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import TYPE_CHECKING, Dict, List
 
 from repro.core.allocation import allocate
 from repro.core.errors import ConflictError, SubstrateFeatureError
+from repro.hw.events import Signal
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.eventset import EventSet
@@ -64,6 +70,13 @@ class MultiplexController:
         self.eventset = eventset
         self.substrate = eventset.substrate
         self.machine = eventset.substrate.machine
+        #: the CPU whose PMU (and cycle timer) drives the rotation; each
+        #: CPU multiplexes independently, with quanta measured in *its
+        #: own* executed cycles, so rotation cadence tracks the work the
+        #: counters actually observe.
+        self.cpu = eventset.cpu
+        self._pmu = self.machine.cpus[self.cpu].pmu
+        self._counts = self.machine.cpus[self.cpu].counts
         self.quantum = getattr(
             eventset.papi, "mpx_quantum_cycles", DEFAULT_QUANTUM_CYCLES
         )
@@ -83,19 +96,24 @@ class MultiplexController:
 
     # ------------------------------------------------------------------
 
+    def _now(self) -> int:
+        """The bound CPU's own executed-cycle clock."""
+        return self._counts[Signal.TOT_CYC]
+
     def _program_and_start(self, subset_index: int) -> None:
         subset = self.subsets[subset_index]
-        pmu = self.machine.pmu
+        pmu = self._pmu
         for name, idx in subset.items():
             if pmu.running(idx):
                 pmu.stop(idx)
-            self.substrate.program_counter(idx, self.natives[name])
-        self.substrate.start_counters(sorted(subset.values()))
+            self.substrate.program_counter(idx, self.natives[name],
+                                           cpu=self.cpu)
+        self.substrate.start_counters(sorted(subset.values()), cpu=self.cpu)
 
     def _stop_and_collect(self, subset_index: int, now: int) -> None:
         subset = self.subsets[subset_index]
         values = self.substrate.stop_counters(
-            [subset[name] for name in subset]
+            [subset[name] for name in subset], cpu=self.cpu
         )
         for name, value in zip(subset, values):
             self._accum[name] += value
@@ -104,13 +122,13 @@ class MultiplexController:
     def start(self) -> None:
         if self._running:
             raise ConflictError("multiplex controller already running")
-        pmu = self.machine.pmu
+        pmu = self._pmu
         if pmu.timer_active:
             raise SubstrateFeatureError(
                 "the platform timer is busy (another multiplexed EventSet "
                 "is running)"
             )
-        now = self.machine.user_cycles
+        now = self._now()
         self._total_start = now
         self._slice_start = now
         self._current = 0
@@ -134,7 +152,7 @@ class MultiplexController:
         """Current subset's live counter values (no stop)."""
         subset = self.subsets[self._current]
         values = self.substrate.read_counters(
-            [subset[name] for name in subset]
+            [subset[name] for name in subset], cpu=self.cpu
         )
         return dict(zip(subset, values))
 
@@ -154,7 +172,7 @@ class MultiplexController:
         return est
 
     def read(self) -> Dict[str, int]:
-        now = self.machine.user_cycles
+        now = self._now()
         counted = dict(self._accum)
         live = self._live_values()
         for name, v in live.items():
@@ -165,18 +183,19 @@ class MultiplexController:
         return self._estimate(counted, active, total)
 
     def stop(self) -> Dict[str, int]:
-        now = self.machine.user_cycles
+        now = self._now()
         self._stop_and_collect(self._current, now)
-        self.machine.pmu.clear_cycle_timer()
+        self._pmu.clear_cycle_timer()
         self._running = False
         total = now - self._total_start
         return self._estimate(dict(self._accum), list(self._active), total)
 
     def reset(self) -> None:
         """Zero all accumulated counts and restart the clocks."""
-        now = self.machine.user_cycles
+        now = self._now()
         subset = self.subsets[self._current]
-        self.substrate.reset_counters([subset[name] for name in subset])
+        self.substrate.reset_counters([subset[name] for name in subset],
+                                      cpu=self.cpu)
         for name in self._accum:
             self._accum[name] = 0
         self._active = [0] * len(self.subsets)

@@ -110,8 +110,10 @@ class CPUContext:
 class CPU:
     """Interpreter for the simulated ISA.
 
-    One CPU instance per :class:`~repro.hw.machine.Machine`.  Threads are
-    time-multiplexed onto it by saving/restoring :class:`CPUContext`.
+    A :class:`~repro.hw.machine.Machine` owns one or more CPUs, each
+    with a private PMU, signal-counts array and block engine (so decode
+    caches are per-CPU) over a shared memory hierarchy.  Threads are
+    time-multiplexed onto CPUs by saving/restoring :class:`CPUContext`.
     """
 
     def __init__(
@@ -142,6 +144,9 @@ class CPU:
         #: get distinct bases so their pages/lines do not alias (distinct
         #: physical memory, as on a real machine).
         self.data_base: int = DATA_SEGMENT_BASE
+        #: position of this CPU in its machine's ``cpus`` list (set by
+        #: the Machine; 0 for standalone CPUs and single-CPU machines).
+        self.cpu_index: int = 0
         #: invoked as ``probe_dispatch(probe_id, cpu)`` on PROBE opcodes.
         self.probe_dispatch: Optional[Callable[[int, "CPU"], None]] = None
         #: set by external code to make :meth:`run` return early.

@@ -44,39 +44,77 @@ class MachineConfig:
     #: cache state and interrupt delivery -- so this only trades
     #: simulation speed against the pure-interpreter reference path.
     block_engine: bool = True
+    #: number of CPUs.  Each CPU gets its own signal-counts array, PMU
+    #: and block engine (private decode caches); the memory hierarchy is
+    #: shared.  ``ncpus=1`` is bit-exact with the historical single-CPU
+    #: machine.
+    ncpus: int = 1
 
     def __post_init__(self) -> None:
         if self.mhz < 1:
             raise ValueError("clock rate must be at least 1 MHz")
+        if self.ncpus < 1:
+            raise ValueError("a machine needs at least one CPU")
 
 
 class Machine:
-    """One simulated computer.
+    """One simulated computer (possibly SMP).
 
-    The signal-counts array is shared by reference between the CPU (which
-    increments it) and the PMU (which reads it), so counter reads are just
-    integer subtraction -- the same cheap register-delta model as real
-    hardware.
+    Each CPU owns a private signal-counts array shared by reference with
+    its private PMU (which reads it), so counter reads are just integer
+    subtraction -- the same cheap register-delta model as real hardware.
+    The memory hierarchy (caches, TLB, predictor-free parts) is shared by
+    every CPU, as on a simple shared-cache SMP.
+
+    For backwards compatibility ``machine.cpu``, ``machine.pmu`` and
+    ``machine.counts`` refer to CPU 0; single-CPU code keeps working
+    unchanged and is bit-exact with the historical machine.
     """
 
     def __init__(self, config: Optional[MachineConfig] = None) -> None:
         self.config = config or MachineConfig()
-        self.counts: List[int] = fresh_counts()
         self.hierarchy = MemoryHierarchy(self.config.hierarchy)
-        self.pmu = PMU(self.config.pmu, self.counts, seed=self.config.seed)
-        self.cpu = CPU(
-            self.config.cpu,
-            hierarchy=self.hierarchy,
-            pmu=self.pmu,
-            counts=self.counts,
-            block_engine=self.config.block_engine,
-        )
         self.system_cycles = 0
         self._probes: Dict[int, Callable[[int, CPU], None]] = {}
-        self.cpu.probe_dispatch = self._dispatch_probe
+        self.cpus: List[CPU] = []
+        for i in range(self.config.ncpus):
+            counts = fresh_counts()
+            # CPU 0 keeps the machine seed exactly (bit-exact with the
+            # single-CPU machine); siblings get derived streams so their
+            # skid/sampling jitter is independent.
+            pmu = PMU(self.config.pmu, counts,
+                      seed=self.config.seed + 7919 * i)
+            cpu = CPU(
+                self.config.cpu,
+                hierarchy=self.hierarchy,
+                pmu=pmu,
+                counts=counts,
+                block_engine=self.config.block_engine,
+            )
+            cpu.cpu_index = i
+            cpu.probe_dispatch = self._dispatch_probe
+            self.cpus.append(cpu)
         #: scratch addresses the counter interface touches when polluting;
         #: chosen high so they collide with application lines by indexing.
         self._pollution_base = 1 << 30
+
+    # -- CPU-0 compatibility aliases -----------------------------------
+
+    @property
+    def cpu(self) -> CPU:
+        return self.cpus[0]
+
+    @property
+    def pmu(self) -> PMU:
+        return self.cpus[0].pmu
+
+    @property
+    def counts(self) -> List[int]:
+        return self.cpus[0].counts
+
+    @property
+    def ncpus(self) -> int:
+        return self.config.ncpus
 
     # ------------------------------------------------------------------
     # clocks
@@ -84,39 +122,46 @@ class Machine:
 
     @property
     def user_cycles(self) -> int:
-        return self.counts[Signal.TOT_CYC]
+        """Execution cycles summed over every CPU."""
+        if len(self.cpus) == 1:
+            return self.cpus[0].counts[Signal.TOT_CYC]
+        return sum(c.counts[Signal.TOT_CYC] for c in self.cpus)
 
     @property
     def real_cycles(self) -> int:
-        return self.counts[Signal.TOT_CYC] + self.system_cycles
+        return self.user_cycles + self.system_cycles
 
     @property
     def real_usec(self) -> float:
         return self.real_cycles / self.config.mhz
 
-    def charge(self, cycles: int, pollute_lines: int = 0) -> None:
+    def charge(self, cycles: int, pollute_lines: int = 0,
+               cpu: int = 0) -> None:
         """Bill *cycles* of counter-interface work to the machine.
 
         When *pollute_lines* > 0, that many distinct cache lines are
         touched as data accesses (without counting as application events),
         evicting application state -- the paper's cache-pollution effect.
+        *cpu* selects which CPU's kernel-cycle signal the work is billed
+        to (the CPU the interface call executed on).
         """
         if cycles < 0 or pollute_lines < 0:
             raise ValueError("cannot charge negative work")
         self.system_cycles += cycles
         # kernel-domain cycles are also a signal, so DOM_ALL counters on
         # the cycle event can include interface work (PAPI_set_domain).
-        self.counts[Signal.SYS_CYC] += cycles
+        self.cpus[cpu].counts[Signal.SYS_CYC] += cycles
         if pollute_lines:
             line = self.hierarchy.config.l1d.line_bytes
             base = self._pollution_base
             self.hierarchy.pollute(
                 base + i * line for i in range(pollute_lines)
             )
-        # external state changed behind the CPU's back: flush the block
-        # engine and re-arm its steady-loop trials against the new cache
-        # contents.
-        self.cpu.engine_barrier()
+        # external state changed behind the CPUs' backs (the hierarchy is
+        # shared): flush every block engine and re-arm their steady-loop
+        # trials against the new cache contents.
+        for c in self.cpus:
+            c.engine_barrier()
 
     # ------------------------------------------------------------------
     # program control
@@ -170,31 +215,34 @@ class Machine:
     # ------------------------------------------------------------------
 
     def signal_total(self, signal: int) -> int:
-        """Raw machine-lifetime total of one event signal."""
-        return self.counts[signal]
+        """Raw machine-lifetime total of one event signal (all CPUs)."""
+        if len(self.cpus) == 1:
+            return self.cpus[0].counts[signal]
+        return sum(c.counts[signal] for c in self.cpus)
 
     def engine_stats(self):
-        """Block-engine work counters, or None when the engine is off."""
+        """CPU 0's block-engine counters, or None when the engine is off."""
         return self.cpu.engine_stats()
 
     def reset(self) -> None:
-        """Power-cycle: zero all signals, flush caches, reset the PMU.
+        """Power-cycle: zero all signals, flush caches, reset the PMUs.
 
         The loaded program (if any) must be re-loaded afterwards.
         """
-        for i in range(len(self.counts)):
-            self.counts[i] = 0
         self.system_cycles = 0
         self.hierarchy.flush()
         self.hierarchy.reset_stats()
-        self.pmu.reset()
-        self.cpu.predictor.reset()
-        self.cpu.halted = True
-        self.cpu.program = None
-        self.cpu.code = []
-        if self.cpu.engine is not None:
-            self.cpu.engine.invalidate()
-            # pmu.reset() does not clear the flush hook; keep the barrier
-            # installed for the machine's lifetime.
-            self.pmu.set_flush_hook(self.cpu.engine.flush)
+        for cpu in self.cpus:
+            for i in range(len(cpu.counts)):
+                cpu.counts[i] = 0
+            cpu.pmu.reset()
+            cpu.predictor.reset()
+            cpu.halted = True
+            cpu.program = None
+            cpu.code = []
+            if cpu.engine is not None:
+                cpu.engine.invalidate()
+                # pmu.reset() does not clear the flush hook; keep the
+                # barrier installed for the machine's lifetime.
+                cpu.pmu.set_flush_hook(cpu.engine.flush)
         self._probes.clear()

@@ -82,6 +82,23 @@ class CounterControl:
 
 
 @dataclass(frozen=True)
+class CounterSnapshot:
+    """Frozen state of one counter, carried across a CPU migration.
+
+    ``watch`` preserves an armed overflow watch as ``(threshold,
+    headroom, handler, overflow_count)`` where *headroom* is how far the
+    counter sat below its next trigger at export time -- re-arming as
+    ``value + headroom`` on the destination PMU preserves partial
+    progress toward the next interrupt exactly, the same invariant a
+    stop/start pair preserves on one CPU.
+    """
+
+    signals: Tuple[int, ...]
+    value: int
+    watch: Optional[Tuple[int, int, Callable, int]] = None
+
+
+@dataclass(frozen=True)
 class OverflowRecord:
     """Delivered to overflow handlers.
 
@@ -333,6 +350,78 @@ class PMU:
 
     def running(self, index: int) -> bool:
         return self._counter(index).running
+
+    # ------------------------------------------------------------------
+    # migration (per-thread counters moving between per-CPU PMUs)
+    # ------------------------------------------------------------------
+
+    def export_counter(self, index: int) -> CounterSnapshot:
+        """Freeze counter *index* for migration and free the register.
+
+        The counter is stopped (accumulating its live delta), any armed
+        overflow watch is packed with its remaining headroom, and any
+        interrupt still in its skid window is delivered immediately --
+        the migration IPI drains the source CPU's interrupt queue, so an
+        already-crossed threshold is never lost.
+        """
+        if self._flush_hook is not None:
+            self._flush_hook()
+        ctr = self._counter(index)
+        if ctr.running:
+            ctr.accum += self._live_delta(ctr)
+            ctr.running = False
+            ctr.armed = ()
+        watch_state = None
+        watch = self._watches.get(index)
+        if watch is not None:
+            watch_state = (
+                watch.threshold,
+                watch.next_trigger - ctr.accum,
+                watch.handler,
+                watch.overflow_count,
+            )
+            for p in [p for p in self._pending if p.watch.counter == index]:
+                watch.overflow_count += 1
+                self.interrupts_delivered += 1
+                p.watch.handler(OverflowRecord(
+                    counter=index,
+                    trigger_pc=p.trigger_pc,
+                    reported_pc=p.trigger_pc,  # drained precisely
+                    cycle=self._counts[Signal.TOT_CYC],
+                    threshold=watch.threshold,
+                    overflow_count=watch.overflow_count,
+                ))
+                watch_state = (watch.threshold, watch_state[1],
+                               watch.handler, watch.overflow_count)
+            self.clear_overflow(index)
+        snap = CounterSnapshot(signals=ctr.signals, value=ctr.accum,
+                               watch=watch_state)
+        ctr.signals = ()
+        ctr.accum = 0
+        ctr.armed = ()
+        return snap
+
+    def import_counter(self, index: int, snap: CounterSnapshot) -> None:
+        """Install a migrated counter (left stopped; caller restarts)."""
+        ctr = self._counter(index)
+        if ctr.running:
+            raise PMUError(
+                f"counter {index} is running; cannot import into it"
+            )
+        ctr.signals = snap.signals
+        ctr.accum = snap.value
+        ctr.armed = ()
+        if snap.watch is not None:
+            threshold, headroom, handler, count = snap.watch
+            self._watches[index] = _OverflowWatch(
+                counter=index,
+                signals=ctr.signals,
+                threshold=threshold,
+                next_trigger=snap.value + headroom,
+                handler=handler,
+                overflow_count=count,
+            )
+            self.watch_active = True
 
     # ------------------------------------------------------------------
     # overflow interrupts

@@ -71,6 +71,10 @@ class _EventSetState:
         self.started_line: Optional[int] = None
         self.ever_stopped = False
         self.conflict_reported = False
+        #: identity of the thread this set is attached to (a _ThreadRef
+        #: for tracked spawn() results, else the argument's source text)
+        self.attached: Optional[object] = None
+        self.attached_line: Optional[int] = None
 
     @property
     def platform(self) -> Optional[str]:
@@ -178,6 +182,9 @@ class _ScopeInterpreter:
         self.eventsets: List[_EventSetState] = []
         self.highlevels: List[_HighLevelState] = []
         self.guard_stack: List[Set[str]] = []
+        #: counter index -> (thread identity, bind line) for OS-level
+        #: bind_counter calls (a PMU register is exclusive machine-wide)
+        self.counter_binds: Dict[int, Tuple[object, int]] = {}
 
     # -- plumbing ------------------------------------------------------
 
@@ -281,7 +288,7 @@ class _ScopeInterpreter:
     ) -> None:
         if isinstance(
             value, (_PapiState, _EventSetState, _HighLevelState, str)
-        ) or value.__class__.__name__ == "_SubstrateRef":
+        ) or value.__class__.__name__ in ("_SubstrateRef", "_ThreadRef"):
             self.vars[name] = value
             return
         if isinstance(rhs, ast.Name) and rhs.id in self.vars:
@@ -434,9 +441,58 @@ class _ScopeInterpreter:
             es = _EventSetState(None, node.lineno)
             self.eventsets.append(es)
             return es
+        if method == "spawn":
+            # OS thread creation (os_.spawn / sub.os.spawn): track the
+            # result so bind_counter exclusivity sees through aliases.
+            return _ThreadRef(node.lineno)
+        if method == "bind_counter":
+            self._os_bind_counter(node)
+        if method == "unbind_counter":
+            self._os_unbind_counter(node)
         if method == "run":
             self._check_short_mpx_run(node)
         return None
+
+    # -- OS-level counter virtualization --------------------------------
+
+    def _thread_identity(self, node: ast.expr) -> Optional[object]:
+        """Resolve a thread-valued argument to a stable identity."""
+        if isinstance(node, ast.Name):
+            value = self.vars.get(node.id)
+            if isinstance(value, _ThreadRef):
+                return value
+            return node.id
+        try:
+            return ast.unparse(node)
+        except Exception:  # pragma: no cover - malformed expression
+            return None
+
+    def _os_bind_counter(self, node: ast.Call) -> None:
+        """``os.bind_counter(thread, index)``: one thread per index."""
+        if len(node.args) < 2:
+            return
+        thread = self._thread_identity(node.args[0])
+        index = self.linter._literal(node.args[1])
+        if thread is None or not isinstance(index, int):
+            return
+        previous = self.counter_binds.get(index)
+        if previous is not None and previous[0] != thread:
+            self.report(
+                "PL016", node,
+                f"counter {index} is bound here but was already bound "
+                f"to another thread at line {previous[1]}",
+                hint="unbind_counter() first, or use a different index "
+                     "(a counter register is exclusive machine-wide)",
+            )
+            return
+        self.counter_binds[index] = (thread, node.lineno)
+
+    def _os_unbind_counter(self, node: ast.Call) -> None:
+        if len(node.args) < 2:
+            return
+        index = self.linter._literal(node.args[1])
+        if isinstance(index, int):
+            self.counter_binds.pop(index, None)
 
     # -- EventSet state machine ----------------------------------------
 
@@ -458,13 +514,25 @@ class _ScopeInterpreter:
                 self._es_remove(es, node)
         elif method == "set_multiplex":
             self._es_set_multiplex(es, node)
-        elif method in ("set_domain", "attach", "detach"):
+        elif method == "set_domain":
             if es.running:
                 self.report(
                     "PL007", node,
                     f"{method} on a running EventSet",
                     hint="stop() it first",
                 )
+        elif method == "attach":
+            self._es_attach(es, node)
+        elif method == "detach":
+            if es.running:
+                self.report(
+                    "PL014", node,
+                    "detach on a running EventSet",
+                    hint="stop() it first; the running counters belong "
+                         "to the attached thread",
+                )
+            es.attached = None
+            es.attached_line = None
         elif method == "overflow":
             self._es_overflow(es, node)
         elif method == "start":
@@ -699,6 +767,33 @@ class _ScopeInterpreter:
             )
         es.multiplexed = True
 
+    def _es_attach(self, es: _EventSetState, node: ast.Call) -> None:
+        if es.running:
+            self.report(
+                "PL014", node,
+                "attach on a running EventSet",
+                hint="stop() it first; per-thread counters cannot be "
+                     "re-homed mid-run",
+            )
+        thread = (
+            self._thread_identity(node.args[0]) if node.args else None
+        )
+        if (
+            es.attached is not None
+            and thread is not None
+            and thread != es.attached
+        ):
+            self.report(
+                "PL015", node,
+                f"EventSet is re-attached to a different thread without "
+                f"detach (attached at line {es.attached_line})",
+                hint="detach() first; re-attaching discards the first "
+                     "thread's virtual counts",
+            )
+        if thread is not None:
+            es.attached = thread
+            es.attached_line = node.lineno
+
     def _es_overflow(self, es: _EventSetState, node: ast.Call) -> None:
         if es.running:
             self.report(
@@ -931,3 +1026,10 @@ class _SubstrateRef:
 
     def __init__(self, platform: Optional[str]) -> None:
         self.platform = platform
+
+
+class _ThreadRef:
+    """Marker for an ``os.spawn(...)`` result bound to a variable."""
+
+    def __init__(self, line: int) -> None:
+        self.line = line

@@ -112,6 +112,21 @@ RULES: Dict[str, Rule] = {
              "(overlapping EventSets are unsupported)",
              "Section 5 (PAPI 3 removes overlapping EventSets)",
              guards=("IsRunningError",) + _PAPI_GUARD),
+        Rule("PL014", Severity.ERROR,
+             "attach or detach on a running EventSet (per-thread "
+             "counters cannot be re-homed mid-run)",
+             "Section 2 (thread-level counting; DADD attach semantics)",
+             guards=("IsRunningError",) + _PAPI_GUARD),
+        Rule("PL015", Severity.WARNING,
+             "EventSet re-attached to a different thread without an "
+             "intervening detach (the first thread's counts are "
+             "silently discarded)",
+             "Section 2 (thread-level counting)"),
+        Rule("PL016", Severity.ERROR,
+             "PMU counter index bound to two different threads (a "
+             "counter register is exclusive machine-wide)",
+             "Section 5 (counter allocation); SMP counter virtualization",
+             guards=("OSError_", "OSError") + _PAPI_GUARD),
         # -- static EventSet feasibility --------------------------------
         Rule("PL101", Severity.ERROR,
              "EventSet cannot be mapped onto the platform's physical "

@@ -52,12 +52,19 @@ DIRECT_PLATFORMS: List[str] = [
 ]
 
 
-def create(name: str, seed: int = 12345, block_engine: bool = True) -> Substrate:
+def create(name: str, seed: int = 12345, block_engine: bool = True,
+           ncpus: int = 1) -> Substrate:
     """Instantiate the named platform substrate.
 
     ``block_engine=False`` forces the machine onto the pure-interpreter
     reference path (see :class:`repro.hw.machine.MachineConfig`); results
     are bit-identical either way, only simulation speed differs.
+
+    ``ncpus`` builds an SMP machine: that many CPUs, each with a private
+    PMU and block engine, behind one shared memory hierarchy.  The OS
+    scheduler then dispatches threads across all of them, migrating
+    bound counters so per-thread counts stay exact (``ncpus=1`` is
+    bit-exact with the historical single-CPU substrate).
     """
     try:
         cls = _REGISTRY[name]
@@ -65,7 +72,7 @@ def create(name: str, seed: int = 12345, block_engine: bool = True) -> Substrate
         raise SubstrateError(
             f"unknown platform {name!r}; known: {PLATFORM_NAMES}"
         ) from None
-    return cls(seed=seed, block_engine=block_engine)
+    return cls(seed=seed, block_engine=block_engine, ncpus=ncpus)
 
 
 def all_platforms(seed: int = 12345) -> List[Substrate]:

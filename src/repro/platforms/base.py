@@ -111,10 +111,13 @@ class Substrate:
     #: generation and the preset-table FMA-normalization lint (PL203).
     HAS_FMA = False
 
-    def __init__(self, seed: int = 12345, block_engine: bool = True) -> None:
+    def __init__(self, seed: int = 12345, block_engine: bool = True,
+                 ncpus: int = 1) -> None:
         config = self._machine_config(seed)
         if config.block_engine != block_engine:
             config = dataclasses.replace(config, block_engine=block_engine)
+        if config.ncpus != ncpus:
+            config = dataclasses.replace(config, ncpus=ncpus)
         self.machine = Machine(config)
         self.os = OS(self.machine)
         self.native_events: Dict[str, NativeEvent] = {
@@ -191,33 +194,43 @@ class Substrate:
     # -- direct counting operations --------------------------------------------
     # The PAPI core calls these with concrete counter assignments produced
     # by the allocator.  Sampling substrates override them to raise, and
-    # provide the sampling session API instead.
+    # provide the sampling session API instead.  *cpu* selects which
+    # per-CPU PMU the operation targets (CPU 0 = the classic single-CPU
+    # path; EventSets pinned elsewhere pass their bound CPU).
 
-    def program_counter(self, index: int, event: NativeEvent) -> None:
+    def _cpu_pmu(self, cpu: int):
+        return self.machine.cpus[cpu].pmu
+
+    def program_counter(self, index: int, event: NativeEvent,
+                        cpu: int = 0) -> None:
         self._charge(self.COSTS.program)
-        self.machine.pmu.program(index, event.signals)
+        self._cpu_pmu(cpu).program(index, event.signals)
 
-    def clear_counter(self, index: int) -> None:
+    def clear_counter(self, index: int, cpu: int = 0) -> None:
         self._charge(self.COSTS.program)
-        self.machine.pmu.clear(index)
+        self._cpu_pmu(cpu).clear(index)
 
-    def start_counters(self, indices: Sequence[int]) -> None:
+    def start_counters(self, indices: Sequence[int], cpu: int = 0) -> None:
         self._charge(self.COSTS.start)
+        pmu = self._cpu_pmu(cpu)
         for i in indices:
-            self.machine.pmu.start(i)
+            pmu.start(i)
 
-    def stop_counters(self, indices: Sequence[int]) -> List[int]:
+    def stop_counters(self, indices: Sequence[int], cpu: int = 0) -> List[int]:
         self._charge(self.COSTS.stop)
-        return [self.machine.pmu.stop(i) for i in indices]
+        pmu = self._cpu_pmu(cpu)
+        return [pmu.stop(i) for i in indices]
 
-    def read_counters(self, indices: Sequence[int]) -> List[int]:
+    def read_counters(self, indices: Sequence[int], cpu: int = 0) -> List[int]:
         self._charge(self.COSTS.read + self.COSTS.read_per_counter * len(indices))
-        return [self.machine.pmu.read(i) for i in indices]
+        pmu = self._cpu_pmu(cpu)
+        return [pmu.read(i) for i in indices]
 
-    def reset_counters(self, indices: Sequence[int]) -> None:
+    def reset_counters(self, indices: Sequence[int], cpu: int = 0) -> None:
         self._charge(self.COSTS.reset)
+        pmu = self._cpu_pmu(cpu)
         for i in indices:
-            self.machine.pmu.write(i, 0)
+            pmu.write(i, 0)
 
     # -- sampling (overridden by simALPHA) -----------------------------------
 

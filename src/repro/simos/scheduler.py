@@ -1,16 +1,27 @@
-"""The round-robin scheduler: threads, time slices, counter virtualization.
+"""The SMP scheduler: threads, time slices, migration, counter virtualization.
 
 This is the piece that makes PAPI's "per-thread counts" story work (the
 paper's Tru64 discussion: the original aggregate interface could not do
 per-thread counting; DADD added it).  Counters bound to a thread run
-physically only while that thread occupies the CPU; the scheduler
-pauses/resumes them around every context switch, and charges a context
+physically only while that thread occupies a CPU; the scheduler
+pauses/resumes them around every context switch and charges a context
 switch cost to the machine's system clock.
+
+With ``MachineConfig.ncpus > 1`` the scheduler dispatches ready threads
+across all CPUs round-robin, preferring each thread's last CPU (affinity
+hint) and migrating when a CPU would otherwise idle.  Because every CPU
+has a private PMU, a migrated thread's counters are *re-homed*: the
+source PMU exports each bound counter (value, programming, overflow
+watch with its remaining headroom -- see
+:meth:`repro.hw.pmu.PMU.export_counter`) and the destination imports it,
+so virtual counts survive any placement history exactly.  On a
+single-CPU machine no migration ever happens and scheduling is bit-exact
+with the historical round-robin.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.hw.cpu import RunResult
@@ -30,15 +41,32 @@ class SchedulerStats:
     context_switches: int = 0
     slices: int = 0
     idle_dispatches: int = 0
-    #: instructions retired through the CPU's block engine across all
+    #: instructions retired through the CPUs' block engines across all
     #: slices (0 when the engine is disabled); replayed_instructions is
     #: the subset applied as bulk steady-loop replay.
     engine_instructions: int = 0
     engine_replayed: int = 0
+    #: dispatches that moved a thread to a different CPU than its last.
+    migrations: int = 0
+    #: bound counters re-homed between per-CPU PMUs.
+    counter_migrations: int = 0
+    #: per-CPU slice and busy-cycle tallies (index = CPU index).
+    cpu_slices: List[int] = field(default_factory=list)
+    cpu_busy_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Parallel wall-clock estimate: the busiest CPU's cycle tally.
+
+        The simulator executes slices sequentially, so the SMP wall
+        clock is reconstructed as the maximum per-CPU busy time (every
+        CPU runs independently between shared-cache interactions).
+        """
+        return max(self.cpu_busy_cycles, default=0)
 
 
 class OS:
-    """Multiplexes threads onto one :class:`Machine`.
+    """Multiplexes threads onto the CPUs of one :class:`Machine`.
 
     Typical use::
 
@@ -60,6 +88,7 @@ class OS:
         if ctx_switch_cost < 0:
             raise OSError_("context switch cost cannot be negative")
         self.machine = machine
+        self.ncpus = machine.config.ncpus
         self.quantum_cycles = quantum_cycles
         self.ctx_switch_cost = ctx_switch_cost
         self.threads: List[Thread] = []
@@ -68,10 +97,14 @@ class OS:
             page_bytes=machine.hierarchy.config.tlb.page_bytes,
             total_pages=phys_pages,
         )
-        self.stats = SchedulerStats()
+        self.stats = SchedulerStats(
+            cpu_slices=[0] * self.ncpus,
+            cpu_busy_cycles=[0] * self.ncpus,
+        )
         self._next_tid = 1
         self._current: Optional[Thread] = None
         self._rr_index = 0
+        self._cpu_rr = 0
 
     # ------------------------------------------------------------------
     # thread management
@@ -105,18 +138,36 @@ class OS:
     # counter virtualization (used by the PAPI attach path)
     # ------------------------------------------------------------------
 
-    def bind_counter(self, thread: Thread, index: int) -> None:
-        """Virtualize PMU counter *index* to *thread* (stopped initially)."""
+    def _pmu(self, cpu_index: int):
+        return self.machine.cpus[cpu_index].pmu
+
+    def _check_cpu(self, cpu: int) -> int:
+        if not 0 <= cpu < self.ncpus:
+            raise OSError_(
+                f"cpu {cpu} out of range (machine has {self.ncpus})"
+            )
+        return cpu
+
+    def bind_counter(self, thread: Thread, index: int,
+                     cpu: int = 0) -> None:
+        """Virtualize PMU counter *index* to *thread* (stopped initially).
+
+        A counter index can be bound to at most one thread machine-wide:
+        the index names the same register on every per-CPU PMU, and the
+        register must be free wherever the thread may be dispatched.
+        *cpu* is the counter's initial home -- the PMU whose register
+        currently holds its programming (CPU 0 for the classic path).
+        """
         for t in self.threads:
             if index in t.bound_counters and t is not thread:
                 raise OSError_(
                     f"counter {index} is already bound to thread {t.tid}"
                 )
-        thread.bind_counter(index)
+        thread.bind_counter(index, home=self._check_cpu(cpu))
 
     def unbind_counter(self, thread: Thread, index: int) -> None:
         if thread.bound_counters.get(index) and thread.state is ThreadState.RUNNING:
-            self.machine.pmu.stop(index)
+            self._pmu(thread.counter_home[index]).stop(index)
         thread.unbind_counter(index)
 
     def counter_start(self, thread: Thread, index: int) -> None:
@@ -127,71 +178,150 @@ class OS:
             raise OSError_(f"counter {index} is already started")
         thread.bound_counters[index] = True
         if thread.state is ThreadState.RUNNING:
-            self.machine.pmu.start(index)
+            assert thread.cpu is not None
+            self._migrate_counter(thread, index, thread.cpu)
+            self._pmu(thread.cpu).start(index)
 
     def counter_stop(self, thread: Thread, index: int) -> int:
         if not thread.bound_counters.get(index, False):
             raise OSError_(f"counter {index} is not running for thread {thread.tid}")
         thread.bound_counters[index] = False
+        home = thread.counter_home[index]
         if thread.state is ThreadState.RUNNING:
-            return self.machine.pmu.stop(index)
-        return self.machine.pmu.read(index)
+            return self._pmu(home).stop(index)
+        # descheduled: the counter is already physically stopped on its
+        # home PMU; its accumulated value is the thread's virtual count.
+        return self._pmu(home).read(index)
+
+    def counter_value(self, thread: Thread, index: int) -> int:
+        """Peek a bound counter's current virtual count (no state change)."""
+        if index not in thread.bound_counters:
+            raise OSError_(f"counter {index} is not bound to thread {thread.tid}")
+        return self._pmu(thread.counter_home[index]).read(index)
+
+    def _migrate_counter(self, thread: Thread, index: int,
+                         dest: int) -> None:
+        """Re-home one bound counter's physical state onto CPU *dest*."""
+        home = thread.counter_home[index]
+        if home == dest:
+            return
+        snap = self._pmu(home).export_counter(index)
+        self._pmu(dest).import_counter(index, snap)
+        thread.counter_home[index] = dest
+        self.stats.counter_migrations += 1
+
+    def _migrate_counters(self, thread: Thread, dest: int) -> None:
+        for index in thread.bound_counters:
+            self._migrate_counter(thread, index, dest)
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
 
-    def _dispatch(self, thread: Thread) -> None:
-        self.machine.cpu.restore_context(thread.context)
+    def _dispatch(self, thread: Thread, cpu_index: int) -> None:
+        if thread.last_cpu is not None and thread.last_cpu != cpu_index:
+            thread.migrations += 1
+            self.stats.migrations += 1
+        self._migrate_counters(thread, cpu_index)
+        cpu = self.machine.cpus[cpu_index]
+        cpu.restore_context(thread.context)
         self.signals.current_tid = thread.tid
         thread.state = ThreadState.RUNNING
+        thread.cpu = cpu_index
         thread.dispatches += 1
-        pmu = self.machine.pmu
+        pmu = cpu.pmu
         for index, running in thread.bound_counters.items():
             if running and not pmu.running(index):
+                # plain start (not import) when already home: preserves
+                # partial progress toward an armed overflow threshold
+                # across the descheduled gap, like real virtualization.
                 pmu.start(index)
 
     def _deschedule(self, thread: Thread, result: RunResult) -> None:
-        pmu = self.machine.pmu
+        assert thread.cpu is not None
+        cpu = self.machine.cpus[thread.cpu]
+        pmu = cpu.pmu
         for index, running in thread.bound_counters.items():
             if running and pmu.running(index):
                 pmu.stop(index)
-        thread.context = self.machine.cpu.save_context()
+        thread.context = cpu.save_context()
         thread.user_cycles += result.cycles
+        thread.last_cpu = thread.cpu
+        thread.cpu = None
         thread.state = (
             ThreadState.FINISHED if result.halted else ThreadState.READY
         )
         self.signals.current_tid = None
         self._current = None
 
-    def run_slice(self, thread: Thread, max_cycles: Optional[int] = None) -> RunResult:
-        """Run one time slice of *thread* and context-switch away again."""
+    def run_slice(
+        self,
+        thread: Thread,
+        max_cycles: Optional[int] = None,
+        cpu: Optional[int] = None,
+    ) -> RunResult:
+        """Run one time slice of *thread* and context-switch away again.
+
+        *cpu* pins the slice to a CPU; default is the thread's last CPU
+        (CPU 0 for a never-run thread) -- the affinity hint.
+        """
         if thread.state is not ThreadState.READY:
             raise OSError_(f"thread {thread.tid} is not ready ({thread.state.value})")
+        cpu_index = (
+            self._check_cpu(cpu) if cpu is not None
+            else (thread.last_cpu if thread.last_cpu is not None else 0)
+        )
         self._current = thread
-        self._dispatch(thread)
-        est = self.machine.engine_stats()
+        self._dispatch(thread, cpu_index)
+        machine_cpu = self.machine.cpus[cpu_index]
+        est = machine_cpu.engine_stats()
         fast0 = est.fast_instructions if est is not None else 0
         replay0 = est.replayed_instructions if est is not None else 0
-        result = self.machine.run(
+        result = machine_cpu.run(
             max_cycles=max_cycles if max_cycles is not None else self.quantum_cycles
         )
         if est is not None:
             self.stats.engine_instructions += est.fast_instructions - fast0
             self.stats.engine_replayed += est.replayed_instructions - replay0
         self._deschedule(thread, result)
-        self.machine.charge(self.ctx_switch_cost)
+        self.machine.charge(self.ctx_switch_cost, cpu=cpu_index)
         self.stats.context_switches += 1
         self.stats.slices += 1
+        self.stats.cpu_slices[cpu_index] += 1
+        self.stats.cpu_busy_cycles[cpu_index] += result.cycles + self.ctx_switch_cost
         self.vmem.update(self.threads)
         return result
+
+    def _pick_thread(self, ready: List[Thread], cpu_index: int) -> Thread:
+        """Round-robin with an affinity preference.
+
+        Starting from the round-robin cursor, the first ready thread
+        whose last CPU is *cpu_index* (or that never ran) wins; if every
+        ready thread is affine elsewhere, the cursor's thread migrates
+        rather than leaving the CPU idle.  On a single-CPU machine the
+        affinity test always passes, reducing to the classic round-robin.
+        """
+        n = len(ready)
+        start = self._rr_index % n
+        self._rr_index += 1
+        for off in range(n):
+            t = ready[(start + off) % n]
+            if t.last_cpu is None or t.last_cpu == cpu_index:
+                return t
+        return ready[start]
 
     def run(
         self,
         max_total_cycles: Optional[int] = None,
         max_slices: Optional[int] = None,
     ) -> SchedulerStats:
-        """Round-robin all ready threads until everything halts (or budget)."""
+        """Dispatch ready threads across all CPUs until everything halts.
+
+        CPUs take turns slice-by-slice (the simulator itself is
+        sequential); thread choice per CPU is affinity-preferring
+        round-robin, so with one CPU this is exactly the historical
+        scheduler.
+        """
         start_cycles = self.machine.real_cycles
         slices = 0
         while True:
@@ -205,9 +335,10 @@ class OS:
                 and self.machine.real_cycles - start_cycles >= max_total_cycles
             ):
                 break
-            thread = ready[self._rr_index % len(ready)]
-            self._rr_index += 1
-            self.run_slice(thread)
+            cpu_index = self._cpu_rr % self.ncpus
+            self._cpu_rr += 1
+            thread = self._pick_thread(ready, cpu_index)
+            self.run_slice(thread, cpu=cpu_index)
             slices += 1
         return self.stats
 

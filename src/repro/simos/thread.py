@@ -61,12 +61,23 @@ class Thread:
     system_cycles: int = 0
     #: PMU counter indices virtualized to this thread, mapped to whether
     #: they are *logically* running (they physically run only while the
-    #: thread is on the CPU).
+    #: thread is on a CPU).
     bound_counters: Dict[int, bool] = field(default_factory=dict)
     #: number of times this thread was dispatched.
     dispatches: int = 0
     #: peak resident set in pages, maintained by MemoryAccounting.
     hwm_pages: int = 0
+    #: CPU index this thread last ran on (affinity hint; None = never ran).
+    last_cpu: Optional[int] = None
+    #: CPU index this thread is running on right now (None when off-CPU).
+    cpu: Optional[int] = None
+    #: per bound counter, the CPU index whose PMU holds its physical
+    #: state (accum value, programming, armed overflow watch).  Counters
+    #: are lazily migrated to the dispatch CPU; off-CPU reads route here.
+    counter_home: Dict[int, int] = field(default_factory=dict)
+    #: number of times this thread was dispatched on a different CPU than
+    #: its previous one (cross-CPU migrations).
+    migrations: int = 0
 
     @classmethod
     def create(
@@ -90,13 +101,15 @@ class Thread:
     def touched_pages(self) -> Set[int]:
         return self.context.touched_pages
 
-    def bind_counter(self, index: int) -> None:
+    def bind_counter(self, index: int, home: int = 0) -> None:
         if index in self.bound_counters:
             raise ValueError(f"counter {index} already bound to thread {self.tid}")
         self.bound_counters[index] = False
+        self.counter_home[index] = home
 
     def unbind_counter(self, index: int) -> None:
         self.bound_counters.pop(index, None)
+        self.counter_home.pop(index, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,12 +1,43 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite.
+
+Hypothesis profiles (select with ``HYPOTHESIS_PROFILE=<name>`` or the
+``REPRO_PROPERTY_EXAMPLES=<n>`` scale knob):
+
+- ``ci`` (default): fully deterministic -- ``derandomize=True`` plus a
+  fixed database-free configuration, so a property failure on one CI
+  run reproduces identically on every re-run and on every machine;
+- ``thorough``: the same determinism at ``REPRO_PROPERTY_EXAMPLES``
+  examples per property (default 500) -- the separate CI property job
+  runs this; suites tag their own per-test ``max_examples`` lower
+  bounds via ``@settings`` as usual.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.hw import Assembler, Machine
 from repro.hw.machine import MachineConfig
 from repro.platforms import PLATFORM_NAMES, create
+
+_EXAMPLES = int(os.environ.get("REPRO_PROPERTY_EXAMPLES", "0") or 0)
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile(
+    "thorough",
+    derandomize=True,
+    deadline=None,
+    max_examples=_EXAMPLES if _EXAMPLES > 0 else 500,
+    print_blob=True,
+)
+settings.load_profile(
+    os.environ.get(
+        "HYPOTHESIS_PROFILE", "thorough" if _EXAMPLES > 0 else "ci"
+    )
+)
 
 
 @pytest.fixture

@@ -1,0 +1,40 @@
+"""Capture the seed experiment goldens for the differential suite.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/differential/capture_goldens.py
+
+Writes ``goldens_seed.json`` with every E1--E10/A1--A4 canonical table,
+block engine on and off.  This was run once against the single-CPU seed
+tree (commit c6f6f44) before the SMP layer landed; the committed file
+is the frozen reference and should not be regenerated unless the seed
+semantics themselves are deliberately revised.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from tables import EXPERIMENTS, GOLDENS_PATH, build_table  # noqa: E402
+
+
+def main() -> int:
+    goldens = {}
+    for key in EXPERIMENTS:
+        entry = {}
+        for mode, engine in (("engine_on", True), ("engine_off", False)):
+            print(f"capturing {key} ({mode}) ...", flush=True)
+            entry[mode] = build_table(key, block_engine=engine)
+        goldens[key] = entry
+    GOLDENS_PATH.write_text(json.dumps(goldens, indent=1, sort_keys=True)
+                            + "\n")
+    print(f"wrote {GOLDENS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

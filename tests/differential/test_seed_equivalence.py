@@ -1,0 +1,41 @@
+"""Differential lockdown: the SMP scheduler at ``ncpus=1`` is the seed.
+
+Every experiment table (E1--E10, A1--A4) is re-derived on the current
+tree -- which routes *all* scheduling, counter virtualization and
+multiplexing through the SMP code paths -- and compared bit-exactly
+against ``goldens_seed.json``, captured from the single-CPU seed tree
+before the SMP layer existed.  Both block-engine modes are locked down.
+
+A mismatch here means the refactor changed observable behaviour of the
+classic single-CPU configuration; fix the regression, do not recapture
+the goldens.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from tables import EXPERIMENTS, GOLDENS_PATH, build_table  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    assert GOLDENS_PATH.exists(), (
+        "goldens_seed.json missing; run capture_goldens.py on the seed tree"
+    )
+    return json.loads(GOLDENS_PATH.read_text())
+
+
+@pytest.mark.parametrize("key", EXPERIMENTS)
+@pytest.mark.parametrize("mode", ["engine_on", "engine_off"])
+def test_table_matches_seed(goldens, key, mode):
+    got = json.loads(json.dumps(build_table(key, mode == "engine_on")))
+    assert got == goldens[key][mode], (
+        f"experiment {key} ({mode}) diverged from the seed capture"
+    )

@@ -370,3 +370,131 @@ class TestEngine:
             "es.stop()\n"
         )
         assert "PL002" in codes(src)
+
+
+class TestThreadRules:
+    def test_attach_while_running_is_pl014(self):
+        src = PRELUDE.format(platform="simPOWER") + (
+            "t = substrate.os.spawn(prog)\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+            "es.attach(t)\n"
+            "es.stop()\n"
+        )
+        assert "PL014" in codes(src)
+        assert "PL007" not in codes(src)
+
+    def test_detach_while_running_is_pl014(self):
+        src = PRELUDE.format(platform="simPOWER") + (
+            "t = substrate.os.spawn(prog)\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.attach(t)\n"
+            "es.start()\n"
+            "es.detach()\n"
+            "es.stop()\n"
+        )
+        assert "PL014" in codes(src)
+
+    def test_attach_before_start_is_clean(self):
+        src = PRELUDE.format(platform="simPOWER") + (
+            "t = substrate.os.spawn(prog)\n"
+            "es.attach(t)\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+            "es.stop()\n"
+            "es.detach()\n"
+        )
+        assert codes(src) == []
+
+    def test_pl014_suppressed_by_is_running_guard(self):
+        src = PRELUDE.format(platform="simPOWER") + (
+            "from repro.core.errors import IsRunningError\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.start()\n"
+            "try:\n"
+            "    es.attach(t)\n"
+            "except IsRunningError:\n"
+            "    pass\n"
+            "es.stop()\n"
+        )
+        assert "PL014" not in codes(src)
+
+    def test_reattach_without_detach_is_pl015(self):
+        src = PRELUDE.format(platform="simPOWER") + (
+            "t1 = substrate.os.spawn(prog)\n"
+            "t2 = substrate.os.spawn(prog)\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.attach(t1)\n"
+            "es.attach(t2)\n"
+        )
+        assert "PL015" in codes(src)
+
+    def test_reattach_after_detach_is_clean(self):
+        src = PRELUDE.format(platform="simPOWER") + (
+            "t1 = substrate.os.spawn(prog)\n"
+            "t2 = substrate.os.spawn(prog)\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.attach(t1)\n"
+            "es.detach()\n"
+            "es.attach(t2)\n"
+        )
+        assert "PL015" not in codes(src)
+
+    def test_reattach_same_thread_alias_is_clean(self):
+        # aliasing: the identity is the spawned thread, not the name
+        src = PRELUDE.format(platform="simPOWER") + (
+            "t1 = substrate.os.spawn(prog)\n"
+            "same = t1\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "es.attach(t1)\n"
+            "es.attach(same)\n"
+        )
+        assert "PL015" not in codes(src)
+
+    def test_double_bind_counter_is_pl016(self):
+        src = PRELUDE.format(platform="simPOWER") + (
+            "t1 = substrate.os.spawn(prog)\n"
+            "t2 = substrate.os.spawn(prog)\n"
+            "substrate.os.bind_counter(t1, 0)\n"
+            "substrate.os.bind_counter(t2, 0)\n"
+        )
+        assert "PL016" in codes(src)
+
+    def test_bind_distinct_indices_is_clean(self):
+        src = PRELUDE.format(platform="simPOWER") + (
+            "t1 = substrate.os.spawn(prog)\n"
+            "t2 = substrate.os.spawn(prog)\n"
+            "substrate.os.bind_counter(t1, 0)\n"
+            "substrate.os.bind_counter(t2, 1)\n"
+        )
+        assert "PL016" not in codes(src)
+
+    def test_rebind_after_unbind_is_clean(self):
+        src = PRELUDE.format(platform="simPOWER") + (
+            "t1 = substrate.os.spawn(prog)\n"
+            "t2 = substrate.os.spawn(prog)\n"
+            "substrate.os.bind_counter(t1, 0)\n"
+            "substrate.os.unbind_counter(t1, 0)\n"
+            "substrate.os.bind_counter(t2, 0)\n"
+        )
+        assert "PL016" not in codes(src)
+
+    def test_pl016_suppressed_by_oserror_guard(self):
+        src = PRELUDE.format(platform="simPOWER") + (
+            "from repro.simos import OSError_\n"
+            "t1 = substrate.os.spawn(prog)\n"
+            "t2 = substrate.os.spawn(prog)\n"
+            "substrate.os.bind_counter(t1, 0)\n"
+            "try:\n"
+            "    substrate.os.bind_counter(t2, 0)\n"
+            "except OSError_:\n"
+            "    pass\n"
+        )
+        assert "PL016" not in codes(src)
+
+    def test_new_rules_have_expected_severities(self):
+        from repro.lint.rules import rule
+
+        assert rule("PL014").severity is Severity.ERROR
+        assert rule("PL015").severity is Severity.WARNING
+        assert rule("PL016").severity is Severity.ERROR
