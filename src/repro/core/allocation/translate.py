@@ -62,24 +62,49 @@ def build_problem(
     substrate: Substrate,
     events: Sequence[NativeEvent],
     weights: Optional[Dict[str, float]] = None,
+    banned: Sequence[int] = (),
 ) -> MappingProblem:
-    """Translate a constraint platform's scheme into the bipartite model."""
+    """Translate a constraint platform's scheme into the bipartite model.
+
+    *banned* counters (held by another user of the machine; see
+    ``Substrate.unavailable_counters``) are removed from every event's
+    allowed set, so recovery after counter loss allocates around them.
+    """
+    if banned:
+        ban = set(banned)
+        everything = tuple(
+            c for c in range(substrate.n_counters) if c not in ban
+        )
+        allowed = {
+            ev.name: (
+                everything
+                if ev.allowed_counters is None
+                else tuple(c for c in ev.allowed_counters if c not in ban)
+            )
+            for ev in events
+        }
+    else:
+        allowed = {ev.name: ev.allowed_counters for ev in events}
     return MappingProblem.build(
         [ev.name for ev in events],
         substrate.n_counters,
-        {ev.name: ev.allowed_counters for ev in events},
+        allowed,
         weights,
     )
 
 
 def _allocate_groups_optimal(
-    substrate: Substrate, names: List[str]
+    substrate: Substrate, names: List[str], banned: Sequence[int] = ()
 ) -> AllocationResult:
     """Pick the group covering the most requested events (ties: lowest id)."""
     assert substrate.groups is not None
+    ban = set(banned)
     best = None
     for group in substrate.groups:
-        covered = [n for n in names if n in group.assignments]
+        covered = [
+            n for n in names
+            if n in group.assignments and group.assignments[n] not in ban
+        ]
         key = (len(covered), -group.gid)
         if best is None or key > best[0]:
             best = (key, group, covered)
@@ -120,14 +145,19 @@ def allocate(
     substrate: Substrate,
     events: Sequence[NativeEvent],
     weights: Optional[Dict[str, float]] = None,
+    banned: Sequence[int] = (),
 ) -> AllocationResult:
-    """Optimal allocation (the PAPI 2.3 algorithm behind add_event)."""
+    """Optimal allocation (the PAPI 2.3 algorithm behind add_event).
+
+    *banned* counter indices are excluded from consideration (used by
+    the counter-loss recovery path to route around stolen counters).
+    """
     names = [ev.name for ev in events]
     if len(set(names)) != len(names):
         raise ValueError("duplicate native events passed to the allocator")
     if substrate.uses_groups:
-        return _allocate_groups_optimal(substrate, names)
-    problem = build_problem(substrate, events, weights)
+        return _allocate_groups_optimal(substrate, names, banned)
+    problem = build_problem(substrate, events, weights, banned)
     if weights:
         assignment = max_weight_matching(problem)
     else:

@@ -4,9 +4,18 @@ The C library reports errors as negative return codes; this Python
 reproduction raises typed exceptions carrying the corresponding code, so
 callers can either catch by type or inspect ``exc.code`` as they would
 check a C return value.
+
+Each class also carries a ``transient`` flag: transient errors describe
+conditions that can clear on their own (a failed substrate call, counter
+access stolen by another user) and are candidates for the runtime's
+retry/recovery ladder (:mod:`repro.core.resilience`); fatal errors
+describe requests that will never succeed unchanged (bad arguments,
+unknown events, allocation conflicts) and are surfaced immediately.
 """
 
 from __future__ import annotations
+
+from typing import Union
 
 from repro.core import constants as C
 
@@ -15,6 +24,9 @@ class PapiError(Exception):
     """Base PAPI error; ``code`` is the C-style negative return code."""
 
     code = C.PAPI_EMISC
+    #: whether the condition can clear on its own (retry/recover) or is
+    #: a permanent property of the request (fail fast).
+    transient = False
 
     def __init__(self, message: str = "") -> None:
         detail = C.ERROR_MESSAGES.get(self.code, "unknown error")
@@ -30,8 +42,15 @@ class InvalidArgumentError(PapiError):
     code = C.PAPI_EINVAL
 
 
+class NoMemoryError(PapiError):
+    code = C.PAPI_ENOMEM
+
+
 class SystemError_(PapiError):
+    """A substrate/system call failed; typically a transient condition."""
+
     code = C.PAPI_ESYS
+    transient = True
 
 
 class SubstrateFeatureError(PapiError):
@@ -41,7 +60,10 @@ class SubstrateFeatureError(PapiError):
 
 
 class CountersLostError(PapiError):
+    """Another user took the counters; recoverable by re-acquisition."""
+
     code = C.PAPI_ECLOST
+    transient = True
 
 
 class InternalBugError(PapiError):
@@ -85,11 +107,14 @@ class NotEnoughCountersError(PapiError):
     code = C.PAPI_ENOCNTR
 
 
-#: code -> exception class, for raise_for_code.
+#: code -> exception class, for raise_for_code.  Covers every code in
+#: ``constants.ERROR_NAMES`` except ``PAPI_OK`` (which is not an error);
+#: ``PAPI_EMISC`` maps to the base class itself.
 _BY_CODE = {
     cls.code: cls
     for cls in (
         InvalidArgumentError,
+        NoMemoryError,
         SystemError_,
         SubstrateFeatureError,
         CountersLostError,
@@ -101,6 +126,7 @@ _BY_CODE = {
         NoSuchEventSetError,
         NotPresetError,
         NotEnoughCountersError,
+        PapiError,
     )
 }
 
@@ -109,6 +135,13 @@ def error_for_code(code: int, message: str = "") -> PapiError:
     """Build the exception matching a C-style return *code*."""
     cls = _BY_CODE.get(code, PapiError)
     return cls(message)
+
+
+def is_transient(err: Union[PapiError, int]) -> bool:
+    """Whether *err* (an exception or a C-style code) may clear on retry."""
+    if isinstance(err, PapiError):
+        return err.transient
+    return _BY_CODE.get(err, PapiError).transient
 
 
 def strerror(code: int) -> str:

@@ -27,13 +27,26 @@ from repro.core import constants as C
 from repro.core.allocation import allocate
 from repro.core.errors import (
     ConflictError,
+    CountersLostError,
     InvalidArgumentError,
     IsRunningError,
     NoSuchEventError,
     NotRunningError,
+    PapiError,
     SubstrateFeatureError,
+    SystemError_,
 )
-from repro.core.overflow import OverflowInfo, OverflowRegistration
+from repro.core.overflow import (
+    OverflowInfo,
+    OverflowRegistration,
+    SoftwareOverflowEmulator,
+)
+from repro.core.resilience import (
+    DEFAULT_RETRY_POLICY,
+    EventSetHealth,
+    LostInterval,
+    call_with_retry,
+)
 from repro.platforms.base import NativeEvent
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -64,6 +77,18 @@ class EventSet:
         #: CPU whose PMU hosts this EventSet's counters (SMP machines);
         #: attached threads may migrate, re-homing the counters with them.
         self._cpu = 0
+        #: cumulative ledger of every fault the runtime absorbed on this
+        #: EventSet's behalf (retries, lost intervals, degradations).
+        self.health = EventSetHealth()
+        #: per-native counts salvaged across counter-loss recoveries;
+        #: added to raw hardware reads so totals stay monotone.
+        self._recovery_base: Dict[str, int] = {}
+        #: (last plausible totals, real cycle they were observed at) --
+        #: the salvage point for loss recovery and the reference for the
+        #: corruption plausibility check.
+        self._good: Optional[Tuple[Dict[str, int], int]] = None
+        #: software overflow emulation (armed when hardware arming fails).
+        self._soft_overflow: Optional[SoftwareOverflowEmulator] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -367,16 +392,226 @@ class EventSet:
             return self.substrate.machine.cpus[home].pmu
         return self.substrate.machine.cpus[self._cpu].pmu
 
+    def _cpu_for(self, idx: int) -> int:
+        """The CPU physically hosting counter *idx* right now."""
+        if self._attached is not None and idx in self._attached.counter_home:
+            return self._attached.counter_home[idx]
+        return self._cpu
+
     def clear_overflow(self, code: int) -> None:
         reg = self._overflows.pop(code, None)
         if reg is not None and self._running:
+            if self._soft_overflow is not None:
+                self._soft_overflow.disarm(code)
             idx = self._assignment.get(reg.native.name)
             if idx is not None:
                 self._pmu_for(idx).clear_overflow(idx)
 
     def _install_overflow(self, reg: OverflowRegistration) -> None:
+        """Arm one overflow watch: hardware first, software on failure.
+
+        Hardware arming goes through the substrate so injected faults
+        can hit it; if it still fails after the retry policy is
+        exhausted, the registration degrades to the timer-driven
+        :class:`SoftwareOverflowEmulator` (coarse attribution, recorded
+        in the health ledger) instead of aborting the run.
+        """
         idx = self._assignment[reg.native.name]
-        reg.install(self._pmu_for(idx), idx)
+        cpu = self._cpu_for(idx)
+        try:
+            self._sub(lambda: self.substrate.arm_overflow(
+                idx, reg.threshold, reg.make_dispatch(), cpu=cpu
+            ))
+        except SystemError_:
+            if self._soft_overflow is None:
+                self._soft_overflow = SoftwareOverflowEmulator(self)
+            self._soft_overflow.arm(reg, idx)
+            self.health.overflow_emulated = True
+
+    # ------------------------------------------------------------------
+    # resilience: retry, loss recovery, corruption containment
+    # ------------------------------------------------------------------
+
+    def _sub(self, fn):
+        """Run one substrate call under the library's retry policy."""
+        return call_with_retry(
+            self.substrate, fn,
+            getattr(self.papi, "retry_policy", DEFAULT_RETRY_POLICY),
+            self.health, cpu=self._cpu,
+        )
+
+    def _note_good(self, totals: Dict[str, int]) -> None:
+        self._good = (dict(totals), self.substrate.real_cyc())
+
+    def _quiesce_direct(self) -> None:
+        """Raw-PMU cleanup of every assigned counter; never raises.
+
+        The emergency path (kernel-assisted teardown): injected faults
+        only hit the substrate's call boundary, so direct register
+        cleanup is the one operation recovery can always rely on.
+        """
+        for _name, idx in self._assignment.items():
+            try:
+                pmu = self._pmu_for(idx)
+                if pmu.running(idx):
+                    pmu.stop(idx)
+                pmu.clear(idx)  # also drops any armed overflow watch
+            except Exception:
+                pass
+
+    def _emergency_stop(self) -> None:
+        """Force the EventSet into a well-defined STOPPED state.
+
+        Used when recovery is impossible and by the shutdown path; the
+        set is left stopped, its counters released, with all timers and
+        bindings torn down -- never half-started/half-stopped.
+        """
+        self._quiesce_direct()
+        if self._soft_overflow is not None:
+            self._soft_overflow.stop()
+            self._soft_overflow = None
+        if self._mpx is not None:
+            try:
+                self._mpx.abort()
+            except Exception:
+                pass
+            self._mpx = None
+        if self._attached is not None:
+            self.substrate.os.force_release_thread_counters(self._attached)
+        self._session = None
+        self._running = False
+        self.papi._release_counters(self)
+
+    def _plausibility_bound(self, elapsed: int) -> int:
+        """Max believable count delta over *elapsed* real cycles.
+
+        No native event can advance faster than a few signals per cycle;
+        a wild wrap (sign flip or a 2**48-scale jump) is orders of
+        magnitude outside this envelope, so the check never misfires on
+        clean data yet always catches injected corruption.
+        """
+        return 8 * max(0, elapsed) + 4096
+
+    def _corruption_check(self, totals: Dict[str, int]) -> Dict[str, int]:
+        """Replace implausible totals with the last-good values.
+
+        A corrupt value comes from a mis-latched *read* -- the hardware
+        register itself still counts correctly -- so the contained value
+        is simply the last plausible one; the next read sees the true
+        register again.  Every replacement is tallied in the health
+        ledger: the caller gets a monotone, slightly stale number and a
+        record that validation fired, never a wild total.
+        """
+        if self._good is None:
+            return totals
+        good_vals, good_cyc = self._good
+        bound = self._plausibility_bound(
+            self.substrate.real_cyc() - good_cyc
+        )
+        fixed = None
+        for name, value in totals.items():
+            delta = value - good_vals.get(name, 0)
+            if delta < 0 or delta > bound:
+                if fixed is None:
+                    fixed = dict(totals)
+                fixed[name] = good_vals.get(name, 0)
+                self.health.corruptions += 1
+        return fixed if fixed is not None else totals
+
+    def _recover_lost(self, reason: str, stop: bool) -> Dict[str, int]:
+        """Handle ``PAPI_ECLOST``: salvage, re-acquire, resume.
+
+        Returns the salvaged per-native totals (the last plausible
+        observation).  The unobserved window is recorded as a
+        :class:`LostInterval`; when *stop* is false the EventSet is
+        re-allocated around the stolen counter and restarted, falling
+        back to multiplexing (opt-in) when re-allocation is infeasible.
+        """
+        sub = self.substrate
+        now = sub.real_cyc()
+        good_vals, good_cyc = self._good or ({}, self._start_real_cyc)
+        interval = LostInterval(
+            start_cycle=good_cyc,
+            end_cycle=now,
+            natives=tuple(self._natives),
+            reason=reason,
+        )
+        self.health.lost_intervals.append(interval)
+        self._recovery_base = {
+            name: good_vals.get(name, 0) for name in self._natives
+        }
+        self._quiesce_direct()
+        if stop:
+            # the run is over; the salvaged totals are the final answer.
+            interval.recovered = True
+            return dict(self._recovery_base)
+        banned = sorted(sub.unavailable_counters(self._cpu))
+        result = allocate(sub, list(self._natives.values()), banned=banned)
+        if not result.complete:
+            if (
+                getattr(self.papi, "degrade_to_multiplex", False)
+                and not self._overflows
+            ):
+                try:
+                    self._degrade_to_multiplex()
+                except PapiError:
+                    self._emergency_stop()
+                    raise CountersLostError(
+                        f"{reason}; re-allocation infeasible and the "
+                        f"multiplex fallback failed"
+                    ) from None
+                interval.recovered = True
+                self._note_good(dict(self._recovery_base))
+                return dict(self._recovery_base)
+            self._emergency_stop()
+            raise CountersLostError(
+                f"{reason}; re-allocation is infeasible "
+                f"(banned counters: {banned})"
+            ) from None
+        self._assignment = dict(result.assignment)
+        try:
+            self._restart_after_loss()
+        except PapiError:
+            self._emergency_stop()
+            raise
+        interval.recovered = True
+        totals = dict(self._recovery_base)
+        self._note_good(totals)
+        return totals
+
+    def _degrade_to_multiplex(self) -> None:
+        """Finish the run time-sliced when direct re-allocation failed."""
+        from repro.core.multiplex import MultiplexController
+
+        self._assignment = {}
+        self._multiplexed = True
+        self._mpx = MultiplexController(self)
+        self._mpx.start()
+        self.health.degraded_to_multiplex = True
+
+    def _restart_after_loss(self) -> None:
+        """Re-program and restart counters on the fresh assignment."""
+        order = self._counter_order()
+        pmu = self.substrate.machine.cpus[self._cpu].pmu
+        for name, idx in order:
+            if pmu.running(idx):
+                pmu.stop(idx)
+            self._sub(lambda name=name, idx=idx: self.substrate.program_counter(
+                idx, self._programmed_event(self._natives[name]),
+                cpu=self._cpu,
+            ))
+        indices = [idx for _name, idx in order]
+        self._sub(lambda: self.substrate.start_counters(indices, cpu=self._cpu))
+        for reg in self._overflows.values():
+            if (
+                self._soft_overflow is not None
+                and reg.code in self._soft_overflow._watches
+            ):
+                self._soft_overflow.rebase(
+                    reg.code, self._assignment[reg.native.name]
+                )
+            else:
+                self._install_overflow(reg)
 
     # ------------------------------------------------------------------
     # run control
@@ -391,7 +626,13 @@ class EventSet:
         return [(name, self._assignment[name]) for name in self._natives]
 
     def start(self) -> None:
-        """PAPI_start."""
+        """PAPI_start.
+
+        Crash-consistent: if anything fails mid-start (including an
+        injected fault surviving every retry), all partially programmed
+        state is rolled back and the EventSet is left exactly as it was
+        -- stopped, counters released, no timers armed.
+        """
         self._require_events()
         if self._running:
             raise IsRunningError("EventSet is already running")
@@ -413,10 +654,28 @@ class EventSet:
             else:
                 self._start_direct()
         except Exception:
-            self.papi._release_counters(self)
+            self._rollback_start()
             raise
         self._running = True
         self._start_real_cyc = self.substrate.real_cyc()
+        self._recovery_base = {name: 0 for name in self._natives}
+        self._note_good({name: 0 for name in self._natives})
+
+    def _rollback_start(self) -> None:
+        """Undo a partially executed start; never raises."""
+        if not self._sampling() and not self._multiplexed:
+            self._quiesce_direct()
+        if self._soft_overflow is not None:
+            self._soft_overflow.stop()
+            self._soft_overflow = None
+        if self._mpx is not None:
+            try:
+                self._mpx.abort()
+            except Exception:
+                pass
+            self._mpx = None
+        self._session = None
+        self.papi._release_counters(self)
 
     def _programmed_event(self, native: NativeEvent) -> NativeEvent:
         """Apply the counting domain to a native event's signal set."""
@@ -437,10 +696,10 @@ class EventSet:
         for name, idx in order:
             if pmu.running(idx):
                 pmu.stop(idx)
-            self.substrate.program_counter(
+            self._sub(lambda name=name, idx=idx: self.substrate.program_counter(
                 idx, self._programmed_event(self._natives[name]),
                 cpu=self._cpu,
-            )
+            ))
         indices = [idx for _name, idx in order]
         if self._attached is not None:
             os_ = self.substrate.os
@@ -450,7 +709,9 @@ class EventSet:
                 os_.counter_start(self._attached, idx)
             self.substrate._charge(self.substrate.COSTS.start)
         else:
-            self.substrate.start_counters(indices, cpu=self._cpu)
+            self._sub(lambda: self.substrate.start_counters(
+                indices, cpu=self._cpu
+            ))
         for reg in self._overflows.values():
             self._install_overflow(reg)
 
@@ -474,9 +735,14 @@ class EventSet:
             }
         if self._multiplexed:
             assert self._mpx is not None
-            if stop:
-                return self._mpx.stop()
-            return self._mpx.read()
+            estimates = self._mpx.stop() if stop else self._mpx.read()
+            if any(self._recovery_base.values()):
+                # counts salvaged before a mid-run multiplex degradation
+                estimates = {
+                    name: v + self._recovery_base.get(name, 0)
+                    for name, v in estimates.items()
+                }
+            return estimates
         order = self._counter_order()
         indices = [idx for _name, idx in order]
         if stop:
@@ -487,7 +753,12 @@ class EventSet:
                 ]
                 self.substrate._charge(self.substrate.COSTS.stop)
             else:
-                values = self.substrate.stop_counters(indices, cpu=self._cpu)
+                try:
+                    values = self._sub(lambda: self.substrate.stop_counters(
+                        indices, cpu=self._cpu
+                    ))
+                except CountersLostError as exc:
+                    return self._recover_lost(str(exc), stop=True)
         else:
             if self._attached is not None:
                 os_ = self.substrate.os
@@ -499,8 +770,20 @@ class EventSet:
                     os_.counter_value(self._attached, idx) for idx in indices
                 ]
             else:
-                values = self.substrate.read_counters(indices, cpu=self._cpu)
-        return {name: val for (name, _idx), val in zip(order, values)}
+                try:
+                    values = self._sub(lambda: self.substrate.read_counters(
+                        indices, cpu=self._cpu
+                    ))
+                except CountersLostError as exc:
+                    return self._recover_lost(str(exc), stop=False)
+        totals = {
+            name: val + self._recovery_base.get(name, 0)
+            for (name, _idx), val in zip(order, values)
+        }
+        if self.substrate.faults is not None:
+            totals = self._corruption_check(totals)
+        self._note_good(totals)
+        return totals
 
     def read(self) -> List[int]:
         """PAPI_read: values since start/reset, in event-add order."""
@@ -509,15 +792,38 @@ class EventSet:
         return self._compute_values(self._read_native_values())
 
     def stop(self) -> List[int]:
-        """PAPI_stop: stop counting and return the final values."""
+        """PAPI_stop: stop counting and return the final values.
+
+        Crash-consistent: a fault that survives recovery still leaves
+        the EventSet fully stopped (via the emergency path) before the
+        error propagates -- never half-stopped.
+        """
         if not self._running:
             raise NotRunningError("EventSet is not running")
-        values = self._compute_values(self._read_native_values(stop=True))
+        try:
+            values = self._compute_values(self._read_native_values(stop=True))
+        except PapiError as exc:
+            if self._running:
+                # recovery itself may have already emergency-stopped
+                # (and recorded its interval); only a fresh failure
+                # needs the teardown here.
+                _good_vals, good_cyc = self._good or ({}, self._start_real_cyc)
+                self.health.lost_intervals.append(LostInterval(
+                    start_cycle=good_cyc,
+                    end_cycle=self.substrate.real_cyc(),
+                    natives=tuple(self._natives),
+                    reason=f"stop failed: {exc}",
+                ))
+                self._emergency_stop()
+            raise
         for code in self._overflows:
             terms = self._terms[code]
             idx = self._assignment.get(terms[0][0].name)
             if idx is not None:
                 self._pmu_for(idx).clear_overflow(idx)
+        if self._soft_overflow is not None:
+            self._soft_overflow.stop()
+            self._soft_overflow = None
         if self._attached is not None:
             os_ = self.substrate.os
             for idx in list(self._attached.bound_counters):
@@ -540,7 +846,16 @@ class EventSet:
             self._mpx.reset()
         else:
             indices = [idx for _name, idx in self._counter_order()]
-            self.substrate.reset_counters(indices)
+            try:
+                self._sub(lambda: self.substrate.reset_counters(
+                    indices, cpu=self._cpu
+                ))
+            except CountersLostError as exc:
+                # recovery restarts the counters from the salvage point;
+                # a reset discards counts anyway, so zero the bases too.
+                self._recover_lost(str(exc), stop=False)
+        self._recovery_base = {name: 0 for name in self._natives}
+        self._note_good({name: 0 for name in self._natives})
 
     def accum(self, values: List[int]) -> List[int]:
         """PAPI_accum: add current counts into *values*, then reset."""

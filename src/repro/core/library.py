@@ -21,7 +21,9 @@ from repro.core import constants as C
 from repro.core.errors import (
     NoSuchEventError,
     NoSuchEventSetError,
+    PapiError,
 )
+from repro.core.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.core.presets import (
     PRESETS,
     PresetMapping,
@@ -65,6 +67,15 @@ class Papi:
         self._eventsets: Dict[int, "EventSet"] = {}
         self._next_handle = 1
         self._running_handle: Optional[int] = None
+        #: retry-with-backoff policy for transient substrate failures
+        #: (see :mod:`repro.core.resilience`); replace to tune.
+        self.retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
+        #: opt-in graceful degradation: when counter-loss recovery finds
+        #: re-allocation infeasible, finish the run multiplexed instead
+        #: of raising PAPI_ECLOST.  Off by default -- multiplexed counts
+        #: are estimates, and the library never trades exactness away
+        #: silently.
+        self.degrade_to_multiplex = False
         self.initialized = True
 
     # ------------------------------------------------------------------
@@ -231,10 +242,19 @@ class Papi:
     # ------------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """PAPI_shutdown: stop anything running and drop all eventsets."""
+        """PAPI_shutdown: stop anything running and drop all eventsets.
+
+        Idempotent and tolerant of misbehaving clients: still-running
+        EventSets are stopped (falling back to the emergency teardown if
+        a clean stop fails), their counters released, and a second call
+        finds nothing left to do instead of assuming clean behaviour.
+        """
         for es in list(self._eventsets.values()):
             if es.running:
-                es.stop()
+                try:
+                    es.stop()
+                except PapiError:
+                    es._emergency_stop()
         self._eventsets.clear()
         self._running_handle = None
         self.initialized = False

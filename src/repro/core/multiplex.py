@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List
 
 from repro.core.allocation import allocate
-from repro.core.errors import ConflictError, SubstrateFeatureError
+from repro.core.errors import ConflictError, PapiError, SubstrateFeatureError
 from repro.hw.events import Signal
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,17 +41,20 @@ if TYPE_CHECKING:  # pragma: no cover
 DEFAULT_QUANTUM_CYCLES = 5000
 
 
-def partition_natives(substrate, natives: Dict[str, "NativeEvent"]):
+def partition_natives(substrate, natives: Dict[str, "NativeEvent"],
+                      banned=()):
     """Split *natives* into hardware-feasible subsets.
 
     Greedy set-cover by repeated optimal allocation: each round maps as
     many remaining events as the hardware allows and peels them off.
     Raises ConflictError if some event cannot be placed even alone.
+    *banned* counters (held by another user) are excluded, so a
+    controller built during loss recovery routes around them.
     """
     remaining = dict(natives)
     subsets: List[Dict[str, int]] = []
     while remaining:
-        result = allocate(substrate, list(remaining.values()))
+        result = allocate(substrate, list(remaining.values()), banned=banned)
         if not result.assignment:
             raise ConflictError(
                 f"events {sorted(remaining)} cannot be counted on "
@@ -81,7 +84,10 @@ class MultiplexController:
             eventset.papi, "mpx_quantum_cycles", DEFAULT_QUANTUM_CYCLES
         )
         self.natives = dict(eventset._natives)
-        self.subsets = partition_natives(self.substrate, self.natives)
+        self.subsets = partition_natives(
+            self.substrate, self.natives,
+            banned=sorted(self.substrate.unavailable_counters(self.cpu)),
+        )
         self._subset_of: Dict[str, int] = {}
         for si, subset in enumerate(self.subsets):
             for name in subset:
@@ -93,6 +99,9 @@ class MultiplexController:
         self._total_start = 0
         self._running = False
         self.rotations = 0
+        #: set when a rotation fault left the current subset in limbo;
+        #: the next tick re-programs it instead of rotating onward.
+        self._wedged = False
 
     # ------------------------------------------------------------------
 
@@ -100,24 +109,41 @@ class MultiplexController:
         """The bound CPU's own executed-cycle clock."""
         return self._counts[Signal.TOT_CYC]
 
+    def _sub(self, fn):
+        """Substrate call under the owning EventSet's retry policy."""
+        return self.eventset._sub(fn)
+
     def _program_and_start(self, subset_index: int) -> None:
         subset = self.subsets[subset_index]
         pmu = self._pmu
         for name, idx in subset.items():
             if pmu.running(idx):
                 pmu.stop(idx)
-            self.substrate.program_counter(idx, self.natives[name],
-                                           cpu=self.cpu)
-        self.substrate.start_counters(sorted(subset.values()), cpu=self.cpu)
+            self._sub(lambda name=name, idx=idx: self.substrate.program_counter(
+                idx, self.natives[name], cpu=self.cpu
+            ))
+        self._sub(lambda: self.substrate.start_counters(
+            sorted(subset.values()), cpu=self.cpu
+        ))
 
     def _stop_and_collect(self, subset_index: int, now: int) -> None:
         subset = self.subsets[subset_index]
-        values = self.substrate.stop_counters(
+        values = self._sub(lambda: self.substrate.stop_counters(
             [subset[name] for name in subset], cpu=self.cpu
-        )
+        ))
         for name, value in zip(subset, values):
             self._accum[name] += value
         self._active[subset_index] += now - self._slice_start
+
+    def _quiesce_subset(self, subset_index: int) -> None:
+        """Raw-PMU cleanup of one subset's counters; never raises."""
+        for idx in self.subsets[subset_index].values():
+            try:
+                if self._pmu.running(idx):
+                    self._pmu.stop(idx)
+                self._pmu.clear(idx)
+            except Exception:
+                pass
 
     def start(self) -> None:
         if self._running:
@@ -137,23 +163,48 @@ class MultiplexController:
         self._running = True
 
     def _on_tick(self, cycle: int) -> None:
-        """Timer interrupt: rotate to the next subset."""
-        if len(self.subsets) == 1:
+        """Timer interrupt: rotate to the next subset.
+
+        Fault containment: a rotation that fails (transient failure
+        surviving every retry, or a counter stolen mid-rotation) must
+        not propagate out of the timer-interrupt context -- it would
+        unwind the machine's execution loop.  The controller instead
+        marks itself *wedged*: the failed slice's counts are discarded
+        (tallied as ``mpx_rotation_faults`` in the EventSet's health
+        ledger) and each subsequent tick retries re-programming the
+        current subset until the hardware cooperates again.
+        """
+        if len(self.subsets) == 1 and not self._wedged:
             return  # nothing to rotate; counts stay exact
-        self._stop_and_collect(self._current, cycle)
-        self._current = (self._current + 1) % len(self.subsets)
-        self._slice_start = cycle
-        self._program_and_start(self._current)
-        self.rotations += 1
+        try:
+            if self._wedged:
+                self._program_and_start(self._current)
+                self._wedged = False
+                self._slice_start = cycle
+                return
+            self._stop_and_collect(self._current, cycle)
+            self._current = (self._current + 1) % len(self.subsets)
+            self._slice_start = cycle
+            self._program_and_start(self._current)
+            self.rotations += 1
+        except PapiError:
+            self._wedged = True
+            self.eventset.health.mpx_rotation_faults += 1
 
     # ------------------------------------------------------------------
 
     def _live_values(self) -> Dict[str, int]:
         """Current subset's live counter values (no stop)."""
         subset = self.subsets[self._current]
-        values = self.substrate.read_counters(
-            [subset[name] for name in subset], cpu=self.cpu
-        )
+        if self._wedged:
+            return {name: 0 for name in subset}
+        try:
+            values = self._sub(lambda: self.substrate.read_counters(
+                [subset[name] for name in subset], cpu=self.cpu
+            ))
+        except PapiError:
+            self.eventset.health.mpx_rotation_faults += 1
+            return {name: 0 for name in subset}
         return dict(zip(subset, values))
 
     def _estimate(
@@ -184,18 +235,40 @@ class MultiplexController:
 
     def stop(self) -> Dict[str, int]:
         now = self._now()
-        self._stop_and_collect(self._current, now)
+        try:
+            if self._wedged:
+                self.eventset.health.mpx_rotation_faults += 1
+                self._quiesce_subset(self._current)
+            else:
+                self._stop_and_collect(self._current, now)
+        except PapiError:
+            self.eventset.health.mpx_rotation_faults += 1
+            self._quiesce_subset(self._current)
         self._pmu.clear_cycle_timer()
         self._running = False
         total = now - self._total_start
         return self._estimate(dict(self._accum), list(self._active), total)
 
+    def abort(self) -> None:
+        """Raw teardown for emergency paths; never raises."""
+        try:
+            self._pmu.clear_cycle_timer()
+        except Exception:
+            pass
+        self._quiesce_subset(self._current)
+        self._running = False
+
     def reset(self) -> None:
         """Zero all accumulated counts and restart the clocks."""
         now = self._now()
         subset = self.subsets[self._current]
-        self.substrate.reset_counters([subset[name] for name in subset],
-                                      cpu=self.cpu)
+        try:
+            self._sub(lambda: self.substrate.reset_counters(
+                [subset[name] for name in subset], cpu=self.cpu
+            ))
+        except PapiError:
+            self.eventset.health.mpx_rotation_faults += 1
+            self._wedged = True
         for name in self._accum:
             self._accum[name] = 0
         self._active = [0] * len(self.subsets)

@@ -63,7 +63,8 @@ class OverflowRegistration:
     threshold: int
     handler: Callable[[OverflowInfo], None]
 
-    def install(self, pmu: PMU, counter_index: int) -> None:
+    def make_dispatch(self) -> Callable[[OverflowRecord], None]:
+        """The PMU-level handler wrapping the user callback."""
         symbol = self.eventset.papi.event_code_to_name(self.code)
         handle = self.eventset.handle
         threshold = self.threshold
@@ -83,4 +84,97 @@ class OverflowRegistration:
                 )
             )
 
-        pmu.set_overflow(counter_index, threshold, _dispatch)
+        return _dispatch
+
+    def install(self, pmu: PMU, counter_index: int) -> None:
+        pmu.set_overflow(counter_index, self.threshold, self.make_dispatch())
+
+
+@dataclass
+class _SoftWatch:
+    """Emulator-side state for one registration."""
+
+    reg: OverflowRegistration
+    index: int
+    next_trigger: int
+    overflow_count: int = 0
+
+
+class SoftwareOverflowEmulator:
+    """Timer-driven overflow emulation: the graceful-degradation path.
+
+    When hardware overflow arming fails for good (``PAPI_ESYS`` through
+    every retry), the library falls back to polling the counter from the
+    PMU cycle timer and synthesizing :class:`OverflowInfo` callbacks in
+    software -- the strategy PAPI uses on platforms whose substrate has
+    no interrupt support at all (Section 2: overflows "implemented in
+    software using a high resolution interval timer" where hardware
+    support is missing).
+
+    The price is attribution: the reported ``address`` is wherever the
+    program happened to be at the *poll* that noticed the crossing, not
+    within interrupt skid of the causing instruction.  ``true_address``
+    equals ``address`` here -- the emulator genuinely does not know the
+    causing pc, and pretending otherwise would falsify E5-style skid
+    studies.  The EventSet's health record sets ``overflow_emulated`` so
+    callers know the quality of what they got.
+    """
+
+    def __init__(self, eventset: "EventSet", poll_cycles: int = 2000) -> None:
+        self.eventset = eventset
+        self.poll_cycles = poll_cycles
+        machine = eventset.substrate.machine
+        self._cpu = machine.cpus[eventset.cpu]
+        self._pmu = self._cpu.pmu
+        self._watches: dict = {}  # code -> _SoftWatch
+        self._running = False
+
+    def arm(self, reg: OverflowRegistration, index: int) -> None:
+        self._watches[reg.code] = _SoftWatch(
+            reg=reg,
+            index=index,
+            next_trigger=self._pmu.read(index) + reg.threshold,
+        )
+        if not self._running:
+            self._pmu.set_cycle_timer(self.poll_cycles, self._on_tick)
+            self._running = True
+
+    def disarm(self, code: int) -> None:
+        self._watches.pop(code, None)
+        if not self._watches:
+            self.stop()
+
+    def stop(self) -> None:
+        if self._running:
+            self._pmu.clear_cycle_timer()
+            self._running = False
+
+    def rebase(self, code: int, index: int) -> None:
+        """Re-home a watch after counter-loss recovery."""
+        watch = self._watches.get(code)
+        if watch is not None:
+            watch.index = index
+            watch.next_trigger = (
+                self._pmu.read(index) + watch.reg.threshold
+            )
+
+    def _on_tick(self, cycle: int) -> None:
+        pc_bytes = self._cpu.pc * INS_BYTES
+        for watch in self._watches.values():
+            value = self._pmu.read(watch.index)
+            reg = watch.reg
+            while value >= watch.next_trigger:
+                watch.next_trigger += reg.threshold
+                watch.overflow_count += 1
+                reg.handler(
+                    OverflowInfo(
+                        eventset_handle=self.eventset.handle,
+                        code=reg.code,
+                        symbol=self.eventset.papi.event_code_to_name(reg.code),
+                        address=pc_bytes,
+                        overflow_count=watch.overflow_count,
+                        threshold=reg.threshold,
+                        cycle=cycle,
+                        true_address=pc_bytes,
+                    )
+                )

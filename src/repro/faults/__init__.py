@@ -1,0 +1,33 @@
+"""Deterministic fault injection at the substrate boundary.
+
+The paper's platforms misbehave: syscalls fail, other users steal
+counters mid-run, overflow interrupts skid, arrive late or not at all,
+and multiplex timers drift.  This package makes those failure modes
+first-class and *reproducible*: a :class:`FaultPlan` (seed + profile)
+drives a :class:`FaultInjector` that intercepts the substrate's counter
+operations and the PMU's interrupt delivery, injecting the same fault
+schedule on every run with the same seed, plan and program.
+
+With no injector attached the runtime is byte-identical to the clean
+build -- every hook is ``None`` and every gate is a no-op.
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector, attach_from_spec
+from repro.faults.plan import (
+    PROFILES,
+    FaultPlan,
+    FaultProfile,
+    parse_inject,
+    profile,
+)
+
+__all__ = [
+    "PROFILES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultProfile",
+    "attach_from_spec",
+    "parse_inject",
+    "profile",
+]

@@ -1,0 +1,233 @@
+"""The fault injector: deterministic failures at the substrate boundary.
+
+One :class:`FaultInjector` attaches to one substrate
+(:meth:`repro.platforms.base.Substrate.attach_faults`) and intercepts:
+
+- **counter operations** -- ``program_counter`` / ``start_counters`` /
+  ``read_counters`` / ``stop_counters`` / ``reset_counters`` /
+  ``clear_counter`` / ``arm_overflow`` gate through :meth:`before_op`,
+  which may raise a transient :class:`SystemError_` (``PAPI_ESYS``) or
+  steal a counter (:class:`CountersLostError`, ``PAPI_ECLOST``);
+- **read values** -- :meth:`filter_values` corrupts a value with a wild
+  wrap (many orders of magnitude beyond any physically plausible delta,
+  so the library's plausibility check can catch it);
+- **PMU interrupt delivery** -- a delivery gate installed on each
+  per-CPU PMU drops or delays due overflow interrupts, and a jitter hook
+  perturbs the multiplex cycle-timer period.
+
+Every decision comes from one ``random.Random(seed)`` stream consumed in
+a fixed order per opportunity, so the complete fault schedule is a
+deterministic function of ``(seed, profile, program)``.  The injector
+keeps an append-only :attr:`events` log; two runs agree iff their logs
+agree, which the determinism tests assert directly.
+
+A stolen counter models "another user of the machine": the thief stops
+and clobbers the register, and the substrate reports it in
+``unavailable_counters`` until the theft expires (``loss_hold_ops``
+gated ops later), forcing the library's re-allocation path to route
+around it exactly as a real contended machine would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.errors import CountersLostError, SystemError_
+from repro.faults.plan import FaultPlan, parse_inject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.base import Substrate
+
+#: gated op names whose indices can be stolen mid-run.
+_LOSS_OPS = ("read", "stop")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the deterministic log."""
+
+    op_index: int
+    kind: str          # "esys" | "loss" | "corrupt" | "irq_drop" | "irq_delay"
+    op: str            # gated op name, or "irq" for delivery faults
+    cpu: int
+    detail: str = ""
+
+
+class FaultInjector:
+    """Deterministic fault source for one substrate (see module docs)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.profile = plan.profile
+        self._rng = random.Random(plan.seed)
+        self.substrate: Optional["Substrate"] = None
+        #: (cpu, counter index) -> gated ops until the thief lets go.
+        self._stolen: Dict[Tuple[int, int], int] = {}
+        #: remaining consecutive ESYS failures from a triggered burst.
+        self._burst_left = 0
+        #: append-only fault log; equality of two logs == equality of
+        #: the two runs' fault schedules.
+        self.events: List[FaultEvent] = []
+        self.op_index = 0
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def bind(self, substrate: "Substrate") -> None:
+        """Install PMU-level hooks; called by ``attach_faults``."""
+        self.substrate = substrate
+        for cpu in substrate.machine.cpus:
+            if self.profile.irq_drop_rate or self.profile.irq_delay_rate:
+                cpu.pmu.delivery_gate = self._delivery_gate
+            if self.profile.jitter_frac:
+                cpu.pmu.timer_jitter = self._timer_jitter
+
+    def unbind(self) -> None:
+        if self.substrate is None:
+            return
+        for cpu in self.substrate.machine.cpus:
+            cpu.pmu.delivery_gate = None
+            cpu.pmu.timer_jitter = None
+        self.substrate = None
+
+    # ------------------------------------------------------------------
+    # the op gate
+    # ------------------------------------------------------------------
+
+    def _log(self, kind: str, op: str, cpu: int, detail: str = "") -> None:
+        self.events.append(
+            FaultEvent(self.op_index, kind, op, cpu, detail)
+        )
+
+    def _tick_steals(self) -> None:
+        for key in list(self._stolen):
+            self._stolen[key] -= 1
+            if self._stolen[key] <= 0:
+                del self._stolen[key]
+
+    def unavailable(self, cpu: int) -> FrozenSet[int]:
+        """Counter indices currently held by the simulated thief."""
+        return frozenset(i for (c, i) in self._stolen if c == cpu)
+
+    def _steal(self, op: str, indices: Sequence[int], cpu: int) -> None:
+        """Another user takes one of *indices*: clobber it and hold it."""
+        assert self.substrate is not None
+        victim = indices[self._rng.randrange(len(indices))]
+        pmu = self.substrate.machine.cpus[cpu].pmu
+        if pmu.running(victim):
+            pmu.stop(victim)
+        pmu.clear(victim)  # drops any armed overflow watch too
+        self._stolen[(cpu, victim)] = self.profile.loss_hold_ops
+        self._log("loss", op, cpu, f"counter {victim} stolen")
+        raise CountersLostError(
+            f"counter {victim} on cpu {cpu} taken by another user"
+        )
+
+    def before_op(self, op: str, indices: Sequence[int], cpu: int) -> None:
+        """Gate one substrate counter op; raises to inject a fault.
+
+        Decision order per op is fixed (burst continuation, stolen-index
+        check, fresh ESYS draw, fresh loss draw) so the rng stream -- and
+        with it the whole schedule -- is deterministic.
+        """
+        self.op_index += 1
+        self._tick_steals()
+        prof = self.profile
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            self._log("esys", op, cpu, "burst continuation")
+            raise SystemError_(f"injected transient failure in {op}")
+        for idx in indices:
+            if (cpu, idx) in self._stolen:
+                self._log("loss", op, cpu, f"counter {idx} still held")
+                raise CountersLostError(
+                    f"counter {idx} on cpu {cpu} is held by another user"
+                )
+        if prof.esys_rate and self._rng.random() < prof.esys_rate:
+            self._burst_left = prof.esys_burst - 1
+            self._log("esys", op, cpu)
+            raise SystemError_(f"injected transient failure in {op}")
+        if (
+            prof.loss_rate
+            and op in _LOSS_OPS
+            and indices
+            and self._rng.random() < prof.loss_rate
+        ):
+            self._steal(op, indices, cpu)
+
+    def filter_values(
+        self, op: str, indices: Sequence[int], values: List[int], cpu: int
+    ) -> List[int]:
+        """Corrupt one read/stop value with a wild wrap (maybe)."""
+        prof = self.profile
+        if not prof.corrupt_rate or not values:
+            return values
+        if self._rng.random() >= prof.corrupt_rate:
+            return values
+        pos = self._rng.randrange(len(values))
+        # A wild wrap: an impossible jump (sign flip or >> any physically
+        # reachable delta), the signature of a counter rollover or a
+        # mis-latched register read.
+        offset = (1 << 48) + self._rng.randrange(1 << 32)
+        if self._rng.random() < 0.5:
+            offset = -offset
+        out = list(values)
+        out[pos] = out[pos] + offset
+        self._log("corrupt", op, cpu,
+                  f"counter {indices[pos]} wrapped by {offset:+d}")
+        return out
+
+    # ------------------------------------------------------------------
+    # PMU hooks
+    # ------------------------------------------------------------------
+
+    def _delivery_gate(self, counter: int):
+        """Verdict for one due overflow delivery.
+
+        Returns ``None`` (deliver now), ``"drop"`` (discard the
+        interrupt) or an ``int`` (extra skid instructions to wait).
+        """
+        prof = self.profile
+        if prof.irq_drop_rate and self._rng.random() < prof.irq_drop_rate:
+            self._log("irq_drop", "irq", 0, f"counter {counter}")
+            return "drop"
+        if prof.irq_delay_rate and self._rng.random() < prof.irq_delay_rate:
+            extra = self._rng.randint(1, prof.irq_delay_max)
+            self._log("irq_delay", "irq", 0,
+                      f"counter {counter} +{extra} skid")
+            return extra
+        return None
+
+    def _timer_jitter(self, period: int) -> int:
+        """Signed perturbation of one multiplex-timer period."""
+        span = int(period * self.profile.jitter_frac)
+        if span <= 0:
+            return 0
+        return self._rng.randint(-span, span)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def schedule(self) -> List[Tuple[int, str, str, int, str]]:
+        """The fault log as plain tuples (for determinism comparisons)."""
+        return [
+            (e.op_index, e.kind, e.op, e.cpu, e.detail) for e in self.events
+        ]
+
+    def summary(self) -> Dict[str, int]:
+        """Fault counts by kind (papirun output)."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+
+def attach_from_spec(substrate: "Substrate", spec: str) -> FaultInjector:
+    """Parse a ``seed:profile`` spec and attach an injector to *substrate*."""
+    injector = FaultInjector(parse_inject(spec))
+    substrate.attach_faults(injector)
+    return injector

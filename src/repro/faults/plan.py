@@ -1,0 +1,124 @@
+"""Fault plans: what to inject, how often, reproducibly.
+
+A :class:`FaultProfile` is a named bundle of per-kind rates and
+parameters; a :class:`FaultPlan` pairs a profile with a seed.  The
+injector (:mod:`repro.faults.injector`) consumes the plan and derives
+every fault decision from one ``random.Random(seed)`` stream, so the
+fault schedule is a pure function of ``(seed, profile, program)`` --
+identical across runs, and identical whether the block execution engine
+is on or off (the engine is bit-exact, so the substrate op stream the
+injector observes is the same either way).
+
+Profiles are addressed by name (``papirun --inject SEED:PROFILE``,
+``REPRO_FAULT_PROFILE=SEED:PROFILE``) so a failing chaos run is
+reproducible from its one-line description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-kind injection rates and parameters.
+
+    Rates are probabilities per *opportunity*: substrate counter ops for
+    ``esys_rate``/``loss_rate``/``corrupt_rate``, due interrupt
+    deliveries for ``irq_drop_rate``/``irq_delay_rate``, timer re-arms
+    for ``jitter_frac``.
+    """
+
+    name: str
+    #: transient PAPI_ESYS on gated substrate calls.
+    esys_rate: float = 0.0
+    #: consecutive failures per triggered transient fault; keep below the
+    #: retry policy's max_retries for recoverable profiles.
+    esys_burst: int = 1
+    #: counter theft (PAPI_ECLOST) per read/stop opportunity.
+    loss_rate: float = 0.0
+    #: gated substrate ops before a stolen counter is released.
+    loss_hold_ops: int = 6
+    #: dropped overflow-interrupt deliveries.
+    irq_drop_rate: float = 0.0
+    #: delayed overflow-interrupt deliveries ...
+    irq_delay_rate: float = 0.0
+    #: ... by up to this many extra skid instructions.
+    irq_delay_max: int = 16
+    #: counter-value corruption (wild wrap) per read/stop.
+    corrupt_rate: float = 0.0
+    #: multiplex-timer jitter as a fraction of the programmed period.
+    jitter_frac: float = 0.0
+
+    @property
+    def inert(self) -> bool:
+        return not any((
+            self.esys_rate, self.loss_rate, self.irq_drop_rate,
+            self.irq_delay_rate, self.corrupt_rate, self.jitter_frac,
+        ))
+
+
+PROFILES: Dict[str, FaultProfile] = {
+    p.name: p
+    for p in (
+        FaultProfile("none"),
+        FaultProfile("transient", esys_rate=0.05, esys_burst=1),
+        FaultProfile("loss", loss_rate=0.03, loss_hold_ops=6),
+        FaultProfile("irq", irq_drop_rate=0.10, irq_delay_rate=0.20,
+                     irq_delay_max=16),
+        FaultProfile("corrupt", corrupt_rate=0.05),
+        FaultProfile("jitter", jitter_frac=0.30),
+        FaultProfile("chaos", esys_rate=0.03, esys_burst=1,
+                     loss_rate=0.02, loss_hold_ops=6,
+                     irq_drop_rate=0.05, irq_delay_rate=0.10,
+                     irq_delay_max=16, corrupt_rate=0.02,
+                     jitter_frac=0.20),
+    )
+}
+
+
+def profile(name: str) -> FaultProfile:
+    """Look up a named profile; raises ValueError for unknown names."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {name!r}; known: {sorted(PROFILES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A fully reproducible fault schedule: one seed, one profile."""
+
+    seed: int
+    profile: FaultProfile
+
+    @property
+    def spec(self) -> str:
+        """The ``seed:profile`` string that reproduces this plan."""
+        return f"{self.seed}:{self.profile.name}"
+
+
+def parse_inject(spec: str) -> FaultPlan:
+    """Parse a ``seed:profile`` spec (``'2718:chaos'``) into a plan.
+
+    A bare profile name is accepted with a default seed of 0, so
+    ``--inject loss`` works for quick experiments; the canonical
+    round-trippable form always carries the seed.
+    """
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty fault-injection spec")
+    seed_part, sep, name_part = text.partition(":")
+    if not sep:
+        return FaultPlan(seed=0, profile=profile(seed_part))
+    try:
+        seed = int(seed_part)
+    except ValueError:
+        raise ValueError(
+            f"bad fault-injection seed {seed_part!r} in {spec!r} "
+            f"(expected 'seed:profile', e.g. '2718:chaos')"
+        ) from None
+    return FaultPlan(seed=seed, profile=profile(name_part))

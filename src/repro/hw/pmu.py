@@ -257,6 +257,14 @@ class PMU:
         #: count updates (see :mod:`repro.hw.blockcache`) can drain them
         #: first.  ``None`` when no engine is attached.
         self._flush_hook: Optional[Callable[[], None]] = None
+        #: fault-injection hook consulted when a pending overflow
+        #: delivery becomes due: returns ``None`` (deliver), ``"drop"``
+        #: (discard the interrupt) or an ``int`` of extra skid
+        #: instructions.  ``None`` (the default) is the clean path.
+        self.delivery_gate: Optional[Callable[[int], object]] = None
+        #: fault-injection hook perturbing each cycle-timer period by a
+        #: signed offset (multiplex-timer jitter).  ``None`` = exact.
+        self.timer_jitter: Optional[Callable[[int], int]] = None
 
     def set_flush_hook(self, hook: Optional[Callable[[], None]]) -> None:
         """Install the barrier invoked before counter reads/stops."""
@@ -487,6 +495,14 @@ class PMU:
             still_pending: List[_PendingDelivery] = []
             for p in self._pending:
                 if p.remaining_skid <= 0:
+                    if self.delivery_gate is not None:
+                        verdict = self.delivery_gate(p.watch.counter)
+                        if verdict == "drop":
+                            continue
+                        if isinstance(verdict, int) and verdict > 0:
+                            p.remaining_skid = verdict
+                            still_pending.append(p)
+                            continue
                     p.watch.overflow_count += 1
                     record = OverflowRecord(
                         counter=p.watch.counter,
@@ -563,7 +579,10 @@ class PMU:
             return 0
         delivered = 0
         while cycle >= self._timer_next:
-            self._timer_next += self._timer_period
+            period = self._timer_period
+            if self.timer_jitter is not None:
+                period = max(1, period + self.timer_jitter(period))
+            self._timer_next += period
             delivered += 1
         # deliver once per check even if several periods elapsed inside a
         # long-latency instruction; periods are tracked so time accounting

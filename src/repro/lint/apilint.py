@@ -185,6 +185,9 @@ class _ScopeInterpreter:
         #: counter index -> (thread identity, bind line) for OS-level
         #: bind_counter calls (a PMU register is exclusive machine-wide)
         self.counter_binds: Dict[int, Tuple[object, int]] = {}
+        #: running count of method calls on tracked PAPI objects; a
+        #: try-body that raises it contains counter calls (PL017).
+        self.papi_calls = 0
 
     # -- plumbing ------------------------------------------------------
 
@@ -240,11 +243,14 @@ class _ScopeInterpreter:
                 self.eval_expr(item.context_expr)
             self.visit_block(stmt.body)
         elif isinstance(stmt, ast.Try):
+            calls_before = self.papi_calls
             self.guard_stack.append(self._handler_names(stmt))
             try:
                 self.visit_block(stmt.body)
             finally:
                 self.guard_stack.pop()
+            if self.papi_calls > calls_before:
+                self._check_swallowed_errors(stmt)
             for handler in stmt.handlers:
                 self.visit_block(handler.body)
             self.visit_block(stmt.orelse)
@@ -252,7 +258,7 @@ class _ScopeInterpreter:
         # FunctionDef/ClassDef bodies are linted as separate scopes.
 
     @staticmethod
-    def _handler_names(stmt: ast.Try) -> Set[str]:
+    def _one_handler_names(handler: ast.excepthandler) -> Set[str]:
         names: Set[str] = set()
 
         def add(node: Optional[ast.expr]) -> None:
@@ -266,9 +272,55 @@ class _ScopeInterpreter:
                 for elt in node.elts:
                     add(elt)
 
-        for handler in stmt.handlers:
-            add(handler.type)
+        add(handler.type)
         return names
+
+    @classmethod
+    def _handler_names(cls, stmt: ast.Try) -> Set[str]:
+        names: Set[str] = set()
+        for handler in stmt.handlers:
+            names |= cls._one_handler_names(handler)
+        return names
+
+    #: handler types broad enough to hide *which* PAPI error occurred.
+    #: Catching a specific subclass (ConflictError, NoSuchEventError...)
+    #: names the expected failure and is the guard idiom the other rules
+    #: honour; catching the base class or wider hides the error code.
+    _BROAD_CATCHES = frozenset({"PapiError", "Exception", "BaseException"})
+
+    def _check_swallowed_errors(self, stmt: ast.Try) -> None:
+        """PL017: a broad handler with a pass-only body around PAPI calls.
+
+        ``except PapiError: pass`` (or a bare ``except``) around counter
+        calls discards the error code, and with it the difference
+        between "event unavailable here" and "your counts are wrong"
+        (PAPI_ECLOST).  A handler that does *anything* with the
+        exception -- logs it, inspects ``exc.code``, re-raises -- shows
+        intent and is left alone.
+        """
+        for handler in stmt.handlers:
+            names = self._one_handler_names(handler)
+            if not names & self._BROAD_CATCHES:
+                continue
+            if not all(
+                isinstance(s, ast.Pass)
+                or (isinstance(s, ast.Expr)
+                    and isinstance(s.value, ast.Constant))
+                for s in handler.body
+            ):
+                continue
+            caught = (
+                "bare except" if handler.type is None
+                else "except " + ", ".join(sorted(names))
+            )
+            self.report(
+                "PL017", handler,
+                f"{caught}: pass swallows PAPI errors from the calls "
+                f"above without inspecting the error code",
+                hint="catch the specific PapiError subclass you expect, "
+                     "or check exc.code -- PAPI_ECLOST here means the "
+                     "counts are silently wrong",
+            )
 
     # -- assignment ----------------------------------------------------
 
@@ -424,6 +476,10 @@ class _ScopeInterpreter:
         base = self.eval_expr(func.value)
         method = func.attr
 
+        if isinstance(
+            base, (_PapiState, _EventSetState, _HighLevelState)
+        ):
+            self.papi_calls += 1
         if isinstance(base, _PapiState):
             if method == "create_eventset":
                 es = _EventSetState(base, node.lineno)

@@ -127,6 +127,10 @@ RULES: Dict[str, Rule] = {
              "counter register is exclusive machine-wide)",
              "Section 5 (counter allocation); SMP counter virtualization",
              guards=("OSError_", "OSError") + _PAPI_GUARD),
+        Rule("PL017", Severity.WARNING,
+             "PAPI error swallowed: a broad except around counter calls "
+             "with a pass-only body discards the error code",
+             "Section 4 (uniform error codes across every platform)"),
         # -- static EventSet feasibility --------------------------------
         Rule("PL101", Severity.ERROR,
              "EventSet cannot be mapped onto the platform's physical "

@@ -20,7 +20,8 @@ Use :func:`create` to instantiate one by name.
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+import os
+from typing import Dict, List, Optional, Type
 
 from repro.platforms.base import (
     AccessCosts,
@@ -53,7 +54,7 @@ DIRECT_PLATFORMS: List[str] = [
 
 
 def create(name: str, seed: int = 12345, block_engine: bool = True,
-           ncpus: int = 1) -> Substrate:
+           ncpus: int = 1, inject: Optional[str] = None) -> Substrate:
     """Instantiate the named platform substrate.
 
     ``block_engine=False`` forces the machine onto the pure-interpreter
@@ -65,6 +66,12 @@ def create(name: str, seed: int = 12345, block_engine: bool = True,
     scheduler then dispatches threads across all of them, migrating
     bound counters so per-thread counts stay exact (``ncpus=1`` is
     bit-exact with the historical single-CPU substrate).
+
+    ``inject`` attaches a deterministic fault injector from a
+    ``seed:profile`` spec (see :mod:`repro.faults`).  When ``None``, the
+    ``REPRO_FAULT_PROFILE`` environment variable is consulted instead
+    (the CI chaos knob); an unset variable leaves the substrate on the
+    byte-identical clean path.
     """
     try:
         cls = _REGISTRY[name]
@@ -72,7 +79,15 @@ def create(name: str, seed: int = 12345, block_engine: bool = True,
         raise SubstrateError(
             f"unknown platform {name!r}; known: {PLATFORM_NAMES}"
         ) from None
-    return cls(seed=seed, block_engine=block_engine, ncpus=ncpus)
+    substrate = cls(seed=seed, block_engine=block_engine, ncpus=ncpus)
+    spec = inject if inject is not None else os.environ.get(
+        "REPRO_FAULT_PROFILE"
+    )
+    if spec:
+        from repro.faults import attach_from_spec
+
+        attach_from_spec(substrate, spec)
+    return substrate
 
 
 def all_platforms(seed: int = 12345) -> List[Substrate]:

@@ -29,10 +29,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.hw.machine import Machine, MachineConfig
 from repro.simos.scheduler import OS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+    from repro.hw.pmu import OverflowRecord
 
 
 class SubstrateError(Exception):
@@ -127,6 +131,9 @@ class Substrate:
         self._validate_tables()
         #: cumulative cycles this substrate's interface has charged.
         self.interface_cycles = 0
+        #: attached fault injector (:mod:`repro.faults`); ``None`` keeps
+        #: every counter op on the byte-identical clean path.
+        self.faults: Optional["FaultInjector"] = None
 
     # -- subclass hooks ---------------------------------------------------
 
@@ -185,6 +192,34 @@ class Substrate:
     def list_native(self) -> List[NativeEvent]:
         return sorted(self.native_events.values(), key=lambda e: e.name)
 
+    # -- fault injection ------------------------------------------------------
+
+    def attach_faults(self, injector: "FaultInjector") -> None:
+        """Route every counter op through *injector* (see repro.faults)."""
+        injector.bind(self)
+        self.faults = injector
+
+    def detach_faults(self) -> None:
+        if self.faults is not None:
+            self.faults.unbind()
+            self.faults = None
+
+    def _gate(self, op: str, indices: Sequence[int], cpu: int) -> None:
+        """Fault-injection gate; a no-op unless an injector is attached."""
+        if self.faults is not None:
+            self.faults.before_op(op, indices, cpu)
+
+    def unavailable_counters(self, cpu: int = 0) -> FrozenSet[int]:
+        """Counters currently held by other users of the machine.
+
+        Only ever non-empty under fault injection; the allocator's
+        recovery path bans these indices when re-acquiring after
+        ``PAPI_ECLOST``.
+        """
+        if self.faults is not None:
+            return self.faults.unavailable(cpu)
+        return frozenset()
+
     # -- cost charging --------------------------------------------------------
 
     def _charge(self, cycles: int) -> None:
@@ -204,33 +239,61 @@ class Substrate:
     def program_counter(self, index: int, event: NativeEvent,
                         cpu: int = 0) -> None:
         self._charge(self.COSTS.program)
+        self._gate("program", (index,), cpu)
         self._cpu_pmu(cpu).program(index, event.signals)
 
     def clear_counter(self, index: int, cpu: int = 0) -> None:
         self._charge(self.COSTS.program)
+        self._gate("clear", (index,), cpu)
         self._cpu_pmu(cpu).clear(index)
 
     def start_counters(self, indices: Sequence[int], cpu: int = 0) -> None:
         self._charge(self.COSTS.start)
+        self._gate("start", indices, cpu)
         pmu = self._cpu_pmu(cpu)
         for i in indices:
             pmu.start(i)
 
     def stop_counters(self, indices: Sequence[int], cpu: int = 0) -> List[int]:
         self._charge(self.COSTS.stop)
+        self._gate("stop", indices, cpu)
         pmu = self._cpu_pmu(cpu)
-        return [pmu.stop(i) for i in indices]
+        values = [pmu.stop(i) for i in indices]
+        if self.faults is not None:
+            values = self.faults.filter_values("stop", indices, values, cpu)
+        return values
 
     def read_counters(self, indices: Sequence[int], cpu: int = 0) -> List[int]:
         self._charge(self.COSTS.read + self.COSTS.read_per_counter * len(indices))
+        self._gate("read", indices, cpu)
         pmu = self._cpu_pmu(cpu)
-        return [pmu.read(i) for i in indices]
+        values = [pmu.read(i) for i in indices]
+        if self.faults is not None:
+            values = self.faults.filter_values("read", indices, values, cpu)
+        return values
 
     def reset_counters(self, indices: Sequence[int], cpu: int = 0) -> None:
         self._charge(self.COSTS.reset)
+        self._gate("reset", indices, cpu)
         pmu = self._cpu_pmu(cpu)
         for i in indices:
             pmu.write(i, 0)
+
+    # -- overflow arming --------------------------------------------------------
+    # Arming goes through the substrate (rather than the library poking
+    # the PMU directly) so injected faults can make it fail, driving the
+    # software-emulation fallback.  Arming is control-plane work batched
+    # into the surrounding program/start calls, so it charges nothing --
+    # the clean path stays bit-exact with the historical behaviour.
+
+    def arm_overflow(self, index: int, threshold: int,
+                     handler: Callable[["OverflowRecord"], None],
+                     cpu: int = 0) -> None:
+        self._gate("arm", (index,), cpu)
+        self._cpu_pmu(cpu).set_overflow(index, threshold, handler)
+
+    def disarm_overflow(self, index: int, cpu: int = 0) -> None:
+        self._cpu_pmu(cpu).clear_overflow(index)
 
     # -- sampling (overridden by simALPHA) -----------------------------------
 

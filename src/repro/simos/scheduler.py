@@ -170,6 +170,20 @@ class OS:
             self._pmu(thread.counter_home[index]).stop(index)
         thread.unbind_counter(index)
 
+    def force_release_thread_counters(self, thread: Thread) -> None:
+        """Best-effort unbind of every counter bound to *thread*.
+
+        The shutdown/emergency path: a misbehaving client (or a faulted
+        run) can leave attached counters bound, and releasing them must
+        never fail -- physical-stop errors are swallowed and the binding
+        dropped regardless, so a second shutdown finds nothing to do.
+        """
+        for index in list(thread.bound_counters):
+            try:
+                self.unbind_counter(thread, index)
+            except Exception:
+                thread.unbind_counter(index)
+
     def counter_start(self, thread: Thread, index: int) -> None:
         """Logically start a bound counter; physical start if on CPU."""
         if index not in thread.bound_counters:

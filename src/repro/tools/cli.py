@@ -9,6 +9,7 @@ simulated platforms, plus the papi-lint static analyzers::
     python -m repro.tools.cli avail simPOWER
     python -m repro.tools.cli native-avail simX86
     python -m repro.tools.cli papirun simIA64 dot --n 2000 --multiplex
+    python -m repro.tools.cli papirun simPOWER dot --inject 2718:loss
     python -m repro.tools.cli calibrate simALPHA --kernel dot --n 50000
     python -m repro.tools.cli platforms
     python -m repro.tools.cli lint examples/quickstart.py --platform simX86
@@ -108,12 +109,17 @@ def cmd_papirun(args) -> int:
         return 2
     substrate = create(args.platform)
     workload = factory(args.n, use_fma=substrate.HAS_FMA)
-    result = papirun(
-        substrate,
-        workload,
-        events=args.events.split(",") if args.events else None,
-        multiplex=args.multiplex,
-    )
+    try:
+        result = papirun(
+            substrate,
+            workload,
+            events=args.events.split(",") if args.events else None,
+            multiplex=args.multiplex,
+            inject=args.inject,
+        )
+    except ValueError as exc:      # a malformed --inject spec
+        print(f"papirun: {exc}", file=sys.stderr)
+        return 2
     print(result.to_text())
     return 0
 
@@ -316,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default: {','.join(DEFAULT_EVENTS)})",
     )
     p.add_argument("--multiplex", action="store_true")
+    p.add_argument(
+        "--inject", metavar="SEED:PROFILE", default=None,
+        help="run under deterministic fault injection, e.g. 2718:chaos "
+             "(profiles: none, transient, loss, irq, corrupt, jitter, "
+             "chaos); the same spec reproduces the same fault schedule",
+    )
 
     p = sub.add_parser("calibrate", help="check counts against ground truth")
     p.add_argument("platform", choices=PLATFORM_NAMES)

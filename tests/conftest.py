@@ -10,11 +10,26 @@ Hypothesis profiles (select with ``HYPOTHESIS_PROFILE=<name>`` or the
   examples per property (default 500) -- the separate CI property job
   runs this; suites tag their own per-test ``max_examples`` lower
   bounds via ``@settings`` as usual.
+
+Fault injection (``REPRO_FAULT_PROFILE=<seed>:<profile>``): every
+substrate built through :func:`repro.platforms.create` gets a
+deterministic fault injector attached, so the whole suite runs under a
+fixed chaos schedule (the CI chaos job sets ``97:transient``).  Unset,
+substrates stay on the byte-identical clean path.  ``tests/faults`` and
+the fault property machine scrub the knob locally because they seed
+their own injectors.
+
+Timeouts: the CI chaos job runs with ``pytest-timeout`` installed and
+``--timeout=<s>``; when the plugin is absent (the default local
+environment) a SIGALRM-based fallback below honours the same option so
+a fault-wedged test still fails instead of hanging.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
 
 import pytest
 from hypothesis import settings
@@ -38,6 +53,65 @@ settings.load_profile(
         "HYPOTHESIS_PROFILE", "thorough" if _EXAMPLES > 0 else "ci"
     )
 )
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        parser.addoption(
+            "--timeout",
+            type=float,
+            default=0,
+            help="per-test timeout in seconds (SIGALRM fallback; install "
+                 "pytest-timeout for the full implementation)",
+        )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "timeout(seconds): per-test timeout override"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _sigalrm_timeout(request):
+    """Poor man's pytest-timeout: arm SIGALRM around each test.
+
+    Only active when the real plugin is missing, ``--timeout`` was
+    given, and we are on the main thread of a platform with SIGALRM.
+    """
+    seconds = 0.0
+    if not _HAVE_PYTEST_TIMEOUT:
+        seconds = request.config.getoption("--timeout", default=0) or 0
+        marker = request.node.get_closest_marker("timeout")
+        if marker and marker.args:
+            seconds = float(marker.args[0])
+    if (
+        seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {seconds:g}s timeout (--timeout)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,14 +1,20 @@
 """Unit tests: error hierarchy and constants."""
 
+import inspect
+
 import pytest
 
+import repro.core.errors
 from repro.core import constants as C
 from repro.core.errors import (
     ConflictError,
+    CountersLostError,
     InvalidArgumentError,
     NoSuchEventError,
     PapiError,
+    SystemError_,
     error_for_code,
+    is_transient,
     strerror,
 )
 
@@ -41,6 +47,59 @@ class TestErrorHierarchy:
         assert strerror(C.PAPI_OK) == "PAPI_OK: no error"
         assert "conflicts" in strerror(C.PAPI_ECNFLCT)
         assert "unknown" in strerror(-12345)
+
+
+class TestErrorExhaustiveness:
+    """Every error code maps to exactly one typed class, round-trips
+    through ``error_for_code``, and carries the right transient/fatal
+    classification -- so the recovery ladder never misjudges a fault."""
+
+    def _all_classes(self):
+        return [
+            cls
+            for _name, cls in inspect.getmembers(
+                repro.core.errors, inspect.isclass
+            )
+            if issubclass(cls, PapiError)
+        ]
+
+    def test_by_code_covers_every_code(self):
+        assert set(repro.core.errors._BY_CODE) == \
+               set(C.ERROR_NAMES) - {C.PAPI_OK}
+
+    def test_exactly_one_class_per_code(self):
+        codes = [cls.code for cls in self._all_classes()]
+        assert len(codes) == len(set(codes)), (
+            "two exception classes claim the same error code"
+        )
+        # and every defined class is reachable through the lookup table
+        for cls in self._all_classes():
+            assert repro.core.errors._BY_CODE[cls.code] is cls
+
+    def test_round_trip_code_and_name(self):
+        for code, name in C.ERROR_NAMES.items():
+            if code == C.PAPI_OK:
+                continue
+            exc = error_for_code(code, "detail here")
+            assert exc.code == code
+            assert name in str(exc)
+            assert "detail here" in str(exc)
+
+    def test_transient_classification(self):
+        """Only ESYS and ECLOST may clear on their own; everything else
+        is a permanent property of the request and must fail fast."""
+        transient_codes = {C.PAPI_ESYS, C.PAPI_ECLOST}
+        for code in C.ERROR_NAMES:
+            if code == C.PAPI_OK:
+                continue
+            expected = code in transient_codes
+            assert is_transient(code) == expected
+            assert error_for_code(code).transient == expected
+        assert SystemError_("x").transient
+        assert CountersLostError("x").transient
+        assert not ConflictError("x").transient
+        assert is_transient(ConflictError()) is False
+        assert is_transient(SystemError_()) is True
 
 
 class TestConstants:

@@ -1,0 +1,14 @@
+"""The faults suite manages its own injectors.
+
+The ``REPRO_FAULT_PROFILE`` knob (the CI chaos job) must not stack a
+second environment-driven injector onto substrates these tests configure
+explicitly -- every test here states its own ``seed:profile`` spec, so
+the knob is scrubbed for the whole directory.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_fault_profile(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PROFILE", raising=False)

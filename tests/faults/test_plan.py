@@ -1,0 +1,65 @@
+"""Unit tests: fault profiles, plans and the seed:profile spec grammar."""
+
+import pytest
+
+from repro.faults import PROFILES, FaultPlan, FaultProfile, parse_inject, profile
+
+
+class TestProfiles:
+    def test_catalogue_names(self):
+        assert set(PROFILES) == {
+            "none", "transient", "loss", "irq", "corrupt", "jitter", "chaos",
+        }
+
+    def test_none_is_inert_and_others_are_not(self):
+        for name, prof in PROFILES.items():
+            assert prof.inert == (name == "none")
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(Exception):
+            PROFILES["chaos"].esys_rate = 1.0
+
+    def test_transient_burst_stays_recoverable(self):
+        """Built-in esys bursts must be absorbable by the default retry
+        policy (max_retries=3), or the 'recoverable' profiles would not
+        be."""
+        from repro.core.resilience import DEFAULT_RETRY_POLICY
+
+        for prof in PROFILES.values():
+            assert prof.esys_burst <= DEFAULT_RETRY_POLICY.max_retries
+
+    def test_lookup_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            profile("tsunami")
+
+
+class TestSpecGrammar:
+    def test_full_spec_round_trips(self):
+        plan = parse_inject("2718:chaos")
+        assert plan.seed == 2718
+        assert plan.profile is PROFILES["chaos"]
+        assert plan.spec == "2718:chaos"
+        assert parse_inject(plan.spec) == plan
+
+    def test_bare_profile_defaults_seed_zero(self):
+        plan = parse_inject("loss")
+        assert plan == FaultPlan(seed=0, profile=PROFILES["loss"])
+
+    def test_whitespace_tolerated(self):
+        assert parse_inject("  7:irq ") == FaultPlan(7, PROFILES["irq"])
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError, match="bad fault-injection seed"):
+            parse_inject("xx:chaos")
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            parse_inject("1:nope")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_inject("   ")
+
+    def test_custom_profile_spec(self):
+        prof = FaultProfile("mine", corrupt_rate=1.0)
+        assert FaultPlan(5, prof).spec == "5:mine"

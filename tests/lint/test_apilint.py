@@ -250,6 +250,87 @@ class TestGuards:
         assert "PL001" in codes(src)
 
 
+class TestSwallowedErrors:
+    def test_papi_error_pass_is_pl017(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "from repro.core.errors import PapiError\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "try:\n"
+            "    es.start()\n"
+            "    es.stop()\n"
+            "except PapiError:\n"
+            "    pass\n"
+        )
+        assert "PL017" in codes(src)
+
+    def test_bare_except_pass_is_pl017(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "try:\n"
+            "    es.start()\n"
+            "    es.stop()\n"
+            "except:\n"
+            "    pass\n"
+        )
+        assert "PL017" in codes(src)
+
+    def test_docstring_only_body_still_counts_as_pass(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "try:\n"
+            "    es.start()\n"
+            "    es.stop()\n"
+            "except Exception:\n"
+            '    "sometimes flaky"\n'
+        )
+        assert "PL017" in codes(src)
+
+    def test_specific_subclass_guard_is_sanctioned(self):
+        """`except ConflictError: pass` is the documented probe idiom --
+        the caller named the exact failure they expect."""
+        src = PRELUDE.format(platform="simX86") + (
+            "from repro.core.errors import ConflictError\n"
+            "try:\n"
+            '    es.add_named("PAPI_FP_OPS", "PAPI_L1_DCM")\n'
+            "except ConflictError:\n"
+            "    pass\n"
+        )
+        assert "PL017" not in codes(src)
+
+    def test_handler_that_inspects_the_error_is_clean(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "from repro.core.errors import PapiError\n"
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "try:\n"
+            "    es.start()\n"
+            "    es.stop()\n"
+            "except PapiError as exc:\n"
+            "    print(exc.code)\n"
+        )
+        assert "PL017" not in codes(src)
+
+    def test_try_without_papi_calls_is_clean(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            "try:\n"
+            "    x = 1 / 0\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert "PL017" not in codes(src)
+
+    def test_pl017_is_a_warning(self):
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("PAPI_TOT_CYC")\n'
+            "try:\n"
+            "    es.start()\n"
+            "    es.stop()\n"
+            "except PapiError:\n"
+            "    pass\n"
+        )
+        diags = [d for d in lint(src) if d.code == "PL017"]
+        assert diags and all(d.severity is Severity.WARNING for d in diags)
+
+
 class TestSuppressions:
     def test_disable_comment_suppresses_on_its_line(self):
         src = PRELUDE.format(platform="simT3E") + (

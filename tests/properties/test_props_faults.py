@@ -1,0 +1,245 @@
+"""Stateful property test: the EventSet state machine under chaos.
+
+Hypothesis interleaves random PAPI API calls with a seeded chaos fault
+schedule (transients, thefts, corruption) and verifies that the
+self-healing runtime keeps the state machine legal at every step:
+
+- the model and the library always agree on running/stopped, and the
+  library's single-running-EventSet discipline survives every fault;
+- successful reads stay monotone and plausible even across recoveries
+  and corruption clamps;
+- when an operation fails for good, the EventSet is crash-consistent:
+  fully stopped, counters released, the failure on the health ledger;
+- the health record itself stays well-formed and JSON-serializable.
+
+A determinism property rides along: one (seed, profile, program) triple
+reproduces the identical fault schedule, outcome and health -- including
+identical *failures*.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.core import constants as C
+from repro.core.errors import PapiError
+from repro.core.library import Papi
+from repro.faults import PROFILES, FaultInjector, FaultPlan, attach_from_spec
+from repro.platforms import create
+from repro.tools.papirun import papirun
+from repro.workloads import dot, phased
+
+#: single-native presets that fit simT3E's four free counters together,
+#: so recovery after one theft usually has somewhere to go.
+CANDIDATES = ["PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS"]
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_fault_profile(monkeypatch):
+    """These tests seed their own injectors; the CI chaos knob must not
+    stack a second environment-driven one onto the same substrate."""
+    monkeypatch.delenv("REPRO_FAULT_PROFILE", raising=False)
+
+
+class FaultyEventSetMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(min_value=0, max_value=2**16))
+    def setup(self, seed):
+        self.substrate = create("simT3E")
+        self.injector = FaultInjector(FaultPlan(seed, PROFILES["chaos"]))
+        self.substrate.attach_faults(self.injector)
+        self.papi = Papi(self.substrate)
+        self.es = self.papi.create_eventset()
+        work = phased([("fp", 2000), ("mem", 2000)], repeats=50)
+        self.substrate.machine.load(work.program)
+        self.members = []
+        self.running = False
+        self.last_read = None
+
+    # ------------------------------------------------------------------
+
+    def _reconcile_after_failure(self, exc):
+        """A legal op raised: the library must be in a coherent state."""
+        self.running = self.es.running
+        self.last_read = None
+        if self.es.running:
+            # a pure transient that survived retries: nothing torn down,
+            # but the retry ladder must have been exercised.
+            assert self.papi._running_handle == self.es.handle
+            assert self.es.health.retries > 0
+        else:
+            # recovery gave up: crash-consistent emergency stop, with
+            # the failure recorded on the ledger.
+            assert self.papi._running_handle is None
+            assert self.es.health.lost_intervals
+            assert not self.es.health.lost_intervals[-1].recovered
+
+    # ------------------------------------------------------------------
+
+    @rule(symbol=st.sampled_from(CANDIDATES))
+    def add_event(self, symbol):
+        code = self.papi.event_name_to_code(symbol)
+        if self.running or symbol in self.members:
+            try:
+                self.es.add_event(code)
+                raise AssertionError("add must fail while running/duplicate")
+            except PapiError:
+                pass
+        else:
+            self.es.add_event(code)
+            self.members.append(symbol)
+            self.last_read = None
+
+    @rule()
+    def start(self):
+        if self.running or not self.members:
+            try:
+                self.es.start()
+                raise AssertionError("start must fail when running or empty")
+            except PapiError:
+                pass
+        else:
+            try:
+                self.es.start()
+            except PapiError:
+                # injected fault survived every retry: the rollback must
+                # leave the set exactly as it was.
+                assert not self.es.running
+                assert self.papi._running_handle is None
+                return
+            self.running = True
+            self.last_read = None
+
+    @rule(steps=st.integers(min_value=10, max_value=500))
+    def run_machine(self, steps):
+        if not self.substrate.machine.cpu.halted:
+            self.substrate.machine.run(max_instructions=steps)
+
+    @rule()
+    def read(self):
+        if not self.running:
+            try:
+                self.es.read()
+                raise AssertionError("read must fail when not running")
+            except PapiError:
+                pass
+        else:
+            try:
+                values = self.es.read()
+            except PapiError as exc:
+                self._reconcile_after_failure(exc)
+                return
+            assert len(values) == len(self.members)
+            assert all(v >= 0 for v in values)
+            if self.last_read is not None:
+                assert all(
+                    v >= r for v, r in zip(values, self.last_read)
+                ), "counts must stay monotone across recoveries"
+            self.last_read = values
+
+    @rule()
+    def stop(self):
+        if not self.running:
+            try:
+                self.es.stop()
+                raise AssertionError("stop must fail when not running")
+            except PapiError:
+                pass
+        else:
+            try:
+                values = self.es.stop()
+            except PapiError as exc:
+                # stop guarantees teardown even when it fails
+                assert not self.es.running
+                self._reconcile_after_failure(exc)
+                return
+            self.running = False
+            assert len(values) == len(self.members)
+            assert all(v >= 0 for v in values)
+            if self.last_read is not None:
+                assert all(
+                    v >= r for v, r in zip(values, self.last_read)
+                )
+            self.last_read = None
+
+    @rule()
+    def reset(self):
+        if not self.running:
+            try:
+                self.es.reset()
+                raise AssertionError("reset must fail when not running")
+            except PapiError:
+                pass
+        else:
+            try:
+                self.es.reset()
+            except PapiError as exc:
+                self._reconcile_after_failure(exc)
+                return
+            self.last_read = None
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def state_flags_consistent(self):
+        if not hasattr(self, "es"):
+            return
+        state = self.es.state()
+        if self.running:
+            assert state & C.PAPI_RUNNING
+        else:
+            assert state & C.PAPI_STOPPED
+
+    @invariant()
+    def library_running_discipline(self):
+        if not hasattr(self, "es"):
+            return
+        handle = self.papi._running_handle
+        if self.running:
+            assert handle == self.es.handle
+        else:
+            assert handle is None
+
+    @invariant()
+    def health_record_well_formed(self):
+        if not hasattr(self, "es"):
+            return
+        health = self.es.health
+        assert health.retries >= 0
+        assert health.backoff_cycles >= 0
+        for interval in health.lost_intervals:
+            assert interval.start_cycle <= interval.end_cycle
+        json.dumps(health.summary())    # always reportable
+
+
+TestFaultyEventSetMachine = FaultyEventSetMachine.TestCase
+TestFaultyEventSetMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+class TestScheduleDeterminism:
+    """Same (seed, profile, program) => same schedule, even in failure."""
+
+    @staticmethod
+    def _outcome(seed):
+        sub = create("simPOWER")
+        injector = attach_from_spec(sub, f"{seed}:chaos")
+        try:
+            result = papirun(sub, dot(400, use_fma=sub.HAS_FMA))
+            out = ("ok", result.values, result.health)
+        except PapiError as exc:
+            out = ("err", type(exc).__name__, str(exc))
+        return out, injector.schedule()
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_outcome_and_schedule_reproduce(self, seed):
+        assert self._outcome(seed) == self._outcome(seed)
