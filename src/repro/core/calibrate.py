@@ -50,19 +50,30 @@ class CalibrationResult:
         return self.fp_ops_error <= tolerance
 
 
-def _run_measured(papi: Papi, workload: Workload,
-                  symbols: Sequence[str]) -> Dict[str, int]:
-    """Load + run *workload* with the given presets counted."""
+def run_measured(papi: Papi, workload: Workload,
+                 symbols: Sequence[str]) -> Dict[str, int]:
+    """Load + run *workload* with the given presets counted.
+
+    The canonical measure-one-workload loop (create EventSet, add
+    presets, load, start, run to completion, stop, destroy), shared by
+    the calibrate utility and the validate harness.
+    """
     machine = papi.substrate.machine
     es = papi.create_eventset()
-    for symbol in symbols:
-        es.add_event(papi.event_name_to_code(symbol))
-    machine.load(workload.program)
-    es.start()
-    machine.run_to_completion()
-    values = es.stop()
-    papi.destroy_eventset(es)
+    try:
+        for symbol in symbols:
+            es.add_event(papi.event_name_to_code(symbol))
+        machine.load(workload.program)
+        es.start()
+        machine.run_to_completion()
+        values = es.stop()
+    finally:
+        papi.destroy_eventset(es)
     return dict(zip(symbols, values))
+
+
+#: historical private name, kept for callers that predate the promotion.
+_run_measured = run_measured
 
 
 def calibrate(

@@ -89,6 +89,8 @@ class EventSet:
         self._good: Optional[Tuple[Dict[str, int], int]] = None
         #: software overflow emulation (armed when hardware arming fails).
         self._soft_overflow: Optional[SoftwareOverflowEmulator] = None
+        #: rotations the last multiplexed run completed (set at stop).
+        self.mpx_rotations = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -828,6 +830,10 @@ class EventSet:
             os_ = self.substrate.os
             for idx in list(self._attached.bound_counters):
                 os_.unbind_counter(self._attached, idx)
+        if self._mpx is not None:
+            # preserved after stop so the convergence harness can relate
+            # estimate quality to how many rotations the run completed.
+            self.mpx_rotations = self._mpx.rotations
         self._session = None
         self._mpx = None
         self._running = False

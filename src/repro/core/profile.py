@@ -179,3 +179,21 @@ def profile_from_ears(
     for r in records:
         buffer.hit(r.pc * INS_BYTES)
     return buffer
+
+
+def attribution_score(
+    buffer: ProfileBuffer, true_addresses: Iterable[int]
+) -> float:
+    """Fraction of histogram hits landing on the true instructions.
+
+    *true_addresses* are the text addresses (bytes) of the instructions
+    that actually cause the profiled event; the score is the mass of the
+    histogram inside their buckets.  1.0 means perfect attribution
+    (precise sampling hardware); interrupt-pc profiling on out-of-order
+    cores scores lower as skid smears hits downstream.
+    """
+    true_buckets = {buffer.bucket_index(a) for a in true_addresses}
+    true_buckets.discard(None)
+    if not buffer.hits:
+        return 0.0
+    return sum(buffer.buckets[b] for b in true_buckets) / buffer.hits

@@ -114,6 +114,11 @@ class Substrate:
     #: whether the modelled FPU has fused multiply-add; drives workload
     #: generation and the preset-table FMA-normalization lint (PL203).
     HAS_FMA = False
+    #: the attribution mechanism ``PAPI_profil`` rides on here:
+    #: ``overflow`` (interrupt pc, subject to skid), ``profileme``
+    #: (precise retire-time hardware sampling).  The validate harness's
+    #: skid plane keys its pass criteria on this plus :attr:`skid_max`.
+    PROFILING = "overflow"
 
     def __init__(self, seed: int = 12345, block_engine: bool = True,
                  ncpus: int = 1) -> None:
@@ -176,6 +181,17 @@ class Substrate:
     @property
     def n_counters(self) -> int:
         return self.machine.pmu.config.n_counters
+
+    @property
+    def skid_max(self) -> int:
+        """Worst-case overflow-interrupt skid, in retired instructions.
+
+        0 means interrupt-pc profiling is precise here (in-order cores);
+        larger values smear ``PAPI_profil`` histograms downstream of the
+        causing instruction -- the Section 4 attribution hazard the
+        validate harness's skid plane measures.
+        """
+        return self.machine.pmu.config.skid_max
 
     @property
     def uses_groups(self) -> bool:

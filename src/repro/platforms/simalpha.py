@@ -170,6 +170,8 @@ class SimALPHA(Substrate):
     )
     #: EV6-family Alphas have no fused multiply-add instruction.
     HAS_FMA = False
+    #: DCPI ProfileMe: retire-time samples carry the exact pc.
+    PROFILING = "profileme"
     DEFAULT_PERIOD = DEFAULT_PERIOD
 
     def _machine_config(self, seed: int) -> MachineConfig:

@@ -35,6 +35,8 @@ class SimIA64(Substrate):
         pollute_lines=4,
     )
     HAS_FMA = True
+    #: near-precise interrupts (EPIC), plus EARs for exact miss pcs.
+    PROFILING = "overflow"
 
     def _machine_config(self, seed: int) -> MachineConfig:
         return MachineConfig(

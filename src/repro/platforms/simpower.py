@@ -43,6 +43,8 @@ class SimPOWER(Substrate):
         pollute_lines=3,
     )
     HAS_FMA = True
+    #: out-of-order core: interrupt-pc attribution skids.
+    PROFILING = "overflow"
 
     def _machine_config(self, seed: int) -> MachineConfig:
         return MachineConfig(

@@ -37,6 +37,8 @@ class SimSPARC(Substrate):
         pollute_lines=3,
     )
     HAS_FMA = False  # UltraSPARC-II has no fused multiply-add
+    #: moderate out-of-order window: interrupt pc skids.
+    PROFILING = "overflow"
 
     def _machine_config(self, seed: int) -> MachineConfig:
         return MachineConfig(

@@ -36,6 +36,8 @@ class SimT3E(Substrate):
     )
     #: the simulated compiler does not emit fused multiply-add here.
     HAS_FMA = False
+    #: Alpha 21164 is in-order: interrupt-pc profiling is skid-free.
+    PROFILING = "overflow"
 
     def _machine_config(self, seed: int) -> MachineConfig:
         return MachineConfig(

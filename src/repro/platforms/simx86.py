@@ -42,6 +42,8 @@ class SimX86(Substrate):
         pollute_lines=8,
     )
     HAS_FMA = False  # x87 has no fused multiply-add
+    #: deep out-of-order core: interrupt pc skids worst of the fleet.
+    PROFILING = "overflow"
 
     def _machine_config(self, seed: int) -> MachineConfig:
         return MachineConfig(

@@ -148,6 +148,31 @@ def cmd_calibrate(args) -> int:
     return 0 if result.fp_ops_error < 0.25 else 1
 
 
+def cmd_validate(args) -> int:
+    """validate: conformance & accuracy matrix over the simulated fleet."""
+    from repro.validate import run_all
+
+    try:
+        matrix = run_all(
+            platforms=args.platform or None,
+            planes=args.planes.split(",") if args.planes else None,
+            thorough=args.thorough,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"validate: {exc}", file=sys.stderr)
+        return 2
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(matrix.to_json_str())
+            fh.write("\n")
+    if args.format == "json":
+        print(matrix.to_json_str())
+    else:
+        print(matrix.to_text())
+    return 0 if matrix.passed else 1
+
+
 def cmd_lint(args) -> int:
     """papi-lint: static analysis of instrumentation scripts."""
     from repro.lint import (
@@ -337,6 +362,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sampling-period", type=int, default=None)
 
     p = sub.add_parser(
+        "validate",
+        help="conformance & accuracy matrix (oracle, cost, convergence, "
+             "skid planes)",
+    )
+    p.add_argument(
+        "--platform", choices=PLATFORM_NAMES, action="append",
+        help="restrict to one platform (repeatable; default: all six)",
+    )
+    p.add_argument(
+        "--planes", default=None,
+        help="comma-separated subset of oracle,virtual,cost,convergence,"
+             "skid (default: all)",
+    )
+    p.add_argument(
+        "--thorough", action="store_true",
+        help="nightly-scale matrix: longer sweeps, denser sampling",
+    )
+    p.add_argument("--seed", type=int, default=12345)
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="also write the JSON report to PATH (the CI artifact)",
+    )
+
+    p = sub.add_parser(
         "lint", help="papi-lint: static analysis of counter scripts"
     )
     p.add_argument("files", nargs="+", help="Python scripts to lint")
@@ -378,6 +428,7 @@ _COMMANDS = {
     "native-avail": cmd_native_avail,
     "papirun": cmd_papirun,
     "calibrate": cmd_calibrate,
+    "validate": cmd_validate,
     "lint": cmd_lint,
     "check-events": cmd_check_events,
     "check-presets": cmd_check_presets,

@@ -30,6 +30,7 @@ from repro.workloads.memory import (
     working_set_sweep,
 )
 from repro.workloads.mixed import demo_app, phased
+from repro.workloads.validation import conformance_mix, decoy_spin, skid_probe
 
 def _matmul_sized(n: int, use_fma: bool = True) -> Workload:
     """matmul sized so that total FLOPs ~ 2n (n is *work*, not dimension)."""
@@ -54,6 +55,8 @@ __all__ = [
     "Flow",
     "Workload",
     "axpy",
+    "conformance_mix",
+    "decoy_spin",
     "demo_app",
     "dot",
     "matmul",
@@ -61,6 +64,7 @@ __all__ = [
     "phased",
     "pointer_chase",
     "predictable_branches",
+    "skid_probe",
     "random_branches",
     "strided_scan",
     "tlb_walker",

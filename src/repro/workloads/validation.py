@@ -1,0 +1,200 @@
+"""Workloads written for the validate harness (repro.validate).
+
+:func:`conformance_mix` is the oracle plane's standard stimulus: a
+kernel that exercises *every* architecturally determined signal --
+integer and floating point arithmetic of each flavour (including the
+convert instruction behind the POWER3 discrepancy), loads and stores,
+conditional branches taken and not taken, calls/returns, a probe and a
+syscall -- so every checkable preset of every platform gets a nonzero
+expected value.  The expectations that can be written down by hand are
+(the rest come from the oracle interpreter itself).
+
+:func:`decoy_spin` is a pure-integer spin loop used as the *other*
+thread in attached/SMP conformance cells: its instructions must never
+leak into counters attached to the workload thread.
+"""
+
+from __future__ import annotations
+
+from repro.hw.isa import Assembler
+from repro.workloads.builder import Expectations, Flow, Workload
+
+
+def conformance_mix(n: int, use_fma: bool = True) -> Workload:
+    """Every-signal kernel: *n* calls into a body touching all signal classes.
+
+    Per call: 2 loads, 2 stores, 7 FLOPs (fadd+fsub+fmul+fdiv+fsqrt plus
+    an FMA or a mul/add pair), one convert, one fmov, integer ops of
+    every flavour, one data-dependent branch, one probe, one syscall.
+    ``main`` calls ``kernel`` once per iteration, so CALL/RET counts are
+    *n* as well.
+    """
+    if n < 1:
+        raise ValueError("conformance_mix needs n >= 1")
+    asm = Assembler(name=f"confmix{n}")
+    flow = Flow(asm)
+    fdata = asm.init_array([1.0 + 0.5 * (i % 4) for i in range(64)])
+    bits = asm.init_array([(i * 5) % 2 for i in range(64)])
+    fscratch = asm.reserve_data(64)
+    iscratch = asm.reserve_data(64)
+
+    asm.func("kernel")
+    # floating point: one of each flavour, operands kept positive
+    asm.add("r4", "r1", "r2")
+    asm.fload("f1", "r4", 0)
+    asm.fadd("f2", "f1", "f0")
+    asm.fsub("f3", "f2", "f1")
+    asm.fmul("f4", "f1", "f2")
+    asm.fdiv("f5", "f4", "f6")
+    asm.fsqrt("f7", "f4")
+    asm.fcvt("f8", "f5")
+    asm.fmov("f9", "f8")
+    if use_fma:
+        asm.fma("f10", "f1", "f2", "f0")
+    else:
+        asm.fmul("f10", "f1", "f2")
+        asm.fadd("f10", "f10", "f0")
+    asm.add("r19", "r17", "r2")
+    asm.fstore("f10", "r19", 0)
+    # integer: every opcode, divisor fixed nonzero
+    asm.add("r5", "r3", "r2")
+    asm.load("r6", "r5", 0)
+    asm.sub("r7", "r6", "r14")
+    asm.mul("r9", "r6", "r2")
+    asm.muli("r10", "r2", 3)
+    asm.mov("r11", "r10")
+    asm.div("r12", "r10", "r13")
+    asm.add("r20", "r18", "r2")
+    asm.store("r9", "r20", 0)
+    # data-dependent branch: taken iff bits[r2] == 1
+    with flow.if_ge("r6", "r14"):
+        asm.addi("r15", "r15", 1)
+    # control-plane instructions
+    asm.probe(7)
+    asm.syscall(1)
+    # index wrap over the 64-word working set
+    asm.addi("r2", "r2", 1)
+    with flow.if_ge("r2", "r16"):
+        asm.li("r2", 0)
+    asm.ret()
+    asm.endfunc()
+
+    asm.func("main")
+    asm.li("r1", fdata)
+    asm.li("r3", bits)
+    asm.li("r17", fscratch)
+    asm.li("r18", iscratch)
+    asm.li("r13", 7)    # integer divisor
+    asm.li("r14", 1)
+    asm.li("r16", 64)
+    asm.li("r2", 0)
+    asm.li("r15", 0)
+    asm.fli("f0", 0.5)
+    asm.fli("f6", 2.0)  # float divisor
+    with flow.loop(n, "r30", "r31"):
+        asm.call("kernel")
+    asm.halt()
+    asm.endfunc()
+
+    return Workload(
+        name=f"conformance_mix(n={n},fma={use_fma})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=7 * n,
+            fp_ins=6 * n if use_fma else 7 * n,
+            fma=n if use_fma else 0,
+            converts=n,
+            loads=2 * n,
+            stores=2 * n,
+            hot_function="kernel",
+            notes="validate-harness stimulus; exercises every "
+                  "architectural signal",
+        ),
+    )
+
+
+def skid_probe(n: int, use_fma: bool = True) -> Workload:
+    """Attribution probe: all FP work isolated in one tiny function.
+
+    ``fp_block`` holds the program's only floating point instructions
+    (two of them, or one FMA) and immediately returns; ``spin`` burns a
+    stretch of integer work.  ``main`` alternates the two *n* times, so
+    an interrupt-pc profiler of an FP event whose delivery skids past
+    ``fp_block``'s return lands in ``spin`` or ``main`` -- misattributed
+    at *basic-block* granularity, which is what the skid plane scores.
+    Precise mechanisms (ProfileMe, zero-skid PMUs) keep every sample
+    inside ``fp_block``.
+    """
+    if n < 1:
+        raise ValueError("skid_probe needs n >= 1")
+    asm = Assembler(name=f"skidprobe{n}")
+    flow = Flow(asm)
+
+    asm.func("fp_block")
+    if use_fma:
+        asm.fma("f2", "f1", "f1", "f1")
+    else:
+        asm.fmul("f2", "f1", "f1")
+        asm.fadd("f3", "f2", "f1")
+    asm.ret()
+    asm.endfunc()
+
+    asm.func("spin")
+    for _ in range(8):
+        asm.addi("r2", "r2", 1)
+        asm.muli("r3", "r2", 3)
+        asm.sub("r2", "r3", "r2")
+    asm.ret()
+    asm.endfunc()
+
+    asm.func("main")
+    asm.li("r2", 0)
+    asm.fli("f1", 1.5)
+    with flow.loop(n, "r30", "r31"):
+        asm.call("fp_block")
+        asm.call("spin")
+    asm.halt()
+    asm.endfunc()
+
+    return Workload(
+        name=f"skid_probe(n={n},fma={use_fma})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=(2 if use_fma else 2) * n,
+            fp_ins=(1 if use_fma else 2) * n,
+            fma=n if use_fma else 0,
+            converts=0, loads=0, stores=0,
+            hot_function="fp_block",
+            notes="skid-plane probe: FP work isolated in fp_block",
+        ),
+    )
+
+
+def decoy_spin(n: int, use_fma: bool = True) -> Workload:
+    """Integer spin loop: the competing thread in attach/SMP cells.
+
+    Performs *n* iterations of pure integer work (plus loop control);
+    its counts must be invisible to an EventSet attached to another
+    thread.  *use_fma* is accepted for registry uniformity and ignored.
+    """
+    if n < 1:
+        raise ValueError("decoy_spin needs n >= 1")
+    _ = use_fma
+    asm = Assembler(name=f"decoy{n}")
+    flow = Flow(asm)
+    asm.func("main")
+    asm.li("r1", 0)
+    with flow.loop(n, "r30", "r31"):
+        asm.addi("r1", "r1", 3)
+        asm.muli("r2", "r1", 5)
+        asm.sub("r1", "r2", "r1")
+    asm.halt()
+    asm.endfunc()
+    return Workload(
+        name=f"decoy_spin(n={n})",
+        program=asm.build(),
+        expect=Expectations(
+            flops=0, fp_ins=0, fma=0, converts=0, loads=0, stores=0,
+            hot_function="main",
+        ),
+    )

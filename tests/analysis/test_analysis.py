@@ -112,3 +112,44 @@ class TestPlots:
 
     def test_ascii_plot_empty(self):
         assert "empty" in ascii_plot([])
+
+
+class TestFormatCell:
+    def test_custom_float_format(self):
+        from repro.analysis.report import format_cell
+
+        assert format_cell(0.123456, "{:.5f}") == "0.12346"
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes" and format_cell(False) == "no"
+        assert format_cell(42) == "42"
+
+    def test_table_str_matches_render(self):
+        t = Table(["a"])
+        t.add_row(1)
+        assert str(t) == t.render()
+
+    def test_table_row_arity_message_names_counts(self):
+        t = Table(["a", "b", "c"])
+        with pytest.raises(ValueError, match="expected 3 cells, got 1"):
+            t.add_row("only")
+
+
+class TestPlotEdgeCases:
+    def test_sparkline_ignores_nonpositive_width(self):
+        assert len(sparkline(list(range(10)), width=0)) == 10
+
+    def test_sparkline_pooling_averages(self):
+        # two pools of [0,0] and [10,10] -> extremes of the charset
+        line = sparkline([0, 0, 10, 10], width=2)
+        assert line == " @"
+
+    def test_ascii_plot_pools_long_series(self):
+        art = ascii_plot(list(range(200)), height=3, width=40)
+        grid_rows = art.splitlines()[1:-1]
+        assert all(len(row) == 40 for row in grid_rows)
+
+    def test_ascii_plot_constant_series(self):
+        art = ascii_plot([5.0, 5.0, 5.0], height=3)
+        lines = art.splitlines()
+        assert lines[0] == "max 5"
+        assert lines[-1] == "min 5"

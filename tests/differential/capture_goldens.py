@@ -2,13 +2,18 @@
 
 Run from the repo root::
 
-    PYTHONPATH=src python tests/differential/capture_goldens.py
+    PYTHONPATH=src python -m tests.differential.capture_goldens
+
+(the legacy direct-path invocation
+``PYTHONPATH=src python tests/differential/capture_goldens.py``
+also still works).
 
 Writes ``goldens_seed.json`` with every E1--E10/A1--A4 canonical table,
 block engine on and off.  This was run once against the single-CPU seed
 tree (commit c6f6f44) before the SMP layer landed; the committed file
 is the frozen reference and should not be regenerated unless the seed
-semantics themselves are deliberately revised.
+semantics themselves are deliberately revised.  See DESIGN.md
+("Regenerating the differential goldens") for the policy.
 """
 
 from __future__ import annotations
@@ -17,9 +22,15 @@ import json
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).parent))
-
-from tables import EXPERIMENTS, GOLDENS_PATH, build_table  # noqa: E402
+try:
+    from tests.differential.tables import (
+        EXPERIMENTS,
+        GOLDENS_PATH,
+        build_table,
+    )
+except ImportError:  # direct-path invocation: tables.py sits next to us
+    sys.path.insert(0, str(Path(__file__).parent))
+    from tables import EXPERIMENTS, GOLDENS_PATH, build_table  # noqa: E402
 
 
 def main() -> int:

@@ -102,3 +102,32 @@ class TestThreadObject:
     def test_unbind_missing_is_noop(self):
         t = Thread.create(1, touch_pages_program(2))
         t.unbind_counter(5)  # must not raise
+
+
+class TestAccountingEdgeCases:
+    def test_negative_config_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            MemoryAccounting(page_bytes=-4096, total_pages=16)
+        with pytest.raises(ValueError, match="must be positive"):
+            MemoryAccounting(page_bytes=4096, total_pages=-1)
+
+    def test_swap_events_count_only_new_excess(self):
+        m = Machine()
+        os_ = OS(m, phys_pages=4)
+        t = os_.spawn(touch_pages_program(10))
+        os_.run()
+        first = os_.memory_info(t).swap_events
+        assert first > 0
+        # steady state: refreshing accounting swaps nothing further
+        os_.vmem.update([t])
+        assert os_.memory_info(t).swap_events == first
+
+    def test_locality_histogram_bucket_cap(self):
+        m = Machine()
+        os_ = OS(m, phys_pages=1024)
+        t = os_.spawn(touch_pages_program(2))
+        os_.run()
+        hist = os_.vmem.locality_histogram(t, buckets=8)
+        # 2 pages cannot fill more than 2 buckets, mass is conserved
+        assert sum(hist.values()) == 2
+        assert len(hist) <= 2

@@ -192,3 +192,41 @@ class TestTraceConversion:
         trace = self._trace()
         with pytest.raises(InvalidArgumentError):
             trace.convert(io.StringIO(), "otf2")
+
+
+class TestTracerEdgeCases:
+    def test_short_line_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="bad trace line"):
+            TraceRecord.from_line("12 0 ENTER")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord.from_line("12 0 WIBBLE main")
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "# header\n\n5 0 ENTER main\n# trailer\n9 0 EXIT main\n"
+        trace = Trace.parse(io.StringIO(text))
+        assert len(trace) == 2
+        assert trace.functions_seen() == ["main"]
+
+    def test_merge_of_nothing_is_empty(self):
+        assert len(Trace.merge([])) == 0
+
+    def test_region_durations_ignore_unmatched_exit(self):
+        trace = Trace([
+            TraceRecord(5, 0, TraceKind.EXIT, "orphan"),
+            TraceRecord(10, 0, TraceKind.ENTER, "f"),
+            TraceRecord(30, 0, TraceKind.EXIT, "f"),
+        ])
+        assert trace.region_durations() == {"f": 20}
+
+    def test_unbalanced_enter_contributes_nothing(self):
+        trace = Trace([TraceRecord(10, 0, TraceKind.ENTER, "f")])
+        assert trace.region_durations() == {}
+
+    def test_by_kind_filters(self):
+        trace = Trace([
+            TraceRecord(1, 0, TraceKind.MARKER, "m"),
+            TraceRecord(2, 0, TraceKind.ENTER, "f"),
+        ])
+        assert [r.name for r in trace.by_kind(TraceKind.MARKER)] == ["m"]

@@ -1,0 +1,64 @@
+"""Oracle + virtualization planes: measured counts vs ground truth."""
+
+import pytest
+
+from repro.validate.conformance import (
+    SAMPLING_TOLERANCE,
+    run_oracle_plane,
+    run_virtualization_plane,
+)
+
+
+@pytest.fixture(scope="module")
+def direct_cells():
+    return run_oracle_plane(["simT3E", "simX86", "simPOWER"])
+
+
+@pytest.fixture(scope="module")
+def sampling_cells():
+    return run_oracle_plane(["simALPHA"])
+
+
+class TestOraclePlane:
+    def test_no_failures_on_clean_path(self, direct_cells):
+        assert [c for c in direct_cells if c.status == "fail"] == []
+
+    def test_exact_equality_on_direct_substrates(self, direct_cells):
+        scored = [c for c in direct_cells if c.status == "pass"]
+        assert scored
+        assert all(c.actual == c.expected for c in scored)
+        assert all(c.error == 0 for c in scored)
+
+    def test_power_drift_cell_flagged(self, direct_cells):
+        fp = [c for c in direct_cells
+              if c.platform == "simPOWER" and c.name == "PAPI_FP_INS"]
+        assert len(fp) == 1 and fp[0].drift
+        assert fp[0].status == "pass"      # drift is not a failure
+        assert "drift" in fp[0].detail
+
+    def test_skips_carry_reasons(self, direct_cells):
+        skips = [c for c in direct_cells if c.status == "skip"]
+        assert skips
+        assert all(c.detail for c in skips)
+
+    def test_sampling_within_tolerance(self, sampling_cells):
+        scored = [c for c in sampling_cells if c.status != "skip"]
+        assert scored
+        assert all(c.status == "pass" for c in scored)
+        assert all(c.error <= SAMPLING_TOLERANCE for c in scored)
+
+
+class TestVirtualizationPlane:
+    def test_attached_counts_exact_up_and_smp(self):
+        cells = run_virtualization_plane(["simX86"])
+        assert {c.name for c in cells} == {
+            "PAPI_TOT_INS@ncpus=1", "PAPI_TOT_INS@ncpus=4",
+        }
+        for c in cells:
+            assert c.status == "pass"
+            assert c.actual == c.expected
+
+    def test_sampling_substrate_skips(self):
+        cells = run_virtualization_plane(["simALPHA"])
+        assert cells and all(c.status == "skip" for c in cells)
+        assert all("attach" in c.detail for c in cells)

@@ -1,0 +1,61 @@
+"""Convergence regressions: the multiplex run-length hazard, pinned.
+
+These are the committed regression thresholds from the validate harness:
+at the longest sweep duration every multiplexed event estimates within
+1% of the oracle, and the median error never increases as the runtime
+doubles.  A change that breaks either has made short-run multiplexing
+quietly worse.
+"""
+
+import pytest
+
+from repro.validate.convergence import (
+    DURATIONS,
+    EVENTS,
+    FINAL_ERROR_BOUND,
+    measure_sweep,
+    run_convergence_plane,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return measure_sweep(DURATIONS)
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def test_every_event_converges_at_longest_duration(sweep):
+    final = sweep[DURATIONS[-1]]
+    for symbol in EVENTS:
+        assert final.errors[symbol] < FINAL_ERROR_BOUND, symbol
+
+
+def test_median_error_monotone_nonincreasing(sweep):
+    medians = [_median(list(sweep[d].errors.values())) for d in DURATIONS]
+    assert all(b <= a for a, b in zip(medians, medians[1:])), medians
+
+
+def test_shortest_run_shows_the_hazard(sweep):
+    # the paper's warning must be *visible*: short runs estimate badly
+    first = _median(list(sweep[DURATIONS[0]].errors.values()))
+    last = _median(list(sweep[DURATIONS[-1]].errors.values()))
+    assert first > 10 * last
+
+
+def test_rotations_scale_with_runtime(sweep):
+    assert sweep[DURATIONS[-1]].rotations > sweep[DURATIONS[0]].rotations
+
+
+def test_plane_cells_all_pass():
+    cells = run_convergence_plane()
+    assert [c.name for c in cells if c.status == "fail"] == []
+    names = {c.name for c in cells}
+    assert "median-monotone" in names
+    assert f"PAPI_TOT_INS@repeats={DURATIONS[-1]}" in names

@@ -1,0 +1,41 @@
+"""Cost plane: measured per-op cycles must equal the published model."""
+
+import pytest
+
+from repro.platforms import PLATFORM_NAMES
+from repro.validate.cost import run_cost_plane
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return run_cost_plane(list(PLATFORM_NAMES))
+
+
+def test_all_cells_pass(cells):
+    assert [c for c in cells if c.status == "fail"] == []
+
+
+def test_direct_platforms_get_model_and_fault_cells(cells):
+    for name in PLATFORM_NAMES:
+        mine = [c for c in cells if c.platform == name]
+        if name == "simALPHA":
+            assert [c.name for c in mine] == ["interface-total"]
+        else:
+            assert {c.name for c in mine} == {
+                "start", "read", "reset", "stop", "fault-retry",
+            }
+
+
+def test_model_equality_is_exact(cells):
+    for c in cells:
+        if c.name in ("start", "read", "reset", "stop"):
+            assert c.actual == c.expected, (c.platform, c.name)
+
+
+def test_fault_retry_ledger_balances(cells):
+    fault = [c for c in cells if c.name == "fault-retry"]
+    assert len(fault) == len(PLATFORM_NAMES) - 1
+    for c in fault:
+        # absorbed retries were billed: nonzero backoff cycles recorded
+        assert c.actual > 0
+        assert "retries" in c.detail

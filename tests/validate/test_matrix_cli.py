@@ -1,0 +1,125 @@
+"""ConformanceMatrix aggregation/rendering and the `validate` CLI verb."""
+
+import json
+
+import pytest
+
+from repro.tools.cli import main
+from repro.validate import ConformanceMatrix, run_all
+from repro.validate.matrix import MatrixCell
+
+
+def _cells():
+    return [
+        MatrixCell(plane="oracle", platform="simT3E", name="PAPI_TOT_INS",
+                   status="pass", expected=100, actual=100, error=0.0),
+        MatrixCell(plane="oracle", platform="simPOWER", name="PAPI_FP_INS",
+                   status="pass", expected=70, actual=70, drift=True,
+                   detail="platform semantics drift"),
+        MatrixCell(plane="oracle", platform="simX86", name="PAPI_TOT_CYC",
+                   status="skip", detail="micro-architectural"),
+        MatrixCell(plane="skid", platform="simX86", name="PAPI_FP_INS",
+                   status="fail", actual=0.05),
+    ]
+
+
+class TestMatrixCell:
+    def test_bad_status_rejected(self):
+        with pytest.raises(ValueError, match="bad cell status"):
+            MatrixCell(plane="oracle", platform="simT3E", name="x",
+                       status="maybe")
+
+    def test_to_json_drops_unset_fields(self):
+        cell = MatrixCell(plane="cost", platform="simT3E", name="read",
+                          status="pass", expected=4, actual=4)
+        js = cell.to_json()
+        assert js["expected"] == 4 and js["actual"] == 4
+        assert "error" not in js and "drift" not in js and "detail" not in js
+
+    def test_to_json_keeps_drift_and_detail(self):
+        js = _cells()[1].to_json()
+        assert js["drift"] is True
+        assert js["detail"] == "platform semantics drift"
+
+
+class TestConformanceMatrix:
+    def test_passed_and_failures(self):
+        matrix = ConformanceMatrix(cells=_cells()[:3])
+        assert matrix.passed and matrix.failures() == []
+        matrix.extend(_cells()[3:])
+        assert not matrix.passed
+        assert [c.name for c in matrix.failures()] == ["PAPI_FP_INS"]
+
+    def test_summary_tallies_by_plane(self):
+        summary = ConformanceMatrix(cells=_cells()).summary()
+        assert summary["oracle"] == {"pass": 2, "fail": 0, "skip": 1}
+        assert summary["skid"] == {"pass": 0, "fail": 1, "skip": 0}
+
+    def test_json_schema(self):
+        matrix = ConformanceMatrix(cells=_cells(), meta={"seed": 1})
+        js = json.loads(matrix.to_json_str())
+        assert js["schema"] == "repro.validate/1"
+        assert js["passed"] is False
+        assert js["meta"] == {"seed": 1}
+        assert len(js["cells"]) == 4
+
+    def test_text_rendering(self):
+        text = ConformanceMatrix(cells=_cells()).to_text()
+        assert "conformance summary" in text
+        assert "plane: oracle" in text and "plane: skid" in text
+        assert "[drift]" in text
+        assert text.rstrip().endswith("(4 cells, 1 failures)")
+        assert "FAIL" in text
+
+    def test_markdown_summary(self):
+        md = ConformanceMatrix(cells=_cells()).to_markdown()
+        assert md.splitlines()[0] == "| plane | pass | fail | skip |"
+        assert "| oracle | 2 | 0 | 1 |" in md
+
+
+class TestRunAll:
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError, match="unknown platforms"):
+            run_all(platforms=["simVAX"])
+
+    def test_unknown_plane_rejected(self):
+        with pytest.raises(ValueError, match="unknown planes"):
+            run_all(planes=["vibes"])
+
+    def test_single_plane_single_platform(self):
+        matrix = run_all(platforms=["simT3E"], planes=["cost"])
+        assert matrix.passed
+        assert matrix.meta["platforms"] == ["simT3E"]
+        assert {c.plane for c in matrix.cells} == {"cost"}
+
+
+class TestValidateVerb:
+    def test_text_output_and_exit_zero(self, capsys):
+        rc = main(["validate", "--platform", "simT3E", "--planes", "cost"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conformance summary" in out
+        assert "PASS" in out
+
+    def test_json_format(self, capsys):
+        rc = main(["validate", "--platform", "simT3E", "--planes", "cost",
+                   "--format", "json"])
+        assert rc == 0
+        js = json.loads(capsys.readouterr().out)
+        assert js["schema"] == "repro.validate/1" and js["passed"]
+
+    def test_json_out_artifact(self, tmp_path, capsys):
+        path = tmp_path / "matrix.json"
+        rc = main(["validate", "--platform", "simT3E", "--planes", "cost",
+                   "--json-out", str(path)])
+        capsys.readouterr()
+        assert rc == 0
+        js = json.loads(path.read_text())
+        assert js["schema"] == "repro.validate/1"
+        assert js["meta"]["platforms"] == ["simT3E"]
+
+    def test_bad_plane_exits_2(self, capsys):
+        rc = main(["validate", "--planes", "vibes"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown planes" in err

@@ -1,0 +1,191 @@
+"""Unit tests for the validate harness's ground-truth oracle."""
+
+import pytest
+
+from repro.hw import Assembler
+from repro.hw.events import Signal
+from repro.platforms import create
+from repro.validate import (
+    ORACLE_SIGNALS,
+    OracleError,
+    expected_preset_values,
+    expected_signal_counts,
+)
+from repro.workloads import conformance_mix, decoy_spin, skid_probe
+
+
+def _signals(substrate):
+    return {n: ev.signals for n, ev in substrate.native_events.items()}
+
+
+class TestInterpreter:
+    def test_straight_line_counts(self):
+        asm = Assembler()
+        base = asm.init_array([3, 4])
+        asm.func("main")
+        asm.li("r1", base)
+        asm.load("r2", "r1", 0)
+        asm.load("r3", "r1", 1)
+        asm.add("r4", "r2", "r3")
+        asm.store("r4", "r1", 0)
+        asm.fli("f1", 2.0)
+        asm.fmul("f2", "f1", "f1")
+        asm.fadd("f3", "f2", "f1")
+        asm.halt()
+        asm.endfunc()
+        counts = expected_signal_counts(asm.build())
+        assert counts[Signal.TOT_INS] == 9
+        assert counts[Signal.LD_INS] == 2
+        assert counts[Signal.SR_INS] == 1
+        assert counts[Signal.INT_INS] == 2     # li + add
+        assert counts[Signal.FP_MUL] == 1
+        assert counts[Signal.FP_ADD] == 1
+        assert counts[Signal.FP_MOV] == 1      # fli
+        assert counts[Signal.BR_INS] == 0
+
+    def test_branch_outcomes_computed(self):
+        # loop of 5: blt taken 4 times, not taken once
+        asm = Assembler()
+        asm.func("main")
+        asm.li("r1", 0)
+        asm.li("r2", 5)
+        asm.label("loop")
+        asm.addi("r1", "r1", 1)
+        asm.blt("r1", "r2", "loop")
+        asm.halt()
+        asm.endfunc()
+        counts = expected_signal_counts(asm.build())
+        assert counts[Signal.BR_INS] == 5
+        assert counts[Signal.BR_CN] == 5
+        assert counts[Signal.BR_TKN] == 4
+        assert counts[Signal.BR_NTK] == 1
+
+    def test_call_ret_accounting(self):
+        work = conformance_mix(13)
+        counts = expected_signal_counts(work.program)
+        assert counts[Signal.CALL_INS] == 13
+        assert counts[Signal.RET_INS] == 13
+        assert counts[Signal.PRB_INS] == 13
+        assert counts[Signal.SYS_INS] == 13
+
+    def test_matches_hand_written_expectations(self):
+        for use_fma in (True, False):
+            work = conformance_mix(21, use_fma=use_fma)
+            counts = expected_signal_counts(work.program)
+            exp = work.expect
+            fp_ins = (counts[Signal.FP_ADD] + counts[Signal.FP_MUL]
+                      + counts[Signal.FP_DIV] + counts[Signal.FP_SQRT]
+                      + counts[Signal.FP_FMA])
+            assert fp_ins == exp.fp_ins
+            assert counts[Signal.FP_FMA] == exp.fma
+            assert counts[Signal.FP_CVT] == exp.converts
+            assert counts[Signal.LD_INS] == exp.loads
+            assert counts[Signal.SR_INS] == exp.stores
+
+    def test_skid_probe_fp_isolated(self):
+        work = skid_probe(9)
+        counts = expected_signal_counts(work.program)
+        assert counts[Signal.FP_FMA] == 9
+        assert counts[Signal.LD_INS] == 0
+        from repro.hw.isa import Op
+        block = work.program.functions["fp_block"]
+        fp_arith = [pc for pc, ins in enumerate(work.program.instructions)
+                    if ins.op in (Op.FMA, Op.FADD, Op.FMUL, Op.FSUB)]
+        # every fp arithmetic instruction lives inside fp_block
+        assert fp_arith and all(pc in block for pc in fp_arith)
+
+    def test_decoy_is_fp_free(self):
+        counts = expected_signal_counts(decoy_spin(50).program)
+        for sig in (Signal.FP_ADD, Signal.FP_MUL, Signal.FP_FMA,
+                    Signal.LD_INS, Signal.SR_INS):
+            assert counts[sig] == 0
+
+
+class TestFaultPaths:
+    def _run(self, build):
+        asm = Assembler()
+        asm.func("main")
+        build(asm)
+        asm.halt()
+        asm.endfunc()
+        return expected_signal_counts(asm.build())
+
+    def test_integer_divide_by_zero(self):
+        with pytest.raises(OracleError, match="divide by zero"):
+            self._run(lambda a: (a.li("r1", 4), a.li("r2", 0),
+                                 a.div("r3", "r1", "r2")))
+
+    def test_float_divide_by_zero(self):
+        with pytest.raises(OracleError, match="divide by zero"):
+            self._run(lambda a: (a.fli("f1", 1.0), a.fli("f2", 0.0),
+                                 a.fdiv("f3", "f1", "f2")))
+
+    def test_sqrt_of_negative(self):
+        with pytest.raises(OracleError, match="sqrt of negative"):
+            self._run(lambda a: (a.fli("f1", -1.0), a.fsqrt("f2", "f1")))
+
+    def test_ret_with_empty_stack(self):
+        with pytest.raises(OracleError, match="empty call stack"):
+            self._run(lambda a: a.ret())
+
+    def test_load_out_of_range(self):
+        with pytest.raises(OracleError, match="load address"):
+            self._run(lambda a: (a.li("r1", 10_000), a.load("r2", "r1", 0)))
+
+    def test_store_out_of_range(self):
+        with pytest.raises(OracleError, match="store address"):
+            self._run(lambda a: (a.li("r1", -3), a.store("r1", "r1", 0)))
+
+    def test_runaway_budget(self):
+        asm = Assembler()
+        asm.func("main")
+        asm.label("spin")
+        asm.jmp("spin")
+        asm.halt()
+        asm.endfunc()
+        with pytest.raises(OracleError, match="oracle budget"):
+            expected_signal_counts(asm.build(), max_instructions=1000)
+
+    def test_heap_words_extends_memory(self):
+        asm = Assembler()
+        asm.func("main")
+        asm.li("r1", 0)
+        asm.store("r1", "r1", 0)   # program declares no data at all
+        asm.halt()
+        asm.endfunc()
+        program = asm.build()
+        with pytest.raises(OracleError):
+            expected_signal_counts(program)
+        assert expected_signal_counts(program, heap_words=4)[Signal.SR_INS] == 1
+
+
+class TestPresetExpectations:
+    def test_power_fp_ins_drift_surfaces(self):
+        sub = create("simPOWER")
+        counts = expected_signal_counts(
+            conformance_mix(10, use_fma=True).program)
+        exp = expected_preset_values("simPOWER", counts, _signals(sub))
+        fp = exp["PAPI_FP_INS"]
+        # PM_FPU_INS counts converts: platform value differs from reference
+        assert fp.checkable and fp.drift
+        assert fp.expected != fp.reference_expected
+
+    def test_uncheckable_presets_have_no_expectation(self):
+        sub = create("simX86")
+        counts = expected_signal_counts(conformance_mix(5).program)
+        exp = expected_preset_values("simX86", counts, _signals(sub))
+        cyc = exp["PAPI_TOT_CYC"]
+        assert not cyc.checkable
+        assert cyc.expected is None
+        assert not set(cyc.signals) <= ORACLE_SIGNALS or not cyc.signals
+
+    def test_tot_ins_checkable_everywhere(self):
+        from repro.platforms import PLATFORM_NAMES
+        for name in PLATFORM_NAMES:
+            sub = create(name)
+            work = conformance_mix(5, use_fma=sub.HAS_FMA)
+            c = expected_signal_counts(work.program)
+            exp = expected_preset_values(name, c, _signals(sub))
+            tot = exp["PAPI_TOT_INS"]
+            assert tot.checkable
+            assert tot.expected == c[Signal.TOT_INS]

@@ -1,0 +1,47 @@
+"""Skid-plane regressions: attribution accuracy pinned per mechanism."""
+
+import pytest
+
+from repro.platforms import PLATFORM_NAMES
+from repro.validate.skid import run_skid_plane
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return run_skid_plane(list(PLATFORM_NAMES))
+
+
+def _cell(cells, platform, name=None):
+    picked = [c for c in cells if c.platform == platform
+              and (name is None or c.name == name)]
+    assert len(picked) == 1, picked
+    return picked[0]
+
+
+def test_all_cells_pass(cells):
+    assert [c for c in cells if c.status == "fail"] == []
+
+
+def test_profileme_attribution_is_perfect(cells):
+    c = _cell(cells, "simALPHA")
+    assert c.actual == 1.0
+
+
+def test_zero_skid_pmu_is_perfect(cells):
+    c = _cell(cells, "simT3E")
+    assert c.actual == 1.0
+
+
+def test_ear_capture_is_perfect(cells):
+    c = _cell(cells, "simIA64", "EAR:l1d_miss")
+    assert c.actual == 1.0
+
+
+@pytest.mark.parametrize("platform", ["simX86", "simPOWER", "simIA64",
+                                      "simSPARC"])
+def test_skidding_pmus_visibly_smear(cells, platform):
+    name = [c.name for c in cells
+            if c.platform == platform and not c.name.startswith("EAR")][0]
+    c = _cell(cells, platform, name)
+    assert 0.0 < c.actual < 1.0
+    assert "skid_max" in c.detail
