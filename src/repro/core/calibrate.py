@@ -68,6 +68,8 @@ def run_measured(papi: Papi, workload: Workload,
         machine.run_to_completion()
         values = es.stop()
     finally:
+        if es.running:  # an exception left the set running
+            es.stop()
         papi.destroy_eventset(es)
     return dict(zip(symbols, values))
 

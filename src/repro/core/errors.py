@@ -131,6 +131,21 @@ _BY_CODE = {
 }
 
 
+#: class names partitioned by the ``transient`` flag.  Static analyzers
+#: (papi-lint's recovery-ladder rule) classify ``except`` clauses by the
+#: caught class *name* without importing user code, so the partition is
+#: exported here, next to the flags it derives from, where adding a new
+#: error class cannot miss it.
+TRANSIENT_ERROR_NAMES = frozenset(
+    cls.__name__ for cls in _BY_CODE.values() if cls.transient
+)
+FATAL_ERROR_NAMES = frozenset(
+    cls.__name__
+    for cls in _BY_CODE.values()
+    if not cls.transient and cls is not PapiError
+)
+
+
 def error_for_code(code: int, message: str = "") -> PapiError:
     """Build the exception matching a C-style return *code*."""
     cls = _BY_CODE.get(code, PapiError)

@@ -90,7 +90,7 @@ class HighLevel:
         try:
             for code in self._codes(events):
                 es.add_event(code)
-            es.start()
+            es.start()  # papi-lint: disable=PL008 -- stopped by stop_counters()
         except Exception:
             self.papi.destroy_eventset(es)
             raise
@@ -128,7 +128,7 @@ class HighLevel:
         if state is None:
             es = self.papi.create_eventset()
             es.add_event(preset_from_symbol(symbol).code)
-            es.start()
+            es.start()  # papi-lint: disable=PL008 -- runs until the final rate call
             state = _RateState(
                 es,
                 self.papi.get_real_usec(),

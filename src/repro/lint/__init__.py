@@ -1,6 +1,6 @@
 """papi-lint: static analysis for PAPI counter programs.
 
-Three analyzers behind one diagnostic engine (see DESIGN.md):
+Five analyzers behind one diagnostic engine (see DESIGN.md):
 
 - **API misuse** (:mod:`repro.lint.apilint`, rules PL0xx): an AST
   state machine over Papi/EventSet/HighLevel call sequences;
@@ -9,12 +9,23 @@ Three analyzers behind one diagnostic engine (see DESIGN.md):
   allocator's bipartite matching over the platform tables;
 - **preset-table validation** (:mod:`repro.lint.presetlint`, PL2xx):
   dangling natives, malformed mappings, FMA normalization, semantic
-  drift versus the catalogue's reference vectors.
+  drift versus the catalogue's reference vectors;
+- **flow-sensitive typestate** (:mod:`repro.lint.flow` over
+  :mod:`repro.lint.cfg` / :mod:`repro.lint.dataflow` /
+  :mod:`repro.lint.typestate` / :mod:`repro.lint.summaries`, PL3xx
+  lifecycle + PL4xx SMP rules): a CFG-based, path-sensitive,
+  interprocedural analysis of EventSet/counter lifecycles, enabled
+  with ``--flow``;
+- **static counter oracle** (:mod:`repro.lint.staticoracle`): affine
+  bounds on every architecturally-determined signal of a machine
+  program, derived without executing it, bracketing the exact oracle.
 
-CLI: ``python -m repro.tools.cli lint | check-events | check-presets``.
+CLI: ``python -m repro.tools.cli lint | check-events | check-presets``
+or simply ``python -m repro.lint <files>``.
 """
 
 from repro.lint.diagnostics import (
+    JSON_SCHEMA,
     Diagnostic,
     apply_suppressions,
     parse_suppressions,
@@ -23,7 +34,12 @@ from repro.lint.diagnostics import (
     sort_diagnostics,
     worst_severity,
 )
-from repro.lint.engine import lint_file, lint_source
+from repro.lint.engine import (
+    FLOW_SHADOWED_BY,
+    dedupe_diagnostics,
+    lint_file,
+    lint_source,
+)
 from repro.lint.feasibility import (
     EventResolution,
     FeasibilityReport,
@@ -37,16 +53,30 @@ from repro.lint.presetlint import (
     lint_preset_tables,
 )
 from repro.lint.rules import RULES, Rule, Severity, rule
+from repro.lint.sarif import render_sarif, to_sarif
+from repro.lint.staticoracle import (
+    Interval,
+    SignalBounds,
+    StaticOracleError,
+    static_signal_bounds,
+    verify_block_affine,
+)
 
 __all__ = [
     "Diagnostic",
     "EventResolution",
+    "FLOW_SHADOWED_BY",
     "FeasibilityReport",
+    "Interval",
+    "JSON_SCHEMA",
     "RULES",
     "Rule",
     "Severity",
+    "SignalBounds",
+    "StaticOracleError",
     "apply_suppressions",
     "check_events",
+    "dedupe_diagnostics",
     "lint_file",
     "lint_mapping",
     "lint_platform_table",
@@ -55,9 +85,13 @@ __all__ = [
     "parse_suppressions",
     "portability_matrix",
     "render_json",
+    "render_sarif",
     "render_text",
     "resolve_event",
     "rule",
     "sort_diagnostics",
+    "static_signal_bounds",
+    "to_sarif",
+    "verify_block_affine",
     "worst_severity",
 ]

@@ -1,0 +1,21 @@
+"""Module entry point: ``python -m repro.lint file.py [--flow] ...``.
+
+A thin alias for the CLI's ``lint`` verb so the linter is runnable
+without knowing the tools package layout -- the invocation editors and
+pre-commit hooks reach for first.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    from repro.tools.cli import main as cli_main
+
+    args = sys.argv[1:] if argv is None else list(argv)
+    return cli_main(["lint"] + args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

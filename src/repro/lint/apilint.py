@@ -228,8 +228,27 @@ class _ScopeInterpreter:
             self.eval_expr(stmt.value)
         elif isinstance(stmt, ast.If):
             self.eval_expr(stmt.test)
-            self.visit_block(stmt.body)
-            self.visit_block(stmt.orelse)
+            refined = self._running_test(stmt.test)
+            if refined is not None:
+                # ``if es.running:`` -- walk each branch under the
+                # state the condition proves, then keep the branch the
+                # entry state would actually have taken.  This is the
+                # guarded-cleanup idiom (stop before destroy); without
+                # it the linear walk reports a spurious PL001/PL002.
+                es, truth = refined
+                entry = es.running
+                es.running = truth
+                self.visit_block(stmt.body)
+                after_body = es.running
+                es.running = not truth
+                self.visit_block(stmt.orelse)
+                after_orelse = es.running
+                es.running = (
+                    after_body if entry == truth else after_orelse
+                )
+            else:
+                self.visit_block(stmt.body)
+                self.visit_block(stmt.orelse)
         elif isinstance(stmt, (ast.For, ast.AsyncFor)):
             self.eval_expr(stmt.iter)
             self.visit_block(stmt.body)
@@ -256,6 +275,21 @@ class _ScopeInterpreter:
             self.visit_block(stmt.orelse)
             self.visit_block(stmt.finalbody)
         # FunctionDef/ClassDef bodies are linted as separate scopes.
+
+    def _running_test(
+        self, test: ast.expr
+    ) -> Optional[Tuple["_EventSetState", bool]]:
+        """Match ``<eventset>.running`` (optionally negated) conditions."""
+        truth = True
+        while isinstance(test, ast.UnaryOp) and isinstance(
+            test.op, ast.Not
+        ):
+            test, truth = test.operand, not truth
+        if isinstance(test, ast.Attribute) and test.attr == "running":
+            target = self.eval_expr(test.value)
+            if isinstance(target, _EventSetState):
+                return target, truth
+        return None
 
     @staticmethod
     def _one_handler_names(handler: ast.excepthandler) -> Set[str]:

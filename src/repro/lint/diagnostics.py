@@ -53,6 +53,7 @@ class Diagnostic:
         return text
 
     def to_dict(self) -> Dict[str, object]:
+        rule = RULES.get(self.code)
         return {
             "code": self.code,
             "severity": str(self.severity),
@@ -61,6 +62,10 @@ class Diagnostic:
             "col": self.col,
             "message": self.message,
             "hint": self.hint,
+            "rule": {
+                "summary": rule.summary if rule else "",
+                "paper": rule.paper if rule else "",
+            },
         }
 
 
@@ -74,7 +79,10 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
 
     A ``# papi-lint: disable=PL001,PL011`` comment suppresses the listed
     codes for diagnostics reported on its line; ``disable=all``
-    suppresses everything there.  Unknown directives are ignored (they
+    suppresses everything there.  Anything after the code list (first
+    whitespace onward) is a free-form justification, e.g.
+    ``# papi-lint: disable=PL008 -- stopped in _teardown()``; writing
+    one is strongly encouraged.  Unknown directives are ignored (they
     are comments, not syntax).
     """
     out: Dict[int, Set[str]] = {}
@@ -94,11 +102,9 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
         directive = body[len(DIRECTIVE):].strip()
         if not directive.startswith("disable="):
             continue
-        codes = {
-            c.strip()
-            for c in directive[len("disable="):].split(",")
-            if c.strip()
-        }
+        spec = directive[len("disable="):].strip()
+        code_list = spec.split()[0] if spec.split() else ""
+        codes = {c.strip() for c in code_list.split(",") if c.strip()}
         out.setdefault(lineno, set()).update(codes)
     return out
 
@@ -139,15 +145,26 @@ def render_text(diagnostics: List[Diagnostic]) -> str:
     return "\n".join(lines)
 
 
+#: Identifier of the JSON report layout.  ``repro.lint/2`` adds the
+#: ``schema`` marker itself, the ``notes`` count and the per-finding
+#: ``rule`` object; the v1 keys (``findings``/``errors``/``warnings``)
+#: are retained unchanged so v1 consumers keep working.
+JSON_SCHEMA = "repro.lint/2"
+
+
 def render_json(diagnostics: List[Diagnostic]) -> str:
     """The machine report consumed by CI and editor integrations."""
     payload = {
+        "schema": JSON_SCHEMA,
         "findings": [d.to_dict() for d in diagnostics],
         "errors": sum(
             1 for d in diagnostics if d.severity == Severity.ERROR
         ),
         "warnings": sum(
             1 for d in diagnostics if d.severity == Severity.WARNING
+        ),
+        "notes": sum(
+            1 for d in diagnostics if d.severity == Severity.INFO
         ),
     }
     return json.dumps(payload, indent=2, sort_keys=True)

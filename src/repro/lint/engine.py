@@ -4,10 +4,19 @@ One entry point per input kind:
 
 - :func:`lint_source` / :func:`lint_file` run the AST API-misuse
   checker (with its embedded feasibility and preset-table hooks) over a
-  Python instrumentation script;
+  Python instrumentation script; with ``flow=True`` the CFG-based
+  typestate pass (:mod:`repro.lint.flow`) runs as well and its findings
+  are merged;
 - the feasibility and preset-table analyzers are also usable directly
   via :mod:`repro.lint.feasibility` and :mod:`repro.lint.presetlint`
   for the ``check-events`` / ``check-presets`` CLI verbs.
+
+The two passes overlap by design: the AST pass reports *must*-misuses
+in source order, the flow pass *may*-misuses over all paths.  When both
+flag the same hazard at the same line the flow finding is dropped
+(:data:`FLOW_SHADOWED_BY`), and any finding is reported at most once
+per ``(rule, file, line, col)`` -- so enabling ``--flow`` never
+double-reports.
 
 A file that does not parse yields exactly one PL900 diagnostic at the
 syntax error's position rather than raising -- linters report, they do
@@ -17,7 +26,7 @@ not crash.
 from __future__ import annotations
 
 import ast
-from typing import List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.lint.apilint import ApiLinter
 from repro.lint.diagnostics import (
@@ -27,17 +36,56 @@ from repro.lint.diagnostics import (
     sort_diagnostics,
 )
 
+#: flow-pass rule -> AST-pass rules that report the same hazard.  A flow
+#: finding is dropped when a shadowing AST finding exists on its line.
+FLOW_SHADOWED_BY: Dict[str, Tuple[str, ...]] = {
+    "PL301": ("PL001",),
+    "PL302": ("PL002", "PL005", "PL007", "PL014"),
+    "PL303": ("PL008", "PL017"),
+    "PL304": ("PL008",),
+    "PL401": ("PL015", "PL016"),
+    "PL403": ("PL016",),
+}
+
+
+def dedupe_diagnostics(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    """At most one finding per (rule, file, line, col), first one wins."""
+    seen: Set[Tuple[str, str, int, int]] = set()
+    kept: List[Diagnostic] = []
+    for diag in diagnostics:
+        key = (diag.code, diag.path, diag.line, diag.col)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(diag)
+    return kept
+
+
+def _drop_shadowed(
+    ast_diags: List[Diagnostic], flow_diags: List[Diagnostic]
+) -> List[Diagnostic]:
+    positions = {(d.code, d.line) for d in ast_diags}
+    kept = []
+    for diag in flow_diags:
+        shadows = FLOW_SHADOWED_BY.get(diag.code, ())
+        if any((code, diag.line) in positions for code in shadows):
+            continue
+        kept.append(diag)
+    return kept
+
 
 def lint_source(
     source: str,
     path: str = "<string>",
     default_platform: Optional[str] = None,
+    flow: bool = False,
 ) -> List[Diagnostic]:
     """Lint Python *source*; returns sorted, suppression-filtered findings.
 
     *default_platform* supplies a platform for feasibility checks when
     the script itself does not pin one statically (the CLI's
-    ``--platform`` flag).
+    ``--platform`` flag).  *flow* additionally runs the CFG-based
+    typestate pass (PL3xx/PL4xx rules).
     """
     try:
         tree = ast.parse(source, filename=path)
@@ -48,6 +96,13 @@ def lint_source(
         )]
     linter = ApiLinter(path, default_platform=default_platform)
     diagnostics = linter.lint(tree)
+    if flow:
+        from repro.lint.flow import lint_flow
+
+        diagnostics = diagnostics + _drop_shadowed(
+            diagnostics, lint_flow(tree, path)
+        )
+    diagnostics = dedupe_diagnostics(diagnostics)
     diagnostics = apply_suppressions(
         diagnostics, parse_suppressions(source)
     )
@@ -55,7 +110,9 @@ def lint_source(
 
 
 def lint_file(
-    path: str, default_platform: Optional[str] = None
+    path: str,
+    default_platform: Optional[str] = None,
+    flow: bool = False,
 ) -> List[Diagnostic]:
     """Lint one file on disk (unreadable files become PL900)."""
     try:
@@ -65,4 +122,6 @@ def lint_file(
         return [Diagnostic(
             "PL900", path, 0, 0, f"cannot read file: {exc.strerror}",
         )]
-    return lint_source(source, path, default_platform=default_platform)
+    return lint_source(
+        source, path, default_platform=default_platform, flow=flow
+    )

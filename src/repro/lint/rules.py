@@ -131,6 +131,46 @@ RULES: Dict[str, Rule] = {
              "PAPI error swallowed: a broad except around counter calls "
              "with a pass-only body discards the error code",
              "Section 4 (uniform error codes across every platform)"),
+        # -- flow-sensitive typestate (CFG dataflow engine) --------------
+        Rule("PL301", Severity.ERROR,
+             "an operation requiring a running EventSet is reachable "
+             "along a path on which the set is not running",
+             "Section 5 (EventSet run control); CFG dataflow",
+             guards=("NotRunningError",) + _PAPI_GUARD),
+        Rule("PL302", Severity.ERROR,
+             "an operation requiring a stopped EventSet (start, "
+             "membership or configuration change, attach/detach) is "
+             "reachable along a path on which the set is running",
+             "Section 5 (EventSet run control); CFG dataflow",
+             guards=("IsRunningError",) + _PAPI_GUARD),
+        Rule("PL303", Severity.WARNING,
+             "EventSet leaked on an exception path: a handler swallows "
+             "the exception and the scope exits with the set running",
+             "Section 5 (counters stay acquired until stop)"),
+        Rule("PL304", Severity.WARNING,
+             "an exception escaping this try leaves the EventSet "
+             "running; the finally block does not stop it",
+             "Section 5 (counters stay acquired until stop)"),
+        Rule("PL305", Severity.WARNING,
+             "recovery-ladder misuse: a fatal (non-transient) PAPI "
+             "error class is blindly retried in a loop",
+             "Fault model & recovery (core/resilience.py ladder)"),
+        # -- flow-sensitive SMP/thread rules -----------------------------
+        Rule("PL401", Severity.ERROR,
+             "one EventSet is shared between two spawned threads "
+             "without bind_cpu (virtual counts follow a single owner)",
+             "SMP counter virtualization (PR 3); Section 2 threads",
+             guards=("IsRunningError",) + _PAPI_GUARD),
+        Rule("PL402", Severity.WARNING,
+             "off-CPU counter read bypasses counter-home routing: a "
+             "thread-bound counter is read directly from one PMU "
+             "although migration may have re-homed it",
+             "SMP counter virtualization (migration-safe reads)"),
+        Rule("PL403", Severity.ERROR,
+             "OS-level counter operation on an index that may not be "
+             "bound to the thread on some path",
+             "SMP counter virtualization (bind_counter lifecycle)",
+             guards=("OSError_", "OSError") + _PAPI_GUARD),
         # -- static EventSet feasibility --------------------------------
         Rule("PL101", Severity.ERROR,
              "EventSet cannot be mapped onto the platform's physical "

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 output for papi-lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard every mainstream code-scanning UI ingests; emitting it makes
+papi-lint findings show up as annotations in code review without any
+custom tooling.  Only the small, stable core of the format is
+produced: one ``run`` with a ``tool.driver`` carrying the full rule
+catalogue (so viewers can show rule metadata for ``ruleId`` matches)
+and one ``result`` per diagnostic.
+
+Mapping notes:
+
+- severities: ``error`` -> ``error``, ``warning`` -> ``warning``,
+  ``info`` -> ``note`` (SARIF has no "info" level);
+- papi-lint columns are 0-based (matching ``ast``), SARIF's are
+  1-based -- the renderer shifts them;
+- the hint travels as the rule's help text would, appended to the
+  message, since per-result help is not part of the core format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import RULES, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _driver_rules() -> List[Dict[str, object]]:
+    rules = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        rules.append({
+            "id": code,
+            "shortDescription": {"text": rule.summary},
+            "properties": {"paper": rule.paper},
+            "defaultConfiguration": {
+                "level": _LEVELS[rule.severity],
+            },
+        })
+    return rules
+
+
+def _result(diag: Diagnostic) -> Dict[str, object]:
+    message = diag.message
+    if diag.hint:
+        message = f"{message} ({diag.hint})"
+    return {
+        "ruleId": diag.code,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": diag.path},
+                "region": {
+                    "startLine": max(1, diag.line),
+                    "startColumn": diag.col + 1,
+                },
+            },
+        }],
+    }
+
+
+def to_sarif(diagnostics: List[Diagnostic]) -> Dict[str, object]:
+    """The SARIF log as a plain dict (one tool, one run)."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "papi-lint",
+                    "rules": _driver_rules(),
+                },
+            },
+            "results": [_result(d) for d in diagnostics],
+        }],
+    }
+
+
+def render_sarif(diagnostics: List[Diagnostic]) -> str:
+    """The SARIF log serialized for ``--format sarif`` / CI artifacts."""
+    return json.dumps(to_sarif(diagnostics), indent=2, sort_keys=True)

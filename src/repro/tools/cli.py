@@ -173,23 +173,52 @@ def cmd_validate(args) -> int:
     return 0 if matrix.passed else 1
 
 
+def expand_lint_targets(paths) -> list:
+    """Files stay files; directories are walked for ``*.py`` files."""
+    import os
+
+    targets = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs if not d.startswith(".")
+                           and d != "__pycache__"]
+                targets.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names) if name.endswith(".py")
+                )
+        else:
+            targets.append(path)
+    return targets
+
+
 def cmd_lint(args) -> int:
     """papi-lint: static analysis of instrumentation scripts."""
     from repro.lint import (
         Severity,
         lint_file,
         render_json,
+        render_sarif,
         render_text,
         worst_severity,
     )
 
+    flow = getattr(args, "flow", False)
     diagnostics = []
-    for path in args.files:
+    for path in expand_lint_targets(args.files):
         diagnostics.extend(
-            lint_file(path, default_platform=args.platform)
+            lint_file(path, default_platform=args.platform, flow=flow)
         )
+    sarif_out = getattr(args, "sarif_out", None)
+    if sarif_out:
+        with open(sarif_out, "w") as fh:
+            fh.write(render_sarif(diagnostics))
+            fh.write("\n")
     if args.format == "json":
         print(render_json(diagnostics))
+    elif args.format == "sarif":
+        print(render_sarif(diagnostics))
     else:
         print(render_text(diagnostics))
     return 1 if worst_severity(diagnostics) == Severity.ERROR else 0
@@ -389,13 +418,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint", help="papi-lint: static analysis of counter scripts"
     )
-    p.add_argument("files", nargs="+", help="Python scripts to lint")
+    p.add_argument(
+        "files", nargs="+",
+        help="Python scripts to lint (directories are walked for *.py)",
+    )
     p.add_argument(
         "--platform", choices=PLATFORM_NAMES, default=None,
         help="platform for feasibility checks when the script does not "
              "pin one statically",
     )
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--flow", action="store_true",
+        help="also run the CFG-based typestate pass (PL3xx/PL4xx: "
+             "path-sensitive lifecycle, leak-on-exception and SMP "
+             "misuse rules)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
+    p.add_argument(
+        "--sarif-out", metavar="PATH", default=None,
+        help="also write a SARIF 2.1.0 log to PATH (the CI artifact), "
+             "independent of --format",
+    )
 
     p = sub.add_parser(
         "check-events",

@@ -172,7 +172,7 @@ class Perfometer:
     def _arm(self) -> None:
         es = self.papi.create_eventset()
         es.add_event(self.papi.event_name_to_code(self.metric))
-        es.start()
+        es.start()  # papi-lint: disable=PL008 -- stopped in _teardown()
         self._es = es
 
     def _teardown(self) -> None:

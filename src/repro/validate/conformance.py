@@ -64,6 +64,8 @@ def _measure_one(papi: Papi, workload: Workload, symbol: str) -> int:
         machine.run_to_completion()
         return es.stop()[0]
     finally:
+        if es.running:  # an exception left the set running
+            es.stop()
         papi.destroy_eventset(es)
 
 
@@ -136,6 +138,8 @@ def _oracle_cells_sampling(
         machine.run_to_completion()
         values = es.stop()
     finally:
+        if es.running:  # an exception left the set running
+            es.stop()
         papi.destroy_eventset(es)
     for symbol, actual in zip(checkable, values):
         exp = expectations[symbol]
@@ -225,6 +229,8 @@ def run_virtualization_plane(
                 substrate.os.run()
                 actual = es.stop()[0]
             finally:
+                if es.running:  # an exception left the set running
+                    es.stop()
                 papi.destroy_eventset(es)
             cells.append(MatrixCell(
                 plane="virtual", platform=platform, name=cell_name,

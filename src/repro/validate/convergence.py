@@ -90,6 +90,8 @@ def measure_sweep(
             values = dict(zip(es.event_names, es.stop()))
             rotations = es.mpx_rotations
         finally:
+            if es.running:  # an exception left the set running
+                es.stop()
             papi.destroy_eventset(es)
         out[repeats] = SweepPoint(
             errors={

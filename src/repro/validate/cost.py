@@ -49,6 +49,8 @@ def _measured_deltas(papi: Papi) -> tuple:
         c4 = substrate.real_cyc()
         n_natives = max(len(es.assignment), 1)
     finally:
+        if es.running:  # an exception left the set running
+            es.stop()
         papi.destroy_eventset(es)
     return (c1 - c0, c2 - c1, c3 - c2, c4 - c3), n_natives
 
@@ -75,6 +77,8 @@ def run_cost_plane(
                 es.stop()
                 delta = substrate.real_cyc() - substrate.machine.user_cycles
             finally:
+                if es.running:  # an exception left the set running
+                    es.stop()
                 papi.destroy_eventset(es)
             cells.append(MatrixCell(
                 plane="cost", platform=platform, name="interface-total",
@@ -118,6 +122,8 @@ def _fault_cost_cell(platform: str, seed: int) -> MatrixCell:
         retries = es.health.retries
         backoff = es.health.backoff_cycles
     finally:
+        if es.running:  # an exception left the set running
+            es.stop()
         papi.destroy_eventset(es)
     # the ledger must balance: absorbed retries iff billed backoff.
     consistent = (retries > 0) == (backoff > 0)

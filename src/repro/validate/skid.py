@@ -75,6 +75,8 @@ def _profil_score(platform: str, n: int, seed: int) -> tuple:
         es.stop()
         profil.uninstall()
     finally:
+        if es.running:  # an exception left the set running
+            es.stop()
         papi.destroy_eventset(es)
     block = work.program.functions["fp_block"]
     truth = [pc * INS_BYTES for pc in range(block.start, block.end)]

@@ -118,3 +118,27 @@ def trip_count_overhead(n: int) -> int:
     bge that exits.  (Exposed for the test suite.)
     """
     return 2 + 3 * n + 1
+
+
+def loop_control_vector(n: int) -> Dict[int, int]:
+    """Exact per-signal counts of one ``Flow.loop``'s control overhead.
+
+    Maps :class:`repro.hw.events.Signal` indices to the counts the loop
+    scaffolding alone contributes for *n* trips: two ``li`` to set up
+    counter and limit, per trip one ``bge`` (not taken), the body-free
+    ``addi``/``jmp`` tail, and the final taken ``bge`` that exits.  The
+    static counter oracle (:mod:`repro.lint.staticoracle`) derives the
+    same numbers from first principles; exposing the closed form here
+    lets tests pin both against each other and against the machine.
+    """
+    from repro.hw.events import Signal
+
+    trips = max(0, int(n))
+    return {
+        Signal.TOT_INS: trip_count_overhead(trips),
+        Signal.INT_INS: 2 + trips,          # 2x li + per-trip addi
+        Signal.BR_INS: 2 * trips + 1,       # per-trip bge + jmp, final bge
+        Signal.BR_CN: trips + 1,            # the bge checks
+        Signal.BR_NTK: trips,               # every in-loop check falls through
+        Signal.BR_TKN: 1,                   # the exit check
+    }

@@ -1,0 +1,115 @@
+"""CFG construction: shapes the flow pass depends on."""
+
+import ast
+
+from repro.lint.cfg import build_cfg, reachable
+
+
+def _cfg(src):
+    return build_cfg(ast.parse(src).body)
+
+
+def _kinds(cfg):
+    return [node.kind for node in cfg.nodes]
+
+
+def _edge_kinds(cfg):
+    return [
+        kind for edges in cfg.succs.values() for _dst, kind in edges
+    ]
+
+
+class TestBranches:
+    def test_if_creates_assume_nodes_on_both_edges(self):
+        cfg = _cfg("if cond:\n    a = 1\nelse:\n    b = 2\n")
+        kinds = _kinds(cfg)
+        assert kinds.count("assume_true") == 1
+        assert kinds.count("assume_false") == 1
+
+    def test_while_gets_assume_nodes_too(self):
+        cfg = _cfg("while cond:\n    a = 1\n")
+        kinds = _kinds(cfg)
+        assert kinds.count("assume_true") == 1
+        assert kinds.count("assume_false") == 1
+
+    def test_loop_back_edge_exists(self):
+        cfg = _cfg("while cond:\n    a = 1\n")
+        # some edge must point backwards (to an earlier node id)
+        assert any(
+            dst < src
+            for src, edges in cfg.succs.items()
+            for dst, _kind in edges
+        )
+
+    def test_break_exits_the_loop(self):
+        cfg = _cfg(
+            "while cond:\n    break\na = 1\n"
+        )
+        assert cfg.exit in reachable(cfg)
+
+
+class TestExceptions:
+    def test_plain_statements_have_no_exc_edges_outside_try(self):
+        cfg = _cfg("a = f()\nb = g()\n")
+        assert "exc" not in _edge_kinds(cfg)
+
+    def test_try_body_gets_exc_edges(self):
+        cfg = _cfg(
+            "try:\n    a = f()\nexcept ValueError:\n    b = 1\n"
+        )
+        assert "exc" in _edge_kinds(cfg)
+
+    def test_finally_is_materialized_per_exit_kind(self):
+        cfg = _cfg(
+            "try:\n    a = f()\nfinally:\n    b = g()\n"
+        )
+        kinds = _kinds(cfg)
+        # one normal-exit copy and one exception-unwind copy
+        assert "finally" in kinds
+        assert "finally_exc" in kinds
+
+    def test_finally_recurses_into_compound_statements(self):
+        # the guarded-stop idiom inside a finally must become real
+        # nodes (If + assume edges), not one opaque statement
+        cfg = _cfg(
+            "try:\n"
+            "    a = f()\n"
+            "finally:\n"
+            "    if b:\n"
+            "        c = g()\n"
+        )
+        assume_kinds = [
+            k for k in _kinds(cfg) if k.startswith("assume_")
+        ]
+        # two materializations x (assume_true + assume_false)
+        assert len(assume_kinds) == 4
+
+    def test_guards_recorded_on_try_body(self):
+        cfg = _cfg(
+            "try:\n    a = f()\nexcept ValueError:\n    b = g()\n"
+        )
+        guarded = [
+            node for node in cfg.nodes
+            if node.stmt is not None and "ValueError" in node.guards
+        ]
+        assert guarded, "try-body nodes must carry the guard set"
+
+
+class TestEarlyExit:
+    def test_raise_routes_to_raise_exit(self):
+        cfg = _cfg("if cond:\n    raise ValueError\na = 1\n")
+        preds = cfg.preds()
+        assert preds[cfg.raise_exit], "raise must reach the raise exit"
+
+    def test_return_routes_to_exit(self):
+        fn = ast.parse("def f():\n    return 1\n    a = 2\n").body[0]
+        inner = build_cfg(fn.body)
+        assert inner.preds()[inner.exit]
+
+    def test_code_after_raise_is_dropped(self):
+        cfg = _cfg("raise ValueError\na = 1\n")
+        # the builder never materializes statements after a bare raise
+        assigns = [
+            n for n in cfg.nodes if isinstance(n.stmt, ast.Assign)
+        ]
+        assert not assigns, "code after bare raise must not get nodes"

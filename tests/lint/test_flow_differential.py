@@ -1,0 +1,117 @@
+"""Differential gate: lint verdicts versus runtime behaviour.
+
+Two directions, both required:
+
+1. **Soundness on provable misuse** -- programs whose execution
+   *provably* raises a lifecycle error (PAPI_ENOTRUN read-before-start,
+   PAPI_EISRUN double-start, attach-while-running) must be flagged by a
+   PL3xx/PL4xx flow rule.  Each scenario is executed for real and the
+   runtime exception is asserted too, so the lint expectation can never
+   drift away from what the runtime actually does.
+2. **Precision on clean code** -- every shipped example must lint clean
+   in flow mode (zero findings of any severity).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.errors import IsRunningError, NotRunningError
+from repro.lint import lint_file, lint_source
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+READ_BEFORE_START = """\
+from repro import Papi, create
+from repro.workloads.linalg import dot
+
+substrate = create("simPOWER")
+papi = Papi(substrate)
+substrate.machine.load(dot(8).program)
+
+def values_ready():
+    return False
+
+es = papi.create_eventset()
+es.add_named("PAPI_TOT_INS")
+if values_ready():
+    es.start()
+counts = es.read()
+"""
+
+DOUBLE_START = """\
+from repro import Papi, create
+from repro.workloads.linalg import dot
+
+substrate = create("simPOWER")
+papi = Papi(substrate)
+substrate.machine.load(dot(8).program)
+
+es = papi.create_eventset()
+es.add_named("PAPI_TOT_INS")
+for attempt in range(2):
+    es.start()
+"""
+
+ATTACH_WHILE_RUNNING = """\
+from repro import Papi, create
+from repro.workloads.linalg import dot
+
+substrate = create("simPOWER", ncpus=2)
+papi = Papi(substrate)
+
+def make_running_set():
+    es = papi.create_eventset()
+    es.add_named("PAPI_TOT_INS")
+    es.start()
+    return es
+
+thread = substrate.os.spawn(dot(64).program)
+es = make_running_set()
+es.attach(thread)
+"""
+
+SCENARIOS = [
+    pytest.param(
+        READ_BEFORE_START, NotRunningError, "PL301",
+        id="read-before-start",
+    ),
+    pytest.param(
+        DOUBLE_START, IsRunningError, "PL302",
+        id="double-start",
+    ),
+    pytest.param(
+        ATTACH_WHILE_RUNNING, IsRunningError, "PL302",
+        id="attach-while-running",
+    ),
+]
+
+
+def _run(source):
+    exec(compile(source, "<scenario>", "exec"), {"__name__": "__scn__"})
+
+
+@pytest.mark.parametrize("source, error, code", SCENARIOS)
+def test_runtime_raises_and_lint_flags(source, error, code):
+    with pytest.raises(error):
+        _run(source)
+    codes = {
+        d.code for d in lint_source(source, "scenario.py", flow=True)
+    }
+    assert code in codes, f"expected {code}, got {sorted(codes)}"
+
+
+def _example_files():
+    return sorted((REPO / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert _example_files(), "examples/ must not be empty"
+
+
+@pytest.mark.parametrize(
+    "path", _example_files(), ids=lambda p: p.name
+)
+def test_examples_lint_clean_in_flow_mode(path):
+    diags = lint_file(str(path), flow=True)
+    assert diags == [], [d.render() for d in diags]

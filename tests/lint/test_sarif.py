@@ -1,0 +1,131 @@
+"""Output formats: SARIF 2.1.0, the repro.lint/2 JSON schema, the
+``python -m repro.lint`` entry point and suppression justifications."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.lint import (
+    JSON_SCHEMA,
+    Diagnostic,
+    lint_source,
+    parse_suppressions,
+    render_json,
+    render_sarif,
+    to_sarif,
+)
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+MISUSE = """\
+from repro import Papi, create
+substrate = create("simPOWER")
+papi = Papi(substrate)
+es = papi.create_eventset()
+es.add_named("PAPI_TOT_INS")
+counts = es.read()
+"""
+
+
+def _diags():
+    return lint_source(MISUSE, "misuse.py", flow=True)
+
+
+class TestSarif:
+    def test_log_shape(self):
+        log = to_sarif(_diags())
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        assert len(log["runs"]) == 1
+        assert log["runs"][0]["tool"]["driver"]["name"] == "papi-lint"
+
+    def test_rule_catalogue_travels_with_the_log(self):
+        driver = to_sarif([])["runs"][0]["tool"]["driver"]
+        ids = [r["id"] for r in driver["rules"]]
+        assert "PL001" in ids and "PL301" in ids
+        assert ids == sorted(ids)
+        by_id = {r["id"]: r for r in driver["rules"]}
+        assert by_id["PL301"]["defaultConfiguration"]["level"] == "error"
+        assert by_id["PL301"]["properties"]["paper"]
+
+    def test_results_use_one_based_columns(self):
+        log = to_sarif(_diags())
+        results = log["runs"][0]["results"]
+        assert results, "misuse snippet must produce findings"
+        result = results[0]
+        assert result["ruleId"] == "PL001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1  # ast cols are 0-based
+
+    def test_hint_is_folded_into_the_message(self):
+        diag = Diagnostic(
+            "PL001", "x.py", 3, 0, "the message", hint="the hint"
+        )
+        result = to_sarif([diag])["runs"][0]["results"][0]
+        assert "the message" in result["message"]["text"]
+        assert "the hint" in result["message"]["text"]
+
+    def test_render_is_valid_json(self):
+        parsed = json.loads(render_sarif(_diags()))
+        assert parsed["version"] == "2.1.0"
+
+
+class TestJsonSchemaV2:
+    def test_payload_carries_schema_marker_and_counts(self):
+        payload = json.loads(render_json(_diags()))
+        assert payload["schema"] == JSON_SCHEMA == "repro.lint/2"
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 0
+        assert payload["notes"] == 0
+
+    def test_v1_keys_survive(self):
+        payload = json.loads(render_json(_diags()))
+        finding = payload["findings"][0]
+        for key in ("code", "severity", "path", "line", "col",
+                    "message", "hint"):
+            assert key in finding
+
+    def test_findings_embed_rule_metadata(self):
+        payload = json.loads(render_json(_diags()))
+        rule = payload["findings"][0]["rule"]
+        assert rule["summary"]
+        assert rule["paper"]
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_lint(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint",
+             str(REPO / "examples" / "quickstart.py"),
+             "--flow", "--format", "json"],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["schema"] == "repro.lint/2"
+        assert payload["findings"] == []
+
+
+class TestSuppressionJustifications:
+    def test_reason_after_code_list_is_allowed(self):
+        src = "x = 1  # papi-lint: disable=PL008 -- stopped elsewhere\n"
+        assert parse_suppressions(src) == {1: {"PL008"}}
+
+    def test_multiple_codes_with_reason(self):
+        src = "x = 1  # papi-lint: disable=PL008,PL301 reason here\n"
+        assert parse_suppressions(src) == {1: {"PL008", "PL301"}}
+
+    def test_suppression_silences_the_finding(self):
+        noisy = MISUSE.replace(
+            "counts = es.read()",
+            "counts = es.read()  # papi-lint: disable=PL001 -- demo",
+        )
+        codes = {d.code for d in lint_source(noisy, "t.py", flow=True)}
+        assert "PL001" not in codes
