@@ -19,24 +19,47 @@ adds a *block cache* in front of it:
   single bulk update of the counts array, cache hit statistics and the
   affine registers.
 
+On top of the block layer sits the **trace tier** (engine tier
+``"trace"``, the default): hot multi-block loop heads -- detected by
+back-edge counters on block exits -- are promoted to one of two region
+forms:
+
+- a **superblock trace**: when the cycle through the head is a unique
+  static path (fall-throughs, JMP/CALL with matched RET) closed by a
+  single conditional branch, the whole path is compiled into one
+  single-iteration function and the affine/invariant loop analysis runs
+  over the *entire trace*, so multi-block loop bodies (calls included)
+  get the same O(1) bulk replay as self-loop blocks;
+- a **compiled region**: when the cycle is multi-path (data-dependent
+  diamonds, probes), the member blocks are stitched into one generated
+  state-machine function that transfers control internally and only
+  returns on region exit or *fuel* exhaustion.  Fuel is the number of
+  whole block steps that provably cannot cross any deadline; dynaprof
+  PROBE instructions compile into regions as constant-cost prologue
+  segments that dispatch the probe handler and side-exit if the handler
+  perturbed the machine (stop flag, PMU arming, program rewrite).
+
 Correctness contract: a run with the engine enabled is **bit-exact**
 with the interpreter -- identical ``counts[]``, cache/TLB state and
 statistics, RNG stream, architectural state, fault behaviour and
 interrupt delivery points.  The engine guarantees this by computing a
 *deadline* before every fast step: the number of instructions/cycles
 until the next PMU overflow threshold, ProfileMe sample, cycle-timer
-tick, or instruction/cycle budget boundary.  If the block could cross
-any deadline, the engine declines and the interpreter executes it one
-instruction at a time, so interrupts and samples fire at exactly the
-same instruction boundary (and draw from the RNG at exactly the same
-point) as an engine-off run.  PROBE instructions are never compiled, so
-dynaprof probes likewise always fire from the precise path.
+tick, or instruction/cycle budget boundary.  If the block (or region
+fuel) could cross any deadline, the engine declines and the interpreter
+executes one instruction at a time, so interrupts and samples fire at
+exactly the same instruction boundary (and draw from the RNG at exactly
+the same point) as an engine-off run.  PROBE instructions are never
+compiled into plain blocks; inside regions they run only while the PMU
+is completely quiet, so deadline/flush crossings always take the
+precise path.
 
 Invalidation rules (see DESIGN.md): block tables are keyed by the
 identity of the resolved code list, so ``migrate`` (dynaprof probe
-insertion) retires the old program's table; context restores rebind the
-active table; :meth:`Machine.charge` cache pollution bumps the engine
-epoch, which re-arms replay trials for blocks previously blacklisted as
+insertion/removal) retires the old program's table -- regions and
+traces die with it; context restores rebind the active table;
+:meth:`Machine.charge` cache pollution bumps the engine epoch, which
+re-arms replay trials for blocks and traces previously blacklisted as
 unsteady.
 """
 
@@ -67,6 +90,29 @@ REPLAY_CHUNK = 1 << 20
 #: consecutive unsteady trials before a loop block stops being trialled
 #: (until the next engine epoch re-arms it).
 REPLAY_FAIL_LIMIT = 12
+
+#: back-edge arrivals at a loop head before it is promoted to a
+#: superblock trace or compiled region (trace tier only).
+REGION_HOT = 16
+
+#: most member blocks stitched into one compiled region.
+MAX_REGION_BLOCKS = 16
+
+#: longest instruction path compiled into one superblock trace.
+TRACE_MAX_INS = 256
+
+#: largest join block tail-duplicated into each predecessor path during
+#: region compilation (classic superblock formation); bigger joins keep
+#: a dispatch arm of their own.
+REGION_DUP_MAX_INS = 32
+
+#: total instruction-emission budget per region unit; bounds the code
+#: blowup tail duplication can cause on diamond chains.
+REGION_UNIT_EMIT_MAX = 512
+
+#: hard cap on block steps per region entry; bounds the time between
+#: deadline re-checks (and stop_flag polls) when no budgets are armed.
+REGION_FUEL_MAX = 1 << 16
 
 _S = Signal
 
@@ -137,6 +183,37 @@ class BasicBlock:
 
 
 @dataclass
+class Region:
+    """One compiled multi-block region (trace tier).
+
+    The generated function is a pc state machine over the member blocks:
+    control transfers between members stay inside the function, and it
+    returns ``(next_pc, cur_iline, n_retired)`` on a region exit or when
+    the entry *fuel* (whole block steps proven deadline-safe) runs out.
+    """
+
+    head: int
+    fn: object
+    members: Tuple[int, ...]
+    n_blocks: int
+    #: worst-case instructions one block step retires.
+    max_nb: int
+    #: worst-case cycles one block step can add.
+    max_cyc: int
+    #: worst-case per-signal deltas of one block step.
+    max_deltas: List[int]
+    #: contains *active* dynaprof probe segments (entry requires a quiet
+    #: PMU); probes with no registered handler compile to bare counts.
+    has_probe: bool
+    #: predictor whose state is open-coded into the region (or None when
+    #: branches go through the predict/update calls).
+    predictor: object = None
+    #: touches data memory: entry declines while an EAR is armed because
+    #: deferred cycle counts would skew EAR timestamps.
+    has_mem: bool = False
+
+
+@dataclass
 class EngineStats:
     """Cumulative work accounting (exposed via ``Machine.engine_stats``)."""
 
@@ -152,6 +229,13 @@ class EngineStats:
     blocks_compiled: int = 0
     #: flush-barrier invocations (PMU reads / Machine.charge).
     flushes: int = 0
+    #: distinct compiled regions / region entries / in-region retires.
+    regions_compiled: int = 0
+    region_entries: int = 0
+    region_instructions: int = 0
+    #: distinct superblock traces and replay engagements through them.
+    traces_compiled: int = 0
+    trace_replays: int = 0
 
 
 @dataclass
@@ -162,6 +246,16 @@ class _CodeTable:
     leaders: Set[int]
     blocks: Dict[int, BasicBlock] = field(default_factory=dict)
     denied: Set[int] = field(default_factory=set)
+    #: trace tier: compiled regions / superblock traces keyed by head pc.
+    regions: Dict[int, Region] = field(default_factory=dict)
+    traces: Dict[int, BasicBlock] = field(default_factory=dict)
+    #: back-edge arrival counters feeding the REGION_HOT promotion.
+    heat: Dict[int, int] = field(default_factory=dict)
+    #: heads where trace/region promotion already failed.
+    region_denied: Set[int] = field(default_factory=set)
+    #: pcs that cannot block-compile but must stay engine-dispatchable
+    #: because a region or trace is keyed there (probe heads).
+    nocompile: Set[int] = field(default_factory=set)
 
 
 def _compute_leaders(code: List[tuple]) -> Set[int]:
@@ -226,6 +320,362 @@ def _count_consecutive_takens(kind: str, c: int, s: int, bound: int, cap: int) -
     return cap
 
 
+class _EmitUnsupported(Exception):
+    """An opcode the shared emitter cannot compile (SYSCALL/HALT)."""
+
+
+class _Emitter:
+    """Shared straight-line emitter for trace/region code generation.
+
+    Replicates the effect ordering of :meth:`BlockCompiler.compile_block`
+    -- fetch, retirement counts, then the op effect, with pending count
+    merging flushed before every observable point -- so traces and
+    regions stay bit-exact with blocks and the interpreter.
+    """
+
+    def __init__(
+        self,
+        compiler: "BlockCompiler",
+        depth: int = 1,
+        il_var: str = "cur_iline",
+        track_il: bool = False,
+        defer: bool = False,
+    ) -> None:
+        self.c = compiler
+        self.depth = depth
+        #: name of the current-iline variable in the generated scope.
+        self.il_var = il_var
+        #: regions keep ``il`` as a live local across blocks, so fetches
+        #: must assign it; traces return literal ilines like blocks do.
+        self.track_il = track_il
+        #: deferred-count mode: static retirement counts are not written
+        #: per pass but accumulated into per-member vectors the region's
+        #: exit flush applies as batched multiply-adds.  Fault raises
+        #: get a cold inline flush (see :meth:`emit_fault_guard`).
+        self.defer = defer
+        #: extra indent applied by :meth:`emit` on top of ``depth``;
+        #: region codegen bumps this while inlining branch arms.
+        self.extra = 0
+        self.lines: List[str] = []
+        self.pending: Dict[int, int] = {}
+        #: pending snapshots at fault raises (defer mode); markers in
+        #: the emitted lines are expanded once the exit flush is known.
+        self.fault_sites: List[Dict[int, int]] = []
+        #: globals the warm-fetch fast path binds (per-set ways lists);
+        #: merged into the generated function's namespace by the caller.
+        self.fetch_globals: Dict[str, object] = {}
+        self.md = [0] * Signal.N_SIGNALS
+        self.max_cyc = 0
+        self.n_fetches = 0
+        self.il_prev: Optional[int] = None
+        self.il_first: Optional[int] = None
+
+    def emit(self, text: str, extra: int = 0) -> None:
+        self.lines.append("    " * (self.depth + self.extra + extra) + text)
+
+    def add_pending(self, sig: int, n: int = 1) -> None:
+        self.pending[sig] = self.pending.get(sig, 0) + n
+
+    def flush_pending(self) -> None:
+        if self.defer:
+            return  # folded into the member vector by the region emitter
+        for sig, n in self.pending.items():
+            self.emit(f"counts[{sig}] += {n}")
+        self.pending.clear()
+
+    def emit_fault_guard(self, cond: str, raise_stmt: str) -> None:
+        """Emit a fault check whose raise leaves counts exact.
+
+        Direct mode flushes pendings before the check (they cover only
+        retired instructions).  Defer mode leaves a marker inside the
+        cold branch; the region assembler expands it into a full
+        deferred flush plus the pending snapshot once every member's
+        vector is known.
+        """
+        if not self.defer:
+            self.flush_pending()
+            self.emit(cond)
+            self.emit("    " + raise_stmt)
+            return
+        self.emit(cond)
+        idx = len(self.fault_sites)
+        self.fault_sites.append(dict(self.pending))
+        self.emit(f"    \x00F{idx}\x00")
+        self.emit("    " + raise_stmt)
+
+    def emit_memory(self, pc: int, op: int, a: int, b: int, d: int) -> None:
+        """Memory access mirroring ``BlockCompiler._emit_memory``.
+
+        The dynamic parts (miss paths, penalties) are always written
+        directly -- they commute with deferred static adds because
+        nothing inside a region reads counts (EAR-armed runs decline
+        region entry; see ``_run_region``).  Only the bounds fault
+        needs the defer-aware cold flush.
+        """
+        c = self.c
+        emit = self.emit
+        is_load = op in (Op.LOAD, Op.FLOAD)
+        word = "load" if is_load else "store"
+        emit(f"_ad = iregs[{b}] + {d}")
+        self.emit_fault_guard(
+            "if not 0 <= _ad < mem_len:",
+            "raise MachineFault("
+            f"f\"pc {pc}: {word} address {{_ad}} out of range\")",
+        )
+        emit(f"_ba = _ad * {WORD_BYTES} + data_base")
+        emit("_pen, _l1m, _l2m, _tlbm = data_access(_ba)")
+        emit(f"counts[{_S.LD_INS if is_load else _S.SR_INS}] += 1")
+        emit(f"counts[{_S.L1D_ACC}] += 1")
+        emit("if _l1m:")
+        emit(f"    counts[{_S.L1D_MISS}] += 1")
+        emit(f"    counts[{_S.L2_ACC}] += 1")
+        emit("    if _l2m:")
+        emit(f"        counts[{_S.L2_MISS}] += 1")
+        emit("    if pmu is not None and pmu.ear_active:")
+        emit(f"        pmu.ear_miss({pc}, _ba, counts[{_S.TOT_CYC}], \"l1d_miss\")")
+        emit("if _tlbm:")
+        emit(f"    counts[{_S.TLB_DM}] += 1")
+        emit(f"    touched.add(_ba >> {c._page_shift})")
+        emit("    if pmu is not None and pmu.ear_active:")
+        emit(f"        pmu.ear_miss({pc}, _ba, counts[{_S.TOT_CYC}], \"tlb_miss\")")
+        emit("if _pen:")
+        emit(f"    counts[{_S.TOT_CYC}] += _pen")
+        emit(f"    counts[{_S.STL_CYC}] += _pen")
+        emit(f"    counts[{_S.MEM_RCY}] += _pen")
+        if op == Op.LOAD:
+            emit(f"iregs[{a}] = int(memory[_ad])")
+        elif op == Op.FLOAD:
+            emit(f"fregs[{a}] = float(memory[_ad])")
+        elif op == Op.STORE:
+            emit(f"memory[_ad] = iregs[{a}]")
+        else:
+            emit(f"memory[_ad] = fregs[{a}]")
+
+    def emit_fetch(self, pc: int, conditional: bool) -> None:
+        c = self.c
+        il = (pc * INS_BYTES) >> c._iline_shift
+        pad = ""
+        if conditional:
+            self.emit(f"if {self.il_var} != {il}:")
+            pad = "    "
+        if self.track_il:
+            self.emit(f"{pad}il = {il}")
+        # warm-fetch fast path: the line index equals il (both are the
+        # byte address >> L1I line bits), so the target set is known at
+        # compile time and its ways list can be bound as a global.  When
+        # the line is already the MRU way, ``Cache.access`` reduces to
+        # ``hits += 1`` with no reordering -- open-code exactly that and
+        # fall back to the real ``inst_fetch`` otherwise (cold lines,
+        # non-MRU hits, evictions by pollution).
+        w = f"_iw{il}"
+        self.fetch_globals[w] = c._l1i._sets[il & c._l1i._set_mask]
+        self.fetch_globals["_l1i"] = c._l1i
+        # an unconditional fetch runs exactly once per pass, so its
+        # L1I_ACC signal count is static: it joins the batched per-pass
+        # vector (defer mode) or the pending batch (direct mode).  A
+        # conditional (entry) fetch may be skipped and stays direct.
+        static_acc = not conditional
+        if static_acc:
+            self.add_pending(_S.L1I_ACC)
+        self.emit(f"{pad}if {w} and {w}[-1] == {il}:")
+        self.emit(f"{pad}    _l1i.hits += 1")
+        if not static_acc:
+            self.emit(f"{pad}    counts[{_S.L1I_ACC}] += 1")
+        self.emit(f"{pad}else:")
+        pad += "    "
+        self.emit(f"{pad}_fl, _i1m, _il2m = inst_fetch({pc * INS_BYTES})")
+        if not static_acc:
+            self.emit(f"{pad}counts[{_S.L1I_ACC}] += 1")
+        self.emit(f"{pad}if _i1m:")
+        self.emit(f"{pad}    counts[{_S.L1I_MISS}] += 1")
+        self.emit(f"{pad}    counts[{_S.L2_ACC}] += 1")
+        self.emit(f"{pad}    if _il2m:")
+        self.emit(f"{pad}        counts[{_S.L2_MISS}] += 1")
+        self.emit(f"{pad}if _fl:")
+        self.emit(f"{pad}    counts[{_S.TOT_CYC}] += _fl")
+        self.emit(f"{pad}    counts[{_S.STL_CYC}] += _fl")
+        self.n_fetches += 1
+        md = self.md
+        md[_S.L1I_ACC] += 1
+        md[_S.L1I_MISS] += 1
+        md[_S.L2_ACC] += 1
+        md[_S.L2_MISS] += 1
+        md[_S.TOT_CYC] += c._fetch_worst
+        md[_S.STL_CYC] += c._fetch_worst
+        self.max_cyc += c._fetch_worst
+
+    def emit_ins(self, pc: int, ins: tuple, first: bool) -> None:
+        """Emit one instruction's effects (control transfer excluded).
+
+        For BRANCH/JMP/CALL/RET/PROBE this applies the fetch and the
+        retirement/class counts; the caller emits the transfer (and, for
+        branches, calls :meth:`emit_branch_calls` /
+        :meth:`emit_branch_inline` for the resolution).
+        """
+        c = self.c
+        op, a, b, cc, d = ins
+        il = (pc * INS_BYTES) >> c._iline_shift
+        if first:
+            self.il_first = il
+            self.emit_fetch(pc, conditional=True)
+        elif il != self.il_prev:
+            # no flush: the fetch observes cache state, never counts[],
+            # and its dynamic stall adds commute with pending statics --
+            # batches stay pending until a real observation point
+            # (probe, branch resolution, memory fault guard, exit).
+            self.emit_fetch(pc, conditional=False)
+        self.il_prev = il
+
+        lat = c._lat
+        md = self.md
+        md[_S.TOT_INS] += 1
+        md[_S.TOT_CYC] += lat[op]
+        self.max_cyc += lat[op]
+        self.add_pending(_S.TOT_INS)
+        self.add_pending(_S.TOT_CYC, lat[op])
+
+        simple = _SIMPLE_EFFECTS.get(op)
+        if simple is not None:
+            sigs, template = simple
+            for sig in sigs:
+                self.add_pending(sig)
+                md[sig] += 1
+            if template:
+                self.emit(template.format(a=a, b=b, c=cc, d=repr(d)))
+            return
+        if op in (Op.LOAD, Op.FLOAD, Op.STORE, Op.FSTORE):
+            self.flush_pending()
+            self.emit_memory(pc, op, a, b, d)
+            md[_S.LD_INS if op in (Op.LOAD, Op.FLOAD) else _S.SR_INS] += 1
+            md[_S.L1D_ACC] += 1
+            md[_S.L1D_MISS] += 1
+            md[_S.L2_ACC] += 1
+            md[_S.L2_MISS] += 1
+            md[_S.TLB_DM] += 1
+            md[_S.TOT_CYC] += c._mem_worst
+            md[_S.STL_CYC] += c._mem_worst
+            md[_S.MEM_RCY] += c._mem_worst
+            self.max_cyc += c._mem_worst
+        elif op == Op.DIV:
+            self.add_pending(_S.INT_INS)
+            md[_S.INT_INS] += 1
+            self.emit_fault_guard(
+                f"if iregs[{cc}] == 0:",
+                f'raise MachineFault("pc {pc}: integer divide by zero")',
+            )
+            self.emit(f"_q = abs(iregs[{b}]) // abs(iregs[{cc}])")
+            self.emit(
+                f"iregs[{a}] = _q if (iregs[{b}] < 0) == (iregs[{cc}] < 0) else -_q"
+            )
+        elif op == Op.FDIV:
+            self.add_pending(_S.FP_DIV)
+            md[_S.FP_DIV] += 1
+            self.emit_fault_guard(
+                f"if fregs[{cc}] == 0.0:",
+                f'raise MachineFault("pc {pc}: float divide by zero")',
+            )
+            self.emit(f"fregs[{a}] = fregs[{b}] / fregs[{cc}]")
+        elif op == Op.FSQRT:
+            self.add_pending(_S.FP_SQRT)
+            md[_S.FP_SQRT] += 1
+            self.emit_fault_guard(
+                f"if fregs[{b}] < 0.0:",
+                f'raise MachineFault("pc {pc}: sqrt of negative value")',
+            )
+            self.emit(f"fregs[{a}] = fregs[{b}] ** 0.5")
+        elif op in BRANCH_OPS:
+            self.add_pending(_S.BR_INS)
+            self.add_pending(_S.BR_CN)
+            md[_S.BR_INS] += 1
+            md[_S.BR_CN] += 1
+            md[_S.BR_TKN] += 1
+            md[_S.BR_NTK] += 1
+            md[_S.BR_MSP] += 1
+            md[_S.TOT_CYC] += c._branch_penalty
+            md[_S.STL_CYC] += c._branch_penalty
+            self.max_cyc += c._branch_penalty
+        elif op == Op.JMP:
+            self.add_pending(_S.BR_INS)
+            md[_S.BR_INS] += 1
+        elif op == Op.CALL:
+            self.add_pending(_S.BR_INS)
+            self.add_pending(_S.CALL_INS)
+            md[_S.BR_INS] += 1
+            md[_S.CALL_INS] += 1
+        elif op == Op.RET:
+            self.add_pending(_S.BR_INS)
+            self.add_pending(_S.RET_INS)
+            md[_S.BR_INS] += 1
+            md[_S.RET_INS] += 1
+        elif op == Op.PROBE:
+            self.add_pending(_S.PRB_INS)
+            md[_S.PRB_INS] += 1
+        else:
+            raise _EmitUnsupported(op)
+
+    # -- branch resolution (counts + predictor; transfer is the caller's)
+
+    _CMP = {Op.BLT: "<", Op.BGE: ">=", Op.BEQ: "==", Op.BNE: "!="}
+
+    def emit_branch_calls(self, pc: int, op: int, a: int, b: int) -> None:
+        """Resolve a branch through the predict/update calls."""
+        bp = self.c._branch_penalty
+        self.flush_pending()
+        self.emit(f"_t = iregs[{a}] {self._CMP[op]} iregs[{b}]")
+        self.emit(f"_p = predict({pc})")
+        self.emit(f"pred_update({pc}, _t)")
+        self.emit("if _t:")
+        self.emit(f"    counts[{_S.BR_TKN}] += 1")
+        self.emit("else:")
+        self.emit(f"    counts[{_S.BR_NTK}] += 1")
+        self.emit("if _p != _t:")
+        self.emit(f"    counts[{_S.BR_MSP}] += 1")
+        self.emit(f"    counts[{_S.TOT_CYC}] += {bp}")
+        self.emit(f"    counts[{_S.STL_CYC}] += {bp}")
+
+    def emit_branch_inline(
+        self, pc: int, op: int, a: int, b: int, spec: tuple
+    ) -> None:
+        """Resolve a branch with the predictor open-coded (regions).
+
+        *spec* comes from ``BranchPredictor.inline_spec``; the emitted
+        code reproduces predict()+update() exactly, including table
+        aliasing through ``pc & mask``.
+        """
+        kind, _state, mask = spec
+        bp = self.c._branch_penalty
+        self.flush_pending()
+        self.emit(f"_t = iregs[{a}] {self._CMP[op]} iregs[{b}]")
+        if kind == "static":
+            # always predicts taken: mispredict exactly when not taken.
+            self.emit("if _t:")
+            self.emit(f"    counts[{_S.BR_TKN}] += 1")
+            self.emit("else:")
+            self.emit(f"    counts[{_S.BR_NTK}] += 1")
+            self.emit(f"    counts[{_S.BR_MSP}] += 1")
+            self.emit(f"    counts[{_S.TOT_CYC}] += {bp}")
+            self.emit(f"    counts[{_S.STL_CYC}] += {bp}")
+        else:  # twobit
+            idx = pc & mask
+            self.emit(f"_s = _bt[{idx}]")
+            self.emit("if _t:")
+            self.emit(f"    counts[{_S.BR_TKN}] += 1")
+            self.emit("    if _s < 3:")
+            self.emit(f"        _bt[{idx}] = _s + 1")
+            self.emit("    if _s < 2:")
+            self.emit(f"        counts[{_S.BR_MSP}] += 1")
+            self.emit(f"        counts[{_S.TOT_CYC}] += {bp}")
+            self.emit(f"        counts[{_S.STL_CYC}] += {bp}")
+            self.emit("else:")
+            self.emit(f"    counts[{_S.BR_NTK}] += 1")
+            self.emit("    if _s > 0:")
+            self.emit(f"        _bt[{idx}] = _s - 1")
+            self.emit("    if _s >= 2:")
+            self.emit(f"        counts[{_S.BR_MSP}] += 1")
+            self.emit(f"        counts[{_S.TOT_CYC}] += {bp}")
+            self.emit(f"        counts[{_S.STL_CYC}] += {bp}")
+
+
 class BlockCompiler:
     """Generates the per-block executor functions.
 
@@ -244,6 +694,10 @@ class BlockCompiler:
         self._branch_penalty = config.branch_penalty
         self._iline_shift = hcfg.l1i.line_bits
         self._page_shift = hcfg.tlb.page_bits
+        #: the L1I cache object, for the open-coded warm-fetch fast path
+        #: (trace/region codegen peeks the MRU way of the statically
+        #: known set before paying for a full ``inst_fetch`` call).
+        self._l1i = cpu.hierarchy.l1i
         #: worst-case extra cycles for one data access / one fetch.
         self._mem_worst = hcfg.tlb_walk_latency + hcfg.l2_latency + hcfg.mem_latency
         self._fetch_worst = hcfg.l2_latency + hcfg.mem_latency
@@ -518,6 +972,683 @@ class BlockCompiler:
         else:
             emit(f"memory[_ad] = fregs[{a}]")
 
+    # -- superblock traces ----------------------------------------------
+
+    def trace_path(
+        self, code: List[tuple], head: int
+    ) -> Optional[List[Tuple[int, tuple]]]:
+        """The unique static path from *head* back to *head*, or None.
+
+        Follows fall-throughs, JMP, CALL (pushing the literal
+        continuation) and statically matched RETs.  Succeeds when the
+        path closes with a conditional branch targeting *head* at call
+        depth zero; aborts on probes/syscalls/halts, a mid-path
+        conditional branch, a revisited pc, an unmatched RET, or length
+        past TRACE_MAX_INS.
+        """
+        path: List[Tuple[int, tuple]] = []
+        seen: Set[int] = set()
+        stack: List[int] = []
+        end = len(code)
+        pc = head
+        while len(path) < TRACE_MAX_INS:
+            if not 0 <= pc < end or pc in seen:
+                return None
+            ins = code[pc]
+            op = ins[0]
+            if op in BLOCK_BREAK_OPS:
+                return None
+            seen.add(pc)
+            path.append((pc, ins))
+            if op in BRANCH_OPS:
+                if ins[3] == head and not stack:
+                    return path
+                return None
+            if op == Op.JMP:
+                pc = ins[1]
+            elif op == Op.CALL:
+                stack.append(pc + 1)
+                pc = ins[1]
+            elif op == Op.RET:
+                if not stack:
+                    return None
+                pc = stack.pop()
+            else:
+                pc += 1
+        return None
+
+    def compile_trace(self, code: List[tuple], head: int) -> Optional[BasicBlock]:
+        """Compile the unique loop path through *head* as one superblock.
+
+        The result is a :class:`BasicBlock` with the block-fn calling
+        convention, so the engine runs it exactly like a self-loop block
+        -- including the trial + O(1) bulk-replay machinery, now over the
+        whole multi-block trace.
+        """
+        path = self.trace_path(code, head)
+        if path is None or len(path) < 2:
+            return None
+        e = _Emitter(self)
+        last = len(path) - 1
+        for i, (pc, ins) in enumerate(path):
+            e.emit_ins(pc, ins, first=(i == 0))
+            if i == last:
+                break
+            op = ins[0]
+            if op == Op.CALL:
+                e.emit(f"call_stack.append({pc + 1})")
+            elif op == Op.RET:
+                # statically matched to a CALL earlier on this path, so
+                # the stack top is that call's continuation: pop only.
+                e.emit("call_stack.pop()")
+        tpc, tins = path[last]
+        e.emit_branch_calls(tpc, tins[0], tins[1], tins[2])
+        il_last = (tpc * INS_BYTES) >> self._iline_shift
+        e.emit(f"return ({head} if _t else {tpc + 1}), {il_last}")
+
+        src = (
+            "def _trace(counts, iregs, fregs, memory, mem_len, call_stack,\n"
+            "           data_access, inst_fetch, predict, pred_update, pmu,\n"
+            "           touched, data_base, cur_iline):\n"
+            + "\n".join(e.lines)
+            + "\n"
+        )
+        ns: Dict[str, object] = {}
+        g = dict(self._globals)
+        g.update(e.fetch_globals)
+        exec(compile(src, f"<trace@{head}>", "exec"), g, ns)
+        block = BasicBlock(
+            start=head,
+            n_ins=len(path),
+            fn=ns["_trace"],
+            il_last=il_last,
+            max_cyc=e.max_cyc,
+            max_deltas=e.md,
+        )
+        steady = (e.n_fetches - 1) + (1 if e.il_first != il_last else 0)
+        block.loop = self._analyze_cycle(
+            [ins for _pc, ins in path[:last]], tins, tpc, steady
+        )
+        return block
+
+    # -- compiled regions -----------------------------------------------
+
+    def _region_members(
+        self, code: List[tuple], head: int
+    ) -> Optional[List[Tuple[int, Tuple[str, List[tuple], List[int]]]]]:
+        """Member blocks of the region rooted at *head*, or None.
+
+        BFS over the static CFG from *head*, capped at
+        MAX_REGION_BLOCKS, pruned to blocks that can reach *head* again
+        (anything else exits the region on first touch anyway); requires
+        a cycle through *head* and at least two members.
+        """
+        end = len(code)
+        info: Dict[int, Tuple[str, List[tuple], List[int]]] = {}
+        order: List[int] = []
+        queue = [head]
+        visited = {head}
+        call_conts: Set[int] = set()
+        while queue:
+            s = queue.pop(0)
+            if not 0 <= s < end:
+                continue
+            ins = code[s]
+            op = ins[0]
+            if op == Op.PROBE:
+                kind, instrs, succs = "probe", [ins], [s + 1]
+            elif op in BLOCK_BREAK_OPS:
+                continue  # SYSCALL/HALT never join a region
+            else:
+                instrs = self.scan_block(code, s)
+                if not instrs:
+                    continue
+                lpc = s + len(instrs) - 1
+                term = instrs[-1]
+                lop = term[0]
+                if lop in BRANCH_OPS:
+                    succs = [term[3], lpc + 1]
+                elif lop == Op.JMP:
+                    succs = [term[1]]
+                elif lop == Op.CALL:
+                    call_conts.add(lpc + 1)
+                    succs = [term[1], lpc + 1]
+                elif lop == Op.RET:
+                    succs = []  # dynamic; resolved via call_conts below
+                else:
+                    succs = [lpc + 1]  # MAX_BLOCK_LEN split
+                kind = "block"
+            info[s] = (kind, instrs, succs)
+            order.append(s)
+            for t in succs:
+                if t not in visited and len(visited) < MAX_REGION_BLOCKS:
+                    visited.add(t)
+                    queue.append(t)
+        if head not in info:
+            return None
+
+        def outs(entry):
+            kind, _instrs, succs = entry
+            if not succs and kind == "block":
+                return call_conts  # RET: any call continuation we saw
+            return succs
+
+        reach = {head}
+        changed = True
+        while changed:
+            changed = False
+            for s, entry in info.items():
+                if s in reach:
+                    continue
+                if any(t in reach for t in outs(entry)):
+                    reach.add(s)
+                    changed = True
+        if not any(head in outs(info[s]) for s in info if s in reach):
+            return None  # no cycle back through the head
+        members = [(s, info[s]) for s in order if s in reach]
+        if len(members) < 2:
+            return None
+        return members
+
+    def compile_region(
+        self, code: List[tuple], head: int, predictor, engine
+    ) -> Optional[Region]:
+        """Compile the loop region at *head* into a pc state machine.
+
+        Three codegen strategies stack on top of the basic state
+        machine:
+
+        - **superblock inlining** -- a member with exactly one incoming
+          edge is emitted inline at its predecessor's transfer site, so
+          hot cycles run straight-line with one dispatch per iteration;
+        - **deferred (vectorized) counts** -- when the region has no
+          active probes, static per-pass retirement counts accumulate
+          in per-member pass counters (plus per-branch taken/mispredict
+          counters) and are applied as one batched multiply-add flush
+          at region exit; fault raises get a cold inline flush so
+          counts stay exact at every observable point;
+        - **pre-resolved probe handlers** -- probe members call the
+          registered handler directly (the machine invalidates engines
+          when registrations change) behind a guard specialized on the
+          CPU's PMU; probes with no handler compile to bare counts.
+        """
+        members = self._region_members(code, head)
+        if members is None:
+            return None
+        info: Dict[int, Tuple[str, List[tuple], List[int]]] = dict(members)
+        member_set = set(info)
+        order = [s for s, _ in members]
+        spec = predictor.inline_spec() if predictor is not None else None
+        cpu = engine.cpu if engine is not None else None
+        resolver = getattr(cpu, "probe_resolver", None)
+        pmu_obj = getattr(cpu, "pmu", None)
+        bp = self._branch_penalty
+
+        # -- probe handler resolution --------------------------------
+        probe_mode: Dict[int, Tuple[str, object]] = {}
+        for s in order:
+            kind, instrs, _succs = info[s]
+            if kind != "probe":
+                continue
+            pid = instrs[0][1]
+            if resolver is not None:
+                h = resolver(pid)
+                probe_mode[s] = ("direct", h) if h is not None else ("none", None)
+            else:
+                probe_mode[s] = ("dynamic", None)
+        active_probes = {s for s, (m, _h) in probe_mode.items() if m != "none"}
+        defer = not active_probes
+        has_mem = any(
+            ins[0] in (Op.LOAD, Op.FLOAD, Op.STORE, Op.FSTORE)
+            for s in order
+            for ins in info[s][1]
+        )
+
+        # -- static transfer edges, for superblock inlining ----------
+        call_conts: Set[int] = set()
+        has_ret = False
+        edges: Dict[int, List[int]] = {}
+        for s in order:
+            kind, instrs, _succs = info[s]
+            if kind == "probe":
+                edges[s] = [s + 1]
+                continue
+            lpc = s + len(instrs) - 1
+            term = instrs[-1]
+            lop = term[0]
+            if lop in BRANCH_OPS:
+                edges[s] = [term[3], lpc + 1]
+            elif lop == Op.JMP:
+                edges[s] = [term[1]]
+            elif lop == Op.CALL:
+                call_conts.add(lpc + 1)
+                edges[s] = [term[1]]
+            elif lop == Op.RET:
+                has_ret = True
+                edges[s] = []
+            else:
+                edges[s] = [lpc + 1]
+        indeg: Dict[int, int] = {s: 0 for s in member_set}
+        for s, ts in edges.items():
+            for t in ts:
+                if t in indeg:
+                    indeg[t] += 1
+        # RET targets are reached dynamically; they must keep a
+        # dispatch arm of their own.
+        no_inline: Set[int] = set(call_conts) if has_ret else set()
+
+        def inlinable(t: int) -> bool:
+            # indeg > 1 joins are tail-duplicated into each predecessor
+            # path (superblock formation) when small enough; every
+            # emitted copy gets its own pass counters, so duplication
+            # never shares or double-applies count state.
+            return (
+                t in member_set
+                and t != head
+                and t not in no_inline
+                and (indeg[t] == 1 or len(info[t][1]) <= REGION_DUP_MAX_INS)
+            )
+
+        # -- emission ------------------------------------------------
+        # Count state is keyed by *emitted copy*, not by member pc:
+        # tail duplication can emit one member several times (and a
+        # member can be both inlined and a dispatch root), so each copy
+        # gets its own pass counter ``k<cid>`` and static count vector.
+        member_vec: Dict[int, Dict[int, int]] = {}  # cid -> sig -> count
+        member_nb: Dict[int, int] = {}  # cid -> instructions per pass
+        branch_meta: List[Tuple[int, int, str]] = []  # (pc, cid, msp kind)
+        copy_seq = [0]
+        handler_globals: Dict[str, object] = {}
+        emitting: List[int] = []
+        scheduled: Set[int] = set()
+        queue: List[int] = []
+
+        def schedule(t: int) -> None:
+            if t not in scheduled:
+                scheduled.add(t)
+                queue.append(t)
+
+        cur_root = [head]
+
+        def emit_goto(em: _Emitter, t: int, acc: int) -> None:
+            """End-of-path transfer to pc *t* (inline, dispatch, or exit).
+
+            Units are emitted as ``while True`` inner loops inside a
+            ``while fuel > 0`` dispatcher, so the hot back-edge to the
+            current unit's own root is a bare ``continue``; transfers to
+            other units break to the dispatcher, and exits break with
+            ``pc`` set (defer mode, falling through to the batched count
+            flush) or return directly (direct mode).
+            """
+            if (
+                inlinable(t)
+                and t not in emitting
+                and t not in scheduled
+                and acc + len(info[t][1]) <= TRACE_MAX_INS
+                and em.emitted_ins + len(info[t][1]) <= REGION_UNIT_EMIT_MAX
+            ):
+                emit_body(em, t, acc)
+                return
+            em.flush_pending()
+            if t == cur_root[0]:
+                if not defer and acc:
+                    em.emit(f"n += {acc}")
+                em.emit("fuel -= 1")
+                em.emit("if fuel > 0:")
+                em.emit("    continue")
+                if defer:
+                    em.emit(f"pc = {t}")
+                    em.emit("break")
+                else:
+                    em.emit(f"return {t}, il, n")
+            elif t in member_set:
+                schedule(t)
+                if not defer and acc:
+                    em.emit(f"n += {acc}")
+                em.emit("fuel -= 1")
+                em.emit(f"pc = {t}")
+                em.emit("break")
+            elif defer:
+                em.emit(f"pc = {t}")
+                em.emit("break")
+            else:
+                em.emit(f"return {t}, il, n + {acc}")
+
+        def fold_member(em: _Emitter, cid: int) -> None:
+            """Defer mode: bank this pass's static counts into k-weighted
+            vectors and bump this emitted copy's pass counter."""
+            vec = member_vec.setdefault(cid, {})
+            for sig, v in em.pending.items():
+                vec[sig] = vec.get(sig, 0) + v
+            em.pending.clear()
+            em.emit(f"k{cid} += 1")
+
+        def emit_arms(
+            em: _Emitter, bpc: int, owner: int, op: int, a: int, b: int,
+            taken: int, fall: int, acc: int,
+        ) -> None:
+            """Branch resolution with the transfer folded into the arms."""
+            cmp_ = _Emitter._CMP[op]
+            em.flush_pending()
+            cond = f"iregs[{a}] {cmp_} iregs[{b}]"
+            if spec is None:
+                em.emit(f"_t = {cond}")
+                cond = "_t"
+                em.emit(f"_p = predict({bpc})")
+                em.emit(f"pred_update({bpc}, _t)")
+                em.emit("if _p != _t:")
+                if defer:
+                    em.emit(f"    m{bpc}_{owner} += 1")
+                else:
+                    em.emit(f"    counts[{_S.BR_MSP}] += 1")
+                    em.emit(f"    counts[{_S.TOT_CYC}] += {bp}")
+                    em.emit(f"    counts[{_S.STL_CYC}] += {bp}")
+                taken_pre: List[str] = (
+                    [f"t{bpc}_{owner} += 1"] if defer
+                    else [f"counts[{_S.BR_TKN}] += 1"]
+                )
+                fall_pre: List[str] = (
+                    [] if defer else [f"counts[{_S.BR_NTK}] += 1"]
+                )
+                kindb = "m"
+            elif spec[0] == "static":
+                taken_pre = (
+                    [f"t{bpc}_{owner} += 1"] if defer
+                    else [f"counts[{_S.BR_TKN}] += 1"]
+                )
+                fall_pre = (
+                    [] if defer else [
+                        f"counts[{_S.BR_NTK}] += 1",
+                        f"counts[{_S.BR_MSP}] += 1",
+                        f"counts[{_S.TOT_CYC}] += {bp}",
+                        f"counts[{_S.STL_CYC}] += {bp}",
+                    ]
+                )
+                kindb = "static"
+            else:
+                # twobit; the mispredict check nests inside the
+                # table-update check (_s < 2 implies _s < 3, _s >= 2
+                # implies _s > 0), so saturated steady branches pay one
+                # comparison, not two.
+                idx = bpc & spec[2]
+                em.emit(f"_s = _bt[{idx}]")
+                if defer:
+                    taken_pre = [
+                        f"t{bpc}_{owner} += 1",
+                        "if _s < 3:",
+                        f"    _bt[{idx}] = _s + 1",
+                        "    if _s < 2:",
+                        f"        m{bpc}_{owner} += 1",
+                    ]
+                    fall_pre = [
+                        "if _s > 0:",
+                        f"    _bt[{idx}] = _s - 1",
+                        "    if _s >= 2:",
+                        f"        m{bpc}_{owner} += 1",
+                    ]
+                else:
+                    taken_pre = [
+                        f"counts[{_S.BR_TKN}] += 1",
+                        "if _s < 3:",
+                        f"    _bt[{idx}] = _s + 1",
+                        "    if _s < 2:",
+                        f"        counts[{_S.BR_MSP}] += 1",
+                        f"        counts[{_S.TOT_CYC}] += {bp}",
+                        f"        counts[{_S.STL_CYC}] += {bp}",
+                    ]
+                    fall_pre = [
+                        f"counts[{_S.BR_NTK}] += 1",
+                        "if _s > 0:",
+                        f"    _bt[{idx}] = _s - 1",
+                        "    if _s >= 2:",
+                        f"        counts[{_S.BR_MSP}] += 1",
+                        f"        counts[{_S.TOT_CYC}] += {bp}",
+                        f"        counts[{_S.STL_CYC}] += {bp}",
+                    ]
+                kindb = "m"
+            if defer:
+                branch_meta.append((bpc, owner, kindb))
+            saved_il = em.il_prev
+            em.emit(f"if {cond}:")
+            em.extra += 1
+            for ln in taken_pre:
+                em.emit(ln)
+            emit_goto(em, taken, acc)
+            em.extra -= 1
+            em.il_prev = saved_il
+            em.emit("else:")
+            em.extra += 1
+            for ln in fall_pre:
+                em.emit(ln)
+            emit_goto(em, fall, acc)
+            em.extra -= 1
+            em.il_prev = saved_il
+
+        def emit_body(em: _Emitter, s: int, acc: int) -> None:
+            """Emit one copy of member *s* (inlining successors) into *em*."""
+            kind, instrs, _succs = info[s]
+            cid = copy_seq[0]
+            copy_seq[0] += 1
+            emitting.append(s)
+            first = acc == 0
+            if kind == "probe":
+                member_nb[cid] = 1
+                em.emitted_ins += 1
+                mode, handler = probe_mode[s]
+                pid = instrs[0][1]
+                em.emit_ins(s, instrs[0], first=first)
+                if mode == "none":
+                    if defer:
+                        fold_member(em, cid)
+                    emit_goto(em, s + 1, acc + 1)
+                else:
+                    em.flush_pending()
+                    # Three terms cover every way a handler can force a
+                    # precise exit: ``_table is None`` subsumes the PMU
+                    # flags (arming a watch/timer/sampler/EAR fires
+                    # ``pmu.unquiet_hook`` -> ``engine.unbind``) and the
+                    # probe-registry invalidation; region *entry* already
+                    # requires a quiet PMU, so mid-region arming is the
+                    # only transition to catch.
+                    guard = (
+                        "cpu.stop_flag or cpu.code is not _code"
+                        " or _eng._table is None"
+                    )
+                    if mode == "direct":
+                        handler_globals[f"_h{s}"] = handler
+                        em.emit(f"cpu.pc = {s}")
+                        em.emit("cpu.cur_iline = il")
+                        em.emit(f"_h{s}({pid}, cpu)")
+                        em.emit(f"if {guard}:")
+                        em.emit(f"    _eng.probe_exit_pc = {s}")
+                        em.emit(f"    return {s + 1}, il, n + {acc + 1}")
+                    else:  # dynamic dispatch through the cpu hook
+                        em.emit("if probe_dispatch is not None:")
+                        em.emit(f"    cpu.pc = {s}")
+                        em.emit("    cpu.cur_iline = il")
+                        em.emit(f"    probe_dispatch({pid}, cpu)")
+                        em.emit(f"    if {guard}:")
+                        em.emit(f"        _eng.probe_exit_pc = {s}")
+                        em.emit(f"        return {s + 1}, il, n + {acc + 1}")
+                    emit_goto(em, s + 1, acc + 1)
+                em.unit_nb = max(getattr(em, "unit_nb", 0), acc + 1)
+                emitting.pop()
+                return
+            nb = len(instrs)
+            member_nb[cid] = nb
+            em.emitted_ins += nb
+            for i, ins in enumerate(instrs):
+                em.emit_ins(s + i, ins, first=(first and i == 0))
+            acc2 = acc + nb
+            em.unit_nb = max(getattr(em, "unit_nb", 0), acc2)
+            lpc = s + nb - 1
+            term = instrs[-1]
+            lop = term[0]
+            if defer:
+                fold_member(em, cid)
+            if lop in BRANCH_OPS:
+                emit_arms(
+                    em, lpc, cid, lop, term[1], term[2], term[3], lpc + 1, acc2
+                )
+            elif lop == Op.JMP:
+                emit_goto(em, term[1], acc2)
+            elif lop == Op.CALL:
+                em.emit(f"call_stack.append({lpc + 1})")
+                emit_goto(em, term[1], acc2)
+            elif lop == Op.RET:
+                em.emit_fault_guard(
+                    "if not call_stack:",
+                    f'raise MachineFault("pc {lpc}: '
+                    'RET with empty call stack")',
+                )
+                em.emit("_r = call_stack.pop()")
+                em.flush_pending()
+                if not defer and acc2:
+                    em.emit(f"n += {acc2}")
+                em.emit("fuel -= 1")
+                em.emit("pc = _r")
+                em.emit("break")
+            else:
+                emit_goto(em, lpc + 1, acc2)
+            emitting.pop()
+
+        schedule(head)
+        for s in order:
+            if not inlinable(s):
+                schedule(s)
+        units: List[Tuple[int, _Emitter]] = []
+        qi = 0
+        while qi < len(queue):
+            s = queue[qi]
+            qi += 1
+            cur_root[0] = s
+            em = _Emitter(self, depth=4, il_var="il", track_il=True, defer=defer)
+            em.unit_nb = 0
+            em.emitted_ins = 0
+            emit_body(em, s, 0)
+            units.append((s, em))
+
+        # -- exit flush (defer mode) ---------------------------------
+        def flush_lines(extra_const: Dict[int, int]) -> List[str]:
+            terms: Dict[int, List[str]] = {}
+            for s, vec in member_vec.items():
+                for sig, v in vec.items():
+                    terms.setdefault(sig, []).append(
+                        f"k{s}" if v == 1 else f"k{s}*{v}"
+                    )
+            msp_parts: List[str] = []
+            for bpc, owner, kindb in branch_meta:
+                terms.setdefault(_S.BR_TKN, []).append(f"t{bpc}_{owner}")
+                part_ntk = f"(k{owner} - t{bpc}_{owner})"
+                terms.setdefault(_S.BR_NTK, []).append(part_ntk)
+                part = f"m{bpc}_{owner}" if kindb == "m" else part_ntk
+                terms.setdefault(_S.BR_MSP, []).append(part)
+                msp_parts.append(part)
+            if msp_parts:
+                msum = " + ".join(msp_parts)
+                expr = f"({msum})*{bp}" if bp != 1 else f"({msum})"
+                terms.setdefault(_S.TOT_CYC, []).append(expr)
+                terms.setdefault(_S.STL_CYC, []).append(expr)
+            out: List[str] = []
+            for sig in sorted(set(terms) | set(extra_const)):
+                parts = list(terms.get(sig, []))
+                c0 = extra_const.get(sig, 0)
+                if c0:
+                    parts.append(str(c0))
+                out.append(f"counts[{sig}] += " + " + ".join(parts))
+            return out
+
+        n_parts = [
+            f"k{s}" if nb == 1 else f"k{s}*{nb}"
+            for s, nb in sorted(member_nb.items())
+        ]
+        n_expr = " + ".join(n_parts) if n_parts else "0"
+
+        lines: List[str] = []
+        max_nb = 0
+        max_cyc = 0
+        max_deltas = [0] * Signal.N_SIGNALS
+        for idx, (s, em) in enumerate(units):
+            body = em.lines
+            if defer and em.fault_sites:
+                body = []
+                for ln in em.lines:
+                    stripped = ln.lstrip()
+                    if stripped.startswith("\x00F"):
+                        fidx = int(stripped[2:-1])
+                        pad = ln[: len(ln) - len(stripped)]
+                        for fl in flush_lines(em.fault_sites[fidx]):
+                            body.append(pad + fl)
+                    else:
+                        body.append(ln)
+            kw = "if" if idx == 0 else "elif"
+            lines.append(f"        {kw} pc == {s}:")
+            lines.append("            while True:")
+            lines.extend(body)
+            max_nb = max(max_nb, em.unit_nb)
+            max_cyc = max(max_cyc, em.max_cyc)
+            for i in range(Signal.N_SIGNALS):
+                if em.md[i] > max_deltas[i]:
+                    max_deltas[i] = em.md[i]
+        lines.append("        else:")
+        lines.append("            break")
+
+        pre: List[str] = []
+        if defer:
+            for s in sorted(member_nb):
+                pre.append(f"    k{s} = 0")
+            for bpc, owner, kindb in branch_meta:
+                pre.append(f"    t{bpc}_{owner} = 0")
+                if kindb == "m":
+                    pre.append(f"    m{bpc}_{owner} = 0")
+        else:
+            pre.append("    n = 0")
+        tail: List[str] = []
+        if defer:
+            for fl in flush_lines({}):
+                tail.append("    " + fl)
+            tail.append(f"    return pc, il, {n_expr}")
+        else:
+            tail.append("    return pc, il, n")
+
+        src = (
+            "def _region(counts, iregs, fregs, memory, mem_len, call_stack,\n"
+            "            data_access, inst_fetch, predict, pred_update, pmu,\n"
+            "            touched, data_base, cpu, probe_dispatch, cur_iline,\n"
+            "            fuel):\n"
+            + "\n".join(pre)
+            + "\n"
+            "    il = cur_iline\n"
+            f"    pc = {head}\n"
+            "    while fuel > 0:\n"
+            + "\n".join(lines)
+            + "\n"
+            + "\n".join(tail)
+            + "\n"
+        )
+        g = dict(self._globals)
+        g["_code"] = code
+        g["_eng"] = engine
+        g.update(handler_globals)
+        for _s, em in units:
+            g.update(em.fetch_globals)
+        if spec is not None and spec[1] is not None:
+            g["_bt"] = spec[1]
+        ns: Dict[str, object] = {}
+        exec(compile(src, f"<region@{head}>", "exec"), g, ns)
+        return Region(
+            head=head,
+            fn=ns["_region"],
+            members=tuple(member_set),
+            n_blocks=len(members),
+            max_nb=max_nb,
+            max_cyc=max_cyc,
+            max_deltas=max_deltas,
+            has_probe=bool(active_probes),
+            predictor=predictor if spec is not None else None,
+            has_mem=has_mem,
+        )
+
     # -- static loop analysis -------------------------------------------
 
     def _analyze_loop(
@@ -528,22 +1659,40 @@ class BlockCompiler:
         il_start: int,
         il_last: int,
     ) -> Optional[LoopInfo]:
-        """Classify a self-loop block for O(1) replay, or return None.
-
-        Eligibility: the closing branch targets the block head, every
-        written integer register is either iteration-invariant or affine
-        (a single self-increment by a loop-invariant stride), every
-        written float register is iteration-invariant, memory addresses
-        and store values are invariant, fault operands are invariant, and
-        the branch compares the affine counter against an invariant bound
-        (or two invariants).  Under those conditions -- plus the dynamic
-        all-hit / saturated-predictor trial -- every future iteration is
-        an exact copy of the trial, so its effects can be multiplied.
-        """
+        """Classify a self-loop block for O(1) replay, or return None."""
         term = instrs[-1]
         if term[0] not in BRANCH_OPS or term[3] != start:
             return None
-        body = instrs[:-1]
+        steady = (n_fetches - 1) + (1 if il_start != il_last else 0)
+        return self._analyze_cycle(
+            instrs[:-1], term, start + len(instrs) - 1, steady
+        )
+
+    def _analyze_cycle(
+        self,
+        body: List[tuple],
+        term: tuple,
+        branch_pc: int,
+        steady_fetches: int,
+    ) -> Optional[LoopInfo]:
+        """Classify a cycle (self-loop block or trace) for O(1) replay.
+
+        Eligibility: the closing branch targets the cycle head (the
+        caller guarantees this), every written integer register is
+        either iteration-invariant or affine (a single self-increment by
+        a loop-invariant stride), every written float register is
+        iteration-invariant, memory addresses and store values are
+        invariant, fault operands are invariant, and the branch compares
+        the affine counter against an invariant bound (or two
+        invariants).  Trace bodies may contain JMP/CALL/RET: these have
+        no register effects, and CALL/RET pairs are statically matched
+        by ``trace_path`` so the call stack is iteration-invariant.
+        Under those conditions -- plus the dynamic all-hit /
+        saturated-predictor trial -- every future iteration is an exact
+        copy of the trial, so its effects can be multiplied.
+        """
+        if term[0] not in BRANCH_OPS:
+            return None
         has_store = any(ins[0] in (Op.STORE, Op.FSTORE) for ins in body)
         has_load = any(ins[0] in (Op.LOAD, Op.FLOAD) for ins in body)
         if has_store and has_load:
@@ -645,6 +1794,8 @@ class BlockCompiler:
                 fabs[a] = max(fabs[b], fabs[c], fabs[d])
             elif op == Op.NOP:
                 pass
+            elif op in (Op.JMP, Op.CALL, Op.RET):
+                pass  # control only: no register effects (see docstring)
             else:  # pragma: no cover - body ops are exhaustive above
                 return None
 
@@ -676,16 +1827,15 @@ class BlockCompiler:
         else:
             kind = "ne"
 
-        steady = (n_fetches - 1) + (1 if il_start != il_last else 0)
         return LoopInfo(
-            branch_pc=start + len(instrs) - 1,
+            branch_pc=branch_pc,
             branch_op=op,
             kind=kind,
             counter=counter,
             bound=bound,
             stride=affine.get(counter, ("imm", 0)),
             affine=sorted(affine.items()),
-            steady_fetches=steady,
+            steady_fetches=steady_fetches,
         )
 
 
@@ -722,14 +1872,23 @@ class BlockEngine:
     management, deadline math, replay -- lives here.
     """
 
-    def __init__(self, cpu) -> None:
+    def __init__(self, cpu, tier: str = "trace") -> None:
+        if tier not in ("block", "trace"):
+            raise ValueError(f"unknown engine tier {tier!r}")
         self.cpu = cpu
+        self.tier = tier
         self.compiler = BlockCompiler(cpu)
         self.stats = EngineStats()
         self._tables: Dict[int, _CodeTable] = {}
         self._table: Optional[_CodeTable] = None
         self._epoch = 0
         self._ctx: Optional[tuple] = None
+        #: trace tier: region/trace promotion enabled.
+        self._trace_tier = tier == "trace"
+        #: pc of a probe that side-exited a region because its handler
+        #: perturbed the machine; CPU.run runs the probe's post-retire
+        #: PMU hooks (and resyncs on a program rewrite), then clears it.
+        self.probe_exit_pc = -1
 
     # -- lifecycle ------------------------------------------------------
 
@@ -810,14 +1969,35 @@ class BlockEngine:
         Returns ``(next_pc, cur_iline, instructions_retired)``.
         """
         table = self._table
+        if table is None:
+            # a probe-registry change invalidated the binding mid-slice
+            # (a handler registered/removed a probe); rebind to the
+            # current code and carry on -- regions recompile against the
+            # updated registry on their next heat promotion.
+            self.begin()
+            table = self._table
+        if self._trace_tier:
+            region = table.regions.get(pc)
+            if region is not None:
+                res = self._run_region(region, cur_iline, rem_ins, cyc_budget)
+                if res is not None:
+                    return res
+            else:
+                trace = table.traces.get(pc)
+                if trace is not None:
+                    res = self._run_trace(trace, cur_iline, rem_ins, cyc_budget)
+                    if res is not None:
+                        return res
         block = table.blocks.get(pc)
         if block is None:
+            if pc in table.nocompile:
+                return None
             if pc not in table.leaders:
-                table.denied.add(pc)
+                self._deny(table, pc)
                 return None
             block = self.compiler.compile_block(table.code, pc)
             if block is None:
-                table.denied.add(pc)
+                self._deny(table, pc)
                 return None
             table.blocks[pc] = block
             self.stats.blocks_compiled += 1
@@ -881,6 +2061,188 @@ class BlockEngine:
             pmu.sample_countdown -= total
         self.stats.blocks_executed += 1
         self.stats.fast_instructions += total
+        if self._trace_tier and next_pc < pc:
+            # back edge: count arrivals at the loop head and promote hot
+            # heads to a superblock trace or compiled region.
+            self._heat(table, next_pc)
+        return next_pc, cur_iline, total
+
+    # -- trace-tier execution -------------------------------------------
+
+    def _deny(self, table: _CodeTable, pc: int) -> None:
+        """Stop offering *pc* to compile_block.
+
+        A pc that heads a region or trace (dynaprof probes, typically)
+        must stay engine-dispatchable, so it goes to ``nocompile``
+        instead of the run loop's ``denied`` set.
+        """
+        if pc in table.regions or pc in table.traces:
+            table.nocompile.add(pc)
+        else:
+            table.denied.add(pc)
+
+    def _heat(self, table: _CodeTable, head: int) -> None:
+        if (
+            head in table.region_denied
+            or head in table.regions
+            or head in table.traces
+        ):
+            return
+        h = table.heat.get(head, 0) + 1
+        if h < REGION_HOT:
+            table.heat[head] = h
+            return
+        table.heat.pop(head, None)
+        self._build_region(table, head)
+
+    def _build_region(self, table: _CodeTable, head: int) -> None:
+        """Promote a hot loop head: superblock trace first, else region."""
+        trace = self.compiler.compile_trace(table.code, head)
+        if trace is not None:
+            table.traces[head] = trace
+            table.denied.discard(head)
+            self.stats.traces_compiled += 1
+            return
+        try:
+            region = self.compiler.compile_region(
+                table.code, head, self.cpu.predictor, self
+            )
+        except _EmitUnsupported:  # pragma: no cover - member scan excludes
+            region = None
+        if region is not None:
+            table.regions[head] = region
+            table.denied.discard(head)
+            self.stats.regions_compiled += 1
+            return
+        table.region_denied.add(head)
+
+    def _run_region(
+        self, region: Region, cur_iline: int, rem_ins: int, cyc_budget: int
+    ) -> Optional[Tuple[int, int, int]]:
+        """Enter a compiled region with deadline-derived fuel, or decline.
+
+        Fuel is the number of whole block steps that provably cannot
+        cross any instruction/cycle budget, overflow-watch threshold,
+        sample tick or timer tick; the precise path finishes the tail.
+        """
+        cpu = self.cpu
+        if region.predictor is not None and region.predictor is not cpu.predictor:
+            # the inlined predictor state is stale; rebuild via heat.
+            self._table.regions.pop(region.head, None)
+            return None
+        counts = cpu.counts
+        fuel = REGION_FUEL_MAX
+        if rem_ins >= 0:
+            fuel = rem_ins // region.max_nb
+        if cyc_budget >= 0:
+            fuel = min(
+                fuel, (cyc_budget - counts[_S.TOT_CYC] - 1) // region.max_cyc
+            )
+        pmu = cpu.pmu
+        sampler_on = False
+        if pmu is not None:
+            if region.has_probe and not pmu.quiet():
+                # probe handlers run inline only while no PMU machinery
+                # can observe retirement; otherwise the precise path
+                # keeps exact interrupt/sample delivery around probes.
+                return None
+            if region.has_mem and pmu.ear_active:
+                # deferred cycle counts would skew the TOT_CYC timestamps
+                # EAR records on miss events; the precise path (and the
+                # per-block engine) keep them exact while an EAR is armed.
+                return None
+            if pmu.sampler is not None:
+                fuel = min(fuel, (pmu.sample_countdown - 1) // region.max_nb)
+                sampler_on = True
+            if pmu.watch_active:
+                if pmu.has_pending():
+                    return None
+                md = region.max_deltas
+                for headroom, signals in pmu.watch_constraints():
+                    worst = 0
+                    for s in signals:
+                        worst += md[s]
+                    if worst:
+                        fuel = min(fuel, (headroom - 1) // worst)
+            if pmu.timer_active:
+                fuel = min(
+                    fuel,
+                    (pmu.cycles_to_timer(counts[_S.TOT_CYC]) - 1)
+                    // region.max_cyc,
+                )
+        if fuel <= 0:
+            return None
+        next_pc, cur_iline, n = region.fn(
+            *self._ctx, cpu, cpu.probe_dispatch, cur_iline, fuel
+        )
+        if sampler_on:
+            pmu.sample_countdown -= n
+        st = self.stats
+        st.region_entries += 1
+        st.region_instructions += n
+        st.fast_instructions += n
+        return next_pc, cur_iline, n
+
+    def _run_trace(
+        self, block: BasicBlock, cur_iline: int, rem_ins: int, cyc_budget: int
+    ) -> Optional[Tuple[int, int, int]]:
+        """Run a superblock trace like a self-loop block (trial + replay)."""
+        n_ins = block.n_ins
+        if 0 <= rem_ins < n_ins:
+            return None
+        cpu = self.cpu
+        counts = cpu.counts
+        if cyc_budget >= 0 and counts[_S.TOT_CYC] + block.max_cyc >= cyc_budget:
+            return None
+        pmu = cpu.pmu
+        sampler_on = False
+        if pmu is not None:
+            if pmu.sampler is not None:
+                if pmu.sample_countdown <= n_ins:
+                    return None
+                sampler_on = True
+            if pmu.watch_active:
+                if pmu.has_pending():
+                    return None
+                md = block.max_deltas
+                for headroom, signals in pmu.watch_constraints():
+                    worst = 0
+                    for s in signals:
+                        worst += md[s]
+                    if headroom <= worst:
+                        return None
+            if pmu.timer_active and pmu.cycles_to_timer(
+                counts[_S.TOT_CYC]
+            ) <= block.max_cyc:
+                return None
+
+        loop = block.loop
+        if (
+            loop is not None
+            and block.fail_epoch == self._epoch
+            and block.fails >= REPLAY_FAIL_LIMIT
+        ):
+            loop = None
+
+        total = n_ins
+        st = self.stats
+        if loop is None:
+            next_pc, cur_iline = block.fn(*self._ctx, cur_iline)
+        else:
+            snap = counts.copy()
+            hsnap = cpu.hierarchy.hit_snapshot()
+            next_pc, cur_iline = block.fn(*self._ctx, cur_iline)
+            if next_pc == block.start:
+                k = self._try_replay(
+                    block, loop, snap, hsnap, rem_ins, cyc_budget, sampler_on
+                )
+                if k:
+                    st.trace_replays += 1
+                total += k * n_ins
+        if sampler_on:
+            pmu.sample_countdown -= total
+        st.blocks_executed += 1
+        st.fast_instructions += total
         return next_pc, cur_iline, total
 
     def _try_replay(

@@ -10,7 +10,7 @@ branches).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 
 class BranchPredictor:
@@ -42,6 +42,23 @@ class BranchPredictor:
         """
         return False
 
+    def inline_spec(self) -> Optional[Tuple[str, object, int]]:
+        """Codegen contract for the trace engine, or None.
+
+        Returns ``(kind, state, mask)`` when predict/update for a branch
+        at a *statically known* pc can be open-coded against mutable
+        *state* (shared by reference, so ``reset`` keeps working):
+
+        - ``("twobit", table, mask)`` -- per-pc two-bit counters indexed
+          by ``pc & mask``; predict is ``table[i] >= 2``, update
+          saturates at 0/3;
+        - ``("static", None, 0)`` -- always predicts taken, no state.
+
+        History-coupled predictors (gshare) return None and are driven
+        through the predict/update calls instead.
+        """
+        return None
+
 
 class StaticTakenPredictor(BranchPredictor):
     """Always predicts taken (backward-branch-dominated codes do well)."""
@@ -59,6 +76,9 @@ class StaticTakenPredictor(BranchPredictor):
 
     def steady_taken(self, pc: int) -> bool:
         return True
+
+    def inline_spec(self):
+        return ("static", None, 0)
 
 
 class TwoBitPredictor(BranchPredictor):
@@ -96,6 +116,9 @@ class TwoBitPredictor(BranchPredictor):
     def steady_taken(self, pc: int) -> bool:
         # state 3 is saturated: a taken outcome leaves it at 3.
         return self._table[pc & self._mask] == 3
+
+    def inline_spec(self):
+        return ("twobit", self._table, self._mask)
 
 
 class GsharePredictor(BranchPredictor):

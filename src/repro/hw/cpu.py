@@ -123,6 +123,7 @@ class CPU:
         pmu: Optional[PMU] = None,
         counts: Optional[List[int]] = None,
         block_engine: bool = True,
+        engine_tier: Optional[str] = None,
     ) -> None:
         self.config = config or CPUConfig()
         self.counts: List[int] = counts if counts is not None else fresh_counts()
@@ -149,21 +150,34 @@ class CPU:
         self.cpu_index: int = 0
         #: invoked as ``probe_dispatch(probe_id, cpu)`` on PROBE opcodes.
         self.probe_dispatch: Optional[Callable[[int, "CPU"], None]] = None
+        #: optional ``probe_id -> handler-or-None`` lookup the trace
+        #: engine uses to pre-resolve probe handlers at region compile
+        #: time (the Machine installs ``dict.get`` of its registry and
+        #: invalidates engines whenever registrations change).
+        self.probe_resolver: Optional[Callable[[int], object]] = None
         #: set by external code to make :meth:`run` return early.
         self.stop_flag = False
         # derived constants
         self._page_shift = self.hierarchy.config.tlb.page_bits
         self._iline_shift = self.hierarchy.config.l1i.line_bits
         #: basic-block execution engine (None = pure interpreter).  The
-        #: engine is bit-exact with the interpreter; see
+        #: engine is bit-exact with the interpreter at every tier; see
         #: :mod:`repro.hw.blockcache` for the correctness contract.
+        #: ``engine_tier`` ("off" / "block" / "trace") wins over the
+        #: legacy ``block_engine`` flag when given.
+        tier = engine_tier if engine_tier is not None else (
+            "trace" if block_engine else "off"
+        )
+        if tier not in ("off", "block", "trace"):
+            raise ValueError(f"unknown engine tier {tier!r}")
         self.engine = None
-        if block_engine:
+        if tier != "off":
             from repro.hw.blockcache import BlockEngine
 
-            self.engine = BlockEngine(self)
+            self.engine = BlockEngine(self, tier)
             if self.pmu is not None:
                 self.pmu.set_flush_hook(self.engine.flush)
+                self.pmu.unquiet_hook = self.engine.unbind
 
     # ------------------------------------------------------------------
     # program loading / context switching
@@ -362,6 +376,68 @@ class CPU:
                 if res is not None:
                     pc, cur_iline, n = res
                     executed += n
+                    if engine.probe_exit_pc >= 0:
+                        # a probe handler perturbed the machine inside a
+                        # compiled region; the probe retired in-region
+                        # without its post-retire hooks.  Resync if the
+                        # handler rewrote the program, then run the PMU
+                        # hooks the interpreter would have run for it.
+                        exec_pc = engine.probe_exit_pc
+                        engine.probe_exit_pc = -1
+                        if self.code is not code:
+                            code = self.code
+                            memory = self.memory
+                            mem_len = len(memory)
+                            iregs = self.iregs
+                            fregs = self.fregs
+                            call_stack = self.call_stack
+                            touched = self.touched_pages
+                            data_base = self.data_base
+                            probe_dispatch = self.probe_dispatch
+                            cur_iline = -1
+                            if (
+                                0 <= self.pc < len(code)
+                                and code[self.pc][0] == Op.PROBE
+                            ):
+                                pc = self.pc + 1
+                            else:
+                                pc = self.pc
+                            _blocks, denied = engine.begin()
+                            engine_execute = engine.execute
+                        if pmu is not None:
+                            if pmu.sampler is not None:
+                                pmu.sample_countdown -= 1
+                                if pmu.sample_countdown <= 0:
+                                    sample = SampleRecord(
+                                        pc=exec_pc,
+                                        opcode=Op.PROBE,
+                                        cycle=counts[TOT_CYC],
+                                        is_load=False,
+                                        is_store=False,
+                                        is_fp=Op.FLI <= Op.PROBE <= Op.FCVT,
+                                        is_branch=Op.JMP <= Op.PROBE <= Op.RET,
+                                        br_mispred=False,
+                                        l1d_miss=False,
+                                        l2_miss=False,
+                                        tlb_miss=False,
+                                        latency=lat[Op.PROBE],
+                                    )
+                                    hw = pmu.deliver_sample(sample)
+                                    counts[TOT_CYC] += (
+                                        hw * pmu.config.interrupt_cost
+                                    )
+                                    counts[Signal.HW_INT] += hw
+                            if pmu.watch_active:
+                                hw = pmu.check_overflow(pc, counts[TOT_CYC])
+                                if hw:
+                                    counts[TOT_CYC] += (
+                                        hw * pmu.config.interrupt_cost
+                                    )
+                                    counts[Signal.HW_INT] += hw
+                            if pmu.timer_active:
+                                hw = pmu.check_timer(counts[TOT_CYC])
+                                if hw:
+                                    counts[Signal.HW_INT] += hw
                     continue
 
             # ---- instruction fetch -------------------------------------
@@ -560,6 +636,32 @@ class CPU:
                     self.pc = pc
                     self.cur_iline = cur_iline
                     probe_dispatch(a, self)
+                    if self.code is not code:
+                        # the handler rewrote the program (dynaprof
+                        # instrument/remove_probes, or a full reload):
+                        # rebind every cached alias and resume under the
+                        # new indexing -- past the migrated probe when
+                        # it still exists there, at the new pc otherwise.
+                        code = self.code
+                        memory = self.memory
+                        mem_len = len(memory)
+                        iregs = self.iregs
+                        fregs = self.fregs
+                        call_stack = self.call_stack
+                        touched = self.touched_pages
+                        data_base = self.data_base
+                        probe_dispatch = self.probe_dispatch
+                        cur_iline = -1
+                        if (
+                            0 <= self.pc < len(code)
+                            and code[self.pc][0] == Op.PROBE
+                        ):
+                            next_pc = self.pc + 1
+                        else:
+                            next_pc = self.pc
+                        if engine is not None:
+                            _blocks, denied = engine.begin()
+                            engine_execute = engine.execute
             elif op == Op.SYSCALL:
                 counts[Signal.SYS_INS] += 1
                 counts[TOT_CYC] += syscall_cost

@@ -21,7 +21,7 @@ control-flow targets are absolute instruction indices.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class ProgramError(Exception):
@@ -360,6 +360,59 @@ class Program:
         new_labels = {name: head_map[idx] for name, idx in self._labels.items()}
         new_functions = {
             name: FunctionInfo(fn.name, head_map[fn.start], head_map[fn.end])
+            for name, fn in self._functions.items()
+        }
+        program = Program(
+            new_instructions,
+            new_labels,
+            new_functions,
+            entry=self.entry,
+            data_size=self.data_size,
+            name=self.name,
+            data_init=self.data_init,
+        )
+        return program, remap
+
+    def remove(
+        self, indices: Iterable[int]
+    ) -> Tuple["Program", Callable[[int], int]]:
+        """Remove the instructions at *indices* (dynaprof deinstrument).
+
+        The inverse of :meth:`insert`.  Labels bound at a removed
+        instruction move to the next surviving one, and the returned
+        ``remap`` sends a removed pc there too -- a machine paused at a
+        probe resumes at the instruction the probe guarded.
+        """
+        drop = set(indices)
+        n = len(self._instructions)
+        for idx in drop:
+            if not 0 <= idx < n:
+                raise ProgramError(f"removal point out of range: {idx}")
+        old_to_new: List[int] = []
+        survivors: List[Instruction] = []
+        for old_idx, ins in enumerate(self._instructions):
+            old_to_new.append(len(survivors))
+            if old_idx not in drop:
+                survivors.append(ins)
+        old_to_new.append(len(survivors))
+
+        new_instructions: List[Instruction] = []
+        for ins in survivors:
+            tgt = ins.target()
+            if tgt is not None and not isinstance(tgt, str):
+                ins = ins.with_target(old_to_new[tgt])
+            new_instructions.append(ins)
+
+        def remap(old_pc: int) -> int:
+            if not 0 <= old_pc < len(old_to_new):
+                raise ProgramError(f"cannot remap pc {old_pc}")
+            return old_to_new[old_pc]
+
+        new_labels = {
+            name: old_to_new[idx] for name, idx in self._labels.items()
+        }
+        new_functions = {
+            name: FunctionInfo(fn.name, old_to_new[fn.start], old_to_new[fn.end])
             for name, fn in self._functions.items()
         }
         program = Program(

@@ -44,6 +44,12 @@ class MachineConfig:
     #: cache state and interrupt delivery -- so this only trades
     #: simulation speed against the pure-interpreter reference path.
     block_engine: bool = True
+    #: engine tier: "off" (pure interpreter), "block" (per-block
+    #: compilation + steady-loop replay) or "trace" (block tier plus
+    #: superblock traces and compiled multi-block regions).  ``None``
+    #: derives the tier from ``block_engine`` ("trace" when True, the
+    #: default).  All tiers are bit-exact with each other.
+    engine: Optional[str] = None
     #: number of CPUs.  Each CPU gets its own signal-counts array, PMU
     #: and block engine (private decode caches); the memory hierarchy is
     #: shared.  ``ncpus=1`` is bit-exact with the historical single-CPU
@@ -55,6 +61,19 @@ class MachineConfig:
             raise ValueError("clock rate must be at least 1 MHz")
         if self.ncpus < 1:
             raise ValueError("a machine needs at least one CPU")
+        if self.engine is not None and self.engine not in ("off", "block", "trace"):
+            raise ValueError(
+                f"unknown engine tier {self.engine!r}; "
+                "expected 'off', 'block' or 'trace'"
+            )
+
+    @property
+    def engine_tier(self) -> str:
+        """Resolved engine tier: explicit ``engine`` wins, else the
+        legacy ``block_engine`` flag selects trace/off."""
+        if self.engine is not None:
+            return self.engine
+        return "trace" if self.block_engine else "off"
 
 
 class Machine:
@@ -90,9 +109,11 @@ class Machine:
                 pmu=pmu,
                 counts=counts,
                 block_engine=self.config.block_engine,
+                engine_tier=self.config.engine_tier,
             )
             cpu.cpu_index = i
             cpu.probe_dispatch = self._dispatch_probe
+            cpu.probe_resolver = self._probes.get
             self.cpus.append(cpu)
         #: scratch addresses the counter interface touches when polluting;
         #: chosen high so they collide with application lines by indexing.
@@ -198,12 +219,28 @@ class Machine:
         if probe_id in self._probes:
             raise ValueError(f"probe id {probe_id} already registered")
         self._probes[probe_id] = handler
+        self._invalidate_engines()
 
     def unregister_probe(self, probe_id: int) -> None:
-        self._probes.pop(probe_id, None)
+        if self._probes.pop(probe_id, None) is not None:
+            self._invalidate_engines()
 
     def clear_probes(self) -> None:
-        self._probes.clear()
+        if self._probes:
+            self._probes.clear()
+            self._invalidate_engines()
+
+    def _invalidate_engines(self) -> None:
+        """Drop compiled code on every CPU after a probe-registry change.
+
+        Compiled regions pre-resolve probe handlers (and compile
+        handler-less probes down to bare counts), so any registration
+        change makes cached regions stale; recompilation re-resolves
+        against the updated registry.
+        """
+        for c in self.cpus:
+            if c.engine is not None:
+                c.engine.invalidate()
 
     def _dispatch_probe(self, probe_id: int, cpu: CPU) -> None:
         handler = self._probes.get(probe_id)
@@ -245,4 +282,5 @@ class Machine:
                 # pmu.reset() does not clear the flush hook; keep the
                 # barrier installed for the machine's lifetime.
                 cpu.pmu.set_flush_hook(cpu.engine.flush)
+                cpu.pmu.unquiet_hook = cpu.engine.unbind
         self._probes.clear()

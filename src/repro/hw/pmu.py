@@ -265,10 +265,23 @@ class PMU:
         #: fault-injection hook perturbing each cycle-timer period by a
         #: signed offset (multiplex-timer jitter).  ``None`` = exact.
         self.timer_jitter: Optional[Callable[[int], int]] = None
+        #: invoked whenever asynchronous machinery is armed (overflow
+        #: watch, cycle timer, sampler, EAR).  The execution engine
+        #: installs :meth:`BlockEngine.unbind` here so a compiled region
+        #: whose probe handler arms instrumentation side-exits at the
+        #: next probe: the region's probe guard only has to test
+        #: ``engine._table is None`` instead of four PMU flags per
+        #: dispatch.  ``None`` when no engine is attached.
+        self.unquiet_hook: Optional[Callable[[], None]] = None
 
     def set_flush_hook(self, hook: Optional[Callable[[], None]]) -> None:
         """Install the barrier invoked before counter reads/stops."""
         self._flush_hook = hook
+
+    def _notify_unquiet(self) -> None:
+        hook = self.unquiet_hook
+        if hook is not None:
+            hook()
 
     # ------------------------------------------------------------------
     # counter control
@@ -430,6 +443,7 @@ class PMU:
                 overflow_count=count,
             )
             self.watch_active = True
+            self._notify_unquiet()
 
     # ------------------------------------------------------------------
     # overflow interrupts
@@ -456,6 +470,7 @@ class PMU:
         )
         self._watches[index] = watch
         self.watch_active = True
+        self._notify_unquiet()
 
     def clear_overflow(self, index: int) -> None:
         self._watches.pop(index, None)
@@ -535,6 +550,22 @@ class PMU:
         """
         return bool(self._pending)
 
+    def quiet(self) -> bool:
+        """True when no PMU machinery can observe instruction retirement.
+
+        The trace engine only compiles probe instructions into a region
+        while the PMU is quiet: overflow watches, the cycle timer,
+        ProfileMe sampling and in-flight skid deliveries all force the
+        probe back onto the precise interpreter path (deadline/flush
+        crossings must be attributed at exact instruction boundaries).
+        """
+        return not (
+            self.watch_active
+            or self.timer_active
+            or self.sampler is not None
+            or self._pending
+        )
+
     def watch_constraints(self) -> List[Tuple[int, Tuple[int, ...]]]:
         """``(headroom, signals)`` per armed overflow watch.
 
@@ -568,6 +599,7 @@ class PMU:
         self._timer_next = self._counts[Signal.TOT_CYC] + period
         self._timer_handler = handler
         self.timer_active = True
+        self._notify_unquiet()
 
     def clear_cycle_timer(self) -> None:
         self._timer_handler = None
@@ -600,6 +632,7 @@ class PMU:
             raise PMUError("this PMU has no ProfileMe-style sampler")
         self.sampler = ProfileMeSampler(period, self._rng)
         self.sample_countdown = self.sampler.next_countdown()
+        self._notify_unquiet()
         return self.sampler
 
     def disable_profileme(self) -> None:
@@ -622,6 +655,7 @@ class PMU:
         ear = EventAddressRegister(period, event)
         self.ears.append(ear)
         self.ear_active = True
+        self._notify_unquiet()
         return ear
 
     def remove_ear(self, ear: EventAddressRegister) -> None:

@@ -55,14 +55,18 @@ from repro.lint.presetlint import (
 from repro.lint.rules import RULES, Rule, Severity, rule
 from repro.lint.sarif import render_sarif, to_sarif
 from repro.lint.staticoracle import (
+    AffineReport,
     Interval,
     SignalBounds,
     StaticOracleError,
+    TraceCertificate,
     static_signal_bounds,
+    trace_certificates,
     verify_block_affine,
 )
 
 __all__ = [
+    "AffineReport",
     "Diagnostic",
     "EventResolution",
     "FLOW_SHADOWED_BY",
@@ -74,6 +78,7 @@ __all__ = [
     "Severity",
     "SignalBounds",
     "StaticOracleError",
+    "TraceCertificate",
     "apply_suppressions",
     "check_events",
     "dedupe_diagnostics",
@@ -92,6 +97,7 @@ __all__ = [
     "sort_diagnostics",
     "static_signal_bounds",
     "to_sarif",
+    "trace_certificates",
     "verify_block_affine",
     "worst_severity",
 ]

@@ -54,12 +54,19 @@ DIRECT_PLATFORMS: List[str] = [
 
 
 def create(name: str, seed: int = 12345, block_engine: bool = True,
-           ncpus: int = 1, inject: Optional[str] = None) -> Substrate:
+           ncpus: int = 1, inject: Optional[str] = None,
+           engine: Optional[str] = None) -> Substrate:
     """Instantiate the named platform substrate.
 
     ``block_engine=False`` forces the machine onto the pure-interpreter
     reference path (see :class:`repro.hw.machine.MachineConfig`); results
     are bit-identical either way, only simulation speed differs.
+
+    ``engine`` selects the execution-engine tier explicitly: ``"off"``
+    (interpreter), ``"block"`` (per-block compilation + steady-loop
+    replay) or ``"trace"`` (blocks plus superblock traces and compiled
+    multi-block regions, the default).  All tiers are bit-exact; when
+    given, ``engine`` wins over ``block_engine``.
 
     ``ncpus`` builds an SMP machine: that many CPUs, each with a private
     PMU and block engine, behind one shared memory hierarchy.  The OS
@@ -79,7 +86,8 @@ def create(name: str, seed: int = 12345, block_engine: bool = True,
         raise SubstrateError(
             f"unknown platform {name!r}; known: {PLATFORM_NAMES}"
         ) from None
-    substrate = cls(seed=seed, block_engine=block_engine, ncpus=ncpus)
+    substrate = cls(seed=seed, block_engine=block_engine, ncpus=ncpus,
+                    engine=engine)
     spec = inject if inject is not None else os.environ.get(
         "REPRO_FAULT_PROFILE"
     )

@@ -121,10 +121,12 @@ class Substrate:
     PROFILING = "overflow"
 
     def __init__(self, seed: int = 12345, block_engine: bool = True,
-                 ncpus: int = 1) -> None:
+                 ncpus: int = 1, engine: Optional[str] = None) -> None:
         config = self._machine_config(seed)
         if config.block_engine != block_engine:
             config = dataclasses.replace(config, block_engine=block_engine)
+        if engine is not None and config.engine != engine:
+            config = dataclasses.replace(config, engine=engine)
         if config.ncpus != ncpus:
             config = dataclasses.replace(config, ncpus=ncpus)
         self.machine = Machine(config)

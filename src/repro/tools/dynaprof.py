@@ -270,6 +270,42 @@ class Dynaprof:
         self._register_handlers()
         self._instrumented = True
 
+    def remove_probes(self) -> None:
+        """Deinstrument: strip every inserted probe, mid-run if needed.
+
+        The exact inverse of :meth:`instrument`.  A started machine is
+        migrated onto the stripped code (pc and return addresses
+        remapped; a pc paused at a probe resumes at the instruction the
+        probe guarded).  Unregistering the handlers invalidates every
+        CPU's compiled code, so regions that specialized on the old
+        probe registry can never run against the stripped program.
+        """
+        if self._program is None:
+            raise InvalidArgumentError("load or attach first")
+        if not self._instrumented:
+            raise InvalidArgumentError("not instrumented")
+        probe_pcs = [
+            pc
+            for pc, ins in enumerate(self._program.instructions)
+            if ins.op == Op.PROBE and ins.a in self._probe_functions
+        ]
+        new_program, remap = self._program.remove(probe_pcs)
+        cpu = self.machine.cpu
+        started = (
+            cpu.program is self._program
+            and not cpu.halted
+            and cpu.pc != self._program.label_at(self._program.entry)
+        )
+        if started:
+            cpu.migrate(new_program, remap)
+        else:
+            self.machine.load(new_program)
+        self._program = new_program
+        for pid in self._probe_functions:
+            self.machine.unregister_probe(pid)
+        self._probe_functions.clear()
+        self._instrumented = False
+
     def _alloc_probe(self, function: str, kind: int) -> int:
         pid = self._next_probe_id
         self._next_probe_id += 1

@@ -37,9 +37,9 @@ def main() -> int:
     goldens = {}
     for key in EXPERIMENTS:
         entry = {}
-        for mode, engine in (("engine_on", True), ("engine_off", False)):
+        for mode, engine in (("engine_on", "trace"), ("engine_off", "off")):
             print(f"capturing {key} ({mode}) ...", flush=True)
-            entry[mode] = build_table(key, block_engine=engine)
+            entry[mode] = build_table(key, engine)
         goldens[key] = entry
     GOLDENS_PATH.write_text(json.dumps(goldens, indent=1, sort_keys=True)
                             + "\n")

@@ -6,7 +6,9 @@ become lists, dict keys become strings.  The committed goldens in
 ``goldens_seed.json`` were captured from the single-CPU seed tree with
 ``capture_goldens.py`` *before* the SMP refactor landed; the
 differential suite re-derives the tables on the current tree with
-``ncpus=1`` (block engine on and off) and asserts bit-exact equality.
+``ncpus=1`` at every engine tier (off / block / trace) and asserts
+bit-exact equality against the same goldens: a tier that changes any
+observable is a correctness bug, not a new baseline.
 
 The bench modules bind ``create`` at import time (``from
 repro.platforms import create``), so the block-engine mode is forced by
@@ -84,14 +86,23 @@ def _load_bench(key: str):
     return importlib.import_module(_MODULES[key])
 
 
-def _forced_create(block_engine: bool) -> Callable:
+def _forced_create(engine: str) -> Callable:
     from repro.platforms import create as real_create
 
     def wrapped(name, *args, **kwargs):
-        kwargs["block_engine"] = block_engine
+        kwargs["engine"] = engine
         return real_create(name, *args, **kwargs)
 
     return wrapped
+
+
+def _tier(engine) -> str:
+    """Accept a tier name or the legacy block-engine boolean."""
+    if isinstance(engine, bool):
+        return "trace" if engine else "off"
+    if engine not in ("off", "block", "trace"):
+        raise ValueError(f"unknown engine tier {engine!r}")
+    return engine
 
 
 def _patch_targets(mod):
@@ -104,13 +115,17 @@ def _patch_targets(mod):
     return targets
 
 
-def build_table(key: str, block_engine: bool) -> Any:
-    """Run one experiment with the given engine mode; canonical output."""
+def build_table(key: str, engine) -> Any:
+    """Run one experiment at the given engine tier; canonical output.
+
+    *engine* is a tier name (``"off"``/``"block"``/``"trace"``); the
+    legacy boolean still works (True -> "trace", False -> "off").
+    """
     mod = _load_bench(key)
     targets = _patch_targets(mod)
     saved = [t.create for t in targets]
     for t in targets:
-        t.create = _forced_create(block_engine)
+        t.create = _forced_create(_tier(engine))
     try:
         if key == "a3":
             raw = {
@@ -135,5 +150,5 @@ def build_table(key: str, block_engine: bool) -> Any:
     return canonical(raw)
 
 
-def build_all(block_engine: bool) -> Dict[str, Any]:
-    return {key: build_table(key, block_engine) for key in EXPERIMENTS}
+def build_all(engine) -> Dict[str, Any]:
+    return {key: build_table(key, engine) for key in EXPERIMENTS}

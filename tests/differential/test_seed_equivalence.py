@@ -4,7 +4,10 @@ Every experiment table (E1--E10, A1--A4) is re-derived on the current
 tree -- which routes *all* scheduling, counter virtualization and
 multiplexing through the SMP code paths -- and compared bit-exactly
 against ``goldens_seed.json``, captured from the single-CPU seed tree
-before the SMP layer existed.  Both block-engine modes are locked down.
+before the SMP layer existed.  All three engine tiers are locked down:
+"off" compares against the seed's interpreter capture, while "block"
+and "trace" must match the seed's engine capture (the tiers are
+bit-exact by contract, so one golden serves both).
 
 A mismatch here means the refactor changed observable behaviour of the
 classic single-CPU configuration; fix the regression, do not recapture
@@ -39,20 +42,22 @@ def goldens():
            "contract is determinism, not golden equality",
 )
 @pytest.mark.parametrize("key", EXPERIMENTS)
-@pytest.mark.parametrize("mode", ["engine_on", "engine_off"])
+@pytest.mark.parametrize("mode", ["engine_off", "engine_block", "engine_trace"])
 def test_table_matches_seed(goldens, key, mode):
-    got = json.loads(json.dumps(build_table(key, mode == "engine_on")))
-    assert got == goldens[key][mode], (
+    tier = mode.split("_", 1)[1]
+    golden_key = "engine_off" if tier == "off" else "engine_on"
+    got = json.loads(json.dumps(build_table(key, tier)))
+    assert got == goldens[key][golden_key], (
         f"experiment {key} ({mode}) diverged from the seed capture"
     )
 
 
-@pytest.mark.parametrize("mode", ["engine_on", "engine_off"])
+@pytest.mark.parametrize("mode", ["off", "block", "trace"])
 def test_tables_deterministic_under_faults(monkeypatch, mode):
     """Under a fixed fault profile an experiment table is still a pure
     function of its inputs: two derivations must agree bit-exactly,
     faults and recoveries included."""
     monkeypatch.setenv("REPRO_FAULT_PROFILE", "97:transient")
-    first = json.loads(json.dumps(build_table("e7", mode == "engine_on")))
-    second = json.loads(json.dumps(build_table("e7", mode == "engine_on")))
+    first = json.loads(json.dumps(build_table("e7", mode)))
+    second = json.loads(json.dumps(build_table("e7", mode)))
     assert first == second
