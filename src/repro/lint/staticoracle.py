@@ -61,6 +61,7 @@ __all__ = [
     "SignalBounds",
     "StaticOracleError",
     "TraceCertificate",
+    "static_exact_signal_counts",
     "static_signal_bounds",
     "op_signal_vector",
     "block_signal_vectors",
@@ -1008,6 +1009,23 @@ def static_signal_bounds(program: Program) -> SignalBounds:
 # ---------------------------------------------------------------------------
 # block-engine affine invariance
 # ---------------------------------------------------------------------------
+
+
+def static_exact_signal_counts(program: Program) -> Optional[List[int]]:
+    """Closed-form signal counts, when the static analysis pins them.
+
+    Returns a full ``Signal``-indexed count list (oracle signals only,
+    the rest zero) when every interval of
+    :func:`static_signal_bounds` collapses to a point -- i.e. the
+    program's trip counts and branch outcomes were all statically
+    resolved, so the counts follow affinely without executing anything.
+    Returns ``None`` when any interval is wide; callers (the refutation
+    predictor) then fall back to the exact reference interpreter.
+    """
+    bounds = static_signal_bounds(program)
+    if not bounds.is_exact():
+        return None
+    return list(bounds.lo)
 
 
 def block_signal_vectors(code) -> Dict[int, List[int]]:

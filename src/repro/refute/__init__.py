@@ -1,0 +1,72 @@
+"""CounterPoint-style refutation harness.
+
+The validate matrix (:mod:`repro.validate`) checks expectations we
+already wrote down; this package inverts the discipline.  A seeded,
+budgeted **generator** (:mod:`repro.refute.generator`) composes
+discriminating micro-programs -- loops, diamonds, strided memory walks,
+probed blocks, call trees -- each carrying the set of model assumptions
+it exercises.  A **predictor** (:mod:`repro.refute.predictor`) derives,
+for every preset of every substrate, the value the substrate's
+*documented* model says the program must produce (reusing the exact
+reference interpreter of :mod:`repro.validate.oracle`, the static
+oracle's affine machinery for closed-form cross-checks, and the
+published :class:`~repro.platforms.base.AccessCosts` and fetch-line
+geometry).  The **engine** (:mod:`repro.refute.engine`) then runs the
+programs across substrates x execution-engine tiers x CPU counts,
+classifies every cell as ``confirmed`` / ``refuted`` / ``undecidable``,
+**shrinks** each refuting program to a minimal reproducer
+(:mod:`repro.refute.shrink`) and emits a ``repro.refute/1`` report.
+
+A refutation is a model/measurement disagreement: either the
+documentation is wrong (the paper's POWER3 preset drift, found the hard
+way), the simulator is wrong, or the predictor is wrong -- all three are
+bugs worth a minimal reproducer.  On the six unmodified substrates the
+committed seed/budget finds none; the mutation-sensitivity gate
+(``tests/refute/test_sensitivity.py``) proves that deliberately
+perturbed model constants *are* refuted, so "zero refutations" is
+evidence, not vacuity.
+
+Entry points: ``papi-validate --planes refute`` (matrix plane), the
+``refute`` CLI verb (full report), :func:`run_refute` (library).
+"""
+
+from repro.refute.engine import (
+    RefuteCell,
+    RefuteConfig,
+    RefuteReport,
+    run_refute,
+    run_refute_plane,
+)
+from repro.refute.generator import (
+    GeneratedProgram,
+    Genome,
+    Segment,
+    build_program,
+    generate,
+    genome_from_json,
+    genome_to_json,
+)
+from repro.refute.mutations import MUTANTS, ModelMutant
+from repro.refute.predictor import Prediction, SubstrateModel, predict
+from repro.refute.shrink import shrink_genome
+
+__all__ = [
+    "MUTANTS",
+    "GeneratedProgram",
+    "Genome",
+    "ModelMutant",
+    "Prediction",
+    "RefuteCell",
+    "RefuteConfig",
+    "RefuteReport",
+    "Segment",
+    "SubstrateModel",
+    "build_program",
+    "generate",
+    "genome_from_json",
+    "genome_to_json",
+    "predict",
+    "run_refute",
+    "run_refute_plane",
+    "shrink_genome",
+]

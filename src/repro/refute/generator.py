@@ -1,0 +1,432 @@
+"""Seeded, budgeted generation of discriminating micro-programs.
+
+The generator does not try to produce *realistic* workloads; it produces
+*discriminating* ones.  Each drawn program is a sequence of segments
+chosen to stress a different slice of the substrate model:
+
+- ``loop``: a counted loop over a drawn instruction mix -- preset
+  mapping vectors, FMA normalization, convert drift;
+- ``diamond``: a loop whose body is a two-sided if/else diamond with a
+  counter-dependent condition -- taken/not-taken/conditional branch
+  accounting;
+- ``stride``: a pointer walk over the data array at a drawn stride --
+  load/store accounting on a moving address;
+- ``probed``: a loop whose body retires ``PROBE`` pseudo-instructions --
+  instrumentation accounting, and an execution-engine stressor (probes
+  are block-break ops, so this body defeats naive block compilation);
+- ``calls``: a loop calling into generated leaf functions --
+  call/return pairing across the call stack.
+
+Programs are pure functions of a :class:`Genome` (itself a pure function
+of the seed), fault-free and terminating by construction, and their
+worst-case dynamic instruction count is bounded by the generation
+budget.  Genomes serialize to JSON so refuting programs can be committed
+to the regression corpus and replayed bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hw.isa import Assembler, Program
+from repro.workloads.builder import Flow
+
+# -- the instruction vocabulary ----------------------------------------------
+#
+# Every op is fault-free given the fixed prologue: r8 holds a nonzero
+# integer divisor, f2 a nonzero float divisor, f1 a positive sqrt
+# operand, and all memory traffic stays inside the two 64-word arrays
+# based at r9 (ints) and r11 (floats).  Offsets are derived
+# deterministically from the (segment, op) position so genomes stay
+# plain strings.
+
+BODY_OPS: Tuple[str, ...] = (
+    "alu_addi", "alu_add", "alu_sub", "alu_mul", "alu_div",
+    "fp_add", "fp_sub", "fp_mul", "fp_div", "fp_sqrt", "fp_fma",
+    "fp_cvt", "fp_mov",
+    "mem_load", "mem_store", "mem_fload", "mem_fstore",
+    "probe", "syscall", "nop",
+)
+
+#: ops safe inside leaf functions (no control flow, no probes).
+LEAF_OPS: Tuple[str, ...] = (
+    "alu_addi", "alu_add", "alu_mul", "fp_add", "fp_mul", "fp_fma",
+    "fp_cvt", "mem_load", "mem_fload",
+)
+
+SEGMENT_KINDS: Tuple[str, ...] = (
+    "loop", "diamond", "stride", "probed", "calls",
+)
+
+#: words in each data array; all generated offsets/strides stay inside.
+ARRAY_WORDS = 64
+
+#: registers the generator must never clobber (prologue constants, loop
+#: machinery).  Kept here so tests can assert the discipline.
+RESERVED_IREGS = (8, 9, 10, 11, 12, 28, 29)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One generated code region: a counted loop of a given shape."""
+
+    kind: str                   # one of SEGMENT_KINDS
+    trips: int                  # loop trip count (>= 1)
+    ops: Tuple[str, ...]        # body instruction mix
+    stride: int = 1             # stride kind: pointer step in words
+
+    def __post_init__(self) -> None:
+        if self.kind not in SEGMENT_KINDS:
+            raise ValueError(f"unknown segment kind {self.kind!r}")
+        if self.trips < 1:
+            raise ValueError("segments need trips >= 1")
+        if self.kind == "stride" and not 1 <= self.stride <= ARRAY_WORDS:
+            raise ValueError(f"bad stride {self.stride}")
+        for op in self.ops:
+            if op not in BODY_OPS:
+                raise ValueError(f"op {op!r} not in the body vocabulary")
+
+
+@dataclass(frozen=True)
+class Genome:
+    """The full heritable description of one generated program."""
+
+    seed: int
+    segments: Tuple[Segment, ...]
+    leaves: Tuple[Tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        for leaf in self.leaves:
+            for op in leaf:
+                if op not in LEAF_OPS:
+                    raise ValueError(f"op {op!r} not allowed in a leaf")
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A built program plus the model assumptions it exercises."""
+
+    name: str
+    genome: Genome
+    program: Program
+    #: the model-assumption tags this program can discriminate on.
+    assumptions: frozenset
+    #: conservative upper bound on dynamically executed instructions.
+    dynamic_bound: int
+
+
+# -- dynamic-cost model (upper bounds, used for budgeting) --------------------
+
+def _body_cost(seg: Segment, leaves: Sequence[Tuple[str, ...]]) -> int:
+    """Worst-case dynamic instructions per loop trip (excl. loop control)."""
+    n = len(seg.ops)
+    if seg.kind == "diamond":
+        # condition branch + the longer arm + the jmp over the else arm
+        then_len = (n + 1) // 2
+        else_len = n - then_len
+        return 1 + max(then_len + 1, else_len)
+    if seg.kind == "stride":
+        return n + 2        # the walk's load + pointer addi
+    if seg.kind == "probed":
+        return n + 1        # the leading probe
+    if seg.kind == "calls":
+        leaf = leaves[_leaf_index(seg, len(leaves))] if leaves else ()
+        return n + 1 + len(leaf) + 1    # call + leaf body + ret
+    return n
+
+
+def _segment_cost(seg: Segment, leaves: Sequence[Tuple[str, ...]]) -> int:
+    """Worst-case dynamic instructions for one whole segment."""
+    # Flow.loop control: 2 setup + per-trip (bge + addi + jmp) + exit bge;
+    # diamond/stride segments add one setup instruction before the loop.
+    setup = 1 if seg.kind in ("diamond", "stride") else 0
+    return setup + 3 + seg.trips * (3 + _body_cost(seg, leaves))
+
+
+#: instructions in the fixed prologue (+1 for the final halt).
+_PROLOGUE_COST = 8
+
+
+def dynamic_bound(genome: Genome) -> int:
+    """Upper bound on instructions one run of the genome executes."""
+    return _PROLOGUE_COST + sum(
+        _segment_cost(seg, genome.leaves) for seg in genome.segments
+    )
+
+
+def _leaf_index(seg: Segment, n_leaves: int) -> int:
+    """Which leaf a ``calls`` segment targets (deterministic)."""
+    return (seg.trips + len(seg.ops)) % max(n_leaves, 1)
+
+
+# -- assumptions --------------------------------------------------------------
+
+#: tags every program carries regardless of content.
+BASE_ASSUMPTIONS = frozenset({
+    "preset-mapping", "fetch-geometry", "tier-invariance", "static-bracket",
+})
+
+_OP_ASSUMPTIONS: Dict[str, str] = {
+    "fp_fma": "fma-normalization",
+    "fp_cvt": "convert-drift",
+    "mem_load": "memory-stride",
+    "mem_store": "memory-stride",
+    "mem_fload": "memory-stride",
+    "mem_fstore": "memory-stride",
+    "probe": "probe-accounting",
+    "syscall": "syscall-accounting",
+}
+
+_KIND_ASSUMPTIONS: Dict[str, str] = {
+    "diamond": "branch-accounting",
+    "stride": "memory-stride",
+    "probed": "probe-accounting",
+    "calls": "call-ret-pairing",
+}
+
+
+def assumptions_of(genome: Genome) -> frozenset:
+    """The model-assumption tags a genome's program exercises."""
+    tags = set(BASE_ASSUMPTIONS)
+    for seg in genome.segments:
+        if seg.kind in _KIND_ASSUMPTIONS:
+            tags.add(_KIND_ASSUMPTIONS[seg.kind])
+        ops = seg.ops
+        if seg.kind == "calls" and genome.leaves:
+            ops = ops + genome.leaves[_leaf_index(seg, len(genome.leaves))]
+        for op in ops:
+            if op in _OP_ASSUMPTIONS:
+                tags.add(_OP_ASSUMPTIONS[op])
+    return frozenset(tags)
+
+
+# -- program construction -----------------------------------------------------
+
+def _emit_op(asm: Assembler, op: str, i: int, j: int) -> None:
+    """Emit one vocabulary op.  (i, j) = (segment, position) for offsets."""
+    if op == "alu_addi":
+        asm.addi("r2", "r2", j + 1)
+    elif op == "alu_add":
+        asm.add("r4", "r4", "r2")
+    elif op == "alu_sub":
+        asm.sub("r5", "r4", "r2")
+    elif op == "alu_mul":
+        asm.muli("r5", "r2", 3)
+    elif op == "alu_div":
+        asm.div("r6", "r4", "r8")
+    elif op == "fp_add":
+        asm.fadd("f3", "f1", "f2")
+    elif op == "fp_sub":
+        asm.fsub("f4", "f1", "f2")
+    elif op == "fp_mul":
+        asm.fmul("f5", "f1", "f2")
+    elif op == "fp_div":
+        asm.fdiv("f6", "f1", "f2")
+    elif op == "fp_sqrt":
+        asm.fsqrt("f6", "f1")
+    elif op == "fp_fma":
+        asm.fma("f10", "f1", "f2", "f3")
+    elif op == "fp_cvt":
+        asm.fcvt("f4", "f3")
+    elif op == "fp_mov":
+        asm.fmov("f5", "f4")
+    elif op == "mem_load":
+        asm.load("r7", "r9", (i * 7 + j) % ARRAY_WORDS)
+    elif op == "mem_store":
+        asm.store("r2", "r9", (i * 11 + j) % ARRAY_WORDS)
+    elif op == "mem_fload":
+        asm.fload("f3", "r11", (i * 5 + j) % ARRAY_WORDS)
+    elif op == "mem_fstore":
+        asm.fstore("f3", "r11", (i * 13 + j) % ARRAY_WORDS)
+    elif op == "probe":
+        asm.probe((i + j) % 7 + 1)
+    elif op == "syscall":
+        asm.syscall(1)
+    elif op == "nop":
+        asm.nop()
+    else:
+        raise ValueError(f"unknown op {op!r}")
+
+
+def build_program(genome: Genome) -> Program:
+    """Lower a genome to a runnable, fault-free :class:`Program`."""
+    asm = Assembler(name=f"refute-{genome.seed:#x}")
+    flow = Flow(asm)
+    # only leaves actually targeted by a calls segment are emitted, so
+    # shrunk reproducers carry no dead code.
+    used_leaves = sorted({
+        _leaf_index(seg, len(genome.leaves))
+        for seg in genome.segments
+        if seg.kind == "calls" and genome.leaves
+    })
+    for li in used_leaves:
+        asm.func(f"leaf{li}")
+        for j, op in enumerate(genome.leaves[li]):
+            _emit_op(asm, op, 97 + li, j)
+        asm.ret()
+        asm.endfunc()
+
+    asm.func("main")
+    ibase = asm.init_array([1 + (k % 7) for k in range(ARRAY_WORDS)])
+    fbase = asm.init_array([1.0 + 0.25 * (k % 5) for k in range(ARRAY_WORDS)])
+    asm.li("r8", 3)         # integer divisor
+    asm.li("r9", ibase)     # int array base
+    asm.li("r11", fbase)    # float array base
+    asm.fli("f1", 1.25)     # positive sqrt operand / fp source
+    asm.fli("f2", 0.5)      # float divisor
+
+    for i, seg in enumerate(genome.segments):
+        if seg.kind == "diamond":
+            # first half of the trips take the then-arm
+            asm.li("r12", max(1, seg.trips // 2))
+        elif seg.kind == "stride":
+            asm.li("r10", ibase)
+        with flow.loop(seg.trips, "r28", "r29"):
+            if seg.kind == "diamond":
+                then_ops = seg.ops[: (len(seg.ops) + 1) // 2]
+                else_ops = seg.ops[(len(seg.ops) + 1) // 2:]
+
+                def _arm(ops, i=i):
+                    def emit():
+                        for j, op in enumerate(ops):
+                            _emit_op(asm, op, i, j)
+                    return emit
+
+                flow.diamond_lt("r28", "r12",
+                                _arm(then_ops), _arm(else_ops))
+            elif seg.kind == "stride":
+                asm.load("r7", "r10", 0)
+                asm.addi("r10", "r10", seg.stride)
+                for j, op in enumerate(seg.ops):
+                    _emit_op(asm, op, i, j)
+            elif seg.kind == "probed":
+                asm.probe(i % 7 + 1)
+                for j, op in enumerate(seg.ops):
+                    _emit_op(asm, op, i, j)
+            elif seg.kind == "calls":
+                asm.call(f"leaf{_leaf_index(seg, len(genome.leaves))}")
+                for j, op in enumerate(seg.ops):
+                    _emit_op(asm, op, i, j)
+            else:
+                for j, op in enumerate(seg.ops):
+                    _emit_op(asm, op, i, j)
+    asm.halt()
+    asm.endfunc()
+    return asm.build()
+
+
+# -- generation ---------------------------------------------------------------
+
+def _draw_segment(rng: random.Random, leaves: Sequence[Tuple[str, ...]],
+                  remaining: int) -> Segment:
+    """Draw one segment whose worst-case cost fits in *remaining*."""
+    kind = rng.choice(SEGMENT_KINDS if leaves else
+                      tuple(k for k in SEGMENT_KINDS if k != "calls"))
+    n_ops = rng.randint(1 if kind in ("loop", "diamond") else 0, 6)
+    ops = tuple(rng.choice(BODY_OPS) for _ in range(n_ops))
+    stride = rng.choice((1, 2, 4, 8)) if kind == "stride" else 1
+    # stride walks are bounded by the array; other kinds draw deep trip
+    # counts so programs actually fill their dynamic budget (the clamp
+    # below halves back into range) -- big straight runs matter for the
+    # sampling substrate, where a preset is only decidable once enough
+    # interrupt matches are expected.
+    max_trips = ARRAY_WORDS // stride if kind == "stride" else 300
+    trips = rng.randint(1, max_trips)
+    seg = Segment(kind=kind, trips=trips, ops=ops, stride=stride)
+    # clamp trips so the segment fits the remaining dynamic budget
+    while seg.trips > 1 and _segment_cost(seg, leaves) > remaining:
+        seg = Segment(kind=kind, trips=max(1, seg.trips // 2), ops=ops,
+                      stride=stride)
+    return seg
+
+
+def generate(
+    seed: int,
+    count: int = 6,
+    budget: int = 6_000,
+    max_segments: int = 4,
+) -> List[GeneratedProgram]:
+    """Generate *count* programs, each executing at most *budget* ins.
+
+    Deterministic: the same ``(seed, count, budget, max_segments)``
+    yields byte-identical programs on every machine and Python build
+    (the only entropy source is ``random.Random(seed)``).
+    """
+    if count < 1:
+        raise ValueError("need count >= 1")
+    if budget < 64:
+        raise ValueError("budget too small to fit any program")
+    rng = random.Random(int(seed))
+    out: List[GeneratedProgram] = []
+    for index in range(count):
+        n_leaves = rng.randint(0, 2)
+        leaves = tuple(
+            tuple(rng.choice(LEAF_OPS)
+                  for _ in range(rng.randint(1, 3)))
+            for _ in range(n_leaves)
+        )
+        segments: List[Segment] = []
+        spent = _PROLOGUE_COST
+        for _ in range(rng.randint(1, max_segments)):
+            remaining = budget - spent
+            if remaining < 16:
+                break
+            seg = _draw_segment(rng, leaves, remaining)
+            cost = _segment_cost(seg, leaves)
+            if spent + cost > budget:
+                # halve trips until it fits; drop the segment if even a
+                # single trip overruns
+                trips = seg.trips
+                while trips > 1 and spent + _segment_cost(
+                    Segment(seg.kind, trips, seg.ops, seg.stride), leaves
+                ) > budget:
+                    trips //= 2
+                seg = Segment(seg.kind, trips, seg.ops, seg.stride)
+                cost = _segment_cost(seg, leaves)
+                if spent + cost > budget:
+                    continue
+            segments.append(seg)
+            spent += cost
+        if not segments:
+            segments = [Segment(kind="loop", trips=1, ops=("alu_addi",))]
+            spent += _segment_cost(segments[0], leaves)
+        genome = Genome(seed=int(seed), segments=tuple(segments),
+                        leaves=leaves)
+        out.append(GeneratedProgram(
+            name=f"g{index}",
+            genome=genome,
+            program=build_program(genome),
+            assumptions=assumptions_of(genome),
+            dynamic_bound=dynamic_bound(genome),
+        ))
+    return out
+
+
+# -- genome (de)serialization -------------------------------------------------
+
+def genome_to_json(genome: Genome) -> Dict[str, object]:
+    """Plain-JSON form of a genome (the corpus on-disk format)."""
+    return {
+        "seed": genome.seed,
+        "segments": [
+            {"kind": s.kind, "trips": s.trips, "ops": list(s.ops),
+             "stride": s.stride}
+            for s in genome.segments
+        ],
+        "leaves": [list(leaf) for leaf in genome.leaves],
+    }
+
+
+def genome_from_json(data: Dict[str, object]) -> Genome:
+    """Inverse of :func:`genome_to_json` (validates on construction)."""
+    return Genome(
+        seed=int(data["seed"]),
+        segments=tuple(
+            Segment(kind=s["kind"], trips=int(s["trips"]),
+                    ops=tuple(s["ops"]), stride=int(s.get("stride", 1)))
+            for s in data["segments"]
+        ),
+        leaves=tuple(tuple(leaf) for leaf in data.get("leaves", ())),
+    )

@@ -173,6 +173,38 @@ def cmd_validate(args) -> int:
     return 0 if matrix.passed else 1
 
 
+def cmd_refute(args) -> int:
+    """refute: adversarial model/measurement disagreement hunt."""
+    from repro.refute import RefuteConfig, run_refute
+    from repro.validate.seeds import derive_seed
+
+    # same derivation the validate matrix uses for its refute plane, so
+    # `refute --seed N` and `validate --seed N --planes refute` exercise
+    # the identical program corpus.
+    seed = derive_seed(args.seed, "plane:refute")
+    config = (RefuteConfig.thorough(seed=seed,
+                                    platforms=args.platform or None)
+              if args.thorough else
+              RefuteConfig.quick(seed=seed, platforms=args.platform or None))
+    report = run_refute(config)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(report.to_json_str())
+            fh.write("\n")
+    if args.format == "json":
+        print(report.to_json_str())
+    else:
+        print(report.to_markdown())
+        tally = report.summary()
+        verdict = "PASS" if report.passed else "FAIL"
+        print(
+            f"\nrefute: {verdict} ({tally['confirmed']} confirmed, "
+            f"{tally['refuted']} refuted, "
+            f"{tally['undecidable']} undecidable)"
+        )
+    return 0 if report.passed else 1
+
+
 def expand_lint_targets(paths) -> list:
     """Files stay files; directories are walked for ``*.py`` files."""
     import os
@@ -393,7 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "validate",
         help="conformance & accuracy matrix (oracle, cost, convergence, "
-             "skid planes)",
+             "skid, refute planes)",
     )
     p.add_argument(
         "--platform", choices=PLATFORM_NAMES, action="append",
@@ -402,7 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--planes", default=None,
         help="comma-separated subset of oracle,virtual,cost,convergence,"
-             "skid (default: all)",
+             "skid,refute (default: all)",
     )
     p.add_argument(
         "--thorough", action="store_true",
@@ -413,6 +445,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json-out", metavar="PATH", default=None,
         help="also write the JSON report to PATH (the CI artifact)",
+    )
+
+    p = sub.add_parser(
+        "refute",
+        help="hunt for model/measurement disagreements with generated "
+             "adversarial micro-programs",
+    )
+    p.add_argument(
+        "--platform", choices=PLATFORM_NAMES, action="append",
+        help="restrict to one platform (repeatable; default: all six)",
+    )
+    p.add_argument(
+        "--thorough", action="store_true",
+        help="nightly-scale sweep: more/bigger programs, full "
+             "tier x ncpus cross per program",
+    )
+    p.add_argument("--seed", type=int, default=12345)
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="also write the repro.refute/1 JSON report to PATH",
     )
 
     p = sub.add_parser(
@@ -474,6 +527,7 @@ _COMMANDS = {
     "papirun": cmd_papirun,
     "calibrate": cmd_calibrate,
     "validate": cmd_validate,
+    "refute": cmd_refute,
     "lint": cmd_lint,
     "check-events": cmd_check_events,
     "check-presets": cmd_check_presets,

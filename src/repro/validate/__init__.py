@@ -8,7 +8,7 @@ on out-of-order CPUs.  Real PAPI ships ``papi_cost`` and a validation
 suite for exactly this reason; this package is their analogue over the
 simulated platforms.
 
-Four planes, aggregated into one conformance matrix
+The planes, aggregated into one conformance matrix
 (:mod:`repro.validate.matrix`, CLI verb ``validate``):
 
 - **oracle** (:mod:`repro.validate.oracle`,
@@ -27,13 +27,22 @@ Four planes, aggregated into one conformance matrix
 - **skid** (:mod:`repro.validate.skid`): ``PAPI_profil`` attribution
   accuracy per substrate skid model, contrasting precise sampling
   (simALPHA's ProfileMe) with interrupt-pc profiling on out-of-order
-  cores.
+  cores;
+- **refute** (:mod:`repro.refute`): the adversarial inversion of the
+  oracle plane -- seeded generated micro-programs hunt for
+  model/measurement disagreements across substrates, engine tiers and
+  CPU counts, shrinking any hit to a minimal reproducer.
+
+Every plane's randomness hangs off one master ``--seed`` through
+:func:`repro.validate.seeds.derive_seed` (labels ``plane:<name>``), so
+a matrix run is pinned by a single documented integer.
 """
 
 from repro.validate.conformance import run_oracle_plane, run_virtualization_plane
 from repro.validate.convergence import run_convergence_plane
 from repro.validate.cost import run_cost_plane
 from repro.validate.matrix import ConformanceMatrix, run_all
+from repro.validate.seeds import derive_seed
 from repro.validate.oracle import (
     ORACLE_SIGNALS,
     OracleError,
@@ -46,6 +55,7 @@ __all__ = [
     "ORACLE_SIGNALS",
     "OracleError",
     "ConformanceMatrix",
+    "derive_seed",
     "expected_preset_values",
     "expected_signal_counts",
     "run_all",

@@ -133,12 +133,19 @@ def run_convergence_plane(
             expected=FINAL_ERROR_BOUND, actual=err, error=err,
             detail="converged estimate at longest runtime",
         ))
-    monotone = all(b <= a for a, b in zip(medians, medians[1:]))
+    # "run longer, trust more" holds until the curve converges: once
+    # both neighbours sit under FINAL_ERROR_BOUND the estimates are
+    # rotation-phase jitter around the true value, and demanding strict
+    # ordering there would regress on noise rather than on convergence.
+    monotone = all(
+        b <= a or max(a, b) < FINAL_ERROR_BOUND
+        for a, b in zip(medians, medians[1:])
+    )
     cells.append(MatrixCell(
         plane="convergence", platform=PLATFORM, name="median-monotone",
         status="pass" if monotone else "fail",
         actual=medians[-1],
-        detail="median error non-increasing across durations: "
+        detail="median error non-increasing until converged: "
                + " -> ".join(f"{m:.3g}" for m in medians),
     ))
     return cells

@@ -108,8 +108,16 @@ def run_cost_plane(
 
 
 def _fault_cost_cell(platform: str, seed: int) -> MatrixCell:
-    """Retry/backoff accounting under the transient fault profile."""
-    substrate = create(platform, seed=seed, inject=f"{seed}:transient")
+    """Retry/backoff accounting under the transient fault profile.
+
+    The injector's stream is derived from the plane seed (label
+    ``fault:transient``), never equal to it: the machine and the fault
+    schedule must not be able to accidentally correlate.
+    """
+    from repro.validate.seeds import derive_seed
+
+    fault_seed = derive_seed(seed, "fault:transient")
+    substrate = create(platform, seed=seed, inject=f"{fault_seed}:transient")
     papi = Papi(substrate)
     es = papi.create_eventset()
     retries = backoff = 0

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.report import Table
 
 #: canonical plane order for reports.
-PLANES = ("oracle", "virtual", "cost", "convergence", "skid")
+PLANES = ("oracle", "virtual", "cost", "convergence", "skid", "refute")
 
 #: cell verdicts.  ``skip`` records *why* a cell is unscored (preset not
 #: mapped / touches micro-architectural signals / feature unsupported)
@@ -165,19 +165,33 @@ def run_all(
 ) -> ConformanceMatrix:
     """Run the requested planes and aggregate one conformance matrix.
 
-    *platforms* defaults to all six; *planes* to all four (plus the
-    attach/SMP virtualization rung of the oracle plane).  *thorough*
-    scales work up (longer convergence sweeps, denser sampling) for the
+    *platforms* defaults to all six; *planes* to every plane in
+    :data:`PLANES` (plus the attach/SMP virtualization rung of the
+    oracle plane).  *thorough* scales work up (longer convergence
+    sweeps, denser sampling, the full refutation combo cross) for the
     nightly CI job; the default is sized for a PR-scoped quick matrix.
+
+    *seed* is the run's single master seed.  The planes that make
+    stochastic choices beyond machine construction -- the refutation
+    program generator, the convergence sweeps, and the cost plane's
+    transient-fault profile -- each receive an independent stream via
+    :func:`repro.validate.seeds.derive_seed` (labels ``plane:refute``,
+    ``plane:convergence``, ``fault:transient``), so one documented
+    integer pins them all without any two sharing a stream.  The purely
+    deterministic planes (oracle, virtual, cost's clean rung, skid) take
+    the master seed directly: their verdicts are exact equalities that
+    must hold at *any* seed.
     """
     # plane imports are deferred so `repro.validate.matrix` stays
     # importable from the plane modules without a cycle.
+    from repro.refute.engine import run_refute_plane
     from repro.validate.conformance import (
         run_oracle_plane,
         run_virtualization_plane,
     )
     from repro.validate.convergence import run_convergence_plane
     from repro.validate.cost import run_cost_plane
+    from repro.validate.seeds import derive_seed
     from repro.validate.skid import run_skid_plane
 
     from repro.platforms import PLATFORM_NAMES
@@ -206,7 +220,15 @@ def run_all(
     if "cost" in wanted:
         matrix.extend(run_cost_plane(names, seed=seed))
     if "convergence" in wanted:
-        matrix.extend(run_convergence_plane(thorough=thorough, seed=seed))
+        matrix.extend(run_convergence_plane(
+            thorough=thorough,
+            seed=derive_seed(seed, "plane:convergence"),
+        ))
     if "skid" in wanted:
         matrix.extend(run_skid_plane(names, thorough=thorough, seed=seed))
+    if "refute" in wanted:
+        matrix.extend(run_refute_plane(
+            names, thorough=thorough,
+            seed=derive_seed(seed, "plane:refute"),
+        ))
     return matrix

@@ -36,7 +36,7 @@ from repro.core.presets import (
 )
 from repro.hw.cpu import _round_to_single
 from repro.hw.events import Signal
-from repro.hw.isa import NUM_FREGS, NUM_IREGS, Op, Program
+from repro.hw.isa import INS_BYTES, NUM_FREGS, NUM_IREGS, Op, Program
 
 #: Signals whose value is fully determined by the program's architectural
 #: execution (no cache, predictor or timing dependence).  Everything the
@@ -72,6 +72,7 @@ def expected_signal_counts(
     program: Program,
     heap_words: int = 0,
     max_instructions: int = 50_000_000,
+    iline_shift: Optional[int] = None,
 ) -> List[int]:
     """Execute *program* architecturally; return exact signal counts.
 
@@ -79,6 +80,15 @@ def expected_signal_counts(
     only :data:`ORACLE_SIGNALS` entries are meaningful (the rest stay 0).
     Faults (bad addresses, divide by zero, runaway loops) raise
     :class:`OracleError` -- validation workloads must be fault-free.
+
+    *iline_shift* additionally predicts ``Signal.L1I_ACC``: an
+    instruction-cache access happens exactly when the fetch line
+    (``pc * INS_BYTES >> iline_shift``) differs from the previous
+    instruction's, starting cold.  Unlike misses, *accesses* are fully
+    determined by the dynamic pc stream and the documented line width,
+    so the refutation harness can check a platform's published fetch
+    geometry against behaviour (an off-by-one in the line width is
+    exactly the kind of documentation drift Section 4 warns about).
     """
     code = program.resolve()
     counts = [0] * Signal.N_SIGNALS
@@ -91,6 +101,7 @@ def expected_signal_counts(
     call_stack: List[int] = []
     pc = program.label_at(program.entry)
     executed = 0
+    cur_iline = -1
 
     while True:
         if executed >= max_instructions:
@@ -98,6 +109,11 @@ def expected_signal_counts(
                 f"program exceeded the oracle budget of "
                 f"{max_instructions} instructions"
             )
+        if iline_shift is not None:
+            iline = (pc * INS_BYTES) >> iline_shift
+            if iline != cur_iline:
+                cur_iline = iline
+                counts[Signal.L1I_ACC] += 1
         try:
             op, a, b, c, d = code[pc]
         except IndexError:

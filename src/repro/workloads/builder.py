@@ -109,6 +109,26 @@ class Flow:
         yield
         asm.label(skip)
 
+    def diamond_lt(self, ra: str, rb: str, then_body, else_body) -> None:
+        """A full if/else diamond on ``ra < rb``.
+
+        *then_body* and *else_body* are callables emitting the two arms
+        (either may emit nothing).  Exactly one arm executes per entry:
+        per dynamic pass this costs one conditional branch plus the arm,
+        plus a ``jmp`` over the else arm on the taken side -- the
+        canonical two-sided control shape the refutation generator uses
+        to discriminate branch-accounting model parameters.
+        """
+        asm = self.asm
+        other = self.unique("else")
+        join = self.unique("join")
+        asm.bge(ra, rb, other)
+        then_body()
+        asm.jmp(join)
+        asm.label(other)
+        else_body()
+        asm.label(join)
+
 
 def trip_count_overhead(n: int) -> int:
     """Loop-control instructions executed by one ``Flow.loop`` of *n* trips.

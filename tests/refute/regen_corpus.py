@@ -1,0 +1,81 @@
+"""Regenerate the minimized refutation-regression corpus.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.refute.regen_corpus
+
+**Regeneration policy.**  The corpus under ``tests/refute/corpus/`` is
+a committed artifact: one JSON file per program-reproducible model
+mutant, holding the *shrunk* genome that refuted it at the committed
+seed/budget (``derive_seed(12345, "plane:refute")``, quick config).
+Regenerate -- and commit the diff -- whenever any of these change:
+
+- the mutant catalogue (:data:`repro.refute.mutations.MUTANTS`),
+- the generator's lowering or cost model (shrunk shapes may shift),
+- the committed seed or the quick :class:`RefuteConfig` shape.
+
+Never hand-edit the JSON files; ``test_corpus.py`` replays each one and
+fails if the stored genome no longer refutes its mutant (stale corpus)
+or starts refuting the clean model (real drift -- that one is a bug
+report, not a corpus problem).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.refute.engine import RefuteConfig, run_refute
+from repro.refute.mutations import MUTANTS
+from repro.refute.predictor import SubstrateModel
+from repro.validate.seeds import derive_seed
+
+COMMITTED_SEED = derive_seed(12345, "plane:refute")
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_SCHEMA = "repro.refute.corpus/1"
+
+
+def build_corpus() -> list:
+    """One entry per mutant refutation that carries a genome reproducer."""
+    entries = []
+    for mutant in MUTANTS:
+        model = mutant.mutate(SubstrateModel.of(mutant.platform))
+        report = run_refute(
+            RefuteConfig.quick(seed=COMMITTED_SEED,
+                               platforms=[mutant.platform]),
+            models={mutant.platform: model},
+        )
+        cells = [c for c in report.refutations() if c.reproducer]
+        if not cells:
+            continue  # program-independent mutants (cost-model)
+        cell = min(cells, key=lambda c: c.reproducer_len)
+        entries.append({
+            "schema": CORPUS_SCHEMA,
+            "mutant": mutant.name,
+            "platform": cell.platform,
+            "check": cell.check,
+            "assumption": cell.assumption,
+            "reproducer_len": cell.reproducer_len,
+            "genome": cell.reproducer,
+        })
+    return entries
+
+
+def main() -> int:
+    os.makedirs(CORPUS_DIR, exist_ok=True)
+    for stale in os.listdir(CORPUS_DIR):
+        if stale.endswith(".json"):
+            os.unlink(os.path.join(CORPUS_DIR, stale))
+    entries = build_corpus()
+    for entry in entries:
+        path = os.path.join(CORPUS_DIR, f"{entry['mutant']}.json")
+        with open(path, "w") as fh:
+            json.dump(entry, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({entry['reproducer_len']} instructions)")
+    print(f"{len(entries)} corpus entries")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

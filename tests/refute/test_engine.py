@@ -1,0 +1,105 @@
+"""Engine behaviour: clean sweeps confirm, reports are well-formed."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.refute.engine import (
+    RefuteCell,
+    RefuteConfig,
+    RefuteReport,
+    run_refute,
+    run_refute_plane,
+)
+from repro.validate.seeds import derive_seed
+
+#: the committed seed: what `validate --seed 12345 --planes refute`
+#: hands the plane (EXPERIMENTS.md section R quotes the same run).
+COMMITTED_SEED = derive_seed(12345, "plane:refute")
+
+
+@pytest.fixture(scope="module")
+def clean_report():
+    return run_refute(RefuteConfig.quick(seed=COMMITTED_SEED))
+
+
+def test_clean_substrates_zero_refutations(clean_report):
+    """The acceptance criterion: the committed seed/budget finds no
+    model/measurement disagreement on the six unmodified substrates."""
+    assert clean_report.refutations() == []
+    assert clean_report.passed
+    tally = clean_report.summary()
+    assert tally["refuted"] == 0
+    assert tally["confirmed"] > 80
+
+
+def test_report_covers_every_platform_and_assumption(clean_report):
+    platforms = {c.platform for c in clean_report.cells}
+    for platform in RefuteConfig.quick().platforms:
+        assert platform in platforms
+    assumptions = {c.assumption for c in clean_report.cells}
+    assert {"preset-mapping", "fetch-geometry", "tier-invariance",
+            "static-bracket", "cost-model",
+            "counter-virtualization"} <= assumptions
+
+
+def test_undecidable_cells_carry_reasons(clean_report):
+    undecidable = [c for c in clean_report.cells
+                   if c.status == "undecidable"]
+    assert undecidable, "simALPHA attach cells must be undecidable"
+    assert all(c.detail for c in undecidable)
+
+
+def test_report_json_schema(clean_report):
+    data = json.loads(clean_report.to_json_str())
+    assert data["schema"] == "repro.refute/1"
+    assert data["passed"] is True
+    assert data["meta"]["seed"] == COMMITTED_SEED
+    assert len(data["programs"]) == data["meta"]["count"]
+    for prog in data["programs"]:
+        assert prog["dynamic_bound"] <= data["meta"]["budget"]
+        assert prog["genome"]["segments"]
+    assert {c["status"] for c in data["cells"]} <= {
+        "confirmed", "refuted", "undecidable"
+    }
+
+
+def test_report_markdown_has_verdict_table(clean_report):
+    md = clean_report.to_markdown()
+    assert "| platform | confirmed | refuted | undecidable |" in md
+    assert "REFUTED" not in md
+
+
+def test_matrix_plane_maps_statuses():
+    cells = run_refute_plane(["simT3E", "simALPHA"], seed=COMMITTED_SEED)
+    assert all(c.plane == "refute" for c in cells)
+    statuses = {c.status for c in cells}
+    assert statuses <= {"pass", "fail", "skip"}
+    assert "fail" not in statuses
+    assert any(c.status == "skip" for c in cells)  # simALPHA attach
+    assert any("/" in c.name for c in cells)
+
+
+def test_quick_round_robins_alternate_combos():
+    report = run_refute(RefuteConfig.quick(
+        seed=COMMITTED_SEED, platforms=["simT3E"]
+    ))
+    combos = {c.check for c in report.cells
+              if c.check.startswith(("presets@", "attach@"))}
+    # canonical tier for every program, plus at least one alternate
+    assert any(c == "presets@trace" for c in combos)
+    assert len(combos) > 1
+
+
+def test_run_refute_default_config():
+    report = run_refute()
+    assert isinstance(report, RefuteReport)
+    assert report.config == RefuteConfig.quick()
+
+
+def test_bad_cell_status_rejected():
+    with pytest.raises(ValueError):
+        RefuteCell(platform="simT3E", program="g0", check="x",
+                   assumption="preset-mapping", status="maybe")

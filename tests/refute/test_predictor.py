@@ -1,0 +1,86 @@
+"""Predictor: documented-model snapshots and closed-form expectations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.events import Signal
+from repro.platforms import PLATFORM_NAMES, create
+from repro.refute.generator import generate
+from repro.refute.predictor import SubstrateModel, predict
+from repro.validate.oracle import ORACLE_SIGNALS, expected_signal_counts
+from repro.validate.seeds import derive_seed
+
+SEED = derive_seed(12345, "refute:generate")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate(SEED, count=4, budget=3000)
+
+
+@pytest.mark.parametrize("platform", PLATFORM_NAMES)
+def test_model_matches_published_tables(platform):
+    substrate = create(platform)
+    model = SubstrateModel.from_substrate(substrate)
+    assert model.platform == platform
+    assert model.counting == substrate.COUNTING
+    assert model.costs == substrate.COSTS
+    assert model.has_fma == substrate.HAS_FMA
+    assert model.native_signals == {
+        name: tuple(ev.signals)
+        for name, ev in substrate.native_events.items()
+    }
+    line = substrate.machine.hierarchy.config.l1i
+    assert model.l1i_line_bytes == line.line_bytes
+    assert model.l1i_line_bits == line.line_bits
+    # `of` is the same snapshot without handing the caller a substrate
+    assert SubstrateModel.of(platform) == model
+
+
+def test_prediction_reuses_reference_interpreter(corpus):
+    model = SubstrateModel.of("simT3E")
+    for gp in corpus:
+        pred = predict(gp, model)
+        plain = expected_signal_counts(gp.program)
+        for sig in ORACLE_SIGNALS:
+            assert pred.signal_counts[sig] == plain[sig]
+        assert pred.l1i_accesses == pred.signal_counts[Signal.L1I_ACC]
+        assert pred.l1i_accesses > 0
+
+
+def test_prediction_static_cross_check_clean(corpus):
+    model = SubstrateModel.of("simT3E")
+    for gp in corpus:
+        pred = predict(gp, model)
+        assert pred.static_violations == ()
+
+
+def test_fetch_prediction_tracks_line_width(corpus):
+    """Halving the documented line width must change the L1I claim --
+    this is the lever the x86-fetch-line mutant pulls."""
+    gp = max(corpus, key=lambda g: g.dynamic_bound)
+    model = SubstrateModel.of("simX86")
+    narrow = model.with_line_bytes(model.l1i_line_bytes // 2)
+    wide = predict(gp, model).l1i_accesses
+    assert predict(gp, narrow).l1i_accesses > wide
+
+
+def test_checkable_presets_are_architectural(corpus):
+    for platform in PLATFORM_NAMES:
+        model = SubstrateModel.of(platform)
+        pred = predict(corpus[0], model)
+        for symbol, exp in pred.checkable_presets().items():
+            assert exp.expected is not None
+            assert all(sig in ORACLE_SIGNALS for sig in exp.signals)
+
+
+def test_mutation_helpers_do_not_touch_base():
+    model = SubstrateModel.of("simPOWER")
+    mutated = model.with_native_signals("PM_FPU_INS", (Signal.FP_ADD,))
+    assert model.native_signals["PM_FPU_INS"] != (Signal.FP_ADD,)
+    assert mutated.native_signals["PM_FPU_INS"] == (Signal.FP_ADD,)
+    bumped = model.with_costs(read=model.costs.read + 7)
+    assert bumped.costs.read == model.costs.read + 7
+    with pytest.raises(KeyError):
+        model.with_native_signals("NO_SUCH_EVENT", ())

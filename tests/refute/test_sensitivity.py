@@ -1,0 +1,76 @@
+"""Mutation-sensitivity gate: every catalogued model mutant is refuted.
+
+A refutation harness that never refutes might just be comparing
+measurement against itself.  This gate perturbs one documented-model
+constant at a time (see :mod:`repro.refute.mutations`) while the
+machines stay faithful, and requires the sweep -- at the *same*
+committed seed/budget the clean smoke uses -- to catch every one, with
+a shrunk reproducer small enough to read.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.refute.engine import RefuteConfig, run_refute
+from repro.refute.generator import genome_from_json
+from repro.refute.mutations import MUTANTS
+from repro.refute.predictor import SubstrateModel
+from repro.validate.seeds import derive_seed
+
+COMMITTED_SEED = derive_seed(12345, "plane:refute")
+
+#: acceptance ceiling for shrunk reproducers (static instructions).
+REPRODUCER_CEILING = 30
+
+
+def _mutant_report(mutant):
+    model = mutant.mutate(SubstrateModel.of(mutant.platform))
+    config = RefuteConfig.quick(seed=COMMITTED_SEED,
+                                platforms=[mutant.platform])
+    return run_refute(config, models={mutant.platform: model})
+
+
+@pytest.mark.parametrize("mutant", MUTANTS, ids=lambda m: m.name)
+def test_mutant_is_refuted(mutant):
+    report = _mutant_report(mutant)
+    refutations = report.refutations()
+    assert refutations, (
+        f"mutant {mutant.name} ({mutant.description}) survived the "
+        f"committed sweep -- the harness has a blind spot"
+    )
+    assert any(c.assumption == mutant.assumption for c in refutations), (
+        f"mutant {mutant.name} was refuted, but never through its "
+        f"target assumption {mutant.assumption!r}"
+    )
+
+
+@pytest.mark.parametrize("mutant", MUTANTS, ids=lambda m: m.name)
+def test_reproducers_are_minimal(mutant):
+    report = _mutant_report(mutant)
+    with_repro = [c for c in report.refutations()
+                  if c.reproducer is not None]
+    if mutant.assumption == "cost-model":
+        # cost cells are program-independent by construction
+        assert with_repro == []
+        return
+    assert with_repro
+    for cell in with_repro:
+        assert cell.reproducer_len <= REPRODUCER_CEILING
+        # the committed reproducer replays: same genome, same program
+        genome = genome_from_json(cell.reproducer)
+        assert genome.segments
+
+
+def test_mutants_target_distinct_drift_classes():
+    """The catalogue must keep covering cost, geometry and mapping
+    drift -- deleting a class would silently narrow the gate."""
+    assert {m.assumption for m in MUTANTS} >= {
+        "cost-model", "fetch-geometry", "preset-mapping"
+    }
+
+
+def test_mutant_refuses_wrong_platform():
+    mutant = MUTANTS[0]
+    with pytest.raises(ValueError):
+        mutant.mutate(SubstrateModel.of("simIA64"))
