@@ -56,6 +56,20 @@ class Papi:
 
     def __init__(self, substrate: Substrate) -> None:
         self.substrate = substrate
+        #: retry-with-backoff policy for transient substrate failures
+        #: (see :mod:`repro.core.resilience`); replace to tune.
+        self.retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
+        #: opt-in graceful degradation: when counter-loss recovery finds
+        #: re-allocation infeasible, finish the run multiplexed instead
+        #: of raising PAPI_ECLOST.  Off by default -- multiplexed counts
+        #: are estimates, and the library never trades exactness away
+        #: silently.
+        self.degrade_to_multiplex = False
+        self._initialize()
+
+    def _initialize(self) -> None:
+        """(Re)build the per-library state: tables, registry, handles."""
+        substrate = self.substrate
         self.preset_map: Dict[str, PresetMapping] = platform_preset_map(
             substrate.NAME
         )
@@ -67,16 +81,22 @@ class Papi:
         self._eventsets: Dict[int, "EventSet"] = {}
         self._next_handle = 1
         self._running_handle: Optional[int] = None
-        #: retry-with-backoff policy for transient substrate failures
-        #: (see :mod:`repro.core.resilience`); replace to tune.
-        self.retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
-        #: opt-in graceful degradation: when counter-loss recovery finds
-        #: re-allocation infeasible, finish the run multiplexed instead
-        #: of raising PAPI_ECLOST.  Off by default -- multiplexed counts
-        #: are estimates, and the library never trades exactness away
-        #: silently.
-        self.degrade_to_multiplex = False
         self.initialized = True
+
+    def init(self) -> None:
+        """PAPI_library_init after PAPI_shutdown: cold-restart the library.
+
+        Rebuilds every piece of per-library state (preset tables, native
+        code space, EventSet registry, handle allocator) so the instance
+        behaves exactly like a freshly constructed one.  Idempotent on an
+        already-initialized library (matching ``PAPI_library_init``
+        returning the current version when called twice).  The daemon's
+        worker-respawn path depends on this: a respawned worker re-uses
+        the process and must get a genuinely fresh library.
+        """
+        if self.initialized:
+            return
+        self._initialize()
 
     # ------------------------------------------------------------------
     # event namespace
@@ -176,6 +196,11 @@ class Papi:
     def create_eventset(self) -> "EventSet":
         from repro.core.eventset import EventSet  # cycle-free late import
 
+        if not self.initialized:
+            # shutdown() followed by create: cold-restart transparently,
+            # the way PAPI_library_init may be called again after
+            # PAPI_shutdown.  All prior handles are gone by definition.
+            self.init()
         handle = self._next_handle
         self._next_handle += 1
         es = EventSet(self, handle)
@@ -198,6 +223,12 @@ class Papi:
     def _acquire_counters(self, es: "EventSet") -> None:
         from repro.core.errors import IsRunningError
 
+        if self._eventsets.get(es.handle) is not es:
+            # a handle from before a shutdown()/init() cold restart:
+            # it must not grab the new life's counters
+            raise NoSuchEventSetError(
+                f"handle {es.handle} belongs to a previous library life"
+            )
         if self._running_handle is not None and self._running_handle != es.handle:
             raise IsRunningError(
                 "another EventSet is already running (overlapping EventSets "
@@ -248,6 +279,13 @@ class Papi:
         EventSets are stopped (falling back to the emergency teardown if
         a clean stop fails), their counters released, and a second call
         finds nothing left to do instead of assuming clean behaviour.
+
+        After the per-EventSet teardown a raw per-CPU PMU sweep stops
+        and clears every physical counter.  Multiplexed sets own no
+        direct assignment, so their emergency path cannot name the
+        counters it should scrub; the sweep guarantees the PMU is
+        quiesced regardless, which :meth:`init` relies on for a clean
+        cold restart.
         """
         for es in list(self._eventsets.values()):
             if es.running:
@@ -255,9 +293,31 @@ class Papi:
                     es.stop()
                 except PapiError:
                     es._emergency_stop()
+        self._quiesce_pmus()
         self._eventsets.clear()
         self._running_handle = None
         self.initialized = False
+
+    def _quiesce_pmus(self) -> None:
+        """Stop and clear every physical counter on every CPU; never raises.
+
+        Bypasses the substrate call boundary (and therefore the fault
+        injector) the same way :meth:`EventSet._quiesce_direct` does:
+        raw register cleanup is the one operation shutdown can always
+        rely on.
+        """
+        machine = getattr(self.substrate, "machine", None)
+        for cpu in getattr(machine, "cpus", ()) or ():
+            pmu = getattr(cpu, "pmu", None)
+            if pmu is None:
+                continue
+            for idx in range(self.substrate.n_counters):
+                try:
+                    if pmu.running(idx):
+                        pmu.stop(idx)
+                    pmu.clear(idx)
+                except Exception:
+                    pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -25,6 +25,7 @@ The recovery ladder, from cheapest to most degraded:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, TypeVar
 
@@ -40,15 +41,34 @@ class RetryPolicy:
     Backoff is charged to the simulated machine as system cycles, so a
     recovered run is slower than a clean one by exactly the backoff it
     paid -- perturbation stays visible, as everywhere else in the model.
+
+    ``jitter_frac`` spreads retries of independent callers apart: with
+    jitter ``j`` and a caller-supplied seeded RNG, each wait is scaled
+    by a factor drawn uniformly from ``[1 - j, 1 + j]``.  The default
+    (``0.0``) keeps the ladder exactly deterministic, so every existing
+    billed-backoff account is unchanged; the papid client opts in with
+    a per-client seeded RNG that doubles as a determinism witness.
     """
 
     max_retries: int = 3
     backoff_cycles: int = 200
     backoff_multiplier: int = 2
+    jitter_frac: float = 0.0
 
-    def backoff(self, attempt: int) -> int:
-        """Cycles to wait before retry number *attempt* (0-based)."""
-        return self.backoff_cycles * self.backoff_multiplier ** attempt
+    def backoff(self, attempt: int, rng: Optional[random.Random] = None) -> int:
+        """Cycles to wait before retry number *attempt* (0-based).
+
+        Without jitter (or without an RNG) this is the exact ladder
+        ``backoff_cycles * multiplier ** attempt``; with both, the exact
+        value is scaled by a uniform factor in ``[1-j, 1+j]`` and
+        rounded to whole cycles (never below 1).
+        """
+        wait = self.backoff_cycles * self.backoff_multiplier ** attempt
+        if self.jitter_frac > 0.0 and rng is not None:
+            lo = 1.0 - self.jitter_frac
+            hi = 1.0 + self.jitter_frac
+            wait = max(1, int(round(wait * rng.uniform(lo, hi))))
+        return wait
 
 
 DEFAULT_RETRY_POLICY = RetryPolicy()
@@ -122,6 +142,7 @@ def call_with_retry(
     policy: RetryPolicy = DEFAULT_RETRY_POLICY,
     health: Optional[EventSetHealth] = None,
     cpu: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> T:
     """Run *fn*, retrying transient ``PAPI_ESYS`` failures with backoff.
 
@@ -129,6 +150,11 @@ def call_with_retry(
     the condition clears.  ``CountersLostError`` is *transient* but not
     retryable in place -- the counter is gone and must be re-acquired --
     so it propagates to the recovery layer, as do all fatal errors.
+
+    *rng*, when given together with a jittered policy, randomizes each
+    wait (see :meth:`RetryPolicy.backoff`); the EventSet path passes
+    none, so its billed-backoff accounting is bit-identical to the
+    pre-jitter ladder.
     """
     attempt = 0
     while True:
@@ -137,7 +163,7 @@ def call_with_retry(
         except SystemError_:
             if attempt >= policy.max_retries:
                 raise
-            wait = policy.backoff(attempt)
+            wait = policy.backoff(attempt, rng=rng)
             substrate.machine.charge(wait, cpu=cpu)
             if health is not None:
                 health.retries += 1

@@ -50,12 +50,21 @@ class FaultProfile:
     corrupt_rate: float = 0.0
     #: multiplex-timer jitter as a fraction of the programmed period.
     jitter_frac: float = 0.0
+    #: papid saboteur (:mod:`repro.daemon.crash`): mean batch-ops a
+    #: first-generation daemon worker survives before its saboteur
+    #: fires.  0 disables worker sabotage; the substrate-level injector
+    #: ignores these two fields entirely.
+    worker_crash_ops: int = 0
+    #: fraction of saboteur firings that wedge (hang) the worker rather
+    #: than kill it outright; supervision must detect both.
+    worker_wedge_frac: float = 0.0
 
     @property
     def inert(self) -> bool:
         return not any((
             self.esys_rate, self.loss_rate, self.irq_drop_rate,
             self.irq_delay_rate, self.corrupt_rate, self.jitter_frac,
+            self.worker_crash_ops,
         ))
 
 
@@ -74,6 +83,12 @@ PROFILES: Dict[str, FaultProfile] = {
                      irq_drop_rate=0.05, irq_delay_rate=0.10,
                      irq_delay_max=16, corrupt_rate=0.02,
                      jitter_frac=0.20),
+        # daemon-level chaos: worker processes die or wedge mid-batch
+        # while their sessions also absorb a light transient-fault load.
+        # Consumed by repro.daemon (worker_* fields) and by each
+        # session's own injector (esys_* fields).
+        FaultProfile("daemon-chaos", esys_rate=0.01, esys_burst=1,
+                     worker_crash_ops=40, worker_wedge_frac=0.25),
     )
 }
 

@@ -181,6 +181,7 @@ class _ScopeInterpreter:
         self.vars: Dict[str, object] = {}     # name -> abstract object
         self.eventsets: List[_EventSetState] = []
         self.highlevels: List[_HighLevelState] = []
+        self.clients: List["_ClientState"] = []
         self.guard_stack: List[Set[str]] = []
         #: counter index -> (thread identity, bind line) for OS-level
         #: bind_counter calls (a PMU register is exclusive machine-wide)
@@ -225,7 +226,11 @@ class _ScopeInterpreter:
         elif isinstance(stmt, ast.AugAssign):
             self.eval_expr(stmt.value)
         elif isinstance(stmt, ast.Return) and stmt.value is not None:
-            self.eval_expr(stmt.value)
+            value = self.eval_expr(stmt.value)
+            if isinstance(value, _ClientState):
+                # the client outlives this scope; closing is the
+                # caller's job (PL018 suppression)
+                value.escaped = True
         elif isinstance(stmt, ast.If):
             self.eval_expr(stmt.test)
             refined = self._running_test(stmt.test)
@@ -259,7 +264,13 @@ class _ScopeInterpreter:
             self.visit_block(stmt.orelse)
         elif isinstance(stmt, (ast.With, ast.AsyncWith)):
             for item in stmt.items:
-                self.eval_expr(item.context_expr)
+                value = self.eval_expr(item.context_expr)
+                if isinstance(value, _ClientState):
+                    # __exit__ calls close(): the with-statement is the
+                    # blessed idiom PL018 asks for
+                    value.closed = True
+                    if isinstance(item.optional_vars, ast.Name):
+                        self.vars[item.optional_vars.id] = value
             self.visit_block(stmt.body)
         elif isinstance(stmt, ast.Try):
             calls_before = self.papi_calls
@@ -368,13 +379,20 @@ class _ScopeInterpreter:
             elif isinstance(target, (ast.Tuple, ast.List)):
                 # tuple unpacking of stop() results etc.: nothing tracked
                 pass
+            elif isinstance(target, ast.Attribute):
+                if isinstance(value, _ClientState):
+                    # stored on an object (self.client = ...): lifetime
+                    # is managed elsewhere, so PL018 stays quiet
+                    value.escaped = True
 
     def _bind(
         self, name: str, rhs: ast.expr, value: Optional[object]
     ) -> None:
         if isinstance(
             value, (_PapiState, _EventSetState, _HighLevelState, str)
-        ) or value.__class__.__name__ in ("_SubstrateRef", "_ThreadRef"):
+        ) or value.__class__.__name__ in (
+            "_SubstrateRef", "_ThreadRef", "_ClientState"
+        ):
             self.vars[name] = value
             return
         if isinstance(rhs, ast.Name) and rhs.id in self.vars:
@@ -462,11 +480,17 @@ class _ScopeInterpreter:
 
     def _eval_call(self, node: ast.Call) -> Optional[object]:
         for arg in node.args:
-            self.eval_expr(
+            value = self.eval_expr(
                 arg.value if isinstance(arg, ast.Starred) else arg
             )
+            if isinstance(value, _ClientState):
+                # handed to another callable (a thread target, a helper
+                # that closes it): assume the callee owns it (PL018)
+                value.escaped = True
         for kw in node.keywords:
-            self.eval_expr(kw.value)
+            value = self.eval_expr(kw.value)
+            if isinstance(value, _ClientState):
+                value.escaped = True
 
         func = node.func
         if isinstance(func, ast.Name):
@@ -492,7 +516,14 @@ class _ScopeInterpreter:
             )
             self.highlevels.append(hl)
             return hl
+        if name == "PapidClient":
+            return self._new_client(node)
         return None
+
+    def _new_client(self, node: ast.Call) -> "_ClientState":
+        client = _ClientState(node.lineno)
+        self.clients.append(client)
+        return client
 
     def _platform_of_arg(self, node: ast.Call) -> Optional[str]:
         if not node.args:
@@ -511,9 +542,14 @@ class _ScopeInterpreter:
         method = func.attr
 
         if isinstance(
-            base, (_PapiState, _EventSetState, _HighLevelState)
+            base, (_PapiState, _EventSetState, _HighLevelState,
+                   _ClientState)
         ):
             self.papi_calls += 1
+        if isinstance(base, _ClientState):
+            if method in ("close", "__exit__"):
+                base.closed = True
+            return None
         if isinstance(base, _PapiState):
             if method == "create_eventset":
                 es = _EventSetState(base, node.lineno)
@@ -531,6 +567,10 @@ class _ScopeInterpreter:
             es = _EventSetState(None, node.lineno)
             self.eventsets.append(es)
             return es
+        if method == "PapidClient":
+            # attribute-form constructor (daemon.PapidClient(...)): the
+            # receiver is a module, the class name is unambiguous
+            return self._new_client(node)
         if method == "spawn":
             # OS thread creation (os_.spawn / sub.os.spawn): track the
             # result so bind_counter exclusivity sees through aliases.
@@ -1109,6 +1149,15 @@ class _ScopeInterpreter:
                     "stopped in this scope",
                     hint="stop_counters() releases the counters",
                 ))
+        for client in self.clients:
+            if not client.closed and not client.escaped:
+                self.linter.diagnostics.append(Diagnostic(
+                    "PL018", self.linter.path, client.created_line, 0,
+                    "PapidClient is constructed here but neither used "
+                    "as a context manager nor close()d in this scope",
+                    hint="a departing client must close() so its owned "
+                         "daemon sessions are stopped and destroyed",
+                ))
 
 
 class _SubstrateRef:
@@ -1123,3 +1172,18 @@ class _ThreadRef:
 
     def __init__(self, line: int) -> None:
         self.line = line
+
+
+class _ClientState:
+    """Abstract state of one ``PapidClient`` (PL018).
+
+    ``closed`` is set by an explicit ``close()`` / ``__exit__`` call or
+    by entering the client as a context manager; ``escaped`` suppresses
+    the rule when the client demonstrably outlives the scope (returned,
+    stored on an attribute, or passed to another callable).
+    """
+
+    def __init__(self, line: int) -> None:
+        self.created_line = line
+        self.closed = False
+        self.escaped = False

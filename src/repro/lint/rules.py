@@ -131,6 +131,10 @@ RULES: Dict[str, Rule] = {
              "PAPI error swallowed: a broad except around counter calls "
              "with a pass-only body discards the error code",
              "Section 4 (uniform error codes across every platform)"),
+        Rule("PL018", Severity.WARNING,
+             "PapidClient constructed without a context manager or a "
+             "close() call (client-owned daemon sessions leak)",
+             "DESIGN.md (fleet daemon: clients own their sessions)"),
         # -- flow-sensitive typestate (CFG dataflow engine) --------------
         Rule("PL301", Severity.ERROR,
              "an operation requiring a running EventSet is reachable "

@@ -361,6 +361,108 @@ def cmd_check_events(args) -> int:
     return 2 if report.feasible_multiplexed else 1
 
 
+def cmd_papid(args) -> int:
+    """papid: run a monitored session fleet under the daemon.
+
+    Serves a fleet of --sessions monitoring sessions across --shards
+    supervised workers, drives --rounds batched read sweeps through a
+    PapidClient, then drains.  With --inject SEED:daemon-chaos the
+    saboteur kills/wedges workers mid-run and the exit code asserts the
+    robustness contract: every session recovered (with an explicit
+    lost-interval ledger) or reported unrecovered, counts monotone,
+    journal and registry consistent, drain clean.
+    """
+    import json as _json
+    import signal
+
+    from repro.daemon import (
+        DaemonConfig,
+        PapidClient,
+        PapidServer,
+        SessionSpec,
+    )
+
+    platforms = args.platform or ["simX86"]
+    config = DaemonConfig(
+        nshards=args.shards,
+        transport=args.transport,
+        inject=args.inject,
+        journal_path=args.journal,
+        batch_timeout=args.batch_timeout,
+        heartbeat_interval=args.heartbeat,
+        wedge_timeout=args.wedge_timeout,
+    )
+    server = PapidServer(config)
+    signal.signal(signal.SIGTERM, lambda *_: server.drain())
+    specs = [
+        SessionSpec(
+            sid=f"papid-{i:05d}",
+            platform=platforms[i % len(platforms)],
+            seed=args.seed + i,
+            priority=i % 3,
+        )
+        for i in range(args.sessions)
+    ]
+    sids = [s.sid for s in specs]
+    monotone = True
+    prev: dict = {}
+    try:
+        with PapidClient(server, seed=args.seed) as client:
+            created = client.create_fleet(specs)
+            failed = [r for r in created if not r.ok]
+            client.start_many(sids)
+            for _round in range(args.rounds):
+                for res in client.read_many(sids):
+                    if not res.ok:
+                        continue
+                    old = prev.get(res.sid, {})
+                    if any(res.values[k] < old.get(k, 0)
+                           for k in res.values):
+                        monotone = False
+                    prev[res.sid] = res.values
+            client.stop_many(sids)
+            problems = server.check_consistency()
+            digest = server.fleet_digest()
+            health = server.health()
+    finally:
+        health_final = server.drain()
+    summary = health.summary()
+    summary["drained"] = health_final.drained
+    summary["fleet_digest"] = digest
+    summary["monotone"] = monotone
+    summary["consistency_problems"] = problems
+    summary["create_failures"] = len(failed)
+    if args.format == "json":
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        table = Table(
+            ["quantity", "value"],
+            title=f"papid: {args.sessions} sessions / {args.shards} shards"
+                  f" ({args.transport})"
+                  + (f", inject {args.inject}" if args.inject else ""),
+        )
+        for key in (
+            "sessions", "running", "stopped", "crashes_detected",
+            "wedges_detected", "recoveries", "sessions_recovered",
+            "sessions_unrecovered", "shed_reads", "stale_reads",
+            "deadline_expiries", "transient_returns", "journal_records",
+        ):
+            table.add_row(key, summary[key])
+        table.add_row("monotone", monotone)
+        table.add_row("consistent", not problems)
+        table.add_row("drained", health_final.drained)
+        table.add_row("fleet digest", digest[:16])
+        print(table.render())
+    healthy = (
+        monotone
+        and not problems
+        and not failed
+        and summary["sessions_unrecovered"] == 0
+        and health_final.drained
+    )
+    return 0 if healthy else 1
+
+
 def cmd_check_presets(args) -> int:
     """Cross-validate the shipped preset->native tables."""
     from repro.lint import (
@@ -508,6 +610,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text")
 
     p = sub.add_parser(
+        "papid",
+        help="run a monitored session fleet under the supervised daemon",
+    )
+    p.add_argument("--sessions", type=int, default=64,
+                   help="fleet size (default 64)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="supervised worker count (default 4)")
+    p.add_argument("--rounds", type=int, default=5,
+                   help="batched read sweeps over the fleet (default 5)")
+    p.add_argument(
+        "--platform", choices=PLATFORM_NAMES, action="append",
+        help="platform(s) for the sessions, round-robin (repeatable; "
+             "default simX86)",
+    )
+    p.add_argument(
+        "--transport", choices=["process", "inline"], default="process",
+        help="worker transport (inline = in-process, for quick checks)",
+    )
+    p.add_argument(
+        "--inject", metavar="SEED:PROFILE", default=None,
+        help="chaos spec, e.g. 42:daemon-chaos (kills/wedges workers "
+             "mid-run; the run must still satisfy the recovery contract)",
+    )
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="write the append-only session journal to PATH")
+    p.add_argument("--seed", type=int, default=12345)
+    p.add_argument("--batch-timeout", type=float, default=10.0)
+    p.add_argument("--heartbeat", type=float, default=0.25)
+    p.add_argument("--wedge-timeout", type=float, default=2.0)
+    p.add_argument("--format", choices=["text", "json"], default="text")
+
+    p = sub.add_parser(
         "check-presets",
         help="cross-validate the shipped preset->native tables",
     )
@@ -531,6 +665,7 @@ _COMMANDS = {
     "lint": cmd_lint,
     "check-events": cmd_check_events,
     "check-presets": cmd_check_presets,
+    "papid": cmd_papid,
 }
 
 

@@ -1,0 +1,106 @@
+"""Unit tests: RetryPolicy backoff ladder and the jitter extension.
+
+The jitter knob (new for the papid client) must be strictly opt-in:
+without an RNG — or with ``jitter_frac=0`` — the ladder and therefore
+every billed-backoff account in the EventSet path is bit-identical to
+the pre-jitter behaviour.  These tests pin that.
+"""
+
+import random
+
+from repro.core.errors import SystemError_
+from repro.core.resilience import (
+    DEFAULT_RETRY_POLICY,
+    EventSetHealth,
+    RetryPolicy,
+    call_with_retry,
+)
+from repro.platforms import create
+
+
+class TestExactLadder:
+    def test_default_policy_ladder(self):
+        policy = DEFAULT_RETRY_POLICY
+        assert [policy.backoff(a) for a in range(4)] == [200, 400, 800, 1600]
+
+    def test_rng_without_jitter_frac_changes_nothing(self):
+        policy = RetryPolicy()  # jitter_frac defaults to 0.0
+        rng = random.Random(123)
+        assert [policy.backoff(a, rng=rng) for a in range(4)] == [
+            200, 400, 800, 1600,
+        ]
+
+    def test_jitter_frac_without_rng_changes_nothing(self):
+        policy = RetryPolicy(jitter_frac=0.5)
+        assert [policy.backoff(a) for a in range(4)] == [200, 400, 800, 1600]
+
+
+class TestJitter:
+    def test_jitter_bounded_and_never_below_one(self):
+        policy = RetryPolicy(backoff_cycles=10, jitter_frac=0.25)
+        rng = random.Random(7)
+        for attempt in range(6):
+            exact = 10 * 2 ** attempt
+            for _ in range(50):
+                wait = policy.backoff(attempt, rng=rng)
+                assert wait >= 1
+                assert exact * 0.75 - 1 <= wait <= exact * 1.25 + 1
+
+    def test_jitter_is_deterministic_per_rng_seed(self):
+        policy = RetryPolicy(jitter_frac=0.25)
+        a = [policy.backoff(i, rng=random.Random(5)) for i in range(1)]
+        b = [policy.backoff(i, rng=random.Random(5)) for i in range(1)]
+        assert a == b
+
+    def test_jitter_actually_spreads(self):
+        policy = RetryPolicy(backoff_cycles=1000, jitter_frac=0.25)
+        rng = random.Random(11)
+        waits = {policy.backoff(0, rng=rng) for _ in range(32)}
+        assert len(waits) > 1
+
+
+class TestBilledBackoffAccounting:
+    def _flaky(self, failures):
+        state = {"left": failures}
+
+        def fn():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise SystemError_("transient")
+            return "ok"
+
+        return fn
+
+    def test_eventset_path_accounting_is_unchanged(self):
+        # the EventSet path passes no rng: with 2 transient failures the
+        # billed cycles are exactly 200 + 400, as before the jitter knob
+        sub = create("simX86", seed=1)
+        health = EventSetHealth()
+        before = sub.real_cyc()
+        out = call_with_retry(sub, self._flaky(2), health=health)
+        assert out == "ok"
+        assert health.retries == 2
+        assert health.backoff_cycles == 600
+        assert sub.real_cyc() - before == 600
+
+    def test_jittered_path_bills_what_it_waits(self):
+        sub = create("simX86", seed=1)
+        health = EventSetHealth()
+        policy = RetryPolicy(jitter_frac=0.25)
+        before = sub.real_cyc()
+        call_with_retry(sub, self._flaky(2), policy=policy,
+                        health=health, rng=random.Random(3))
+        billed = sub.real_cyc() - before
+        assert billed == health.backoff_cycles
+        assert 600 * 0.75 - 2 <= billed <= 600 * 1.25 + 2
+
+    def test_exhausted_budget_raises_after_max_retries(self):
+        sub = create("simX86", seed=1)
+        health = EventSetHealth()
+        try:
+            call_with_retry(sub, self._flaky(10), health=health)
+        except SystemError_:
+            pass
+        else:
+            raise AssertionError("expected SystemError_")
+        assert health.retries == DEFAULT_RETRY_POLICY.max_retries

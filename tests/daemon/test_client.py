@@ -1,0 +1,165 @@
+"""Unit tests: PapidClient retry/backoff/deadline behaviour and teardown."""
+
+import pytest
+
+from repro.core.errors import SystemError_
+from repro.core.resilience import RetryPolicy
+from repro.daemon import (
+    PAPID_EAGAIN,
+    PAPID_OK,
+    DaemonConfig,
+    OpResult,
+    PapidClient,
+    PapidServer,
+    SessionSpec,
+)
+
+
+class FlakyServer:
+    """Returns EAGAIN for the first *flakes* submissions, then OK."""
+
+    def __init__(self, flakes=0):
+        self.flakes = flakes
+        self.batches = []
+
+    def submit(self, ops, timeout=None):
+        self.batches.append(list(ops))
+        status = PAPID_OK
+        if self.flakes > 0:
+            self.flakes -= 1
+            status = PAPID_EAGAIN
+        return [
+            OpResult(sid=op.sid, kind=op.kind, seq=op.seq, status=status,
+                     values={"PAPI_TOT_INS": 1}, cycle=1, advanced=1)
+            for op in ops
+        ]
+
+
+def fast_client(server, seed=0, **kw):
+    kw.setdefault("sleep", lambda _s: None)
+    return PapidClient(server, seed=seed, **kw)
+
+
+class TestRetry:
+    def test_transients_are_retried_to_success(self):
+        server = FlakyServer(flakes=3)
+        with fast_client(server) as client:
+            res = client.read_many(["s-0", "s-1"])
+        assert all(r.ok for r in res)
+        assert len(server.batches) == 4
+        assert len(client.backoff_log) == 3
+
+    def test_only_transient_ops_are_resubmitted(self):
+        class HalfFlaky(FlakyServer):
+            def submit(self, ops, timeout=None):
+                self.batches.append(list(ops))
+                out = []
+                for i, op in enumerate(ops):
+                    status = PAPID_OK
+                    if self.flakes > 0 and i == 0:
+                        status = PAPID_EAGAIN
+                    out.append(OpResult(sid=op.sid, kind=op.kind,
+                                        seq=op.seq, status=status))
+                self.flakes -= 1
+                return out
+
+        server = HalfFlaky(flakes=1)
+        with fast_client(server) as client:
+            client.read_many(["s-0", "s-1"])
+        assert [len(b) for b in server.batches] == [2, 1]
+        assert server.batches[1][0].sid == "s-0"
+
+    def test_retry_budget_exhaustion_raises(self):
+        server = FlakyServer(flakes=10_000)
+        policy = RetryPolicy(max_retries=2, backoff_cycles=10)
+        client = fast_client(server, policy=policy)
+        with pytest.raises(SystemError_, match="retry budget"):
+            client.read_many(["s-0"])
+        client.close()
+
+    def test_expired_deadline_raises(self):
+        server = FlakyServer(flakes=10_000)
+        client = fast_client(server)
+        with pytest.raises(SystemError_, match="deadline"):
+            client.read_many(["s-0"], deadline=0.0)
+        client.close()
+
+
+class TestBackoffDeterminism:
+    def test_same_seed_same_fate_same_log(self):
+        logs = []
+        for _ in range(2):
+            client = fast_client(FlakyServer(flakes=5), seed=7)
+            client.read_many(["s-0"])
+            logs.append(list(client.backoff_log))
+            client.close()
+        assert logs[0] == logs[1]
+        assert len(logs[0]) == 5
+
+    def test_different_seeds_jitter_apart(self):
+        logs = []
+        for seed in (1, 2):
+            client = fast_client(FlakyServer(flakes=6), seed=seed)
+            client.read_many(["s-0"])
+            logs.append(list(client.backoff_log))
+            client.close()
+        assert logs[0] != logs[1]
+
+    def test_jitter_stays_within_policy_bounds(self):
+        client = fast_client(FlakyServer(flakes=8), seed=3)
+        client.read_many(["s-0"])
+        policy = client.policy
+        for attempt, wait in enumerate(client.backoff_log):
+            exact = policy.backoff_cycles * policy.backoff_multiplier ** attempt
+            assert exact * (1 - policy.jitter_frac) - 1 <= wait
+            assert wait <= exact * (1 + policy.jitter_frac) + 1
+        client.close()
+
+
+class TestOwnedSessions:
+    def _server(self):
+        return PapidServer(DaemonConfig(
+            transport="inline", nshards=1, heartbeat_interval=60.0,
+        ))
+
+    def test_close_stops_and_destroys_owned_sessions(self):
+        with self._server() as server:
+            client = PapidClient(server, seed=0)
+            client.create(SessionSpec(sid="own-0"))
+            client.start("own-0")
+            client.read("own-0")
+            client.close()
+            assert "own-0" not in server.registry
+            assert server.check_consistency() == []
+
+    def test_close_is_idempotent(self):
+        with self._server() as server:
+            client = PapidClient(server, seed=0)
+            client.create(SessionSpec(sid="own-0"))
+            client.close()
+            client.close()
+            assert "own-0" not in server.registry
+
+    def test_closed_client_refuses_new_work(self):
+        with self._server() as server:
+            client = PapidClient(server, seed=0)
+            client.close()
+            with pytest.raises(SystemError_, match="closed"):
+                client.create(SessionSpec(sid="own-1"))
+
+    def test_read_result_converts_lost_intervals(self):
+        from repro.core.resilience import LostInterval
+        from repro.daemon import ReadResult
+
+        res = OpResult(
+            sid="s", kind="read", status=PAPID_OK,
+            values={"PAPI_TOT_INS": 5}, cycle=9, advanced=5,
+            recovered=True,
+            lost=[{"start_cycle": 1, "end_cycle": 4,
+                   "natives": ["PAPI_TOT_INS"], "reason": "crash",
+                   "recovered": True}],
+        )
+        rr = ReadResult.from_op_result(res)
+        assert rr.recovered
+        assert isinstance(rr.lost[0], LostInterval)
+        assert rr.lost[0].end_cycle == 4

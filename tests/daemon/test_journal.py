@@ -1,0 +1,86 @@
+"""Unit tests: the papid append-only journal and recovery fold."""
+
+import json
+
+from repro.daemon import Journal, SessionSpec, recover_sessions
+
+
+def _spec(sid="s-1"):
+    return SessionSpec(sid=sid)
+
+
+def _create(sid="s-1"):
+    return {"t": "create", "sid": sid, "spec": _spec(sid).to_wire()}
+
+
+def _ack(sid="s-1", ins=100, cycle=50, state="running"):
+    return {"t": "ack", "sid": sid, "values": {"PAPI_TOT_INS": ins},
+            "cycle": cycle, "advanced": ins, "state": state}
+
+
+class TestJournal:
+    def test_in_memory_append_and_records(self):
+        j = Journal()
+        j.append(_create())
+        j.append(_ack())
+        assert j.n_records == 2
+        assert [r["t"] for r in j.records()] == ["create", "ack"]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "papid.journal"
+        j = Journal(str(path))
+        j.append(_create())
+        j.append(_ack())
+        j.sync()
+        j.close()
+        assert [r["t"] for r in Journal.load(str(path))] == ["create", "ack"]
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "papid.journal"
+        j = Journal(str(path))
+        j.append(_create())
+        j.append(_ack())
+        j.close()
+        # a crash mid-write leaves a torn final line: recovery must keep
+        # every complete record and drop only the torn one
+        with open(path, "a") as fh:
+            fh.write(json.dumps(_ack(ins=999))[: 10])
+        records = Journal.load(str(path))
+        assert [r["t"] for r in records] == ["create", "ack"]
+        assert records[-1]["values"]["PAPI_TOT_INS"] == 100
+
+
+class TestRecoverSessions:
+    def test_create_then_acks_last_wins(self):
+        images = recover_sessions([
+            _create(), _ack(ins=10, cycle=5), _ack(ins=30, cycle=15),
+        ])
+        img = images["s-1"]
+        assert img.values == {"PAPI_TOT_INS": 30}
+        assert img.cycle == 15
+        assert img.state == "running"
+
+    def test_destroy_removes_session(self):
+        images = recover_sessions([
+            _create(), _ack(), {"t": "destroy", "sid": "s-1"},
+        ])
+        assert "s-1" not in images
+
+    def test_recover_record_marks_session(self):
+        images = recover_sessions([
+            _create(), _ack(),
+            {"t": "recover", "sid": "s-1", "lost": {
+                "start_cycle": 50, "end_cycle": 50,
+                "natives": ["PAPI_TOT_INS"], "reason": "crash",
+                "recovered": True,
+            }},
+        ])
+        img = images["s-1"]
+        assert img.recovered
+        assert len(img.lost) == 1
+
+    def test_restore_wire_round_trips_state(self):
+        images = recover_sessions([_create(), _ack(state="stopped")])
+        wire = images["s-1"].restore_wire()
+        assert wire["state"] == "stopped"
+        assert wire["values"] == {"PAPI_TOT_INS": 100}

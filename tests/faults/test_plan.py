@@ -9,6 +9,7 @@ class TestProfiles:
     def test_catalogue_names(self):
         assert set(PROFILES) == {
             "none", "transient", "loss", "irq", "corrupt", "jitter", "chaos",
+            "daemon-chaos",
         }
 
     def test_none_is_inert_and_others_are_not(self):

@@ -579,3 +579,99 @@ class TestThreadRules:
         assert rule("PL014").severity is Severity.ERROR
         assert rule("PL015").severity is Severity.WARNING
         assert rule("PL016").severity is Severity.ERROR
+
+
+PAPID_PRELUDE = """\
+from repro.daemon import PapidClient, PapidServer, DaemonConfig, SessionSpec
+
+server = PapidServer(DaemonConfig(transport="inline"))
+"""
+
+
+class TestPapidClientClose:
+    """PL018: a PapidClient must be context-managed or close()d."""
+
+    def test_unclosed_client_is_pl018(self):
+        src = PAPID_PRELUDE + (
+            "client = PapidClient(server)\n"
+            'client.create(SessionSpec(sid="s-0"))\n'
+        )
+        assert "PL018" in codes(src)
+
+    def test_pl018_reports_construction_line(self):
+        src = PAPID_PRELUDE + "client = PapidClient(server)\n"
+        diags = [d for d in lint(src) if d.code == "PL018"]
+        assert len(diags) == 1
+        assert diags[0].line == 4
+        assert diags[0].severity is Severity.WARNING
+
+    def test_context_manager_is_clean(self):
+        src = PAPID_PRELUDE + (
+            "with PapidClient(server) as client:\n"
+            '    client.create(SessionSpec(sid="s-0"))\n'
+        )
+        assert "PL018" not in codes(src)
+
+    def test_explicit_close_is_clean(self):
+        src = PAPID_PRELUDE + (
+            "client = PapidClient(server)\n"
+            'client.create(SessionSpec(sid="s-0"))\n'
+            "client.close()\n"
+        )
+        assert "PL018" not in codes(src)
+
+    def test_close_in_finally_is_clean(self):
+        src = PAPID_PRELUDE + (
+            "client = PapidClient(server)\n"
+            "try:\n"
+            '    client.create(SessionSpec(sid="s-0"))\n'
+            "finally:\n"
+            "    client.close()\n"
+        )
+        assert "PL018" not in codes(src)
+
+    def test_close_via_alias_is_clean(self):
+        src = PAPID_PRELUDE + (
+            "client = PapidClient(server)\n"
+            "alias = client\n"
+            "alias.close()\n"
+        )
+        assert "PL018" not in codes(src)
+
+    def test_returned_client_escapes(self):
+        src = PAPID_PRELUDE + (
+            "def make_client():\n"
+            "    return PapidClient(server)\n"
+        )
+        assert "PL018" not in codes(src)
+
+    def test_attribute_stored_client_escapes(self):
+        src = PAPID_PRELUDE + (
+            "class Holder:\n"
+            "    def __init__(self):\n"
+            "        self.client = PapidClient(server)\n"
+        )
+        assert "PL018" not in codes(src)
+
+    def test_client_passed_to_callable_escapes(self):
+        src = PAPID_PRELUDE + (
+            "client = PapidClient(server)\n"
+            "hand_off(client)\n"
+        )
+        assert "PL018" not in codes(src)
+
+    def test_attribute_form_constructor_is_tracked(self):
+        src = (
+            "import repro.daemon as daemon\n"
+            "client = daemon.PapidClient(object())\n"
+        )
+        assert "PL018" in codes(src)
+
+    def test_one_diagnostic_per_leaked_client(self):
+        src = PAPID_PRELUDE + (
+            "a = PapidClient(server)\n"
+            "b = PapidClient(server)\n"
+            "b.close()\n"
+        )
+        diags = [d for d in lint(src) if d.code == "PL018"]
+        assert len(diags) == 1
