@@ -1,0 +1,59 @@
+"""PAPI-C-style components: pluggable counter planes beyond the core PMU.
+
+A substrate registers an ordered tuple of components; component 0 is
+always its own CPU component (the legacy PMU path), followed by the
+socket-scoped uncore and energy planes.  Event names qualify with the
+PAPI-C triple-colon form (``uncore:::MEM_BW_RD``); unqualified native
+names keep resolving to the CPU component, bit-exact with the
+pre-component library.
+
+``COMPONENT_EVENT_SHORTS`` is the static namespace of the non-CPU
+components (class-level, no machine required) -- papi-lint's PL019 and
+the feasibility checker resolve component-qualified names against it
+without instantiating a substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.components.base import Component, ComponentEvent
+from repro.components.cpu import CpuComponent
+from repro.components.energy import ENERGY_EVENTS, EnergyComponent
+from repro.components.uncore import UNCORE_EVENTS, UncoreComponent
+
+#: component names every substrate registers, in cid order.
+STANDARD_COMPONENTS: Tuple[str, ...] = ("cpu", "uncore", "energy")
+
+#: static event namespace of the non-CPU components (for lint/feasibility:
+#: the CPU component's namespace is per-platform, these are universal).
+COMPONENT_EVENT_SHORTS: Dict[str, Tuple[str, ...]] = {
+    "uncore": tuple(sorted(UNCORE_EVENTS)),
+    "energy": tuple(sorted(ENERGY_EVENTS)),
+}
+
+
+def build_components(substrate, uncore_counters: int) -> Tuple[Component, ...]:
+    """Build and register a substrate's component tuple (cids assigned)."""
+    components = (
+        CpuComponent(substrate),
+        UncoreComponent(substrate.machine, n_counters=uncore_counters),
+        EnergyComponent(substrate.machine),
+    )
+    for cid, comp in enumerate(components):
+        comp.cid = cid
+    return components
+
+
+__all__ = [
+    "COMPONENT_EVENT_SHORTS",
+    "Component",
+    "ComponentEvent",
+    "CpuComponent",
+    "ENERGY_EVENTS",
+    "EnergyComponent",
+    "STANDARD_COMPONENTS",
+    "UNCORE_EVENTS",
+    "UncoreComponent",
+    "build_components",
+]

@@ -1,0 +1,100 @@
+"""The component abstraction: PAPI-C-style pluggable counter planes.
+
+The 2003 substrate boundary assumes every event lives on a core PMU.
+PAPI-C generalizes that: a *component* is one counter plane with its own
+event namespace (``uncore:::MEM_BW_RD``), its own counter capacity and
+its own multiplexing policy.  Component 0 is always the CPU component
+(the legacy substrate PMU path, bit-exact with pre-component behaviour);
+further components expose socket-scoped hardware -- the uncore memory
+interface and the RAPL-like energy plane here.
+
+Non-CPU components model *free-running* counters, the way real uncore
+and RAPL MSRs behave: the hardware accumulates continuously and a
+measurement is the difference between two snapshots.  ``raw_value``
+returns the machine-lifetime total; the EventSet layer snapshots it at
+``start()``/``reset()`` and reports deltas.  Because reads are snapshot
+subtraction, component counter operations are charge-free (like
+``arm_overflow``: control-plane work that must not perturb the counts
+being measured) and multiplexed component reads are *exact* -- rotation
+is pure bookkeeping for free-running hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.core.errors import NoSuchEventError
+
+
+@dataclass(frozen=True)
+class ComponentEvent:
+    """One event in a component's namespace."""
+
+    name: str                   #: short name within the component
+    description: str
+    #: human-readable unit ("bytes", "energy units", "lines", ...)
+    units: str = "count"
+
+
+class Component:
+    """One counter plane: name, event namespace, capacity, mux policy.
+
+    Subclasses define ``EVENTS`` (the class-level namespace, so static
+    tools can enumerate it without building a machine) and implement
+    :meth:`raw_value`.  ``cid`` is assigned by the substrate at
+    registration time; component 0 is always the CPU component.
+    """
+
+    #: component name, the prefix of ``name:::EVENT`` qualified events.
+    NAME = "component"
+    DESCRIPTION = ""
+    #: whether this component's counters can be time-sliced.  Energy
+    #: planes say no: a RAPL MSR cannot be rotated.
+    SUPPORTS_MULTIPLEX = True
+    #: class-level event namespace (short name -> ComponentEvent).
+    EVENTS: Mapping[str, ComponentEvent] = {}
+
+    def __init__(self, n_counters: int) -> None:
+        self.n_counters = n_counters
+        self.cid = -1  # assigned at registration
+
+    @property
+    def name(self) -> str:
+        return self.NAME
+
+    @property
+    def events(self) -> Mapping[str, ComponentEvent]:
+        return self.EVENTS
+
+    def event_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.EVENTS))
+
+    def query(self, short: str) -> ComponentEvent:
+        """Look up *short* in this component's namespace."""
+        try:
+            return self.EVENTS[short]
+        except KeyError:
+            raise NoSuchEventError(
+                f"{short!r} is not an event of component {self.NAME!r}"
+            ) from None
+
+    def raw_value(self, short: str) -> int:
+        """Machine-lifetime free-running total of one component event."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.NAME,
+            "cid": self.cid,
+            "description": self.DESCRIPTION,
+            "n_counters": self.n_counters,
+            "supports_multiplex": self.SUPPORTS_MULTIPLEX,
+            "events": sorted(self.EVENTS),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Component {self.NAME!r} cid={self.cid} "
+            f"{self.n_counters} counters, {len(self.EVENTS)} events>"
+        )

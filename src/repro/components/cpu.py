@@ -1,0 +1,46 @@
+"""The CPU component: the legacy substrate PMU as component 0.
+
+Every substrate's core PMU registers as component 0, so legacy native
+codes -- whose component field is zero -- keep their exact bit patterns
+and the pre-component counting path stays byte-identical.  The CPU
+component does not model free-running counters; its events go down the
+programmed-PMU path (allocation, start/stop, SMP virtualization) exactly
+as before the component refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.components.base import Component, ComponentEvent
+
+
+class CpuComponent(Component):
+    """Component 0: the substrate's own PMU and native event namespace."""
+
+    NAME = "cpu"
+    DESCRIPTION = "core PMU (the legacy substrate counter plane)"
+    SUPPORTS_MULTIPLEX = True
+
+    def __init__(self, substrate) -> None:
+        super().__init__(n_counters=substrate.n_counters)
+        self._substrate = substrate
+
+    @property
+    def events(self) -> Mapping[str, ComponentEvent]:
+        return {
+            name: ComponentEvent(name, ev.description)
+            for name, ev in self._substrate.native_events.items()
+        }
+
+    def event_names(self):
+        return tuple(sorted(self._substrate.native_events))
+
+    def query(self, short: str) -> ComponentEvent:
+        native = self._substrate.query_native(short)
+        return ComponentEvent(short, native.description)
+
+    def raw_value(self, short: str) -> int:
+        raise NotImplementedError(
+            "CPU events are programmed PMU counters, not free-running"
+        )

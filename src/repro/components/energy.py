@@ -1,0 +1,70 @@
+"""The energy component: RAPL-like package/core energy counters.
+
+Models the running-energy MSRs of a RAPL domain: free-running totals
+derived from per-CPU cycle and instruction activity plus memory traffic,
+summed over the socket.  Like real RAPL, the plane has one MSR per
+domain -- they cannot be time-sliced, so the component declares
+``SUPPORTS_MULTIPLEX = False`` and ``EventSet.set_multiplex`` rejects
+any set containing energy events.
+
+The energy model is a fixed affine function of architecturally
+determined signals (the validate oracle re-derives it independently):
+
+- ``CORE_ENERGY`` = 3 x cycles + 2 x instructions  (leakage+switching);
+- ``DRAM_ENERGY`` = 5 x L2 line fills              (per-line transfer);
+- ``PKG_ENERGY``  = CORE_ENERGY + DRAM_ENERGY.
+
+Units are model "energy units"; only ratios and conservation matter.
+"""
+
+from __future__ import annotations
+
+from repro.components.base import Component, ComponentEvent
+
+#: model coefficients (energy units per activity unit).
+CYCLE_ENERGY = 3
+INSTRUCTION_ENERGY = 2
+DRAM_LINE_ENERGY = 5
+
+ENERGY_EVENTS = {
+    "PKG_ENERGY": ComponentEvent(
+        "PKG_ENERGY", "whole-package energy (core + DRAM domains)",
+        units="energy units"),
+    "CORE_ENERGY": ComponentEvent(
+        "CORE_ENERGY", "core-domain energy (cycle and instruction activity)",
+        units="energy units"),
+    "DRAM_ENERGY": ComponentEvent(
+        "DRAM_ENERGY", "DRAM-domain energy (memory line transfers)",
+        units="energy units"),
+}
+
+
+class EnergyComponent(Component):
+    """RAPL-like socket energy counters derived from CPU activity."""
+
+    NAME = "energy"
+    DESCRIPTION = "RAPL-like package/core/DRAM energy counters"
+    #: one MSR per domain; rotation is meaningless for running energy.
+    SUPPORTS_MULTIPLEX = False
+    EVENTS = ENERGY_EVENTS
+
+    def __init__(self, machine) -> None:
+        # every domain has its own MSR, so the full namespace always fits.
+        super().__init__(n_counters=len(ENERGY_EVENTS))
+        self._machine = machine
+
+    def _core_energy(self, activity) -> int:
+        return (CYCLE_ENERGY * activity["cycles"]
+                + INSTRUCTION_ENERGY * activity["instructions"])
+
+    def _dram_energy(self, activity) -> int:
+        return DRAM_LINE_ENERGY * activity["l2_lines_in"]
+
+    def raw_value(self, short: str) -> int:
+        self.query(short)
+        activity = self._machine.socket_activity()
+        if short == "CORE_ENERGY":
+            return self._core_energy(activity)
+        if short == "DRAM_ENERGY":
+            return self._dram_energy(activity)
+        return self._core_energy(activity) + self._dram_energy(activity)

@@ -1,0 +1,66 @@
+"""The uncore component: socket-scoped memory-interface counters.
+
+Models the off-core counter bank of a memory controller / L3 slice
+(LIKWID's uncore groups): every event derives from shared-hierarchy
+traffic, so the totals are placement invariant -- migrating a thread
+changes which CPU misses, not how many lines cross the socket's memory
+interface.  Counters are free-running (see :mod:`repro.components.base`)
+and fed by :meth:`repro.hw.machine.Machine.socket_activity`.
+
+The event models are architecturally determined, which is what lets the
+validate plane score them against an independent oracle:
+
+- ``MEM_BW_RD``  = L2 line fills x L2 line bytes (every miss reads one
+  full line from memory);
+- ``MEM_BW_WR``  = 8 bytes x store instructions (one word per store on
+  the simulated 64-bit machine, write-through accounting);
+- ``UNC_L2_LINES_IN`` = L2 line fills;
+- ``UNC_TLB_WALKS``   = data TLB walks (page-table traffic on the
+  memory interface).
+"""
+
+from __future__ import annotations
+
+from repro.components.base import Component, ComponentEvent
+
+#: bytes written to the memory interface per store instruction.
+STORE_BYTES = 8
+
+UNCORE_EVENTS = {
+    "MEM_BW_RD": ComponentEvent(
+        "MEM_BW_RD", "bytes read from memory (L2 line fills x line size)",
+        units="bytes"),
+    "MEM_BW_WR": ComponentEvent(
+        "MEM_BW_WR", "bytes written to memory (8 bytes per store)",
+        units="bytes"),
+    "UNC_L2_LINES_IN": ComponentEvent(
+        "UNC_L2_LINES_IN", "cache lines filled into the shared L2",
+        units="lines"),
+    "UNC_TLB_WALKS": ComponentEvent(
+        "UNC_TLB_WALKS", "page-table walks on the memory interface",
+        units="walks"),
+}
+
+
+class UncoreComponent(Component):
+    """Socket-scoped memory-bandwidth counters over the shared hierarchy."""
+
+    NAME = "uncore"
+    DESCRIPTION = "socket memory-interface (bandwidth) counters"
+    SUPPORTS_MULTIPLEX = True
+    EVENTS = UNCORE_EVENTS
+
+    def __init__(self, machine, n_counters: int) -> None:
+        super().__init__(n_counters=n_counters)
+        self._machine = machine
+
+    def raw_value(self, short: str) -> int:
+        self.query(short)
+        activity = self._machine.socket_activity()
+        if short == "MEM_BW_RD":
+            return activity["l2_lines_in"] * activity["l2_line_bytes"]
+        if short == "MEM_BW_WR":
+            return activity["stores"] * STORE_BYTES
+        if short == "UNC_L2_LINES_IN":
+            return activity["l2_lines_in"]
+        return activity["tlb_walks"]

@@ -32,11 +32,26 @@ from repro.core.allocation.translate import (
     allocate_greedy,
 )
 
+
+def component_assignment(shorts, n_counters):
+    """Assign component events to slots in a free-running counter bank.
+
+    Allocation partitions an EventSet per component: CPU events go
+    through the constraint-table matching above, while non-CPU component
+    banks are unconstrained (any event can occupy any slot), so a
+    sequential pack is already optimal.  Slots wrap modulo the bank
+    width; events sharing a slot belong to different multiplexing
+    windows of the same component.
+    """
+    return {short: i % n_counters for i, short in enumerate(shorts)}
+
+
 __all__ = [
     "AllocationResult",
     "MappingProblem",
     "allocate",
     "allocate_greedy",
+    "component_assignment",
     "deficiency_witness",
     "first_fit",
     "max_cardinality_matching",

@@ -26,6 +26,7 @@ PAPI_ENOEVST = -11      #: no such eventset
 PAPI_ENOTPRESET = -12   #: event is not a valid preset
 PAPI_ENOCNTR = -13      #: hardware does not support enough counters
 PAPI_EMISC = -14        #: unknown error
+PAPI_ENOCMP = -15       #: no such component (PAPI-C component layer)
 
 #: error code -> short name (mirrors PAPI_strerror)
 ERROR_NAMES = {
@@ -44,6 +45,7 @@ ERROR_NAMES = {
     PAPI_ENOTPRESET: "PAPI_ENOTPRESET",
     PAPI_ENOCNTR: "PAPI_ENOCNTR",
     PAPI_EMISC: "PAPI_EMISC",
+    PAPI_ENOCMP: "PAPI_ENOCMP",
 }
 
 ERROR_MESSAGES = {
@@ -62,6 +64,7 @@ ERROR_MESSAGES = {
     PAPI_ENOTPRESET: "not a valid preset event",
     PAPI_ENOCNTR: "not enough hardware counters",
     PAPI_EMISC: "unspecified error",
+    PAPI_ENOCMP: "no such component",
 }
 
 # ---------------------------------------------------------------------------
@@ -96,6 +99,20 @@ PAPI_PRESET_MASK = 0x80000000   #: preset events have this bit set
 PAPI_NATIVE_MASK = 0x40000000   #: native events have this bit set
 PAPI_CODE_MASK = 0x3FFFFFFF     #: low bits: index within the namespace
 
+#: PAPI-C component layer: native codes carry the owning component id in
+#: bits 24..29 (component 0 is the CPU component, so legacy native codes
+#: -- whose component field is zero -- are unchanged bit patterns).
+PAPI_COMPONENT_SHIFT = 24
+PAPI_COMPONENT_MASK = 0x3F000000
+PAPI_NATIVE_INDEX_MASK = 0x00FFFFFF
+
+#: the CPU component always registers as component 0.
+PAPI_CPU_COMPONENT = 0
+
+#: component-qualified event names use the PAPI-C triple-colon form,
+#: e.g. ``uncore:::MEM_BW_RD``.
+PAPI_COMPONENT_SEPARATOR = ":::"
+
 
 def is_preset(code: int) -> bool:
     return bool(code & PAPI_PRESET_MASK)
@@ -110,7 +127,12 @@ def preset_index(code: int) -> int:
 
 
 def native_index(code: int) -> int:
-    return code & PAPI_CODE_MASK
+    return code & PAPI_NATIVE_INDEX_MASK
+
+
+def component_id(code: int) -> int:
+    """Component id carried in a native event code (0 for CPU/legacy)."""
+    return (code & PAPI_COMPONENT_MASK) >> PAPI_COMPONENT_SHIFT
 
 # ---------------------------------------------------------------------------
 # profiling flags (PAPI_profil)

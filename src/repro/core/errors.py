@@ -107,6 +107,12 @@ class NotEnoughCountersError(PapiError):
     code = C.PAPI_ENOCNTR
 
 
+class NoSuchComponentError(PapiError):
+    """The named component is not registered on this substrate."""
+
+    code = C.PAPI_ENOCMP
+
+
 #: code -> exception class, for raise_for_code.  Covers every code in
 #: ``constants.ERROR_NAMES`` except ``PAPI_OK`` (which is not an error);
 #: ``PAPI_EMISC`` maps to the base class itself.
@@ -126,6 +132,7 @@ _BY_CODE = {
         NoSuchEventSetError,
         NotPresetError,
         NotEnoughCountersError,
+        NoSuchComponentError,
         PapiError,
     )
 }

@@ -66,6 +66,12 @@ class EventSet:
         self._terms: Dict[int, Tuple[Tuple[NativeEvent, int], ...]] = {}
         self._natives: Dict[str, NativeEvent] = {}
         self._assignment: Dict[str, int] = {}
+        #: non-CPU component members: code -> (component name, short name).
+        #: These never enter the CPU allocation/PMU path; they are read
+        #: as free-running snapshots against :attr:`_cmp_base`.
+        self._cmp_events: Dict[int, Tuple[str, str]] = {}
+        #: free-running base snapshots taken at start()/reset().
+        self._cmp_base: Dict[int, int] = {}
         self._multiplexed = False
         self._attached: Optional["Thread"] = None
         self._running = False
@@ -131,6 +137,41 @@ class EventSet:
         """Native event -> physical counter (empty when sampling/multiplexed)."""
         return dict(self._assignment)
 
+    @property
+    def component_events(self) -> Dict[int, Tuple[str, str]]:
+        """Non-CPU members: code -> (component name, short name)."""
+        return dict(self._cmp_events)
+
+    @property
+    def component_assignment(self) -> Dict[str, int]:
+        """Qualified component event -> counter index within its component.
+
+        Allocation partitions per component: each component's members are
+        packed into its own counter bank independently (multiplexed
+        members share the bank round-robin, so indices wrap).
+        """
+        from repro.core.allocation import component_assignment
+
+        by_comp: Dict[str, List[Tuple[int, str]]] = {}
+        for code, (comp_name, short) in self._cmp_events.items():
+            by_comp.setdefault(comp_name, []).append((code, short))
+        out: Dict[str, int] = {}
+        for comp_name, members in by_comp.items():
+            comp = self.substrate.component(comp_name)
+            shorts = [short for _code, short in members]
+            for short, idx in component_assignment(
+                shorts, comp.n_counters
+            ).items():
+                sep = C.PAPI_COMPONENT_SEPARATOR
+                out[f"{comp_name}{sep}{short}"] = idx
+        return out
+
+    def _component_members(self, comp_name: str) -> List[int]:
+        return [
+            code for code, (cn, _short) in self._cmp_events.items()
+            if cn == comp_name
+        ]
+
     def state(self) -> int:
         """PAPI_state bit flags."""
         flags = C.PAPI_RUNNING if self._running else C.PAPI_STOPPED
@@ -171,6 +212,9 @@ class EventSet:
             raise InvalidArgumentError(
                 f"event {self.papi.event_code_to_name(code)} already present"
             )
+        if C.is_native(code) and C.component_id(code) != C.PAPI_CPU_COMPONENT:
+            self._add_component_event(code)
+            return
         terms = self.papi.resolve_terms(code)  # raises NoSuchEventError
         candidates = self._unique_natives(terms)
 
@@ -197,6 +241,33 @@ class EventSet:
         self._codes.append(code)
         self._terms[code] = terms
         self._natives = candidates
+
+    def _add_component_event(self, code: int) -> None:
+        """Add one non-CPU component event (partitioned allocation).
+
+        Component events never touch the CPU allocator: each component's
+        members must fit that component's own counter bank, and
+        multiplexing rotates *within* a component, never across.
+        """
+        # raises NoSuchComponentError / NoSuchEventError respectively
+        comp = self.substrate.component_by_id(C.component_id(code))
+        name = self.papi.event_code_to_name(code)
+        short = name.split(C.PAPI_COMPONENT_SEPARATOR, 1)[1]
+        members = self._component_members(comp.name)
+        if self._multiplexed:
+            if not comp.SUPPORTS_MULTIPLEX:
+                raise SubstrateFeatureError(
+                    f"component {comp.name!r} declares no multiplexing; "
+                    f"{name} cannot join a multiplexed EventSet"
+                )
+        elif len(members) + 1 > comp.n_counters:
+            raise ConflictError(
+                f"component {comp.name!r} has {comp.n_counters} counters "
+                f"but would need {len(members) + 1}; enable multiplexing "
+                f"or remove events"
+            )
+        self._codes.append(code)
+        self._cmp_events[code] = (comp.name, short)
 
     def _check_multiplex_feasible(self, natives: Dict[str, NativeEvent]) -> None:
         """Every native must be placeable *alone* for multiplexing to work."""
@@ -225,10 +296,16 @@ class EventSet:
                 f"event 0x{code:08x} is not in this EventSet"
             )
         self._codes.remove(code)
+        if code in self._cmp_events:
+            del self._cmp_events[code]
+            self._cmp_base.pop(code, None)
+            return
         del self._terms[code]
         # rebuild the native set from the remaining events
         self._natives = {}
         for c in self._codes:
+            if c in self._cmp_events:
+                continue
             for native, _coeff in self._terms[c]:
                 self._natives.setdefault(native.name, native)
         if not self._sampling() and not self._multiplexed and self._natives:
@@ -246,6 +323,8 @@ class EventSet:
         self._terms.clear()
         self._natives.clear()
         self._assignment.clear()
+        self._cmp_events.clear()
+        self._cmp_base.clear()
         self._overflows.clear()
 
     # ------------------------------------------------------------------
@@ -272,6 +351,13 @@ class EventSet:
             )
         if self._multiplexed:
             return
+        for comp_name in {cn for cn, _short in self._cmp_events.values()}:
+            comp = self.substrate.component(comp_name)
+            if not comp.SUPPORTS_MULTIPLEX:
+                raise SubstrateFeatureError(
+                    f"component {comp_name!r} declares no multiplexing; "
+                    "remove its events before PAPI_set_multiplex"
+                )
         self._check_multiplex_feasible(self._natives)
         self._multiplexed = True
         self._assignment = {}
@@ -364,6 +450,11 @@ class EventSet:
             )
         if code not in self._codes:
             raise NoSuchEventError("event must be added before PAPI_overflow")
+        if code in self._cmp_events:
+            raise InvalidArgumentError(
+                "component events are free-running snapshots; "
+                "PAPI_overflow requires a programmed PMU counter"
+            )
         if threshold < C.PAPI_MIN_OVERFLOW:
             raise InvalidArgumentError(
                 f"threshold must be >= {C.PAPI_MIN_OVERFLOW}"
@@ -481,6 +572,7 @@ class EventSet:
         if self._attached is not None:
             self.substrate.os.force_release_thread_counters(self._attached)
         self._session = None
+        self._cmp_base = {}
         self._running = False
         self.papi._release_counters(self)
 
@@ -642,12 +734,14 @@ class EventSet:
         try:
             if self._sampling():
                 # period override: papi.sampling_period (None = platform
-                # default); the A2 ablation sweeps this.
-                self._session = self.substrate.sampling_session(
-                    list(self._natives.values()),
-                    period=getattr(self.papi, "sampling_period", None),
-                )
-                self._session.start()
+                # default); the A2 ablation sweeps this.  A component-only
+                # set needs no sampler: its counters are free-running.
+                if self._natives:
+                    self._session = self.substrate.sampling_session(
+                        list(self._natives.values()),
+                        period=getattr(self.papi, "sampling_period", None),
+                    )
+                    self._session.start()
             elif self._multiplexed:
                 from repro.core.multiplex import MultiplexController
 
@@ -662,6 +756,20 @@ class EventSet:
         self._start_real_cyc = self.substrate.real_cyc()
         self._recovery_base = {name: 0 for name in self._natives}
         self._note_good({name: 0 for name in self._natives})
+        self._snapshot_components()
+
+    def _snapshot_components(self) -> None:
+        """Re-base every component member on its free-running total.
+
+        Snapshot reads are charge-free (like :meth:`Substrate.arm_overflow`:
+        control-plane work that must not perturb what is being measured),
+        and they sit outside the fault-injection gate -- stolen or corrupt
+        CPU counters cannot damage a socket-scoped base.
+        """
+        self._cmp_base = {
+            code: self.substrate.component(comp_name).raw_value(short)
+            for code, (comp_name, short) in self._cmp_events.items()
+        }
 
     def _rollback_start(self) -> None:
         """Undo a partially executed start; never raises."""
@@ -693,6 +801,8 @@ class EventSet:
         return native
 
     def _start_direct(self) -> None:
+        if not self._natives:
+            return  # component-only set: nothing to program on the PMU
         pmu = self.substrate.machine.cpus[self._cpu].pmu
         order = self._counter_order()
         for name, idx in order:
@@ -720,6 +830,13 @@ class EventSet:
     def _compute_values(self, native_values: Dict[str, int]) -> List[int]:
         out = []
         for code in self._codes:
+            if code in self._cmp_events:
+                comp_name, short = self._cmp_events[code]
+                comp = self.substrate.component(comp_name)
+                out.append(
+                    comp.raw_value(short) - self._cmp_base.get(code, 0)
+                )
+                continue
             total = 0
             for native, coeff in self._terms[code]:
                 total += coeff * native_values[native.name]
@@ -727,6 +844,9 @@ class EventSet:
         return out
 
     def _read_native_values(self, stop: bool = False) -> Dict[str, int]:
+        if not self._natives and not self._multiplexed:
+            # component-only set: all values are snapshot deltas.
+            return {}
         if self._sampling():
             assert self._session is not None
             if stop:
@@ -836,6 +956,7 @@ class EventSet:
             self.mpx_rotations = self._mpx.rotations
         self._session = None
         self._mpx = None
+        self._cmp_base = {}
         self._running = False
         self.papi._release_counters(self)
         return values
@@ -845,12 +966,12 @@ class EventSet:
         if not self._running:
             raise NotRunningError("EventSet is not running")
         if self._sampling():
-            assert self._session is not None
-            self._session.reset()
+            if self._session is not None:
+                self._session.reset()
         elif self._multiplexed:
             assert self._mpx is not None
             self._mpx.reset()
-        else:
+        elif self._natives:
             indices = [idx for _name, idx in self._counter_order()]
             try:
                 self._sub(lambda: self.substrate.reset_counters(
@@ -862,6 +983,7 @@ class EventSet:
                 self._recover_lost(str(exc), stop=False)
         self._recovery_base = {name: 0 for name in self._natives}
         self._note_good({name: 0 for name in self._natives})
+        self._snapshot_components()
 
     def accum(self, values: List[int]) -> List[int]:
         """PAPI_accum: add current counts into *values*, then reset."""

@@ -78,6 +78,14 @@ class Papi:
             name: C.PAPI_NATIVE_MASK | i
             for i, name in enumerate(self._native_names)
         }
+        # non-CPU component namespaces: cid -> sorted short names.  The
+        # CPU component (cid 0) is the legacy native code space above, so
+        # unqualified names and `cpu:::NAME` resolve to identical codes.
+        self._component_event_names: Dict[int, Tuple[str, ...]] = {
+            comp.cid: comp.event_names()
+            for comp in substrate.components
+            if comp.cid != C.PAPI_CPU_COMPONENT
+        }
         self._eventsets: Dict[int, "EventSet"] = {}
         self._next_handle = 1
         self._running_handle: Optional[int] = None
@@ -103,7 +111,24 @@ class Papi:
     # ------------------------------------------------------------------
 
     def event_name_to_code(self, name: str) -> int:
-        """Resolve a preset symbol or native event name to its code."""
+        """Resolve a preset symbol, native name, or ``comp:::EVENT``."""
+        if C.PAPI_COMPONENT_SEPARATOR in name:
+            comp_name, short = name.split(C.PAPI_COMPONENT_SEPARATOR, 1)
+            comp = self.substrate.component(comp_name)
+            if comp.cid == C.PAPI_CPU_COMPONENT:
+                # cpu:::NAME is an alias for the legacy native code, so
+                # qualified CPU events are trivially bit-exact.
+                code = self._native_code_by_name.get(short)
+                if code is None:
+                    raise NoSuchEventError(
+                        f"{name!r} on {self.substrate.NAME}"
+                    )
+                return code
+            comp.query(short)  # raises NoSuchEventError for bad shorts
+            index = self._component_event_names[comp.cid].index(short)
+            return (C.PAPI_NATIVE_MASK
+                    | (comp.cid << C.PAPI_COMPONENT_SHIFT)
+                    | index)
         if name.startswith("PAPI_"):
             from repro.core.presets import preset_from_symbol
 
@@ -117,8 +142,15 @@ class Papi:
         if C.is_preset(code):
             return preset_from_code(code).symbol
         if C.is_native(code):
+            cid = C.component_id(code)
             idx = C.native_index(code)
-            if 0 <= idx < len(self._native_names):
+            if cid != C.PAPI_CPU_COMPONENT:
+                names = self._component_event_names.get(cid)
+                if names is not None and 0 <= idx < len(names):
+                    comp = self.substrate.component_by_id(cid)
+                    return (f"{comp.name}{C.PAPI_COMPONENT_SEPARATOR}"
+                            f"{names[idx]}")
+            elif 0 <= idx < len(self._native_names):
                 return self._native_names[idx]
         raise NoSuchEventError(f"bad event code 0x{code:08x}")
 
@@ -128,11 +160,29 @@ class Papi:
             preset = preset_from_code(code)
             return preset.symbol in self.preset_map
         if C.is_native(code):
+            cid = C.component_id(code)
+            if cid != C.PAPI_CPU_COMPONENT:
+                names = self._component_event_names.get(cid)
+                return (names is not None
+                        and 0 <= C.native_index(code) < len(names))
             return 0 <= C.native_index(code) < len(self._native_names)
         return False
 
+    def query_named(self, name: str) -> bool:
+        """Name-level availability check (``PAPI_query_named_event``)."""
+        try:
+            self.event_name_to_code(name)
+        except PapiError:
+            return False
+        return True
+
     def resolve_terms(self, code: int) -> Tuple[Tuple[NativeEvent, int], ...]:
         """Event code -> ((native event, coefficient), ...) for this platform."""
+        if C.is_native(code) and C.component_id(code) != C.PAPI_CPU_COMPONENT:
+            raise NoSuchEventError(
+                f"{self.event_code_to_name(code)} is a component event; "
+                "it has no CPU native-term decomposition"
+            )
         if C.is_preset(code):
             preset = preset_from_code(code)
             mapping = self.preset_map.get(preset.symbol)
@@ -162,6 +212,14 @@ class Papi:
                 code, preset.symbol, preset.description,
                 True, True, mapping.kind, mapping.terms,
             )
+        if C.is_native(code) and C.component_id(code) != C.PAPI_CPU_COMPONENT:
+            name = self.event_code_to_name(code)
+            comp = self.substrate.component_by_id(C.component_id(code))
+            short = name.split(C.PAPI_COMPONENT_SEPARATOR, 1)[1]
+            return EventInfo(
+                code, name, comp.query(short).description,
+                False, True, "component", (),
+            )
         name = self.event_code_to_name(code)
         native = self.substrate.query_native(name)
         return EventInfo(
@@ -180,6 +238,34 @@ class Papi:
 
     def list_native_codes(self) -> List[int]:
         return [self._native_code_by_name[n] for n in self._native_names]
+
+    # ------------------------------------------------------------------
+    # components (PAPI-C enumeration)
+    # ------------------------------------------------------------------
+
+    def num_components(self) -> int:
+        """PAPI_num_components: registered counter planes (cpu included)."""
+        return self.substrate.num_components
+
+    @property
+    def components(self) -> Tuple["object", ...]:
+        return self.substrate.components
+
+    def component(self, name: str):
+        """Component by name; raises ``PAPI_ENOCMP`` when unregistered."""
+        return self.substrate.component(name)
+
+    def component_by_id(self, cid: int):
+        return self.substrate.component_by_id(cid)
+
+    def component_event_codes(self, name: str) -> List[int]:
+        """All event codes of one component, in enumeration order."""
+        comp = self.substrate.component(name)
+        sep = C.PAPI_COMPONENT_SEPARATOR
+        return [
+            self.event_name_to_code(f"{comp.name}{sep}{short}")
+            for short in comp.event_names()
+        ]
 
     def availability_summary(self) -> Dict[str, str]:
         """Preset symbol -> 'direct' | 'derived' | '-' (for E8)."""

@@ -99,6 +99,26 @@ class MultiplexController:
         self._total_start = 0
         self._running = False
         self.rotations = 0
+        # component rotation state: multiplexing rotates *within* each
+        # component whose members exceed its counter bank, never across
+        # components.  The banks are free-running, so walking the windows
+        # is pure bookkeeping -- component reads stay exact regardless of
+        # which window is live (unlike the CPU subsets, whose counts must
+        # be scaled from their active slices).
+        by_comp: Dict[str, List[int]] = {}
+        for code, (comp_name, _short) in sorted(
+            eventset._cmp_events.items()
+        ):
+            by_comp.setdefault(comp_name, []).append(code)
+        self.cmp_windows: Dict[str, List[List[int]]] = {}
+        self.cmp_current: Dict[str, int] = {}
+        for comp_name, codes in by_comp.items():
+            cap = self.substrate.component(comp_name).n_counters
+            if len(codes) > cap:
+                self.cmp_windows[comp_name] = [
+                    codes[i:i + cap] for i in range(0, len(codes), cap)
+                ]
+                self.cmp_current[comp_name] = 0
         #: set when a rotation fault left the current subset in limbo;
         #: the next tick re-programs it instead of rotating onward.
         self._wedged = False
@@ -158,7 +178,8 @@ class MultiplexController:
         self._total_start = now
         self._slice_start = now
         self._current = 0
-        self._program_and_start(0)
+        if self.subsets:
+            self._program_and_start(0)
         pmu.set_cycle_timer(self.quantum, self._on_tick)
         self._running = True
 
@@ -174,8 +195,18 @@ class MultiplexController:
         ledger) and each subsequent tick retries re-programming the
         current subset until the hardware cooperates again.
         """
-        if len(self.subsets) == 1 and not self._wedged:
-            return  # nothing to rotate; counts stay exact
+        rotated_components = False
+        if self.cmp_windows:
+            for comp_name, windows in self.cmp_windows.items():
+                self.cmp_current[comp_name] = (
+                    self.cmp_current[comp_name] + 1
+                ) % len(windows)
+            rotated_components = True
+        if len(self.subsets) <= 1 and not self._wedged:
+            # nothing to rotate on the CPU side; counts stay exact
+            if rotated_components:
+                self.rotations += 1
+            return
         try:
             if self._wedged:
                 self._program_and_start(self._current)
@@ -195,6 +226,8 @@ class MultiplexController:
 
     def _live_values(self) -> Dict[str, int]:
         """Current subset's live counter values (no stop)."""
+        if not self.subsets:  # component-only set: no CPU counters live
+            return {}
         subset = self.subsets[self._current]
         if self._wedged:
             return {name: 0 for name in subset}
@@ -224,6 +257,8 @@ class MultiplexController:
 
     def read(self) -> Dict[str, int]:
         now = self._now()
+        if not self.subsets:
+            return {}
         counted = dict(self._accum)
         live = self._live_values()
         for name, v in live.items():
@@ -235,6 +270,10 @@ class MultiplexController:
 
     def stop(self) -> Dict[str, int]:
         now = self._now()
+        if not self.subsets:
+            self._pmu.clear_cycle_timer()
+            self._running = False
+            return {}
         try:
             if self._wedged:
                 self.eventset.health.mpx_rotation_faults += 1
@@ -255,20 +294,22 @@ class MultiplexController:
             self._pmu.clear_cycle_timer()
         except Exception:
             pass
-        self._quiesce_subset(self._current)
+        if self.subsets:
+            self._quiesce_subset(self._current)
         self._running = False
 
     def reset(self) -> None:
         """Zero all accumulated counts and restart the clocks."""
         now = self._now()
-        subset = self.subsets[self._current]
-        try:
-            self._sub(lambda: self.substrate.reset_counters(
-                [subset[name] for name in subset], cpu=self.cpu
-            ))
-        except PapiError:
-            self.eventset.health.mpx_rotation_faults += 1
-            self._wedged = True
+        if self.subsets:
+            subset = self.subsets[self._current]
+            try:
+                self._sub(lambda: self.substrate.reset_counters(
+                    [subset[name] for name in subset], cpu=self.cpu
+                ))
+            except PapiError:
+                self.eventset.health.mpx_rotation_faults += 1
+                self._wedged = True
         for name in self._accum:
             self._accum[name] = 0
         self._active = [0] * len(self.subsets)

@@ -240,6 +240,25 @@ class MemoryHierarchy:
         self._l2_shift = self.config.l2.line_bits
         self._page_shift = self.config.tlb.page_bits
 
+    @property
+    def l2_line_bytes(self) -> int:
+        """Line size of the shared L2 -- the uncore transfer unit.
+
+        Every L2 miss moves one full line across the socket's memory
+        interface, so bandwidth components convert line-fill counts to
+        bytes with this geometry constant.
+        """
+        return self.config.l2.line_bytes
+
+    def uncore_lines_in(self) -> int:
+        """Lines filled into the shared L2 (socket-scoped, all CPUs).
+
+        The hierarchy is shared by every CPU, so this total is placement
+        invariant: migrating a thread changes which CPU misses, not how
+        many lines cross the memory interface.
+        """
+        return self.l2.misses
+
     def data_access(self, byte_addr: int) -> Tuple[int, bool, bool, bool]:
         """One data access at *byte_addr*.
 

@@ -257,6 +257,26 @@ class Machine:
             return self.cpus[0].counts[signal]
         return sum(c.counts[signal] for c in self.cpus)
 
+    def socket_activity(self) -> Dict[str, int]:
+        """Socket-scoped raw activity totals for non-CPU components.
+
+        Uncore and energy counters are free-running at the socket level:
+        each entry sums a per-CPU signal over every CPU (or reports shared
+        hierarchy geometry), so the totals are invariant under thread
+        placement and migration -- the per-CPU split changes, the socket
+        sums do not.  Interface charges bill ``SYS_CYC`` only (see
+        :meth:`charge`), so none of these totals move when the counter
+        interface itself runs.
+        """
+        return {
+            "instructions": self.signal_total(Signal.TOT_INS),
+            "cycles": self.signal_total(Signal.TOT_CYC),
+            "stores": self.signal_total(Signal.SR_INS),
+            "l2_lines_in": self.signal_total(Signal.L2_MISS),
+            "tlb_walks": self.signal_total(Signal.TLB_DM),
+            "l2_line_bytes": self.hierarchy.l2_line_bytes,
+        }
+
     def engine_stats(self):
         """CPU 0's block-engine counters, or None when the engine is off."""
         return self.cpu.engine_stats()

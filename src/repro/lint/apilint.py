@@ -56,6 +56,12 @@ class _PapiState:
         self.ll_line: Optional[int] = None     # first low-level start
         self.mixing_reported = False
         self.running: Set[int] = set()         # ids of running EventSets
+        #: component names whose registration the script has checked
+        #: (papi.component("x"), or query_named of a ::: name)
+        self.components_checked: Set[str] = set()
+        #: True once the script enumerated the registry as a whole
+        #: (num_components() / components)
+        self.all_components_checked = False
 
 
 class _EventSetState:
@@ -555,6 +561,29 @@ class _ScopeInterpreter:
                 es = _EventSetState(base, node.lineno)
                 self.eventsets.append(es)
                 return es
+            if method in ("num_components", "component_names"):
+                base.all_components_checked = True
+            elif method in ("component", "component_by_id"):
+                from repro.components import STANDARD_COMPONENTS
+
+                comp_name = (
+                    self.linter._literal(node.args[0])
+                    if node.args else None
+                )
+                if isinstance(comp_name, str):
+                    base.components_checked.add(comp_name)
+                elif (isinstance(comp_name, int)
+                        and 0 <= comp_name < len(STANDARD_COMPONENTS)):
+                    base.components_checked.add(
+                        STANDARD_COMPONENTS[comp_name]
+                    )
+                else:
+                    # unresolvable argument: assume the script checked
+                    base.all_components_checked = True
+            elif method == "query_named" and node.args:
+                name = self.linter._literal(node.args[0])
+                if isinstance(name, str) and ":::" in name:
+                    base.components_checked.add(name.split(":::", 1)[0])
             return None
         if isinstance(base, _EventSetState):
             return self._eventset_method(base, method, node)
@@ -772,7 +801,7 @@ class _ScopeInterpreter:
         self, es: _EventSetState, name: Optional[str], node: ast.Call
     ) -> None:
         if name is not None:
-            self._check_event_known(name, es.platform, node)
+            self._check_event_known(name, es.platform, node, papi=es.papi)
             if name in es.names:
                 self.report(
                     "PL012", node,
@@ -795,9 +824,13 @@ class _ScopeInterpreter:
                 return
 
     def _check_event_known(
-        self, name: str, platform: Optional[str], node: ast.Call
+        self, name: str, platform: Optional[str], node: ast.Call,
+        papi: Optional[_PapiState] = None,
     ) -> None:
         platform = platform or self.linter.default_platform
+        if ":::" in name:
+            self._check_component_event(name, node, papi)
+            return
         if name.startswith("PAPI_"):
             if name not in PRESET_BY_SYMBOL:
                 self.report(
@@ -822,6 +855,54 @@ class _ScopeInterpreter:
                     f"{name!r} is neither a preset symbol nor a native "
                     f"event of {platform}",
                 )
+
+    def _check_component_event(
+        self, name: str, node: ast.Call, papi: Optional[_PapiState]
+    ) -> None:
+        """A ``comp:::EVENT`` name: namespace validity, then PL019."""
+        comp_name, short = name.split(":::", 1)
+        if comp_name == "cpu":
+            # aliases the native table; defer to the per-platform check
+            platform = self.linter.default_platform
+            if (platform is not None
+                    and short not in _substrate(platform).native_events):
+                self.report(
+                    "PL010", node,
+                    f"{short!r} is not a native event of {platform} "
+                    f"(the cpu::: namespace aliases the native table)",
+                )
+            return
+        from repro.components import COMPONENT_EVENT_SHORTS
+
+        shorts = COMPONENT_EVENT_SHORTS.get(comp_name)
+        if shorts is None:
+            self.report(
+                "PL010", node,
+                f"{comp_name!r} is not a registered component "
+                f"(PAPI_ENOCMP at runtime)",
+                hint="see `cli component-avail <platform>` for the "
+                     "component registry",
+            )
+            return
+        if short not in shorts:
+            self.report(
+                "PL010", node,
+                f"{short!r} is not an event of component {comp_name!r} "
+                f"(have {', '.join(shorts)})",
+            )
+            return
+        if papi is not None and not (
+            papi.all_components_checked
+            or comp_name in papi.components_checked
+        ):
+            self.report(
+                "PL019", node,
+                f"component event {name} used without checking the "
+                f"{comp_name!r} component is registered",
+                hint=f"call papi.component({comp_name!r}) or "
+                     f"num_components() first; component sets differ "
+                     f"across substrates (PAPI_ENOCMP)",
+            )
 
     # -- feasibility hooks ---------------------------------------------
 
@@ -925,6 +1006,17 @@ class _ScopeInterpreter:
             es.attached_line = node.lineno
 
     def _es_overflow(self, es: _EventSetState, node: ast.Call) -> None:
+        if node.args:
+            name = self._event_name(node.args[0])
+            if name is not None and ":::" in name and \
+                    not name.startswith("cpu:::"):
+                self.report(
+                    "PL019", node,
+                    f"overflow registered on component event {name}",
+                    hint="component counters are free-running snapshots; "
+                         "PAPI_overflow needs a programmed PMU counter "
+                         "(the runtime raises PAPI_EINVAL)",
+                )
         if es.running:
             self.report(
                 "PL005", node,
@@ -1086,7 +1178,8 @@ class _ScopeInterpreter:
         ) or self.linter.default_platform
         for name in names:
             if name is not None:
-                self._check_event_known(name, platform, node)
+                self._check_event_known(name, platform, node,
+                                        papi=hl.papi)
         if platform is None or any(n is None for n in names):
             return
         report = check_events(tuple(n for n in names if n), platform)

@@ -53,13 +53,14 @@ class EventResolution:
     """How one requested event name resolves on one platform."""
 
     name: str
-    #: "direct" | "derived" | "native" | "unavailable" | "unknown"
+    #: "direct" | "derived" | "native" | "component" | "unavailable"
+    #: | "unknown"
     kind: str
     natives: Tuple[str, ...]
 
     @property
     def available(self) -> bool:
-        return self.kind in ("direct", "derived", "native")
+        return self.kind in ("direct", "derived", "native", "component")
 
 
 @dataclass(frozen=True)
@@ -105,7 +106,7 @@ class FeasibilityReport:
         return (
             not self.unknown
             and not self.unavailable
-            and (self.sampling or self.feasible_direct)
+            and self.feasible_direct
         )
 
     @property
@@ -115,7 +116,9 @@ class FeasibilityReport:
             return "unknown-event"
         if self.unavailable:
             return "unavailable"
-        if self.sampling:
+        if self.sampling and self.feasible_direct:
+            # an over-full component bank is infeasible even under
+            # sampling; fall through to the verdicts below for that.
             return "sampling"
         if self.feasible_direct:
             return "ok"
@@ -125,8 +128,23 @@ class FeasibilityReport:
 
 
 def resolve_event(name: str, platform: str) -> EventResolution:
-    """Resolve one preset symbol or native event name, statically."""
+    """Resolve one preset symbol, native or component event, statically."""
     substrate = _substrate(platform)
+    if C.PAPI_COMPONENT_SEPARATOR in name:
+        comp_name, short = name.split(C.PAPI_COMPONENT_SEPARATOR, 1)
+        if comp_name == "cpu":
+            # the CPU component namespace aliases the native table
+            if short in substrate.native_events:
+                return EventResolution(name, "native", (short,))
+            return EventResolution(name, "unknown", ())
+        from repro.components import COMPONENT_EVENT_SHORTS
+
+        shorts = COMPONENT_EVENT_SHORTS.get(comp_name)
+        if shorts is None or short not in shorts:
+            return EventResolution(name, "unknown", ())
+        # component banks are unconstrained: no native decomposition,
+        # capacity is checked per component in check_events
+        return EventResolution(name, "component", ())
     if name.startswith("PAPI_"):
         table = PLATFORM_PRESET_TABLES.get(platform, {})
         terms = table.get(name)
@@ -190,24 +208,59 @@ def check_events(
     substrate = _substrate(platform)
     resolutions = tuple(resolve_event(name, platform) for name in events)
     by_name = {r.name: r for r in resolutions}
-    resolved = tuple(r.name for r in resolutions if r.available)
+    resolved = tuple(
+        r.name for r in resolutions
+        if r.available and r.kind != "component"
+    )
+
+    # allocation partitions per component: each non-CPU component's
+    # members must fit its own bank, independent of the CPU allocator.
+    comp_members: Dict[str, List[str]] = {}
+    for r in resolutions:
+        if r.kind == "component":
+            cn = r.name.split(C.PAPI_COMPONENT_SEPARATOR, 1)[0]
+            comp_members.setdefault(cn, []).append(r.name)
+    comp_assignment: Dict[str, int] = {}
+    comp_conflict: Tuple[str, ...] = ()
+    comp_fit = True
+    comp_mux_ok = True
+    for cn in sorted(comp_members):
+        comp = substrate.component(cn)
+        members = comp_members[cn]
+        if len(members) > comp.n_counters:
+            comp_fit = False
+            if not comp_conflict:
+                comp_conflict = tuple(members[:comp.n_counters + 1])
+            if not comp.SUPPORTS_MULTIPLEX:
+                comp_mux_ok = False
+        else:
+            from repro.core.allocation import component_assignment
+
+            shorts = [
+                m.split(C.PAPI_COMPONENT_SEPARATOR, 1)[1] for m in members
+            ]
+            packed = component_assignment(shorts, comp.n_counters)
+            for m, short in zip(members, shorts):
+                comp_assignment[m] = packed[short]
 
     sampling = substrate.supports_sampling_counts()
     if sampling:
-        # the sampler observes every signal at once: no allocation.
+        # the sampler observes every signal at once: no CPU allocation.
+        # Component banks still have finite width, and with no cycle
+        # timer there is no multiplexing to rescue an over-full one.
         return FeasibilityReport(
             platform, events, resolutions, True,
-            feasible_direct=True,
-            assignment={}, group=None,
+            feasible_direct=comp_fit,
+            assignment=comp_assignment if comp_fit else {}, group=None,
             feasible_multiplexed=False,
-            conflict_witness=(), hall_witness=None,
+            conflict_witness=comp_conflict, hall_witness=None,
         )
 
     natives = _natives_of(tuple(by_name[n] for n in resolved), substrate)
     result = allocate(substrate, natives)
 
     feasible_multiplexed = False
-    conflict: Tuple[str, ...] = ()
+    conflict: Tuple[str, ...] = comp_conflict
     hall = None
     if not result.complete:
         conflict = _minimal_conflict(resolved, by_name, substrate)
@@ -221,11 +274,16 @@ def check_events(
         )
     else:
         feasible_multiplexed = len(natives) <= C.PAPI_MAX_MPX_EVENTS
+    feasible_multiplexed = feasible_multiplexed and comp_mux_ok
 
+    feasible = result.complete and comp_fit
+    assignment = dict(result.assignment) if feasible else {}
+    if feasible:
+        assignment.update(comp_assignment)
     return FeasibilityReport(
         platform, events, resolutions, False,
-        feasible_direct=result.complete,
-        assignment=dict(result.assignment) if result.complete else {},
+        feasible_direct=feasible,
+        assignment=assignment,
         group=result.group,
         feasible_multiplexed=feasible_multiplexed,
         conflict_witness=conflict,

@@ -98,7 +98,8 @@ RULES: Dict[str, Rule] = {
         Rule("PL010", Severity.ERROR,
              "unknown event name",
              "Section 4 (preset/native event namespace)",
-             guards=("NoSuchEventError", "NotPresetError") + _PAPI_GUARD),
+             guards=("NoSuchEventError", "NotPresetError",
+                     "NoSuchComponentError") + _PAPI_GUARD),
         Rule("PL011", Severity.WARNING,
              "event is not available on the bound platform",
              "Section 4 / experiment E8 (the portability matrix)",
@@ -135,6 +136,12 @@ RULES: Dict[str, Rule] = {
              "PapidClient constructed without a context manager or a "
              "close() call (client-owned daemon sessions leak)",
              "DESIGN.md (fleet daemon: clients own their sessions)"),
+        Rule("PL019", Severity.WARNING,
+             "component event used without checking the component is "
+             "registered (component sets differ across substrates)",
+             "DESIGN.md (component architecture: PAPI_ENOCMP contract)",
+             guards=("NoSuchComponentError", "NoSuchEventError",
+                     "SubstrateFeatureError") + _PAPI_GUARD),
         # -- flow-sensitive typestate (CFG dataflow engine) --------------
         Rule("PL301", Severity.ERROR,
              "an operation requiring a running EventSet is reachable "

@@ -136,6 +136,16 @@ class Substrate:
         }
         self.groups: Optional[List[CounterGroup]] = self._groups()
         self._validate_tables()
+        # the PAPI-C component registry: this substrate's PMU is component
+        # 0 (the CPU component), followed by the socket-scoped uncore and
+        # energy planes.  Imported at function level: repro.components
+        # pulls in repro.core, whose package init imports this module.
+        from repro.components import build_components
+
+        self.components = build_components(
+            self, uncore_counters=self._uncore_counters()
+        )
+        self._component_by_name = {c.name: c for c in self.components}
         #: cumulative cycles this substrate's interface has charged.
         self.interface_cycles = 0
         #: attached fault injector (:mod:`repro.faults`); ``None`` keeps
@@ -152,6 +162,10 @@ class Substrate:
 
     def _groups(self) -> Optional[List[CounterGroup]]:
         return None
+
+    def _uncore_counters(self) -> int:
+        """Physical counters in this platform's uncore bank (override)."""
+        return 2
 
     # -- validation ---------------------------------------------------------
 
@@ -209,6 +223,35 @@ class Substrate:
 
     def list_native(self) -> List[NativeEvent]:
         return sorted(self.native_events.values(), key=lambda e: e.name)
+
+    # -- components -----------------------------------------------------------
+
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    @property
+    def component_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.components)
+
+    def component(self, name: str):
+        """Look up a component by name; raises ``PAPI_ENOCMP`` if absent."""
+        comp = self._component_by_name.get(name)
+        if comp is None:
+            from repro.core.errors import NoSuchComponentError
+
+            raise NoSuchComponentError(
+                f"{self.NAME}: no component named {name!r} "
+                f"(have {', '.join(self.component_names)})"
+            )
+        return comp
+
+    def component_by_id(self, cid: int):
+        if 0 <= cid < len(self.components):
+            return self.components[cid]
+        from repro.core.errors import NoSuchComponentError
+
+        raise NoSuchComponentError(f"{self.NAME}: no component id {cid}")
 
     # -- fault injection ------------------------------------------------------
 

@@ -225,6 +225,11 @@ class SimALPHA(Substrate):
     def _groups(self) -> Optional[List[CounterGroup]]:
         return None
 
+    def _uncore_counters(self) -> int:
+        # DCPI only surfaces two board-level (Bcache/memory) tallies;
+        # they are free-running, so sampling cannot break them.
+        return 2
+
     # -- direct counting is unavailable ------------------------------------
 
     _NO_DIRECT = (

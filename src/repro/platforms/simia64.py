@@ -106,6 +106,10 @@ class SimIA64(Substrate):
     def _groups(self) -> Optional[List[CounterGroup]]:
         return None
 
+    def _uncore_counters(self) -> int:
+        # perfmon exposes the chipset (bus unit) counter bank in full.
+        return 4
+
     # -- EAR access (used by precise profiling, E5) -------------------------
 
     def add_ear(self, period: int, event: str = "l1d_miss"):

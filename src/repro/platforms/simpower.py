@@ -135,3 +135,7 @@ class SimPOWER(Substrate):
                 "PM_LD_MISS_L1": 3, "PM_LD_MISS_L2": 4, "PM_LD_CMPL": 5,
             }),
         ]
+
+    def _uncore_counters(self) -> int:
+        # pmtoolkit exposes the L2/fabric counter bank alongside groups.
+        return 4

@@ -115,3 +115,7 @@ class SimSPARC(Substrate):
 
     def _groups(self) -> Optional[List[CounterGroup]]:
         return None
+
+    def _uncore_counters(self) -> int:
+        # libcpc mirrors the two-PIC layout on the E-cache/bus bank too.
+        return 2

@@ -80,3 +80,7 @@ class SimT3E(Substrate):
 
     def _groups(self) -> Optional[List[CounterGroup]]:
         return None
+
+    def _uncore_counters(self) -> int:
+        # the E-register interface exposes the full memory-interface bank.
+        return 4

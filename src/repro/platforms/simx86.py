@@ -127,3 +127,8 @@ class SimX86(Substrate):
 
     def _groups(self) -> Optional[List[CounterGroup]]:
         return None
+
+    def _uncore_counters(self) -> int:
+        # the kernel patch maps only two off-core counters, so a full
+        # uncore event sweep must multiplex (like the core PMU here).
+        return 2

@@ -8,6 +8,9 @@ simulated platforms, plus the papi-lint static analyzers::
 
     python -m repro.tools.cli avail simPOWER
     python -m repro.tools.cli native-avail simX86
+    python -m repro.tools.cli component-avail simX86
+    python -m repro.tools.cli papirun simX86 dot \\
+        --events uncore:::MEM_BW_RD,PAPI_TOT_INS
     python -m repro.tools.cli papirun simIA64 dot --n 2000 --multiplex
     python -m repro.tools.cli papirun simPOWER dot --inject 2718:loss
     python -m repro.tools.cli calibrate simALPHA --kernel dot --n 50000
@@ -93,6 +96,39 @@ def cmd_native_avail(args) -> int:
         print(f"\ncounter groups ({len(substrate.groups)}):")
         for g in substrate.groups:
             print(f"  group {g.gid}: {', '.join(sorted(g.assignments))}")
+    return 0
+
+
+def cmd_component_avail(args) -> int:
+    """papi_component_avail: registered components and their events."""
+    papi = Papi(create(args.platform))
+    print(
+        f"component-avail: {args.platform} "
+        f"({papi.num_components()} components)"
+    )
+    for comp in papi.components:
+        info = comp.describe()
+        print(
+            f"\ncomponent {info['cid']}: {info['name']} -- "
+            f"{info['description']}"
+        )
+        print(
+            f"  counters: {info['n_counters']}, multiplex: "
+            f"{'yes' if info['supports_multiplex'] else 'no'}"
+        )
+        if comp.name == "cpu":
+            print(
+                f"  events: {len(comp.event_names())} native "
+                f"(see native-avail)"
+            )
+            continue
+        table = Table(["event", "units", "description"])
+        for short in comp.event_names():
+            ev = comp.query(short)
+            table.add_row(
+                f"{comp.name}:::{short}", ev.units, ev.description
+            )
+        print(table.render())
     return 0
 
 
@@ -317,7 +353,7 @@ def cmd_check_events(args) -> int:
         if report.unknown or report.unavailable:
             # no allocation verdict: it would only cover resolved events
             pass
-        elif report.sampling:
+        elif report.sampling and report.feasible_direct:
             print(
                 "sampling platform: counts are derived from samples, "
                 "no counter allocation"
@@ -356,7 +392,7 @@ def cmd_check_events(args) -> int:
 
     if report.unknown or report.unavailable:
         return 1
-    if report.sampling or report.feasible_direct:
+    if report.feasible_direct:
         return 0
     return 2 if report.feasible_multiplexed else 1
 
@@ -500,6 +536,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("platform", choices=PLATFORM_NAMES)
 
+    p = sub.add_parser(
+        "component-avail",
+        help="registered components and their event namespaces "
+             "(papi_component_avail)",
+    )
+    p.add_argument("platform", choices=PLATFORM_NAMES)
+
     p = sub.add_parser("papirun", help="run a workload with counters")
     p.add_argument("platform", choices=PLATFORM_NAMES)
     p.add_argument("workload", help="kernel name (dot, axpy, triad, ...)")
@@ -526,8 +569,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "validate",
-        help="conformance & accuracy matrix (oracle, cost, convergence, "
-             "skid, refute planes)",
+        help="conformance & accuracy matrix (oracle, components, cost, "
+             "convergence, skid, refute planes)",
     )
     p.add_argument(
         "--platform", choices=PLATFORM_NAMES, action="append",
@@ -535,8 +578,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--planes", default=None,
-        help="comma-separated subset of oracle,virtual,cost,convergence,"
-             "skid,refute (default: all)",
+        help="comma-separated subset of oracle,virtual,components,cost,"
+             "convergence,skid,refute (default: all)",
     )
     p.add_argument(
         "--thorough", action="store_true",
@@ -658,6 +701,7 @@ _COMMANDS = {
     "platforms": cmd_platforms,
     "avail": cmd_avail,
     "native-avail": cmd_native_avail,
+    "component-avail": cmd_component_avail,
     "papirun": cmd_papirun,
     "calibrate": cmd_calibrate,
     "validate": cmd_validate,

@@ -16,6 +16,11 @@ The planes, aggregated into one conformance matrix
   interpreter derives exact expected counts for every architecturally
   determined signal; hardware counts, preset translations and
   attached/SMP-virtualized reads are checked cell by cell against it;
+- **components** (:mod:`repro.validate.components`): mixed
+  CPU/uncore/energy EventSets checked clause by clause -- CPU members
+  against the oracle, uncore bandwidth against oracle store counts,
+  energy parts against their closed forms and their package sum, and
+  the uncore bank's within-component rotation / capacity refusal;
 - **cost** (:mod:`repro.validate.cost`): the ``papi_cost`` analogue --
   start/read/reset/stop overhead in simulated cycles per substrate,
   checked against each substrate's published
@@ -38,6 +43,7 @@ Every plane's randomness hangs off one master ``--seed`` through
 a matrix run is pinned by a single documented integer.
 """
 
+from repro.validate.components import run_components_plane
 from repro.validate.conformance import run_oracle_plane, run_virtualization_plane
 from repro.validate.convergence import run_convergence_plane
 from repro.validate.cost import run_cost_plane
@@ -59,6 +65,7 @@ __all__ = [
     "expected_preset_values",
     "expected_signal_counts",
     "run_all",
+    "run_components_plane",
     "run_convergence_plane",
     "run_cost_plane",
     "run_oracle_plane",

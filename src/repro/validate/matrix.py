@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.report import Table
 
 #: canonical plane order for reports.
-PLANES = ("oracle", "virtual", "cost", "convergence", "skid", "refute")
+PLANES = ("oracle", "virtual", "components", "cost", "convergence",
+          "skid", "refute")
 
 #: cell verdicts.  ``skip`` records *why* a cell is unscored (preset not
 #: mapped / touches micro-architectural signals / feature unsupported)
@@ -185,6 +186,7 @@ def run_all(
     # plane imports are deferred so `repro.validate.matrix` stays
     # importable from the plane modules without a cycle.
     from repro.refute.engine import run_refute_plane
+    from repro.validate.components import run_components_plane
     from repro.validate.conformance import (
         run_oracle_plane,
         run_virtualization_plane,
@@ -216,6 +218,10 @@ def run_all(
     if "virtual" in wanted:
         matrix.extend(
             run_virtualization_plane(names, thorough=thorough, seed=seed)
+        )
+    if "components" in wanted:
+        matrix.extend(
+            run_components_plane(names, thorough=thorough, seed=seed)
         )
     if "cost" in wanted:
         matrix.extend(run_cost_plane(names, seed=seed))

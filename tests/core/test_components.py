@@ -1,0 +1,194 @@
+"""Component-layer error paths and lifecycle edges.
+
+The PAPI-C component boundary adds its own failure surface on top of
+the classic counter errors: unknown components must surface
+``PAPI_ENOCMP``, a component that declares no multiplexing must reject
+rotation in *both* orders (mux-then-add and add-then-mux), the
+transient-fault retry ladder must leave component snapshots untouched
+(they sit outside the gated substrate calls), and ``Papi.shutdown``
+must stay idempotent with component counters live.
+"""
+
+import pytest
+
+from repro.core import constants as C
+from repro.core.errors import (
+    ConflictError,
+    InvalidArgumentError,
+    NoSuchComponentError,
+    NoSuchEventError,
+    SubstrateFeatureError,
+)
+from repro.core.library import Papi
+from repro.faults import attach_from_spec
+from repro.platforms import create
+from repro.workloads import dot
+
+MIXED = ("PAPI_TOT_INS", "uncore:::MEM_BW_RD", "energy:::PKG_ENERGY")
+
+
+def make(platform="simT3E"):
+    sub = create(platform)
+    papi = Papi(sub)
+    return sub, papi
+
+
+class TestNoSuchComponent:
+    def test_unknown_component_name_is_enocmp(self):
+        _sub, papi = make()
+        with pytest.raises(NoSuchComponentError) as exc:
+            papi.component("gpu")
+        assert exc.value.code == C.PAPI_ENOCMP
+
+    def test_unknown_component_id_is_enocmp(self):
+        _sub, papi = make()
+        with pytest.raises(NoSuchComponentError):
+            papi.component_by_id(99)
+
+    def test_event_in_unknown_namespace_is_enocmp(self):
+        _sub, papi = make()
+        es = papi.create_eventset()
+        with pytest.raises(NoSuchComponentError):
+            es.add_named("gpu:::SM_ACTIVE")
+
+    def test_known_component_unknown_short_is_enoevnt(self):
+        """The component exists, the event does not: that is ENOEVNT,
+        not ENOCMP -- the two diagnostics must not blur."""
+        _sub, papi = make()
+        es = papi.create_eventset()
+        with pytest.raises(NoSuchEventError):
+            es.add_named("uncore:::NO_SUCH_COUNTER")
+
+    def test_enocmp_code_round_trips_through_tables(self):
+        assert C.ERROR_NAMES[C.PAPI_ENOCMP] == "PAPI_ENOCMP"
+        err = NoSuchComponentError("x")
+        assert err.code == C.PAPI_ENOCMP == -15
+
+
+class TestComponentMultiplexPolicy:
+    def test_set_multiplex_rejected_with_energy_member(self):
+        _sub, papi = make()
+        papi.component("energy")
+        es = papi.create_eventset()
+        es.add_named("energy:::PKG_ENERGY")
+        with pytest.raises(SubstrateFeatureError, match="no multiplexing"):
+            es.set_multiplex()
+
+    def test_energy_member_rejected_into_multiplexed_set(self):
+        _sub, papi = make()
+        papi.component("energy")
+        es = papi.create_eventset()
+        es.add_named("PAPI_TOT_INS")
+        es.set_multiplex()
+        with pytest.raises(SubstrateFeatureError, match="no multiplexing"):
+            es.add_named("energy:::CORE_ENERGY")
+
+    def test_uncore_overfull_without_multiplex_is_conflict(self):
+        """simT3E's uncore bank is four wide; a fifth member cannot
+        exist, but four fit directly."""
+        sub, papi = make()
+        uncore = papi.component("uncore")
+        es = papi.create_eventset()
+        shorts = sorted(uncore.events)
+        assert len(shorts) == uncore.n_counters == 4
+        es.add_named(*(f"uncore:::{s}" for s in shorts))
+
+    def test_uncore_overfull_on_narrow_bank_needs_multiplex(self):
+        """simSPARC gives uncore only two counters: three members
+        conflict directly but rotate fine once multiplexed."""
+        sub, papi = make("simSPARC")
+        uncore = papi.component("uncore")
+        assert uncore.n_counters == 2
+        names = [
+            "uncore:::MEM_BW_RD",
+            "uncore:::MEM_BW_WR",
+            "uncore:::UNC_L2_LINES_IN",
+        ]
+        es = papi.create_eventset()
+        es.add_named(*names[:2])
+        with pytest.raises(ConflictError, match="2 counters"):
+            es.add_named(names[2])
+        mpx = papi.create_eventset()
+        mpx.set_multiplex()
+        mpx.add_named(*names)
+        sub.machine.load(dot(2000, use_fma=sub.HAS_FMA).program)
+        mpx.start()
+        sub.machine.run_to_completion()
+        values = mpx.stop()
+        assert len(values) == 3
+
+    def test_overflow_on_component_event_rejected(self):
+        _sub, papi = make()
+        papi.component("energy")
+        es = papi.create_eventset()
+        es.add_named("energy:::PKG_ENERGY")
+        code = papi.event_name_to_code("energy:::PKG_ENERGY")
+        with pytest.raises(InvalidArgumentError, match="free-running"):
+            es.overflow(code, 1000, lambda info: None)
+
+
+class TestTransientFaultsWithComponents:
+    def run_one(self, spec):
+        sub = create("simT3E")
+        injector = attach_from_spec(sub, spec) if spec else None
+        papi = Papi(sub)
+        papi.component("uncore")
+        papi.component("energy")
+        es = papi.create_eventset()
+        es.add_named(*MIXED)
+        sub.machine.load(dot(6000, use_fma=sub.HAS_FMA).program)
+        es.start()
+        sub.machine.run_to_completion()
+        values = dict(zip(es.event_names, es.stop()))
+        health = es.health
+        papi.shutdown()
+        return values, health, injector
+
+    def test_retry_ladder_leaves_component_snapshots_exact(self):
+        """Transient ESYS faults hit the gated substrate calls and are
+        absorbed by retries; component banks are free-running and read
+        outside the gate, so neither CPU nor component values may move
+        relative to a fault-free run."""
+        clean, _health, _inj = self.run_one(None)
+        for seed in range(1, 60):
+            values, health, injector = self.run_one(f"{seed}:transient")
+            summary = injector.summary()
+            if summary:
+                assert set(summary) == {"esys"}
+                assert values == clean
+                assert health.retries == summary["esys"]
+                assert health.lost_intervals == []
+                return
+        pytest.fail("no transient fault in 60 seeds; rate is broken")
+
+
+class TestShutdownWithComponents:
+    def test_shutdown_idempotent_with_live_component_counters(self):
+        sub, papi = make()
+        papi.component("uncore")
+        papi.component("energy")
+        es = papi.create_eventset()
+        es.add_named(*MIXED)
+        sub.machine.load(dot(500, use_fma=sub.HAS_FMA).program)
+        es.start()
+        assert es._cmp_base            # bases snapped at start
+        papi.shutdown()
+        assert not papi.initialized
+        assert papi._running_handle is None
+        assert not papi._eventsets
+        assert not es.running
+        assert not es._cmp_base        # component bases dropped too
+        papi.shutdown()                # nothing left; must not raise
+        assert not papi.initialized
+
+    def test_destroy_eventset_clears_component_state(self):
+        sub, papi = make()
+        papi.component("uncore")
+        es = papi.create_eventset()
+        es.add_named("uncore:::MEM_BW_RD")
+        sub.machine.load(dot(500, use_fma=sub.HAS_FMA).program)
+        es.start()
+        sub.machine.run_to_completion()
+        assert es.stop()[0] >= 0
+        papi.destroy_eventset(es)
+        assert es not in papi._eventsets

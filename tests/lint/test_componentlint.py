@@ -1,0 +1,149 @@
+"""Unit tests: component-event lint (PL019 and the PL010 extensions).
+
+PL019 flags component events used without first checking the component
+is registered (component sets differ across substrates, so an unchecked
+``uncore:::`` add is a latent ``PAPI_ENOCMP``).  PL010 gained three
+component-flavoured misuses: an event in an unregistered component
+namespace, an unknown short name inside a known component, and a
+``cpu:::`` alias that names no native event.
+"""
+
+from repro.lint import Severity, lint_source
+
+PRELUDE = """\
+from repro.core.library import Papi
+from repro.platforms import create
+
+substrate = create("{platform}")
+papi = Papi(substrate)
+es = papi.create_eventset()
+"""
+
+
+def codes(source, platform=None, path="script.py"):
+    return [
+        d.code for d in lint_source(source, path, default_platform=platform)
+    ]
+
+
+def lint(source, platform=None, path="script.py"):
+    return lint_source(source, path, default_platform=platform)
+
+
+class TestPL019Availability:
+    def test_unchecked_component_event_is_pl019(self):
+        src = PRELUDE.format(platform="simX86") + (
+            'es.add_named("uncore:::MEM_BW_RD")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src) == ["PL019"]
+
+    def test_pl019_is_a_warning(self):
+        src = PRELUDE.format(platform="simX86") + (
+            'es.add_named("energy:::PKG_ENERGY")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        (diag,) = lint(src)
+        assert diag.code == "PL019"
+        assert diag.severity is Severity.WARNING
+
+    def test_component_lookup_makes_it_clean(self):
+        src = PRELUDE.format(platform="simX86") + (
+            'papi.component("uncore")\n'
+            'es.add_named("uncore:::MEM_BW_RD")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src) == []
+
+    def test_check_covers_only_the_named_component(self):
+        src = PRELUDE.format(platform="simX86") + (
+            'papi.component("uncore")\n'
+            'es.add_named("uncore:::MEM_BW_RD")\n'
+            'es.add_named("energy:::PKG_ENERGY")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src) == ["PL019"]
+
+    def test_num_components_enumeration_covers_all(self):
+        src = PRELUDE.format(platform="simX86") + (
+            "n = papi.num_components()\n"
+            'es.add_named("uncore:::MEM_BW_RD", "energy:::PKG_ENERGY")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src) == []
+
+    def test_query_named_counts_as_availability_check(self):
+        src = PRELUDE.format(platform="simX86") + (
+            'papi.query_named("energy:::PKG_ENERGY")\n'
+            'es.add_named("energy:::CORE_ENERGY")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src) == []
+
+    def test_enocmp_guard_suppresses_pl019(self):
+        src = PRELUDE.format(platform="simX86") + (
+            "from repro.core.errors import NoSuchComponentError\n"
+            "try:\n"
+            '    es.add_named("uncore:::MEM_BW_RD")\n'
+            "except NoSuchComponentError:\n"
+            "    pass\n"
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src) == []
+
+    def test_overflow_on_component_event_is_pl019(self):
+        src = PRELUDE.format(platform="simX86") + (
+            'papi.component("energy")\n'
+            'es.add_named("energy:::PKG_ENERGY")\n'
+            "es.overflow(papi.event_name_to_code("
+            "'energy:::PKG_ENERGY'), 1000, print)\n"
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src) == ["PL019"]
+
+
+class TestPL010ComponentNamespaces:
+    def test_unknown_component_namespace_is_pl010(self):
+        src = PRELUDE.format(platform="simX86") + (
+            'es.add_named("gpu:::SM_ACTIVE")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src) == ["PL010"]
+
+    def test_unknown_short_in_known_component_is_pl010(self):
+        src = PRELUDE.format(platform="simX86") + (
+            'papi.component("uncore")\n'
+            'es.add_named("uncore:::NO_SUCH_COUNTER")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src) == ["PL010"]
+
+    def test_cpu_alias_of_unknown_native_is_pl010(self):
+        src = PRELUDE.format(platform="simX86") + (
+            'es.add_named("cpu:::NOT_A_NATIVE")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        assert codes(src, platform="simX86") == ["PL010"]
+
+    def test_cpu_alias_of_real_native_is_clean(self):
+        """cpu::: aliases the legacy native table, which needs no
+        component availability check (component 0 always exists)."""
+        src = PRELUDE.format(platform="simT3E") + (
+            'es.add_named("cpu:::INS_CNT")\n'
+            "es.start()\n"
+            "es.stop()\n"
+        )
+        # PL103 (portable-nowhere-else INFO) is expected for a raw
+        # native; the component rules must stay silent.
+        assert codes(src, platform="simT3E") == ["PL103"]

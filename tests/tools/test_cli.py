@@ -49,6 +49,25 @@ class TestNativeAvail:
         assert "group 0" in out
 
 
+class TestComponentAvail:
+    def test_lists_all_components(self, capsys):
+        assert main(["component-avail", "simX86"]) == 0
+        out = capsys.readouterr().out
+        assert "3 components" in out
+        assert "component 0: cpu" in out
+        assert "component 1: uncore" in out
+        assert "component 2: energy" in out
+        assert "uncore:::MEM_BW_RD" in out
+        assert "energy:::PKG_ENERGY" in out
+
+    def test_shows_mux_policy_and_capacity(self, capsys):
+        main(["component-avail", "simSPARC"])
+        out = capsys.readouterr().out
+        assert "multiplex: no" in out      # the energy plane
+        assert "multiplex: yes" in out
+        assert "counters: 2" in out        # simSPARC's narrow uncore bank
+
+
 class TestPapirunCmd:
     def test_runs_kernel(self, capsys):
         assert main(["papirun", "simPOWER", "dot", "--n", "500"]) == 0
@@ -62,6 +81,15 @@ class TestPapirunCmd:
         ]) == 0
         out = capsys.readouterr().out
         assert "PAPI_LD_INS" in out
+
+    def test_component_events(self, capsys):
+        assert main([
+            "papirun", "simX86", "dot", "--n", "2000",
+            "--events", "uncore:::MEM_BW_RD,PAPI_TOT_INS",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "uncore:::MEM_BW_RD" in out
+        assert "PAPI_TOT_INS" in out
 
     def test_multiplex_flag(self, capsys):
         assert main(["papirun", "simX86", "dot", "--n", "4000",
